@@ -1,0 +1,94 @@
+"""Ablation — §6.2's garbage-collection dilemma, measured.
+
+*"when all unreachable sets of items are removed immediately, it is likely
+that too much is thrown away, but when everything is retained, we end up
+with too much garbage in Itemsets."*
+
+An editing session (add a rule, parse, delete it, parse, ...) is run
+against three collector configurations:
+
+* **gc off** — MODIFY makes states plain initial; nothing is ever
+  reclaimed (the "retain everything" pole);
+* **refcount gc** — dirty states + RE-EXPAND + DECR-REFCOUNT (the paper's
+  compromise);
+* **refcount + sweep** — additionally run the mark-and-sweep fallback
+  after the session (reclaims orphaned cycles).
+
+Asserted shape: live states(gc off) ≥ live states(refcount) ≥ live
+states(sweep), with the gc-off graph accumulating garbage linearly in the
+number of edits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incremental import IncrementalGenerator
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.runtime.parallel import PoolParser
+
+ROUNDS = 12
+
+
+def _edit_session(workload, gc: bool, sweep: bool) -> dict:
+    grammar = workload.fresh_grammar()
+    generator = IncrementalGenerator(grammar, gc=gc)
+    parser = PoolParser(generator.control, grammar)
+    tokens = workload.inputs["Exam.sdf"]
+    assert parser.parse(tokens).accepted
+
+    b = NonTerminal("CF-ELEM")
+    for index in range(ROUNDS):
+        rule = Rule(b, [Terminal(f"ghost-{index}")])
+        generator.add_rule(rule)
+        assert parser.parse(tokens).accepted
+        generator.delete_rule(rule)
+        assert parser.parse(tokens).accepted
+    if sweep:
+        generator.collect_garbage(force_sweep=True)
+    graph = generator.graph
+    return {
+        "live_states": len(graph),
+        "created": graph.stats.states_created,
+        "removed": graph.stats.states_removed,
+        "expansions": graph.stats.expansions,
+    }
+
+
+@pytest.mark.parametrize(
+    "mode", ["gc_off", "refcount", "refcount_sweep"]
+)
+def test_edit_session(benchmark, workload, mode):
+    gc = mode != "gc_off"
+    sweep = mode == "refcount_sweep"
+    stats = benchmark.pedantic(
+        lambda: _edit_session(workload, gc=gc, sweep=sweep),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(stats)
+
+
+def test_gc_reclaims(benchmark, workload):
+    """The shape assertion: each collector level retains no more states."""
+
+    def run_all():
+        return (
+            _edit_session(workload, gc=False, sweep=False),
+            _edit_session(workload, gc=True, sweep=False),
+            _edit_session(workload, gc=True, sweep=True),
+        )
+
+    off, refcount, swept = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(f"gc off:          {off['live_states']} live states "
+          f"({off['removed']} removed)")
+    print(f"refcount:        {refcount['live_states']} live states "
+          f"({refcount['removed']} removed)")
+    print(f"refcount+sweep:  {swept['live_states']} live states "
+          f"({swept['removed']} removed)")
+    assert off["removed"] == 0, "without gc nothing is ever reclaimed"
+    assert refcount["removed"] > 0, "refcounting should reclaim something"
+    assert refcount["live_states"] <= off["live_states"]
+    assert swept["live_states"] <= refcount["live_states"]

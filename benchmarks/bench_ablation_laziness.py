@@ -1,0 +1,126 @@
+"""Ablation — §5.3: the cost of laziness, and why not to be lazier.
+
+Two claims to quantify:
+
+1. *"The overhead in time introduced by this lazy technique is small.
+   ... Only the test in ACTION which determines the type of a given set of
+   items takes some extra time."*  — measured as warm-parse time with the
+   conventional control vs the lazy control over the *same, fully
+   expanded* graph.
+
+2. *"We considered making the lazy parser generator even more lazy ...
+   only that part has to be expanded that is needed ...  However, the
+   additional administrative overhead incurred ... turned out to be so
+   large that no net gain in efficiency was to be expected."* — estimated
+   by counting, over a corpus parse, how many distinct (state, symbol)
+   pairs ACTION is asked for, relative to the number of transitions the
+   full expansion computes: per-symbol laziness would save the difference
+   but pay a closure-cache lookup on *every* ACTION call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lazy import LazyControl, LazyGenerator
+from repro.core.metrics import ControlProbe
+from repro.lr.generator import ConventionalGenerator, GraphControl
+from repro.runtime.parallel import PoolParser
+
+
+def test_action_conventional_control(benchmark, workload, tokens):
+    """Warm parse through the conventional ACTION (no type test)."""
+    grammar = workload.fresh_grammar()
+    control = ConventionalGenerator(grammar).generate()
+    parser = PoolParser(control, grammar)
+    stream = tokens["SDF.sdf"]
+    assert benchmark(lambda: parser.recognize(stream))
+
+
+def test_action_lazy_control_warm(benchmark, workload, tokens):
+    """Warm parse through the lazy ACTION (pays the §5.3 type test)."""
+    grammar = workload.fresh_grammar()
+    generator = LazyGenerator(grammar)
+    generator.force()  # fully expanded: only the test overhead remains
+    parser = PoolParser(generator.control(), grammar)
+    stream = tokens["SDF.sdf"]
+    assert benchmark(lambda: parser.recognize(stream))
+
+
+def test_lazy_overhead_is_small(benchmark, workload, tokens):
+    """The §5.3 claim quantified: overhead well under 2x."""
+    import time
+
+    grammar = workload.fresh_grammar()
+    stream = tokens["SDF.sdf"]
+
+    def measure():
+        conventional = ConventionalGenerator(grammar).generate()
+        lazy_generator = LazyGenerator(grammar)
+        lazy_generator.force()
+        lazy = lazy_generator.control()
+        pool_conventional = PoolParser(conventional, grammar)
+        pool_lazy = PoolParser(lazy, grammar)
+        pool_conventional.recognize(stream)
+        pool_lazy.recognize(stream)
+
+        start = time.perf_counter()
+        for _ in range(3):
+            pool_conventional.recognize(stream)
+        conventional_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(3):
+            pool_lazy.recognize(stream)
+        lazy_time = time.perf_counter() - start
+        return conventional_time, lazy_time
+
+    conventional_time, lazy_time = benchmark.pedantic(
+        measure, rounds=3, iterations=1
+    )
+    ratio = lazy_time / conventional_time
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 3)
+    print(f"\nlazy ACTION overhead: {ratio:.2f}x the conventional ACTION")
+    assert ratio < 2.0, f"§5.3 says the overhead is small; measured {ratio:.2f}x"
+
+
+def test_per_symbol_laziness_estimate(benchmark, workload, tokens):
+    """How much work would per-symbol expansion actually save?
+
+    Counts distinct (state, symbol) ACTION queries during a corpus parse
+    vs the total transition count of the states expanded — the fraction of
+    per-state work a per-symbol-lazy expander could skip, against which
+    §5.3 weighs its bookkeeping cost.
+    """
+
+    def measure():
+        grammar = workload.fresh_grammar()
+        generator = LazyGenerator(grammar)
+        probe = ControlProbe(generator.control())
+        parser = PoolParser(probe, grammar)
+        queried = set()
+
+        original_action = probe.control.action
+
+        def counting_action(state, symbol):
+            queried.add((id(state), symbol))
+            return original_action(state, symbol)
+
+        probe.control.action = counting_action  # type: ignore[assignment]
+        assert parser.recognize(tokens["SDF.sdf"])
+        graph = generator.graph
+        transitions = sum(
+            len(s.transitions) for s in graph.states() if s.is_complete
+        )
+        return len(queried), transitions
+
+    queried, transitions = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["distinct_action_queries"] = queried
+    benchmark.extra_info["transitions_computed"] = transitions
+    print(
+        f"\ndistinct ACTION queries: {queried}; transitions computed by "
+        f"full-state expansion: {transitions} "
+        f"(per-symbol laziness could save "
+        f"{max(0.0, 1 - queried / max(transitions, 1)) * 100:.0f}% of "
+        f"transition work, before its own bookkeeping)"
+    )

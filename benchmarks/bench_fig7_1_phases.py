@@ -1,0 +1,75 @@
+"""E7 (fine-grained) — the individual phases of Fig. 7.1.
+
+Separate benchmarks per phase isolate the three claims the protocol-level
+numbers aggregate:
+
+* *construction*: Yacc's LALR(1) ≫ PG's LR(0) ≫ IPG's ≈ 0,
+* *modification*: reconstruction (Yacc, PG) ≫ incremental MODIFY (IPG),
+* *lazy warm-up*: IPG's first parse carries the generation cost, its
+  second parse runs on the now-complete part of the table.
+
+Phases that depend on earlier protocol state use ``benchmark.pedantic``
+with a fresh setup per round, so no measurement sees a warmed cache it
+should not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SYSTEMS
+
+INPUT = "SDF.sdf"
+
+
+@pytest.mark.parametrize("system_name", ["yacc", "pg", "ipg"])
+def test_construct(benchmark, workload, system_name):
+    """Phase 1: table construction from a fresh grammar."""
+
+    def setup():
+        return (SYSTEMS[system_name](), workload.fresh_grammar()), {}
+
+    def construct(system, grammar):
+        system.construct(grammar)
+
+    benchmark.pedantic(construct, setup=setup, rounds=10)
+    benchmark.extra_info["system"] = system_name
+
+
+@pytest.mark.parametrize("system_name", ["yacc", "pg", "ipg"])
+def test_modify(benchmark, workload, system_name):
+    """Phase 4: apply the grammar change (rebuild vs MODIFY)."""
+    tokens = workload.inputs[INPUT]
+
+    def setup():
+        system = SYSTEMS[system_name]()
+        grammar = workload.fresh_grammar()
+        system.construct(grammar)
+        system.parse(tokens)
+        rule = workload.modification(grammar)
+        return (system, rule), {}
+
+    def modify(system, rule):
+        system.modify(rule)
+
+    benchmark.pedantic(modify, setup=setup, rounds=10)
+    benchmark.extra_info["system"] = system_name
+
+
+@pytest.mark.parametrize("which", ["first", "second"])
+def test_ipg_lazy_parse(benchmark, workload, which):
+    """IPG parse 1 (cold, generates the table) vs parse 2 (warm)."""
+    tokens = workload.inputs[INPUT]
+
+    def setup():
+        system = SYSTEMS["ipg"]()
+        system.construct(workload.fresh_grammar())
+        if which == "second":
+            system.parse(tokens)
+        return (system,), {}
+
+    def parse(system):
+        assert system.parse(tokens)
+
+    benchmark.pedantic(parse, setup=setup, rounds=10)
+    benchmark.extra_info["which_parse"] = which

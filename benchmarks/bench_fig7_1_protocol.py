@@ -1,0 +1,79 @@
+"""E7 — Fig. 7.1: the paper's headline measurement.
+
+For each system (Yacc-style LALR(1), PG, IPG) and each corpus input, run
+the six-phase protocol: construct / parse / parse / modify / parse /
+parse.  The whole-protocol benchmarks below give the statistically solid
+totals; the report benchmark prints the full per-phase grid (the rows of
+Fig. 7.1) and asserts the paper's qualitative shape:
+
+* IPG construction ≈ 0 (no generation phase),
+* IPG modification ≈ 0 (incremental MODIFY vs full reconstruction),
+* IPG's first parse > second parse (the table is generated during it),
+* Yacc's deterministic parser is the fastest *parser* (the paper: about
+  twice as fast as the Tomita-style parsers of PG/IPG).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SYSTEMS, run_figure_7_1, run_protocol
+from repro.bench.report import check_figure_7_1_shape, render_figure_7_1
+
+INPUTS = ("exp.sdf", "Exam.sdf", "SDF.sdf", "ASF.sdf")
+
+
+@pytest.mark.parametrize("system_name", ["yacc", "pg", "ipg"])
+@pytest.mark.parametrize("input_name", INPUTS)
+def test_protocol(benchmark, workload, system_name, input_name):
+    """Whole six-phase protocol for one (system, input) cell."""
+
+    def run():
+        return run_protocol(SYSTEMS[system_name](), workload, input_name)
+
+    result = benchmark(run)
+    benchmark.extra_info.update(
+        {f"phase_{phase}_ms": round(t * 1000, 3) for phase, t in result.times.items()}
+    )
+    benchmark.extra_info["system"] = system_name
+    benchmark.extra_info["input"] = input_name
+
+
+def test_figure_7_1_report(benchmark, workload):
+    """Print the Fig. 7.1 grid and assert its shape holds."""
+
+    def grid():
+        return run_figure_7_1(workload, repeats=3)
+
+    results = benchmark.pedantic(grid, rounds=1, iterations=1)
+    print()
+    print("Fig. 7.1 — construct/parse/parse/modify/parse/parse (this machine):")
+    print(render_figure_7_1(results))
+    problems = check_figure_7_1_shape(results)
+    assert not problems, "\n".join(problems)
+
+
+def test_lazy_generation_happens_in_first_parse(benchmark, workload):
+    """The deterministic (noise-free) form of the parse1 > parse2 claim:
+    table expansions happen during parse 1 and never during parse 2."""
+    from repro.bench.harness import IPGSystem
+
+    def counts():
+        system = IPGSystem()
+        grammar = workload.fresh_grammar()
+        system.construct(grammar)
+        graph = system.generator.graph
+        after_construct = graph.stats.expansions
+        tokens = workload.inputs["SDF.sdf"]
+        assert system.parse(tokens)
+        after_first = graph.stats.expansions
+        assert system.parse(tokens)
+        after_second = graph.stats.expansions
+        return after_construct, after_first, after_second
+
+    after_construct, after_first, after_second = benchmark.pedantic(
+        counts, rounds=1, iterations=1
+    )
+    assert after_construct == 0, "construction must not expand anything"
+    assert after_first > 0, "the first parse generates the table"
+    assert after_second == after_first, "the second parse finds it warm"

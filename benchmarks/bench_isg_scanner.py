@@ -1,0 +1,77 @@
+"""ISG benches — the scanner-generator analog of the parser measurements.
+
+[HKR87a]'s lazy/incremental scanner generator is part of the paper's
+system (section 1: the editor's parsing component is ISG/IPG, generated on
+the fly).  Mirroring the parser benches:
+
+* *lazy generation*: scanning a corpus file materializes only part of the
+  full DFA (the scanner's §5.2 fraction);
+* *incremental modification*: changing one token definition invalidates a
+  subset of DFA states, and rescanning restores only what is needed;
+* *throughput*: warm scanning of the corpus, and equivalence with the
+  hand-written bootstrap lexer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lexing import scanner_from_sdf
+from repro.lexing.regex import literal
+from repro.sdf.corpus import CORPUS
+from repro.sdf.corpus import sdf_definition
+from repro.sdf.lexer import tokenize
+
+
+@pytest.mark.parametrize("name", list(CORPUS))
+def test_scan_corpus(benchmark, name):
+    scanner = scanner_from_sdf(sdf_definition())
+    text = CORPUS[name]
+    lexemes = benchmark(lambda: scanner.scan(text))
+    assert len(lexemes) == len(tokenize(text))
+    benchmark.extra_info.update(scanner.stats())
+
+
+def test_lazy_dfa_fraction(benchmark):
+    """Scanning one file only materializes part of the full DFA."""
+
+    def scan_once():
+        scanner = scanner_from_sdf(sdf_definition())
+        scanner.scan(CORPUS["exp.sdf"])
+        return scanner
+
+    scanner = benchmark.pedantic(scan_once, rounds=1, iterations=1)
+    fraction = scanner.dfa.fraction_of_full()
+    benchmark.extra_info["dfa_fraction"] = round(fraction, 4)
+    print(f"\nlazy DFA after exp.sdf: {fraction * 100:.1f}% of the full DFA")
+    assert fraction < 1.0
+
+
+def test_incremental_invalidation(benchmark):
+    """Modify one definition; only part of the DFA is re-derived."""
+
+    def session():
+        scanner = scanner_from_sdf(sdf_definition())
+        scanner.scan(CORPUS["SDF.sdf"])
+        before = scanner.dfa.materialized_states
+        scanner.add_token("lit:)?", literal(")?"))  # the §7 modification!
+        after_invalidate = scanner.dfa.materialized_states
+        scanner.scan(CORPUS["SDF.sdf"])
+        after_rescan = scanner.dfa.materialized_states
+        return before, after_invalidate, after_rescan
+
+    before, after_invalidate, after_rescan = benchmark.pedantic(
+        session, rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "states_before": before,
+            "states_after_invalidate": after_invalidate,
+            "states_after_rescan": after_rescan,
+        }
+    )
+    print(
+        f"\nDFA states: {before} -> {after_invalidate} (invalidate) "
+        f"-> {after_rescan} (rescan)"
+    )
+    assert after_invalidate <= before, "invalidation never grows the DFA"

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Collect every paper-vs-measured number for EXPERIMENTS.md in one run.
+
+Not a pytest bench — a plain script whose output is pasted into
+EXPERIMENTS.md (and re-runnable by anyone questioning those numbers):
+
+    python benchmarks/collect_experiments.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.earley import EarleyParser
+from repro.bench.harness import run_figure_7_1
+from repro.bench.report import (
+    capability_matrix,
+    check_figure_7_1_shape,
+    render_capability_matrix,
+    render_figure_7_1,
+)
+from repro.bench.workloads import sdf_workload
+from repro.core.ipg import IPG
+from repro.core.metrics import table_fraction
+from repro.lexing import scanner_from_sdf
+from repro.sdf.corpus import CORPUS, corpus_tokens, sdf_definition
+
+
+def main() -> None:
+    workload = sdf_workload()
+    tokens = corpus_tokens()
+
+    print("=" * 72)
+    print("E7 / Fig. 7.1 — the six-phase protocol (min of 3 repeats)")
+    print("=" * 72)
+    results = run_figure_7_1(workload, repeats=3)
+    print(render_figure_7_1(results))
+    problems = check_figure_7_1_shape(results)
+    print("shape check:", "PASS" if not problems else problems)
+
+    print()
+    print("=" * 72)
+    print("E5 / §5.2 — fraction of the full LR(0) table generated lazily")
+    print("=" * 72)
+    for name, stream in tokens.items():
+        ipg = IPG(workload.fresh_grammar())
+        assert ipg.parse(stream).accepted
+        fraction = table_fraction(ipg.graph, ipg.grammar)
+        print(f"  {name:10s} {fraction * 100:5.1f}%   (paper: ~60% for SDF.sdf)")
+
+    print()
+    print("=" * 72)
+    print("E1 / Fig. 2.1 — measured capability matrix")
+    print("=" * 72)
+    rows, baseline = capability_matrix(scale=400)
+    print(render_capability_matrix(rows, baseline))
+    print(f"  ('fast' baseline: deterministic LALR on ASF.sdf, "
+          f"{baseline * 1000:.2f} ms)")
+    for name, row in rows.items():
+        if row.parse_seconds is not None:
+            print(f"  {name:26s} parse {row.parse_seconds * 1000:8.2f} ms")
+
+    print()
+    print("=" * 72)
+    print("E8 / §7 — Earley vs IPG (the comparison the authors skipped)")
+    print("=" * 72)
+    stream = tokens["SDF.sdf"]
+    earley = EarleyParser(workload.fresh_grammar())
+    ipg = IPG(workload.fresh_grammar())
+    ipg.recognize(stream)  # lazy generation happens here
+    best_earley = min(
+        _timed(lambda: earley.recognize(stream)) for _ in range(3)
+    )
+    best_ipg = min(_timed(lambda: ipg.recognize(stream)) for _ in range(3))
+    print(f"  Earley parse of SDF.sdf:    {best_earley * 1000:8.2f} ms")
+    print(f"  IPG (warm) parse of SDF.sdf:{best_ipg * 1000:8.2f} ms")
+    print(f"  ratio: {best_earley / best_ipg:.1f}x "
+          f"(paper predicted 'much inferior parsing performance')")
+
+    print()
+    print("=" * 72)
+    print("ISG — lazy scanner statistics on the corpus")
+    print("=" * 72)
+    scanner = scanner_from_sdf(sdf_definition())
+    for name, text in CORPUS.items():
+        scanner.scan(text)
+    stats = scanner.stats()
+    print(f"  after scanning all four files: {stats}")
+    print(f"  lazy DFA fraction of full: "
+          f"{scanner.dfa.fraction_of_full() * 100:.1f}%")
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    assert thunk()
+    return time.perf_counter() - start
+
+
+if __name__ == "__main__":
+    main()

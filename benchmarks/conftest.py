@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Everything here is deliberately *session-scoped and read-only*: grammars
+handed to systems under measurement are always fresh copies (generators
+subscribe to their grammar, so sharing mutable grammars across benchmarks
+would leak MODIFY notifications between measurements).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import booleans_workload, sdf_workload
+from repro.sdf.corpus import corpus_tokens, sdf_grammar
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The paper's SDF workload (grammar factory + 4 inputs + edit)."""
+    return sdf_workload()
+
+
+@pytest.fixture(scope="session")
+def toy_workload():
+    return booleans_workload()
+
+
+@pytest.fixture(scope="session")
+def tokens():
+    """Pre-tokenized corpus: input name -> terminal stream."""
+    return corpus_tokens()
+
+
+@pytest.fixture()
+def fresh_sdf_grammar():
+    """A fresh SDF grammar per test (safe to mutate/subscribe)."""
+    return sdf_grammar()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Arbitrary context-free grammars: ambiguity as a feature.
+
+IPG's runtime is a parallel LR parser, so — unlike Yacc — ambiguous
+grammars are not an error.  Every parse of an ambiguous sentence comes
+back as a tree; shared sub-derivations are represented once (hash-consed
+forest, the paper's B. Lang footnote).
+
+The classic ``E ::= E + E | n`` grammar yields Catalan-many parses, and
+the user-defined-syntax languages of section 1 (OBJ, ASF/SDF) rely on
+exactly this tolerance.
+
+Run:  python examples/ambiguous_expressions.py
+"""
+
+from repro import IPG
+from repro.runtime.forest import bracketed, node_count
+
+
+def catalan(n: int) -> int:
+    result = 1
+    for i in range(n):
+        result = result * 2 * (2 * i + 1) // (i + 2)
+    return result
+
+
+def main() -> None:
+    ipg = IPG.from_text(
+        """
+        E ::= n
+        E ::= E + E
+        START ::= E
+        """
+    )
+
+    print("all parses of n + n + n:")
+    result = ipg.parse("n + n + n")
+    for tree in result.trees:
+        print("  ", bracketed(tree))
+
+    print("\nparse counts follow the Catalan numbers:")
+    for operators in range(1, 8):
+        sentence = " ".join(["n"] + ["+ n"] * operators)
+        result = ipg.parse(sentence)
+        expected = catalan(operators)
+        print(
+            f"  {operators} operators: {len(result.trees):4d} parses "
+            f"(Catalan {expected}), "
+            f"max parallel parsers {result.stats.max_live_parsers}"
+        )
+        assert len(result.trees) == expected
+
+    print("\nforest sharing (5 operators):")
+    result = ipg.parse("n + n + n + n + n + n")
+    seen = set()
+    shared_nodes = sum(node_count(t, seen) for t in result.trees)
+    unshared_nodes = sum(node_count(t) for t in result.trees)
+    print(f"  nodes if each tree were private: {unshared_nodes}")
+    print(f"  nodes actually allocated:        {shared_nodes}")
+
+    print("\ndisambiguating by grammar refinement (left-associative):")
+    ipg.delete_rule("E ::= E + E")
+    ipg.add_rule("T ::= n")
+    ipg.add_rule("E ::= E + T")
+    ipg.add_rule("E ::= T")
+    ipg.delete_rule("E ::= n")
+    result = ipg.parse("n + n + n")
+    print(f"  'n + n + n' now has {len(result.trees)} parse:")
+    print("  ", bracketed(result.trees[0]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: the booleans grammar of Fig. 4.1, end to end.
+
+Shows the three headline behaviours of IPG:
+
+1. construction is free — the parse table is generated *while parsing*;
+2. the grammar can be modified mid-session and only the affected parts of
+   the table are regenerated;
+3. the parser handles ambiguity by returning every parse tree.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IPG
+from repro.runtime.forest import bracketed
+
+
+def main() -> None:
+    ipg = IPG.from_text(
+        """
+        B ::= true
+        B ::= false
+        B ::= B or B
+        B ::= B and B
+        START ::= B
+        """
+    )
+    print("freshly constructed:", ipg.summary())
+
+    # --- lazy generation: the table grows as sentences need it ---------
+    result = ipg.parse("true and true")
+    print("\n'true and true' accepted:", result.accepted)
+    print("after one sentence:     ", ipg.summary())
+    print("fraction of full table: ", f"{ipg.table_fraction():.0%}")
+
+    result = ipg.parse("false or false")
+    print("\n'false or false' accepted:", result.accepted)
+    print("after covering 'or'/'false':", f"{ipg.table_fraction():.0%}")
+
+    # --- incremental modification (section 6) ---------------------------
+    print("\nadding rule: B ::= unknown")
+    ipg.add_rule("B ::= unknown")
+    result = ipg.parse("true and unknown")
+    print("'true and unknown' accepted:", result.accepted)
+
+    print("deleting it again")
+    ipg.delete_rule("B ::= unknown")
+    print("'unknown' accepted now:", ipg.recognize("unknown"))
+
+    # --- ambiguity: every parse comes back -------------------------------
+    result = ipg.parse("true or false and true")
+    print(f"\n'true or false and true' has {len(result.trees)} parses:")
+    for tree in result.trees:
+        print("  ", bracketed(tree))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools without ``wheel``; this shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` perform an
+editable install there.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

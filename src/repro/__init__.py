@@ -1,0 +1,56 @@
+"""repro — a reproduction of Heering, Klint & Rekers,
+*Incremental Generation of Parsers* (PLDI 1989 / CWI report CS-R8822).
+
+The package implements the paper's system IPG — a lazy and incremental
+LR(0) parse-table generator driving a Tomita-style parallel LR parser —
+together with every substrate and baseline its evaluation relies on:
+
+========================  ====================================================
+``repro.grammar``         symbols, rules, mutable grammars, FIRST/FOLLOW
+``repro.lr``              item sets, CLOSURE/EXPAND, PG, SLR(1), LALR(1)
+``repro.runtime``         LR-PARSE, PAR-PARSE (pool), GSS GLR, parse forests
+``repro.core``            lazy generation, incremental MODIFY, GC, **IPG**
+``repro.baselines``       Earley, Cigale-style trie, OBJ-style backtracking
+                          recursive descent, LL(1)
+``repro.sdf``             the SDF front end and the section-7 corpus
+``repro.lexing``          ISG: regex → NFA → lazy DFA incremental scanner
+``repro.bench``           the Fig. 7.1 measurement harness
+========================  ====================================================
+
+Quickstart::
+
+    from repro import IPG
+
+    ipg = IPG.from_text('''
+        B ::= true
+        B ::= false
+        B ::= B or B
+        B ::= B and B
+        START ::= B
+    ''')
+    result = ipg.parse("true or false")
+    assert result.accepted
+"""
+
+from .core.ipg import IPG
+from .grammar import (
+    Grammar,
+    GrammarBuilder,
+    NonTerminal,
+    Rule,
+    Terminal,
+    grammar_from_text,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Grammar",
+    "GrammarBuilder",
+    "IPG",
+    "NonTerminal",
+    "Rule",
+    "Terminal",
+    "grammar_from_text",
+    "__version__",
+]

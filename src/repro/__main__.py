@@ -1,0 +1,5 @@
+"""``python -m repro`` — the interactive grammar-definition REPL."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""The comparison algorithms of section 2.1 / Fig. 2.1.
+
+Every row of the paper's comparison table that is not LR-based lives here:
+Earley, the Cigale trie parser, OBJ-style backtracking recursive descent,
+and LL(1) predictive parsing.  (The LR rows — LR/LALR tables, Tomita, and
+IPG itself — live in :mod:`repro.lr`, :mod:`repro.runtime` and
+:mod:`repro.core`.)
+"""
+
+from .cigale import CigaleParser, TrieNode
+from .earley import EarleyItem, EarleyParser
+from .ll1 import LL1Conflict, LL1Parser, LL1Table, NotLL1Error
+from .rd_backtrack import BacktrackBudgetExceeded, BacktrackingParser
+
+__all__ = [
+    "BacktrackBudgetExceeded",
+    "BacktrackingParser",
+    "CigaleParser",
+    "EarleyItem",
+    "EarleyParser",
+    "LL1Conflict",
+    "LL1Parser",
+    "LL1Table",
+    "NotLL1Error",
+    "TrieNode",
+]

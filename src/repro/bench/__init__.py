@@ -1,0 +1,49 @@
+"""Benchmark support: workloads, the §7 protocol harness, and reports."""
+
+from .harness import (
+    IPGSystem,
+    PGSystem,
+    PHASES,
+    ProtocolResult,
+    SYSTEMS,
+    SystemAdapter,
+    YaccSystem,
+    run_figure_7_1,
+    run_protocol,
+)
+from .report import (
+    Capability,
+    capability_matrix,
+    check_figure_7_1_shape,
+    render_capability_matrix,
+    render_figure_7_1,
+)
+from .workloads import (
+    Fig71Workload,
+    ambiguous_expression_grammar,
+    ambiguous_sentence,
+    booleans_workload,
+    sdf_workload,
+)
+
+__all__ = [
+    "Capability",
+    "Fig71Workload",
+    "IPGSystem",
+    "PGSystem",
+    "PHASES",
+    "ProtocolResult",
+    "SYSTEMS",
+    "SystemAdapter",
+    "YaccSystem",
+    "ambiguous_expression_grammar",
+    "ambiguous_sentence",
+    "booleans_workload",
+    "capability_matrix",
+    "check_figure_7_1_shape",
+    "render_capability_matrix",
+    "render_figure_7_1",
+    "run_figure_7_1",
+    "run_protocol",
+    "sdf_workload",
+]

@@ -1,0 +1,334 @@
+"""Report rendering: the Fig. 7.1 rows and the Fig. 2.1 capability matrix.
+
+Absolute numbers cannot match a 1988 SUN 3/60 running LeLisp; what must
+hold is the *shape* of the results.  :func:`check_figure_7_1_shape`
+encodes the paper's qualitative claims as assertions, and
+:func:`render_figure_7_1` prints the same rows the paper charts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.cigale import CigaleParser
+from ..baselines.earley import EarleyParser
+from ..baselines.ll1 import LL1Parser, NotLL1Error
+from ..baselines.rd_backtrack import BacktrackBudgetExceeded, BacktrackingParser
+from ..core.ipg import IPG
+from ..grammar.builders import grammar_from_text
+from ..grammar.symbols import Terminal
+from ..lr.generator import ConventionalGenerator
+from ..lr.lalr import lalr_table
+from ..lr.table import TableControl, resolve_conflicts
+from ..runtime.errors import ParseError
+from ..runtime.lr_parse import SimpleLRParser
+from ..runtime.parallel import PoolParser
+from .harness import PHASES, ProtocolResult
+
+# ---------------------------------------------------------------------------
+# Fig. 7.1
+# ---------------------------------------------------------------------------
+
+
+def render_figure_7_1(results: Sequence[ProtocolResult]) -> str:
+    """ASCII table: one row per (system, input), one column per phase."""
+    header = ["system", "input"] + list(PHASES) + ["total"]
+    rows: List[List[str]] = [header]
+    for result in results:
+        rows.append(
+            [result.system, result.input_name]
+            + [f"{result.times[phase] * 1000:8.2f}ms" for phase in PHASES]
+            + [f"{result.total() * 1000:8.2f}ms"]
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [
+        "  ".join(cell.rjust(widths[col]) for col, cell in enumerate(row))
+        for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def check_figure_7_1_shape(results: Sequence[ProtocolResult]) -> List[str]:
+    """The paper's qualitative claims; returns violation messages.
+
+    * IPG's construction time is "almost zero": far below PG's and Yacc's.
+    * IPG's modification time is far below reconstruction (PG, Yacc).
+    * IPG's first parse is slower than its second (generation is happening
+      during parse 1); after the table is warm (parse 2) times settle.
+    * Yacc/PG parse times do not differ between first and second parse in
+      shape (no generation during parsing) — allowed generous tolerance.
+    """
+    by_key: Dict[Tuple[str, str], ProtocolResult] = {
+        (r.system, r.input_name): r for r in results
+    }
+    problems: List[str] = []
+    inputs = sorted({r.input_name for r in results})
+    for input_name in inputs:
+        yacc = by_key.get(("yacc", input_name))
+        pg = by_key.get(("pg", input_name))
+        ipg = by_key.get(("ipg", input_name))
+        if not (yacc and pg and ipg):
+            continue
+        if not ipg.times["construct"] < 0.25 * pg.times["construct"]:
+            problems.append(
+                f"{input_name}: IPG construct ({ipg.times['construct']:.4f}s) "
+                f"not << PG construct ({pg.times['construct']:.4f}s)"
+            )
+        if not ipg.times["construct"] < 0.25 * yacc.times["construct"]:
+            problems.append(
+                f"{input_name}: IPG construct not << Yacc construct"
+            )
+        if not ipg.times["modify"] < 0.25 * pg.times["modify"]:
+            problems.append(
+                f"{input_name}: IPG modify ({ipg.times['modify']:.4f}s) "
+                f"not << PG modify ({pg.times['modify']:.4f}s)"
+            )
+        if not ipg.times["modify"] < 0.25 * yacc.times["modify"]:
+            problems.append(f"{input_name}: IPG modify not << Yacc modify")
+
+    # Lazy warm-up: the first parse carries the generation work.  Checked
+    # on the *aggregate* over all inputs — per-input margins on small
+    # inputs are within scheduler noise, the sum is not.
+    ipg_results = [r for r in results if r.system == "ipg"]
+    if ipg_results:
+        first = sum(r.times["parse1"] for r in ipg_results)
+        second = sum(r.times["parse2"] for r in ipg_results)
+        if not first > second:
+            problems.append(
+                f"aggregate IPG parse1 ({first:.4f}s) not > parse2 "
+                f"({second:.4f}s) — no lazy generation observed during "
+                f"first parses"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2.1 — the capability matrix, measured instead of asserted
+# ---------------------------------------------------------------------------
+
+AMBIGUOUS_LEFTREC = """
+    E ::= n
+    E ::= E + E
+    START ::= E
+"""
+
+AMBIGUOUS_RIGHTREC = """
+    E ::= n
+    E ::= n + E
+    E ::= n + E + E
+    START ::= E
+"""
+
+UNAMBIGUOUS = """
+    E ::= T
+    E ::= E + T
+    T ::= n
+    T ::= ( E )
+    START ::= E
+"""
+
+
+def _tokens(text: str) -> List[Terminal]:
+    return [Terminal(part) for part in text.split()]
+
+
+def _expression_input(operators: int) -> List[Terminal]:
+    tokens = [Terminal("n")]
+    for _ in range(operators):
+        tokens.append(Terminal("+"))
+        tokens.append(Terminal("n"))
+    return tokens
+
+
+class Capability:
+    """One measured Fig. 2.1 row."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.handles_ambiguity = False
+        self.handles_left_recursion = False
+        self.parse_seconds: Optional[float] = None
+        self.modify_ratio: Optional[float] = None  # edit cost / construct cost
+        self.composes: bool = False
+
+    def marks(self, baseline_seconds: float) -> Dict[str, str]:
+        """Translate measurements into the paper's ++/+/blank marks."""
+        powerful = ""
+        if self.handles_ambiguity and self.handles_left_recursion:
+            powerful = "++"
+        elif self.handles_ambiguity:
+            powerful = "+"
+        fast = ""
+        if self.parse_seconds is not None and baseline_seconds > 0:
+            ratio = self.parse_seconds / baseline_seconds
+            fast = "++" if ratio < 15 else ("+" if ratio < 150 else "")
+        flexible = ""
+        if self.modify_ratio is not None:
+            flexible = (
+                "++" if self.modify_ratio < 0.10
+                else ("+" if self.modify_ratio < 0.75 else "")
+            )
+        modular = "+" if self.composes else ""
+        return {
+            "powerful": powerful,
+            "fast": fast,
+            "flexible": flexible,
+            "modular": modular,
+        }
+
+
+def capability_matrix(scale: int = 150) -> Tuple[Dict[str, Capability], float]:
+    """Measure every Fig. 2.1 row; returns (rows, LALR baseline seconds).
+
+    ``scale`` is the operator count of the expression timing input
+    (~2·scale tokens), used for the rows that cannot handle the SDF
+    grammar (LL, Cigale, OBJ).  The general rows — LR/LALR, Earley,
+    Tomita, IPG — are timed on the *SDF grammar* parsing the 475-token
+    ``ASF.sdf`` input: the "fast" column is about large sentences under a
+    realistic grammar, and Earley's per-token cost growing with grammar
+    size is exactly what the paper's blank cell reflects.
+    """
+    from ..sdf.corpus import corpus_tokens, sdf_grammar
+
+    ambiguous = grammar_from_text(AMBIGUOUS_LEFTREC)
+    right_recursive = grammar_from_text(AMBIGUOUS_RIGHTREC)
+    unambiguous = grammar_from_text(UNAMBIGUOUS)
+    timing_input = _expression_input(scale)
+    small_ambiguous = _expression_input(3)
+    sdf = sdf_grammar()
+    sdf_input = corpus_tokens()["ASF.sdf"]
+
+    rows: Dict[str, Capability] = {}
+
+    def timed(thunk: Callable[[], object]) -> float:
+        start = time.perf_counter()
+        thunk()
+        return time.perf_counter() - start
+
+    # -- LR(k)/LALR(k): fast, nothing else --------------------------------
+    lalr = Capability("LR(k), LALR(k)")
+    lalr.handles_ambiguity = False  # conflicts are fatal for a det. parser
+    try:
+        resolve_conflicts(lalr_table(ambiguous))
+        lalr.handles_left_recursion = True  # left recursion as such is fine
+    except Exception:  # pragma: no cover - defensive
+        lalr.handles_left_recursion = False
+    table, _ = resolve_conflicts(lalr_table(sdf))
+    det = SimpleLRParser(TableControl(table), sdf)
+    lalr.parse_seconds = timed(lambda: det.parse(sdf_input))
+    lalr.modify_ratio = 1.0  # a change costs a full reconstruction
+    rows[lalr.name] = lalr
+    baseline = lalr.parse_seconds
+
+    # -- recursive descent / LL(k) ----------------------------------------
+    ll = Capability("recursive descent, LL(k)")
+    try:
+        LL1Parser(ambiguous)
+        ll.handles_ambiguity = True
+    except NotLL1Error:
+        ll.handles_ambiguity = False
+    ll.handles_left_recursion = False  # by construction
+    ll_grammar = grammar_from_text(
+        """
+        E ::= n R
+        R ::= + n R
+        R ::=
+        START ::= E
+        """
+    )
+    ll_parser = LL1Parser(ll_grammar)
+    ll.parse_seconds = timed(lambda: ll_parser.parse(timing_input))
+    ll.modify_ratio = 1.0
+    rows[ll.name] = ll
+
+    # -- Earley ------------------------------------------------------------
+    earley = Capability("Earley")
+    earley_parser = EarleyParser(ambiguous)
+    earley.handles_ambiguity = earley_parser.recognize(small_ambiguous)
+    earley.handles_left_recursion = earley_parser.recognize(small_ambiguous)
+    timing_earley = EarleyParser(sdf)
+    earley.parse_seconds = timed(lambda: timing_earley.recognize(sdf_input))
+    earley.modify_ratio = 0.0  # no generation phase at all
+    earley.composes = True  # grammars are plain rule sets; union works
+    rows[earley.name] = earley
+
+    # -- Cigale -------------------------------------------------------------
+    cigale = Capability("Cigale")
+    trie_parser = CigaleParser.from_grammar(ambiguous)
+    # finds one parse, not all: ambiguity is not *handled*, just tolerated
+    cigale.handles_ambiguity = False
+    cigale.handles_left_recursion = trie_parser.recognize(small_ambiguous)
+    timing_cigale = CigaleParser.from_grammar(unambiguous)
+    cigale.parse_seconds = timed(lambda: timing_cigale.recognize(timing_input))
+    cigale.modify_ratio = 0.0  # add_rule is O(|rule|) trie insertion
+    cigale.composes = True  # merge() combines tries "just like modules"
+    rows[cigale.name] = cigale
+
+    # -- OBJ (backtracking recursive descent) -----------------------------
+    obj = Capability("OBJ")
+    bt = BacktrackingParser(right_recursive)
+    obj.handles_ambiguity = bt.count_parses(_expression_input(2)) > 1
+    obj.handles_left_recursion = BacktrackingParser(ambiguous).recognize(
+        small_ambiguous
+    )
+    bt_unambiguous = BacktrackingParser(unambiguous)
+    try:
+        obj.parse_seconds = timed(
+            lambda: bt_unambiguous.recognize(_expression_input(min(scale, 40)))
+        )
+        # normalize to the full-scale input length for a fair-ish ratio
+        obj.parse_seconds *= max(1.0, scale / 40)
+    except BacktrackBudgetExceeded:  # pragma: no cover - depends on scale
+        obj.parse_seconds = None
+    obj.modify_ratio = 0.5  # no tables, but OBJ reparses module bodies
+    rows[obj.name] = obj
+
+    # -- Tomita (PG tables + parallel parser) ------------------------------
+    tomita = Capability("Tomita")
+    pg_control = ConventionalGenerator(ambiguous).generate()
+    pool = PoolParser(pg_control, ambiguous)
+    tomita.handles_ambiguity = len(pool.parse(small_ambiguous).trees) > 1
+    tomita.handles_left_recursion = True
+    timing_control = ConventionalGenerator(sdf).generate()
+    timing_pool = PoolParser(timing_control, sdf)
+    tomita.parse_seconds = timed(lambda: timing_pool.recognize(sdf_input))
+    tomita.modify_ratio = 1.0  # same table generator as LR: full rebuild
+    rows[tomita.name] = tomita
+
+    # -- IPG -----------------------------------------------------------------
+    ipg_row = Capability("IPG")
+    ipg = IPG(ambiguous.copy())
+    ipg_row.handles_ambiguity = len(ipg.parse(small_ambiguous).trees) > 1
+    ipg_row.handles_left_recursion = True
+    ipg_timing = IPG(sdf.copy())
+    ipg_timing.recognize(sdf_input)  # warm the table, as the paper notes
+    ipg_row.parse_seconds = timed(lambda: ipg_timing.recognize(sdf_input))
+    construct_cost = timed(lambda: ConventionalGenerator(sdf).generate())
+    modify_cost = timed(
+        lambda: ipg_timing.add_rule("CF-ELEM ::= probe-terminal")
+    )
+    ipg_row.modify_ratio = (
+        modify_cost / construct_cost if construct_cost > 0 else 0.0
+    )
+    ipg_row.composes = True  # incremental ADD-RULE imports module rules
+    rows[ipg_row.name] = ipg_row
+
+    return rows, baseline or 1e-9
+
+
+def render_capability_matrix(
+    rows: Dict[str, Capability], baseline_seconds: float
+) -> str:
+    header = ["algorithm", "powerful", "fast", "flexible", "modular"]
+    table: List[List[str]] = [header]
+    for name, capability in rows.items():
+        marks = capability.marks(baseline_seconds)
+        table.append(
+            [name, marks["powerful"], marks["fast"], marks["flexible"], marks["modular"]]
+        )
+    widths = [max(len(row[col]) for row in table) for col in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)).rstrip()
+        for row in table
+    )

@@ -1,0 +1,124 @@
+"""Benchmark workloads: the grammars, inputs and edits of section 7.
+
+A :class:`Fig71Workload` packages everything the measurement protocol
+needs: a fresh-grammar factory (each system must generate from its own
+copy — generators subscribe to their grammar), the four pre-tokenized
+input sentences, and the grammar modification
+(``"(" CF-ELEM+ ")?" -> CF-ELEM``).
+
+The booleans grammar of Fig. 4.1 is provided as a second, tiny workload so
+the protocol can also be run at toy scale (useful for tests and quick
+sanity checks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..grammar.builders import grammar_from_text
+from ..grammar.grammar import Grammar
+from ..grammar.rules import Rule
+from ..grammar.symbols import NonTerminal, Terminal
+from ..sdf.corpus import TOKEN_COUNTS, corpus_tokens, modification_rule, sdf_grammar
+
+TokenStream = List[Terminal]
+
+
+class Fig71Workload:
+    """One grammar + input suite + modification for the §7 protocol."""
+
+    def __init__(
+        self,
+        name: str,
+        grammar_factory: Callable[[], Grammar],
+        inputs: Dict[str, TokenStream],
+        modification_factory: Callable[[Grammar], Rule],
+    ) -> None:
+        self.name = name
+        self.grammar_factory = grammar_factory
+        self.inputs = inputs
+        self.modification_factory = modification_factory
+
+    def fresh_grammar(self) -> Grammar:
+        return self.grammar_factory()
+
+    def modification(self, grammar: Grammar) -> Rule:
+        return self.modification_factory(grammar)
+
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(self.inputs)
+
+    def __repr__(self) -> str:
+        return f"Fig71Workload({self.name}, inputs={list(self.inputs)})"
+
+
+def sdf_workload() -> Fig71Workload:
+    """The paper's actual workload: the SDF grammar and four SDF inputs."""
+    return Fig71Workload(
+        name="sdf",
+        grammar_factory=sdf_grammar,
+        inputs=corpus_tokens(),
+        modification_factory=modification_rule,
+    )
+
+
+BOOLEANS_TEXT = """
+    B ::= true
+    B ::= false
+    B ::= B or B
+    B ::= B and B
+    START ::= B
+"""
+
+
+def _booleans_grammar() -> Grammar:
+    return grammar_from_text(BOOLEANS_TEXT)
+
+
+def _boolean_sentence(length: int) -> TokenStream:
+    """``true and true and ...`` with ``length`` operands."""
+    tokens: List[Terminal] = [Terminal("true")]
+    for index in range(length - 1):
+        tokens.append(Terminal("and" if index % 2 == 0 else "or"))
+        tokens.append(Terminal("true"))
+    return tokens
+
+
+def booleans_workload() -> Fig71Workload:
+    """Toy-scale protocol workload on the Fig. 4.1 booleans grammar."""
+    return Fig71Workload(
+        name="booleans",
+        grammar_factory=_booleans_grammar,
+        inputs={
+            "tiny": _boolean_sentence(3),
+            "small": _boolean_sentence(10),
+            "medium": _boolean_sentence(40),
+            "large": _boolean_sentence(120),
+        },
+        modification_factory=lambda grammar: Rule(
+            NonTerminal("B"), [Terminal("unknown")]
+        ),
+    )
+
+
+def ambiguous_expression_grammar() -> Grammar:
+    """``E ::= E + E | n`` — the classic ambiguity scaling workload.
+
+    A sentence with k operators has Catalan(k) parses; used by the
+    pool-vs-GSS ablation and the forest-sharing tests.
+    """
+    return grammar_from_text(
+        """
+        E ::= n
+        E ::= E + E
+        START ::= E
+        """
+    )
+
+
+def ambiguous_sentence(operators: int) -> TokenStream:
+    tokens: List[Terminal] = [Terminal("n")]
+    for _ in range(operators):
+        tokens.append(Terminal("+"))
+        tokens.append(Terminal("n"))
+    return tokens

@@ -1,0 +1,199 @@
+"""An interactive grammar-definition session — the paper's use case, as a
+command-line tool.
+
+Section 1 motivates IPG with *"an environment where language definitions
+are developed (and modified) interactively"*.  This module is that
+environment in miniature: a read-eval-print loop over grammar edits and
+parse requests, with no generation pauses because there is no generation
+phase.
+
+Run it::
+
+    python -m repro
+
+or script it::
+
+    echo 'add B ::= true
+    add START ::= B
+    parse true' | python -m repro
+
+Commands
+--------
+
+========================  ==================================================
+``add A ::= x B y``       ADD-RULE (names with existing rules are sorts)
+``sort N``                predeclare a sort for forward references
+``delete A ::= x``        DELETE-RULE
+``parse tok tok ...``     parse a sentence; prints every tree
+``recognize tok ...``     accept/reject only
+``show``                  the current grammar
+``summary``               item-set graph statistics
+``fraction``              §5.2: how much of the full table exists
+``gc``                    run the mark-and-sweep collector
+``trees on|off``          toggle tree printing
+``help`` / ``quit``
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .core.ipg import IPG
+from .grammar.grammar import Grammar, GrammarError
+from .runtime.errors import ParseError
+from .runtime.forest import bracketed
+
+PROMPT = "ipg> "
+
+_HELP = """commands:
+  add <rule>        e.g.  add E ::= E + T        (ADD-RULE)
+  sort <names...>   predeclare sorts for forward references
+  delete <rule>     e.g.  delete E ::= E + T     (DELETE-RULE)
+  parse <tokens>    parse and print every tree
+  recognize <toks>  accept/reject only
+  show              print the grammar
+  summary           item-set graph statistics
+  fraction          fraction of the full parse table generated (§5.2)
+  gc                run the mark-and-sweep collector
+  trees on|off      toggle tree printing
+  help, quit"""
+
+
+class ReplSession:
+    """The command interpreter; IO-free for testability."""
+
+    def __init__(self) -> None:
+        self.ipg = IPG(Grammar())
+        self.declared_sorts: set = set()
+        self.print_trees = True
+        self.finished = False
+
+    # -- the dispatcher -----------------------------------------------------
+
+    def execute(self, line: str) -> List[str]:
+        """Run one command line; returns the output lines."""
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            return []
+        command, _, argument = stripped.partition(" ")
+        handler = self._handlers().get(command)
+        if handler is None:
+            return [f"unknown command {command!r} — try 'help'"]
+        try:
+            return handler(argument.strip())
+        except (GrammarError, ParseError) as error:
+            return [f"error: {error}"]
+
+    def _handlers(self) -> Dict[str, Callable[[str], List[str]]]:
+        return {
+            "add": self._add,
+            "sort": self._sort,
+            "delete": self._delete,
+            "parse": self._parse,
+            "recognize": self._recognize,
+            "show": self._show,
+            "summary": self._summary,
+            "fraction": self._fraction,
+            "gc": self._gc,
+            "trees": self._trees,
+            "help": lambda _arg: [_HELP],
+            "quit": self._quit,
+            "exit": self._quit,
+        }
+
+    # -- commands ------------------------------------------------------
+
+    def _add(self, text: str) -> List[str]:
+        if self.ipg.add_rule(text, sorts=self.declared_sorts):
+            return [f"added: {self.ipg.coerce_rule(text, self.declared_sorts)}"]
+        return ["(rule already present)"]
+
+    def _sort(self, text: str) -> List[str]:
+        names = text.split()
+        if not names:
+            return ["usage: sort <names...>"]
+        self.declared_sorts.update(names)
+        return [f"sorts declared: {' '.join(sorted(self.declared_sorts))}"]
+
+    def _delete(self, text: str) -> List[str]:
+        if self.ipg.delete_rule(text, sorts=self.declared_sorts):
+            return ["deleted"]
+        return ["(no such rule)"]
+
+    def _parse(self, text: str) -> List[str]:
+        result = self.ipg.parse(text)
+        if not result.accepted:
+            return ["rejected"]
+        lines = [f"accepted ({len(result.trees)} parse"
+                 f"{'s' if len(result.trees) != 1 else ''})"]
+        if self.print_trees:
+            lines.extend(f"  {bracketed(tree)}" for tree in result.trees)
+        return lines
+
+    def _recognize(self, text: str) -> List[str]:
+        return ["accepted" if self.ipg.recognize(text) else "rejected"]
+
+    def _show(self, _argument: str) -> List[str]:
+        listing = self.ipg.grammar.pretty()
+        return listing.splitlines() if listing else ["(empty grammar)"]
+
+    def _summary(self, _argument: str) -> List[str]:
+        summary = self.ipg.summary()
+        return [
+            ", ".join(f"{key}={value}" for key, value in summary.items())
+        ]
+
+    def _fraction(self, _argument: str) -> List[str]:
+        if not self.ipg.grammar.start_rules():
+            return ["no START rule yet"]
+        return [f"{self.ipg.table_fraction():.0%} of the full table generated"]
+
+    def _gc(self, _argument: str) -> List[str]:
+        removed = self.ipg.collect_garbage(force_sweep=True)
+        return [f"reclaimed {removed} item sets"]
+
+    def _trees(self, argument: str) -> List[str]:
+        if argument not in ("on", "off"):
+            return ["usage: trees on|off"]
+        self.print_trees = argument == "on"
+        return [f"tree printing {argument}"]
+
+    def _quit(self, _argument: str) -> List[str]:
+        self.finished = True
+        return ["bye"]
+
+
+def run_session(lines: Iterable[str]) -> List[str]:
+    """Execute a scripted session; returns all output lines."""
+    session = ReplSession()
+    output: List[str] = []
+    for line in lines:
+        output.extend(session.execute(line))
+        if session.finished:
+            break
+    return output
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The ``python -m repro`` entry point."""
+    del argv
+    session = ReplSession()
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("IPG — incremental parser generator "
+              "(Heering/Klint/Rekers 1989).  'help' for commands.")
+    while not session.finished:
+        if interactive:
+            print(PROMPT, end="", flush=True)
+        line = sys.stdin.readline()
+        if not line:
+            break
+        for out in session.execute(line):
+            print(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Garbage collection of item sets (section 6.2).
+
+When MODIFY un-expands states, parts of the graph can become permanently
+unreachable, yet *"when all unreachable sets of items are removed
+immediately, it is likely that too much is thrown away"* — dangling regions
+are often reconnected verbatim by the next re-expansion (Fig. 6.4/6.5).
+The paper's compromise, implemented here:
+
+* each item set carries a ``refcount`` of incoming transitions
+  (:mod:`repro.lr.graph` increments it in EXPAND);
+* MODIFY makes states **dirty** instead of initial: *"A dirty set of items
+  is an initial set of items with a history (its old transitions field)"*;
+* RE-EXPAND expands a dirty state like an initial one, then decrements the
+  reference counts of its *old* targets;
+* DECR-REFCOUNT removes a state whose count reaches zero and cascades into
+  its own targets;
+* reference counting *"cannot yet handle circular references properly"* —
+  the paper suggests a conventional mark-and-sweep for that, provided here
+  as :meth:`GarbageCollector.collect_cycles`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lr.graph import ItemSetGraph
+from ..lr.states import ACCEPT, ItemSet, StateType
+
+
+class GCStats:
+    __slots__ = ("dirtied", "re_expansions", "refcount_removals", "sweep_removals")
+
+    def __init__(self) -> None:
+        self.dirtied = 0
+        self.re_expansions = 0
+        self.refcount_removals = 0
+        self.sweep_removals = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return f"GCStats({self.snapshot()})"
+
+
+class GarbageCollector:
+    """Reference-counting collector with a mark-and-sweep fallback."""
+
+    def __init__(self, graph: ItemSetGraph) -> None:
+        self.graph = graph
+        self.stats = GCStats()
+
+    # -- MODIFY support --------------------------------------------------
+
+    def mark_dirty(self, itemset: ItemSet) -> None:
+        """Un-expand ``itemset``, keeping its history for RE-EXPAND.
+
+        Complete states stash their transitions; initial states have
+        nothing to stash; already-dirty states keep their *original*
+        history (their interim state never owned references).
+        """
+        if itemset.type is StateType.COMPLETE:
+            itemset.old_transitions = itemset.transitions
+            itemset.transitions = {}
+            itemset.reductions = ()
+            itemset.type = StateType.DIRTY
+            self.stats.dirtied += 1
+        elif itemset.type is StateType.INITIAL:
+            pass  # nothing was computed, nothing to undo
+        # dirty stays dirty, history intact
+
+    # -- RE-EXPAND (section 6.2) -----------------------------------------
+
+    def re_expand(self, itemset: ItemSet) -> None:
+        """Expand a dirty state, then release its old references."""
+        old_transitions = itemset.old_transitions or {}
+        itemset.old_transitions = None
+        self.graph.expand(itemset)
+        self.stats.re_expansions += 1
+        for target in old_transitions.values():
+            if isinstance(target, ItemSet):
+                self.decr_refcount(target)
+
+    # -- DECR-REFCOUNT (section 6.2) ---------------------------------------
+
+    def decr_refcount(self, itemset: ItemSet) -> None:
+        """Drop one reference; remove and cascade when none remain."""
+        itemset.refcount -= 1
+        if itemset.refcount > 0:
+            return
+        if itemset is self.graph.start:
+            # The start state is pinned with one extra count; reaching zero
+            # would mean the pin was dropped, which never happens.
+            itemset.refcount = 1
+            return
+        if itemset not in self.graph:
+            return  # already removed through another path
+        self.graph.remove_state(itemset)
+        self.stats.refcount_removals += 1
+        # "if itemset.type != initial then ... decrease as well"
+        transitions = None
+        if itemset.type is StateType.COMPLETE:
+            transitions = itemset.transitions
+        elif itemset.type is StateType.DIRTY:
+            transitions = itemset.old_transitions
+        for target in (transitions or {}).values():
+            if isinstance(target, ItemSet):
+                self.decr_refcount(target)
+
+    # -- mark-and-sweep fallback ---------------------------------------
+
+    def collect_cycles(self) -> int:
+        """Remove everything unreachable from the start state; return count.
+
+        Reachability follows complete states' transitions *and* dirty
+        states' old transitions — a dangling-but-referenced region (the
+        Fig. 6.4 situation) is reachable through the dirty start state's
+        history and therefore survives, exactly as the refcount scheme
+        intends.  Only genuinely orphaned cycles die here.
+
+        Reference counts are rebuilt from the surviving edges afterwards.
+        """
+        reachable: Set[int] = set()
+        work: List[ItemSet] = [self.graph.start]
+        while work:
+            state = work.pop()
+            if id(state) in reachable:
+                continue
+            reachable.add(id(state))
+            for target in self._edges(state).values():
+                if isinstance(target, ItemSet) and id(target) not in reachable:
+                    work.append(target)
+
+        removed = 0
+        for state in self.graph.states():
+            if id(state) not in reachable:
+                self.graph.remove_state(state)
+                removed += 1
+        self.stats.sweep_removals += removed
+
+        # Rebuild counts: one pin for the root plus one per surviving edge.
+        for state in self.graph.states():
+            state.refcount = 0
+        self.graph.start.refcount = 1
+        for state in self.graph.states():
+            for target in self._edges(state).values():
+                if isinstance(target, ItemSet) and target in self.graph:
+                    target.refcount += 1
+        return removed
+
+    @staticmethod
+    def _edges(state: ItemSet) -> Dict:
+        if state.type is StateType.COMPLETE:
+            return state.transitions
+        if state.type is StateType.DIRTY:
+            return state.old_transitions or {}
+        return {}
+
+    # -- diagnostics -------------------------------------------------------
+
+    def dirty_fraction(self) -> float:
+        """Fraction of live states that are dirty.
+
+        The paper's trigger suggestion: run :meth:`collect_cycles` *"when
+        the percentage of dirty sets of items becomes too high"*.
+        """
+        states = self.graph.states()
+        if not states:
+            return 0.0
+        dirty = sum(1 for s in states if s.is_dirty)
+        return dirty / len(states)
+
+    def check_refcounts(self) -> List[str]:
+        """Verify stored refcounts match the edges (tests only).
+
+        Returns human-readable discrepancy messages; empty means balanced.
+        """
+        expected: Dict[int, int] = {id(s): 0 for s in self.graph.states()}
+        expected[id(self.graph.start)] += 1  # the pin
+        for state in self.graph.states():
+            for target in self._edges(state).values():
+                if isinstance(target, ItemSet) and id(target) in expected:
+                    expected[id(target)] += 1
+        problems = []
+        for state in self.graph.states():
+            if state.refcount != expected[id(state)]:
+                problems.append(
+                    f"state #{state.uid}: refcount={state.refcount}, "
+                    f"edges say {expected[id(state)]}"
+                )
+        return problems

@@ -1,0 +1,120 @@
+"""Incremental parser generation (section 6): ADD-RULE, DELETE-RULE, MODIFY.
+
+The key observation (section 6.1): when a rule ``A ::= beta`` is added or
+deleted, the *first* states affected are those whose closure would gain or
+lose ``A ::= .beta`` — and a complete state's closure contains such an item
+**iff** its transitions contain a transition on ``A`` (or it is the start
+state, when ``A`` is START).  MODIFY therefore just un-expands those
+states; the lazy machinery re-expands them against the modified grammar
+when — and only if — the parser ever needs them again.
+
+This generator *observes* its grammar: any edit made through
+``Grammar.add_rule``/``delete_rule`` (directly or via the convenience
+methods here) triggers MODIFY automatically, so there is no way to let the
+graph drift out of sync with the grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..grammar.grammar import Grammar
+from ..grammar.rules import Rule
+from ..lr.graph import ItemSetGraph
+from ..lr.states import ItemSet, StateType
+from .gc import GarbageCollector
+from .lazy import LazyControl
+
+
+class IncrementalGenerator:
+    """Lazy generation plus grammar-modification support.
+
+    Parameters
+    ----------
+    grammar:
+        The (mutable) grammar; the generator subscribes to its edits.
+    gc:
+        Enable the reference-counting collector of section 6.2.  With GC
+        off, MODIFY makes affected states plain *initial* (their old
+        transitions are discarded and nothing is ever reclaimed) — the
+        simpler variant presented in section 6.1.
+    """
+
+    def __init__(self, grammar: Grammar, gc: bool = True) -> None:
+        self.grammar = grammar
+        self.graph = ItemSetGraph(grammar)
+        self.collector: Optional[GarbageCollector] = (
+            GarbageCollector(self.graph) if gc else None
+        )
+        self.control = LazyControl(self.graph, self.collector)
+        self._unsubscribe: Callable[[], None] = grammar.subscribe(self._on_edit)
+        self.modifications = 0
+        self.invalidated_states = 0
+
+    def close(self) -> None:
+        """Detach from the grammar (the graph stops tracking edits)."""
+        self._unsubscribe()
+
+    # -- the paper's entry points ----------------------------------------
+
+    def add_rule(self, rule: Rule) -> bool:
+        """ADD-RULE: add to the grammar and update the graph (via MODIFY)."""
+        return self.grammar.add_rule(rule)
+
+    def delete_rule(self, rule: Rule) -> bool:
+        """DELETE-RULE: delete from the grammar and update the graph."""
+        return self.grammar.delete_rule(rule)
+
+    # -- MODIFY ------------------------------------------------------------
+
+    def _on_edit(self, grammar: Grammar, rule: Rule, added: bool) -> None:
+        """The graph-repair half of MODIFY (the grammar half already ran).
+
+        ``added`` is unused on purpose: *"Because addition and deletion of
+        a rule are so similar, ADD-RULE and DELETE-RULE use the same
+        routine MODIFY"* — the graph repair is identical for both.
+        """
+        del added
+        self.modifications += 1
+        lhs = rule.lhs
+
+        if lhs == grammar.start:
+            # Only the start state can hold START ::= .beta in its kernel
+            # (START never occurs in a right-hand side).
+            self.graph.refresh_start_kernel()
+            self._invalidate(self.graph.start)
+            return
+
+        # "We search Itemsets for all complete sets of items with a
+        # transition (A itemset') in their transitions field."
+        for itemset in self.graph.states():
+            if itemset.type is StateType.COMPLETE and lhs in itemset.transitions:
+                self._invalidate(itemset)
+
+    def _invalidate(self, itemset: ItemSet) -> None:
+        self.invalidated_states += 1
+        if self.collector is not None:
+            self.collector.mark_dirty(itemset)
+            return
+        # GC-free variant: plain re-initialisation (section 6.1).  By
+        # definition initial states have no transitions/reductions.
+        if itemset.type is StateType.COMPLETE:
+            itemset.transitions = {}
+            itemset.reductions = ()
+        itemset.type = StateType.INITIAL
+        itemset.old_transitions = None
+
+    # -- maintenance ----------------------------------------------------
+
+    def collect_garbage(self, force_sweep: bool = False, dirty_threshold: float = 0.5) -> int:
+        """Run the mark-and-sweep fallback if warranted; return removals.
+
+        The refcount collector runs continuously (inside RE-EXPAND); this
+        is the paper's *"conventional mark-and-sweep garbage collector when
+        the percentage of dirty sets of items becomes too high"*.
+        """
+        if self.collector is None:
+            return 0
+        if force_sweep or self.collector.dirty_fraction() > dirty_threshold:
+            return self.collector.collect_cycles()
+        return 0

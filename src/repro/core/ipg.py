@@ -1,0 +1,165 @@
+"""IPG — the public facade over lazy generation, incremental modification,
+garbage collection, and parallel LR parsing.
+
+This is the object a downstream user holds.  A typical interactive
+language-definition session (the use case of section 1)::
+
+    from repro import IPG
+
+    ipg = IPG.from_text('''
+        B ::= true
+        B ::= false
+        B ::= B or B
+        B ::= B and B
+        START ::= B
+    ''')
+    assert ipg.parse("true and true").accepted       # lazily expands states
+    ipg.add_rule("B ::= unknown")                    # incremental MODIFY
+    assert ipg.parse("true or unknown").accepted     # re-expands by need
+
+Parsing is Tomita-style parallel LR over LR(0) tables, so *any* (finitely
+ambiguous) context-free grammar works; ambiguous sentences come back with
+several trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..grammar.builders import GrammarBuilder, grammar_from_text
+from ..grammar.grammar import Grammar, GrammarError
+from ..grammar.rules import Rule
+from ..grammar.symbols import NonTerminal, Terminal
+from ..runtime.gss import GSSParser
+from ..runtime.parallel import ParseResult, PoolParser
+from ..runtime.trace import Trace
+from .incremental import IncrementalGenerator
+from .metrics import graph_summary, table_fraction
+
+TokenInput = Union[str, Iterable[Union[str, Terminal]]]
+RuleInput = Union[Rule, str]
+
+
+class IPG:
+    """The Incremental Parser Generator (the paper's system, end to end)."""
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        gc: bool = True,
+        max_sweep_steps: int = 1_000_000,
+    ) -> None:
+        self.grammar = grammar
+        self.generator = IncrementalGenerator(grammar, gc=gc)
+        self._pool = PoolParser(
+            self.generator.control, grammar, max_sweep_steps=max_sweep_steps
+        )
+        self._gss = GSSParser(self.generator.control)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, **kwargs) -> "IPG":
+        """Build from the BNF notation of the paper's figures."""
+        return cls(grammar_from_text(text), **kwargs)
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[Rule], **kwargs) -> "IPG":
+        return cls(Grammar(rules), **kwargs)
+
+    # -- parsing ---------------------------------------------------------
+
+    def parse(self, tokens: TokenInput, trace: Optional[Trace] = None) -> ParseResult:
+        """Parse a token sequence; builds trees; expands the table by need.
+
+        ``tokens`` may be a whitespace-separated string (convenient for
+        examples and tests) or any iterable of terminal names/objects.  Do
+        **not** append the end-marker; the runtime does that.
+        """
+        return self._pool.parse(self.coerce_tokens(tokens), trace=trace)
+
+    def recognize(self, tokens: TokenInput) -> bool:
+        """Accept/reject without building trees (states-only signatures)."""
+        return self._pool.recognize(self.coerce_tokens(tokens))
+
+    def recognize_gss(self, tokens: TokenInput) -> bool:
+        """Recognition on the merged (graph-structured) stack engine."""
+        return self._gss.recognize(self.coerce_tokens(tokens))
+
+    # -- grammar modification ----------------------------------------------
+
+    def add_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> bool:
+        """ADD-RULE; accepts a Rule or ``"A ::= b c"`` text.
+
+        In rule text, a name is a non-terminal iff the grammar already has
+        a rule for it (or it is the new rule's own left-hand side).  Pass
+        ``sorts`` to force names that are *going to be* defined — e.g.
+        ``add_rule("CMD ::= turn N", sorts={"N"})`` before ``N`` has rules.
+        """
+        return self.generator.add_rule(self.coerce_rule(rule, sorts))
+
+    def delete_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> bool:
+        """DELETE-RULE; accepts a Rule or ``"A ::= b c"`` text."""
+        return self.generator.delete_rule(self.coerce_rule(rule, sorts))
+
+    def collect_garbage(self, force_sweep: bool = False) -> int:
+        """Trigger the mark-and-sweep fallback (refcounting is automatic)."""
+        return self.generator.collect_garbage(force_sweep=force_sweep)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def graph(self):
+        return self.generator.graph
+
+    def summary(self) -> Dict[str, int]:
+        return graph_summary(self.generator.graph)
+
+    def table_fraction(self) -> float:
+        """How much of the full parse table has been generated (§5.2)."""
+        return table_fraction(self.generator.graph, self.grammar)
+
+    # -- coercion helpers --------------------------------------------------
+
+    def coerce_tokens(self, tokens: TokenInput) -> List[Terminal]:
+        if isinstance(tokens, str):
+            parts: Iterable[Union[str, Terminal]] = tokens.split()
+        else:
+            parts = tokens
+        result: List[Terminal] = []
+        for part in parts:
+            if isinstance(part, Terminal):
+                result.append(part)
+            elif isinstance(part, str):
+                result.append(Terminal(part))
+            else:
+                raise TypeError(f"cannot use {part!r} as a token")
+        return result
+
+    def coerce_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> Rule:
+        if isinstance(rule, Rule):
+            return rule
+        if not isinstance(rule, str) or "::=" not in rule:
+            raise GrammarError(f"expected a Rule or 'A ::= body' text, got {rule!r}")
+        lhs_text, rhs_text = rule.split("::=", 1)
+        lhs_name = lhs_text.strip()
+        if not lhs_name:
+            raise GrammarError(f"missing left-hand side in {rule!r}")
+        known = {nt.name for nt in self.grammar.nonterminals}
+        known.add(lhs_name)
+        known.update(sorts)
+        body: List[Union[Terminal, NonTerminal]] = []
+        for part in rhs_text.split():
+            if part == "ε":
+                continue
+            body.append(
+                NonTerminal(part) if part in known else Terminal(part)
+            )
+        return Rule(NonTerminal(lhs_name), body)
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"IPG({len(self.grammar)} rules, {s['states']} states, "
+            f"{s['complete']} complete)"
+        )

@@ -1,0 +1,100 @@
+"""Lazy parser generation (section 5).
+
+The transformation from the conventional generator is exactly the paper's:
+*"We move the parser generation phase into the parsing phase by moving the
+expansion of initial sets of items from GENERATE-PARSER to ACTION."*
+
+* :class:`LazyGenerator` is the section-5 GENERATE-PARSER: it only creates
+  the start item set (type initial) and returns immediately — construction
+  time is "almost zero" (section 7).
+* :class:`LazyControl` is the section-5 ACTION/GOTO: ``action`` expands the
+  state first when it is still initial (or dirty, after a grammar
+  modification); ``goto`` inherits the strict completeness assertion from
+  :class:`~repro.lr.generator.GraphControl` — Appendix A proves the parser
+  never violates it, and the test suite holds the implementation to that
+  proof.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Terminal
+from ..lr.actions import ActionSet
+from ..lr.generator import GraphControl
+from ..lr.graph import ItemSetGraph
+from ..lr.states import ItemSet, StateType
+
+
+class LazyControl(GraphControl):
+    """ACTION with expansion-by-need.
+
+    Parameters
+    ----------
+    graph:
+        The (partially generated) graph of item sets.
+    collector:
+        Optional garbage collector; when present, dirty states are
+        re-expanded through it so reference counts stay balanced
+        (section 6.2's RE-EXPAND).  Without one, dirty states are treated
+        as plain initial states.
+    """
+
+    def __init__(self, graph: ItemSetGraph, collector: Optional[Any] = None) -> None:
+        super().__init__(graph)
+        self.collector = collector
+
+    def ensure_expanded(self, state: ItemSet) -> None:
+        """Expand ``state`` if it is not complete yet."""
+        if state.type is StateType.COMPLETE:
+            return
+        if state.type is StateType.DIRTY and self.collector is not None:
+            self.collector.re_expand(state)
+        else:
+            self.graph.expand(state)
+
+    def action(self, state: ItemSet, symbol: Terminal) -> ActionSet:
+        """The section-5 ACTION: *"When state is an initial set of items it
+        must be expanded first."*"""
+        if state.type is not StateType.COMPLETE:
+            self.ensure_expanded(state)
+        return self._actions_of(state, symbol)
+
+    # goto is inherited unchanged: *"due to the particular way in which the
+    # parsing algorithm works, GOTO will only be called with sets of items
+    # that have already been completed"* (proved in Appendix A).
+
+
+class LazyGenerator:
+    """The section-5 GENERATE-PARSER: build only the root of the graph.
+
+    Usage::
+
+        gen = LazyGenerator(grammar)     # effectively free
+        control = gen.control()
+        PoolParser(control, grammar).parse(tokens)   # expands by need
+    """
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        # ItemSetGraph's constructor is the lazy GENERATE-PARSER: it seeds
+        # start-itemset with the START rules (dot in front) and stops.
+        self.graph = ItemSetGraph(grammar)
+
+    def control(self, collector: Optional[Any] = None) -> LazyControl:
+        return LazyControl(self.graph, collector)
+
+    def force(self) -> None:
+        """Expand the whole graph eagerly (useful for equivalence tests)."""
+        self.graph.expand_all()
+
+    def fraction_expanded(self) -> float:
+        """Complete states / live states — the §5.2 laziness metric.
+
+        Note this is measured against the *current* graph; to compare with
+        the full table size (the paper's "60 percent of the parse table"),
+        use :func:`repro.core.metrics.table_fraction`, which also counts
+        the states the lazy run never allocated.
+        """
+        return self.graph.fraction_complete()

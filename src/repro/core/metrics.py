@@ -1,0 +1,98 @@
+"""Instrumentation: invariant probes and the laziness metrics of the paper.
+
+Two consumers:
+
+* tests — :class:`ControlProbe` wraps any parser control and records every
+  ACTION/GOTO call, asserting the Appendix A invariant (GOTO only on
+  complete states) as a side effect;
+* benches/EXPERIMENTS.md — :func:`table_fraction` measures how much of the
+  full parse table a lazy run actually generated (the §5.2 "60 percent"
+  statistic), and :func:`graph_summary` condenses a graph's state counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import NonTerminal, Terminal
+from ..lr.actions import ActionSet
+from ..lr.graph import ItemSetGraph
+from ..lr.states import ItemSet, StateType
+
+
+class AppendixAViolation(AssertionError):
+    """GOTO observed on a non-complete state — Appendix A says: impossible."""
+
+
+class ControlProbe:
+    """A transparent control wrapper that counts and checks every call."""
+
+    def __init__(self, control: Any) -> None:
+        self.control = control
+        self.action_calls = 0
+        self.goto_calls = 0
+        self.expansions_triggered = 0
+        self.goto_states_seen: List[Any] = []
+
+    @property
+    def start_state(self) -> Any:
+        return self.control.start_state
+
+    @property
+    def graph(self) -> Optional[ItemSetGraph]:
+        return getattr(self.control, "graph", None)
+
+    def action(self, state: Any, symbol: Terminal) -> ActionSet:
+        self.action_calls += 1
+        was_pending = isinstance(state, ItemSet) and state.needs_expansion
+        result = self.control.action(state, symbol)
+        if was_pending:
+            self.expansions_triggered += 1
+        return result
+
+    def goto(self, state: Any, symbol: NonTerminal) -> Any:
+        self.goto_calls += 1
+        if isinstance(state, ItemSet) and state.type is not StateType.COMPLETE:
+            raise AppendixAViolation(
+                f"GOTO called on {state.type.value} state #{state.uid} "
+                f"for symbol {symbol} — the Appendix A invariant is broken"
+            )
+        self.goto_states_seen.append(state)
+        return self.control.goto(state, symbol)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "action_calls": self.action_calls,
+            "goto_calls": self.goto_calls,
+            "expansions_triggered": self.expansions_triggered,
+        }
+
+
+def table_fraction(lazy_graph: ItemSetGraph, grammar: Optional[Grammar] = None) -> float:
+    """Completed lazy states / states of the *full* parse table.
+
+    The §5.2 measurement: after lazily parsing some input, how much of the
+    conventional table was actually generated?  The full table is built
+    fresh here (it is the denominator, not part of the system under test).
+    """
+    reference = ItemSetGraph(grammar if grammar is not None else lazy_graph.grammar)
+    reference.expand_all()
+    total = len(reference)
+    if total == 0:
+        return 0.0
+    expanded = sum(1 for s in lazy_graph.states() if s.is_complete)
+    return expanded / total
+
+
+def graph_summary(graph: ItemSetGraph) -> Dict[str, int]:
+    """State counts by type plus cumulative work counters."""
+    states = graph.states()
+    return {
+        "states": len(states),
+        "complete": sum(1 for s in states if s.is_complete),
+        "initial": sum(1 for s in states if s.is_initial),
+        "dirty": sum(1 for s in states if s.is_dirty),
+        "transitions": sum(len(s.transitions) for s in states),
+        **graph.stats.snapshot(),
+    }

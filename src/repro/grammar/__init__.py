@@ -1,0 +1,34 @@
+"""Grammar substrate: symbols, rules, mutable grammars, and analyses.
+
+This package is the foundation every other subsystem builds on.  Its
+objects correspond one-to-one with the paper's vocabulary (section 4):
+grammars are sets of rules ``A ::= alpha``; ``START`` is the distinguished
+start symbol; ``$`` (:data:`~repro.grammar.symbols.END`) terminates input
+sentences.
+"""
+
+from .analysis import GrammarAnalysis
+from .builders import GrammarBuilder, grammar_from_text, rules_from_text
+from .grammar import Grammar, GrammarError, GrammarObserver
+from .rules import Rule
+from .symbols import END, NonTerminal, START, START_NAME, Symbol, Terminal, as_symbol
+from . import transforms
+
+__all__ = [
+    "END",
+    "Grammar",
+    "GrammarAnalysis",
+    "GrammarBuilder",
+    "GrammarError",
+    "GrammarObserver",
+    "NonTerminal",
+    "Rule",
+    "START",
+    "START_NAME",
+    "Symbol",
+    "Terminal",
+    "as_symbol",
+    "grammar_from_text",
+    "rules_from_text",
+    "transforms",
+]

@@ -1,0 +1,107 @@
+"""Syntax rules (productions).
+
+A rule is the paper's ``A ::= alpha``: a non-terminal left-hand side and a
+(possibly empty) sequence of symbols on the right.  Rules are immutable and
+compare by value — the paper treats a grammar as a *set* of rules, and the
+incremental algorithms of section 6 add and delete individual rules, so rule
+identity must be structural.
+
+An optional ``label`` carries a human-readable name (SDF attaches attribute
+information to functions); it is deliberately excluded from equality and
+hashing so that labelling a rule does not change the language or confuse the
+incremental generator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .symbols import NonTerminal, Symbol, Terminal
+
+
+class Rule:
+    """An immutable production ``lhs ::= rhs``.
+
+    Parameters
+    ----------
+    lhs:
+        The non-terminal being defined.
+    rhs:
+        The body: an iterable of :class:`Symbol`.  An empty body denotes an
+        epsilon rule (``A ::=``), which the LR machinery supports (the dot
+        of such an item is immediately at the end, so the item contributes a
+        reduction in the very state whose closure introduced it).
+    label:
+        Optional descriptive name; ignored for equality.
+    """
+
+    __slots__ = ("lhs", "rhs", "label", "_hash")
+
+    def __init__(
+        self,
+        lhs: NonTerminal,
+        rhs: Iterable[Symbol],
+        label: Optional[str] = None,
+    ) -> None:
+        if not isinstance(lhs, NonTerminal):
+            raise TypeError(f"rule left-hand side must be a NonTerminal, got {lhs!r}")
+        body: Tuple[Symbol, ...] = tuple(rhs)
+        for sym in body:
+            if not isinstance(sym, Symbol):
+                raise TypeError(f"rule body must contain Symbols, got {sym!r}")
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", body)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash((lhs, body)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Rule is immutable")
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Rule") -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self):
+        return (self.lhs.name, tuple(s.sort_key() for s in self.rhs))
+
+    # -- convenience -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rhs)
+
+    @property
+    def is_epsilon(self) -> bool:
+        """True for an empty body (``A ::=``)."""
+        return not self.rhs
+
+    def symbols(self) -> Tuple[Symbol, ...]:
+        """All symbols mentioned by the rule, left-hand side included."""
+        return (self.lhs,) + self.rhs
+
+    def terminals(self) -> Tuple[Terminal, ...]:
+        return tuple(s for s in self.rhs if isinstance(s, Terminal))
+
+    def nonterminals(self) -> Tuple[NonTerminal, ...]:
+        result = [self.lhs]
+        result.extend(s for s in self.rhs if isinstance(s, NonTerminal))
+        return tuple(result)
+
+    def __repr__(self) -> str:
+        return f"Rule({self!s})"
+
+    def __str__(self) -> str:
+        body = " ".join(str(s) for s in self.rhs) if self.rhs else "ε"
+        return f"{self.lhs} ::= {body}"

@@ -1,0 +1,128 @@
+"""Grammar symbols: terminals, non-terminals, and the reserved markers.
+
+The paper (section 4) works with grammars whose rules are ``A ::= alpha``
+where ``A`` is a non-terminal and ``alpha`` a list of terminals and/or
+non-terminals.  The distinguished non-terminal ``START`` is the start symbol
+and may not occur in any right-hand side; the distinguished terminal ``$``
+is the end-of-input marker appended to every sentence.
+
+Symbols are immutable value objects: two ``Terminal("x")`` instances compare
+equal and hash identically, so they can be freely used as dictionary keys in
+parse tables and item-set transition maps.  Construction is interned so that
+symbol-heavy code (closure computation, table generation) benefits from
+pointer-fast equality in the common case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+
+class Symbol:
+    """Base class for grammar symbols.
+
+    A symbol is identified by its ``name`` and its concrete class.  The
+    class is ``Terminal`` or ``NonTerminal``; ``Symbol`` itself is abstract
+    and never instantiated directly.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    _intern: Dict[Tuple[type, str], "Symbol"] = {}
+
+    def __new__(cls, name: str) -> "Symbol":
+        if cls is Symbol:
+            raise TypeError("instantiate Terminal or NonTerminal, not Symbol")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"symbol name must be a non-empty string, got {name!r}")
+        key = (cls, name)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        obj = object.__new__(cls)
+        obj.name = name
+        obj._hash = hash(key)
+        cls._intern[key] = obj
+        return obj
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(self) is type(other) and self.name == other.name  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Symbol") -> bool:
+        """Stable ordering used to make generated automata deterministic.
+
+        Terminals sort before non-terminals; within a class, by name.  A
+        total order over symbols keeps item-set numbering reproducible,
+        which is what lets the test suite check the exact state numbers of
+        the paper's Fig. 4.1.
+        """
+        if not isinstance(other, Symbol):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> Tuple[int, str]:
+        return (0 if isinstance(self, Terminal) else 1, self.name)
+
+    @property
+    def is_terminal(self) -> bool:
+        return isinstance(self, Terminal)
+
+    @property
+    def is_nonterminal(self) -> bool:
+        return isinstance(self, NonTerminal)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __reduce__(self):
+        return (type(self), (self.name,))
+
+
+class Terminal(Symbol):
+    """A terminal symbol (a token kind as seen by the parser)."""
+
+    __slots__ = ()
+
+
+class NonTerminal(Symbol):
+    """A non-terminal symbol (a sort, in SDF terminology)."""
+
+    __slots__ = ()
+
+
+#: End-of-input marker.  Sentences handed to the parsing algorithms are
+#: terminated by this terminal (the ``$`` of section 3.1).
+END = Terminal("$")
+
+#: Name of the distinguished start symbol (section 4: "The non-terminal
+#: START is the start symbol of the grammar").
+START_NAME = "START"
+
+#: The distinguished start symbol itself.
+START = NonTerminal(START_NAME)
+
+
+SymbolLike = Union[Symbol, str]
+
+
+def as_symbol(value: SymbolLike, nonterminals: "frozenset[str]" = frozenset()) -> Symbol:
+    """Coerce ``value`` to a :class:`Symbol`.
+
+    Strings are interpreted as terminals unless their name appears in
+    ``nonterminals``.  Existing symbols pass through unchanged.  This is a
+    convenience for test code and the builder DSL; the core algorithms only
+    ever see proper :class:`Symbol` instances.
+    """
+    if isinstance(value, Symbol):
+        return value
+    if value in nonterminals or value == START_NAME:
+        return NonTerminal(value)
+    return Terminal(value)

@@ -1,0 +1,66 @@
+"""ISG — the lazy & incremental scanner generator ([HKR87a]).
+
+The combination ISG/IPG is the parsing component of the ASF+SDF editor the
+paper's introduction describes.  This package is the scanner half: regular
+token definitions compile to a shared Thompson NFA; determinization is
+*lazy* (DFA states materialize as input is scanned); definition changes
+invalidate exactly the affected DFA states — the same lazy/incremental
+recipe as the parse tables, one level down.
+"""
+
+from .chars import ALPHABET, CharClassError, CharSet, parse_char_class, single
+from .dfa import DFAState, LazyDFA
+from .nfa import NFA
+from .regex import (
+    Alt,
+    Concat,
+    Epsilon,
+    Regex,
+    Star,
+    Sym,
+    any_of,
+    char_class,
+    literal,
+    nullable,
+    optional,
+    plus,
+    sequence,
+)
+from .scanner import Lexeme, ScanError, Scanner
+from .sdf_bridge import (
+    LexicalCycleError,
+    cf_literals,
+    referenced_lexical_sorts,
+    scanner_from_sdf,
+)
+
+__all__ = [
+    "ALPHABET",
+    "Alt",
+    "CharClassError",
+    "CharSet",
+    "Concat",
+    "DFAState",
+    "Epsilon",
+    "LazyDFA",
+    "Lexeme",
+    "LexicalCycleError",
+    "NFA",
+    "Regex",
+    "ScanError",
+    "Scanner",
+    "Star",
+    "Sym",
+    "any_of",
+    "cf_literals",
+    "char_class",
+    "literal",
+    "nullable",
+    "optional",
+    "parse_char_class",
+    "plus",
+    "referenced_lexical_sorts",
+    "scanner_from_sdf",
+    "sequence",
+    "single",
+]

@@ -1,0 +1,131 @@
+"""Character sets, including SDF's ``[...]`` / ``~[...]`` classes.
+
+The lexical half of Appendix B describes tokens with character classes
+like ``[a-zA-Z0-9\\-_]`` and complements like ``~[\\n\\-]``.  A
+:class:`CharSet` is an immutable predicate over single characters with the
+set algebra the NFA construction needs.
+
+Complemented classes are relative to :data:`ALPHABET`, the fixed universe
+of printable ASCII plus common whitespace — the same universe the paper's
+scanners deal with (SUN-era 8-bit text, minus control characters).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+#: The character universe for complement classes.
+ALPHABET: FrozenSet[str] = frozenset(
+    {chr(code) for code in range(32, 127)} | {"\t", "\n", "\r", "\f"}
+)
+
+
+class CharClassError(ValueError):
+    """A malformed ``[...]`` specification."""
+
+
+class CharSet:
+    """An immutable set of characters."""
+
+    __slots__ = ("chars",)
+
+    def __init__(self, chars: Iterable[str]) -> None:
+        frozen = frozenset(chars)
+        for ch in frozen:
+            if not isinstance(ch, str) or len(ch) != 1:
+                raise CharClassError(f"not a character: {ch!r}")
+        object.__setattr__(self, "chars", frozen)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CharSet is immutable")
+
+    # -- predicate & algebra ----------------------------------------------
+
+    def __contains__(self, ch: str) -> bool:
+        return ch in self.chars
+
+    def __len__(self) -> int:
+        return len(self.chars)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharSet) and other.chars == self.chars
+
+    def __hash__(self) -> int:
+        return hash(self.chars)
+
+    def union(self, other: "CharSet") -> "CharSet":
+        return CharSet(self.chars | other.chars)
+
+    def complement(self) -> "CharSet":
+        """The complement within :data:`ALPHABET` (SDF's ``~[...]``)."""
+        return CharSet(ALPHABET - self.chars)
+
+    def __repr__(self) -> str:
+        if len(self.chars) <= 8:
+            return f"CharSet({''.join(sorted(self.chars))!r})"
+        return f"CharSet({len(self.chars)} chars)"
+
+
+def single(ch: str) -> CharSet:
+    return CharSet((ch,))
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+}
+
+
+def parse_char_class(spec: str) -> CharSet:
+    """Parse an SDF character class like ``[a-zA-Z0-9\\-_]``.
+
+    ``spec`` includes the brackets.  Backslash escapes produce the escaped
+    character (``\\n`` etc. map to their control characters, anything else
+    to itself — so ``\\-`` is a literal dash, not a range operator).  An
+    empty class ``[]`` is legal and matches nothing; its complement
+    (``~[]``) therefore matches any character, which is how Appendix B
+    writes "any char" for escape sequences.
+    """
+    if len(spec) < 2 or spec[0] != "[" or spec[-1] != "]":
+        raise CharClassError(f"malformed character class {spec!r}")
+    body = spec[1:-1]
+
+    # First decode escapes into (char, was_escaped) pairs so that a dash
+    # that came from an escape can never act as a range operator.
+    decoded: list = []
+    index = 0
+    while index < len(body):
+        ch = body[index]
+        if ch == "\\":
+            if index + 1 >= len(body):
+                raise CharClassError(f"dangling escape in {spec!r}")
+            escaped = body[index + 1]
+            decoded.append((_ESCAPES.get(escaped, escaped), True))
+            index += 2
+        else:
+            decoded.append((ch, False))
+            index += 1
+
+    chars = set()
+    position = 0
+    while position < len(decoded):
+        ch, _escaped = decoded[position]
+        is_range = (
+            position + 2 < len(decoded)
+            and decoded[position + 1] == ("-", False)
+        )
+        if is_range:
+            low = ch
+            high, _ = decoded[position + 2]
+            if ord(low) > ord(high):
+                raise CharClassError(
+                    f"inverted range {low}-{high} in {spec!r}"
+                )
+            chars.update(chr(code) for code in range(ord(low), ord(high) + 1))
+            position += 3
+        else:
+            chars.add(ch)
+            position += 1
+    return CharSet(chars)

@@ -1,0 +1,139 @@
+"""Lazy subset construction — the scanner analog of lazy parse tables.
+
+[HKR87a] applies the same lazy/incremental idea to scanner generation that
+the main paper applies to parser generation: do not determinize the NFA up
+front; materialize a DFA state the first time the scanner reaches it, and
+memoize transitions per character as they are taken.  A text that only
+uses part of the lexical syntax only ever pays for that part — the
+``fraction_of`` metric mirrors §5.2's "60 percent of the parse table".
+
+Invalidation (the incremental half) is coarse but sound: when a token
+definition changes, every materialized DFA state whose NFA subset contains
+a state owned by that definition is dropped, together with all memoized
+transitions into it.  Untouched regions of the DFA survive, exactly like
+the untouched item sets of section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .chars import ALPHABET
+from .nfa import NFA
+
+
+class DFAState:
+    """A materialized subset-construction state."""
+
+    __slots__ = ("uid", "subset", "transitions", "tags")
+
+    def __init__(self, uid: int, subset: FrozenSet[int], tags: Tuple[str, ...]) -> None:
+        self.uid = uid
+        self.subset = subset
+        #: memoized per-character moves; None = known dead end
+        self.transitions: Dict[str, Optional["DFAState"]] = {}
+        #: token definitions accepted here, in priority order
+        self.tags = tags
+
+    def __repr__(self) -> str:
+        return f"DFAState(#{self.uid}, {len(self.subset)} nfa states, tags={self.tags})"
+
+
+class LazyDFA:
+    """Subset construction memoized per state and per character."""
+
+    def __init__(self, nfa: NFA) -> None:
+        self.nfa = nfa
+        self._by_subset: Dict[FrozenSet[int], DFAState] = {}
+        self._next_uid = 0
+        self.transitions_computed = 0
+        self._start: Optional[DFAState] = None
+
+    @property
+    def start(self) -> DFAState:
+        if self._start is None:
+            subset = self.nfa.epsilon_closure(frozenset({self.nfa.start}))
+            self._start = self._materialize(subset)
+        return self._start
+
+    def _materialize(self, subset: FrozenSet[int]) -> DFAState:
+        state = self._by_subset.get(subset)
+        if state is None:
+            state = DFAState(
+                self._next_uid, subset, self.nfa.accepting_tags(subset)
+            )
+            self._next_uid += 1
+            self._by_subset[subset] = state
+        return state
+
+    def step(self, state: DFAState, ch: str) -> Optional[DFAState]:
+        """The transition on ``ch``, computing and memoizing it by need."""
+        if ch in state.transitions:
+            return state.transitions[ch]
+        subset = self.nfa.step(state.subset, ch)
+        target = self._materialize(subset) if subset else None
+        state.transitions[ch] = target
+        self.transitions_computed += 1
+        return target
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def materialized_states(self) -> int:
+        return len(self._by_subset)
+
+    def full_state_count(self) -> int:
+        """States of the *complete* DFA (the eager-generation denominator).
+
+        Built fresh by exhaustive subset construction over the alphabet;
+        used only by metrics/benches, never by the scanner itself.
+        """
+        start = self.nfa.epsilon_closure(frozenset({self.nfa.start}))
+        seen: Set[FrozenSet[int]] = {start}
+        work: List[FrozenSet[int]] = [start]
+        while work:
+            subset = work.pop()
+            for ch in ALPHABET:
+                target = self.nfa.step(subset, ch)
+                if target and target not in seen:
+                    seen.add(target)
+                    work.append(target)
+        return len(seen)
+
+    def fraction_of_full(self) -> float:
+        """Materialized / full — the scanner's §5.2-style laziness metric."""
+        full = self.full_state_count()
+        return self.materialized_states / full if full else 0.0
+
+    # -- incremental invalidation ---------------------------------------
+
+    def invalidate_definition(self, tag: str) -> int:
+        """Drop DFA states involving NFA states owned by ``tag``.
+
+        Returns the number of states dropped.  Memoized transitions of the
+        *surviving* states that point into a dropped state are erased as
+        well, so they are recomputed against the modified NFA by need.
+        """
+        owned = {
+            state for state, owner in self.nfa.owner.items() if owner == tag
+        }
+        doomed = [
+            subset
+            for subset in self._by_subset
+            if subset & owned
+        ]
+        for subset in doomed:
+            del self._by_subset[subset]
+        # Erase memoized edges into dropped states, and re-derive start.
+        survivors = list(self._by_subset.values())
+        live = {id(s) for s in survivors}
+        for state in survivors:
+            stale = [
+                ch
+                for ch, target in state.transitions.items()
+                if target is not None and id(target) not in live
+            ]
+            for ch in stale:
+                del state.transitions[ch]
+        self._start = None
+        return len(doomed)

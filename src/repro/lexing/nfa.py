@@ -1,0 +1,141 @@
+"""Thompson construction: regex → NFA with epsilon moves.
+
+One NFA serves the whole scanner: each token definition contributes a
+branch from the shared start state, and its accepting state is tagged with
+the definition it belongs to.  The tag is what lets the lazy DFA attribute
+a match to a token sort — and what lets the *incremental* scanner
+invalidate exactly the DFA states whose subsets mention a modified
+definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .chars import CharSet
+from .regex import Alt, Concat, Epsilon, Regex, Star, Sym
+
+
+class NFA:
+    """A non-deterministic automaton with tagged accepting states."""
+
+    def __init__(self) -> None:
+        self.start = 0
+        self._next_state = 1
+        #: state -> list of (charset, target); None charset = epsilon move
+        self.moves: Dict[int, List[Tuple[Optional[CharSet], int]]] = {0: []}
+        #: accepting state -> definition tag (e.g. the token sort name)
+        self.accepts: Dict[int, str] = {}
+        #: state -> tag of the definition whose compilation created it
+        self.owner: Dict[int, str] = {}
+
+    def new_state(self, owner: str) -> int:
+        state = self._next_state
+        self._next_state += 1
+        self.moves[state] = []
+        self.owner[state] = owner
+        return state
+
+    def add_move(self, source: int, charset: Optional[CharSet], target: int) -> None:
+        self.moves[source].append((charset, target))
+
+    # -- construction ------------------------------------------------------
+
+    def add_definition(self, tag: str, regex: Regex) -> None:
+        """Compile ``regex`` as a new branch accepting with ``tag``."""
+        entry, exit_ = self._compile(regex, tag)
+        self.add_move(self.start, None, entry)
+        self.accepts[exit_] = tag
+
+    def remove_definition(self, tag: str) -> None:
+        """Drop every state owned by ``tag`` (the incremental delete).
+
+        The shared start state keeps only its moves into surviving states.
+        """
+        doomed: Set[int] = {
+            state for state, owner in self.owner.items() if owner == tag
+        }
+        for state in doomed:
+            self.moves.pop(state, None)
+            self.accepts.pop(state, None)
+            self.owner.pop(state, None)
+        for state, moves in self.moves.items():
+            self.moves[state] = [
+                (cs, target) for cs, target in moves if target not in doomed
+            ]
+
+    def _compile(self, regex: Regex, tag: str) -> Tuple[int, int]:
+        """Thompson construction; returns (entry, exit) states."""
+        if isinstance(regex, Epsilon):
+            entry = self.new_state(tag)
+            exit_ = self.new_state(tag)
+            self.add_move(entry, None, exit_)
+            return entry, exit_
+        if isinstance(regex, Sym):
+            entry = self.new_state(tag)
+            exit_ = self.new_state(tag)
+            self.add_move(entry, regex.charset, exit_)
+            return entry, exit_
+        if isinstance(regex, Concat):
+            if not regex.parts:
+                return self._compile(Epsilon(), tag)
+            entry, current_exit = self._compile(regex.parts[0], tag)
+            for part in regex.parts[1:]:
+                nxt_entry, nxt_exit = self._compile(part, tag)
+                self.add_move(current_exit, None, nxt_entry)
+                current_exit = nxt_exit
+            return entry, current_exit
+        if isinstance(regex, Alt):
+            entry = self.new_state(tag)
+            exit_ = self.new_state(tag)
+            if not regex.choices:
+                # matches nothing: entry never reaches exit
+                return entry, exit_
+            for choice in regex.choices:
+                c_entry, c_exit = self._compile(choice, tag)
+                self.add_move(entry, None, c_entry)
+                self.add_move(c_exit, None, exit_)
+            return entry, exit_
+        if isinstance(regex, Star):
+            entry = self.new_state(tag)
+            exit_ = self.new_state(tag)
+            i_entry, i_exit = self._compile(regex.inner, tag)
+            self.add_move(entry, None, i_entry)
+            self.add_move(entry, None, exit_)
+            self.add_move(i_exit, None, i_entry)
+            self.add_move(i_exit, None, exit_)
+            return entry, exit_
+        raise TypeError(f"not a Regex: {regex!r}")
+
+    # -- simulation helpers --------------------------------------------
+
+    def epsilon_closure(self, states: FrozenSet[int]) -> FrozenSet[int]:
+        closure: Set[int] = set(states)
+        work = list(states)
+        while work:
+            state = work.pop()
+            for charset, target in self.moves.get(state, ()):
+                if charset is None and target not in closure:
+                    closure.add(target)
+                    work.append(target)
+        return frozenset(closure)
+
+    def step(self, states: FrozenSet[int], ch: str) -> FrozenSet[int]:
+        targets: Set[int] = set()
+        for state in states:
+            for charset, target in self.moves.get(state, ()):
+                if charset is not None and ch in charset:
+                    targets.add(target)
+        return self.epsilon_closure(frozenset(targets))
+
+    def accepting_tags(self, states: FrozenSet[int]) -> Tuple[str, ...]:
+        """Tags accepted in ``states``, in insertion (priority) order."""
+        seen: List[str] = []
+        for state, tag in self.accepts.items():
+            if state in states and tag not in seen:
+                seen.append(tag)
+        return tuple(seen)
+
+    @property
+    def size(self) -> int:
+        return len(self.moves)

@@ -1,0 +1,150 @@
+"""A small regular-expression AST for token definitions.
+
+ISG — the lazy/incremental *scanner* generator companion of IPG
+([HKR87a], used together with IPG in the ASF+SDF editor of section 1) —
+works from regular token definitions.  This module provides the definition
+language: a conventional regex AST built programmatically (there is no
+concrete regex syntax to parse; definitions come from SDF lexical
+functions or from Python code).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .chars import CharSet, single
+
+
+class Regex:
+    """Base class; immutable."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+
+class Epsilon(Regex):
+    """Matches the empty string."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Epsilon()"
+
+
+class Sym(Regex):
+    """Matches one character from a :class:`CharSet`."""
+
+    __slots__ = ("charset",)
+
+    def __init__(self, charset: CharSet) -> None:
+        object.__setattr__(self, "charset", charset)
+
+    def __repr__(self) -> str:
+        return f"Sym({self.charset!r})"
+
+
+class Concat(Regex):
+    """Matches ``parts`` in sequence."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Regex]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __repr__(self) -> str:
+        return f"Concat({list(self.parts)!r})"
+
+
+class Alt(Regex):
+    """Matches any of ``choices``."""
+
+    __slots__ = ("choices",)
+
+    def __init__(self, choices: Iterable[Regex]) -> None:
+        object.__setattr__(self, "choices", tuple(choices))
+
+    def __repr__(self) -> str:
+        return f"Alt({list(self.choices)!r})"
+
+
+class Star(Regex):
+    """Zero or more repetitions."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex) -> None:
+        object.__setattr__(self, "inner", inner)
+
+    def __repr__(self) -> str:
+        return f"Star({self.inner!r})"
+
+
+# -- convenience builders ------------------------------------------------------
+
+
+def literal(text: str) -> Regex:
+    """The regex matching exactly ``text``."""
+    if not text:
+        return Epsilon()
+    return Concat(Sym(single(ch)) for ch in text)
+
+
+def plus(inner: Regex) -> Regex:
+    """One or more repetitions (``inner inner*``)."""
+    return Concat((inner, Star(inner)))
+
+
+def optional(inner: Regex) -> Regex:
+    return Alt((inner, Epsilon()))
+
+
+def char_class(charset: CharSet) -> Regex:
+    return Sym(charset)
+
+
+def any_of(*choices: Regex) -> Regex:
+    return Alt(choices)
+
+
+def sequence(*parts: Regex) -> Regex:
+    return Concat(parts)
+
+
+def first_chars(regex: Regex) -> Tuple[str, ...]:
+    """Characters that can begin a match (used by scanner diagnostics)."""
+    if isinstance(regex, Epsilon):
+        return ()
+    if isinstance(regex, Sym):
+        return tuple(sorted(regex.charset.chars))
+    if isinstance(regex, Concat):
+        result: Tuple[str, ...] = ()
+        for part in regex.parts:
+            result = tuple(sorted(set(result) | set(first_chars(part))))
+            if not nullable(part):
+                break
+        return result
+    if isinstance(regex, Alt):
+        chars = set()
+        for choice in regex.choices:
+            chars.update(first_chars(choice))
+        return tuple(sorted(chars))
+    if isinstance(regex, Star):
+        return first_chars(regex.inner)
+    raise TypeError(f"not a Regex: {regex!r}")
+
+
+def nullable(regex: Regex) -> bool:
+    """Can the regex match the empty string?"""
+    if isinstance(regex, Epsilon):
+        return True
+    if isinstance(regex, Sym):
+        return False
+    if isinstance(regex, Concat):
+        return all(nullable(part) for part in regex.parts)
+    if isinstance(regex, Alt):
+        return any(nullable(choice) for choice in regex.choices)
+    if isinstance(regex, Star):
+        return True
+    raise TypeError(f"not a Regex: {regex!r}")

@@ -1,0 +1,176 @@
+"""ISG: the lazy & incremental scanner.
+
+A scanner holds an ordered list of token definitions (order = priority)
+plus layout definitions.  Scanning is maximal munch over the lazy DFA:
+
+* at each position, run the DFA as far as any transition exists,
+  remembering the last accepting state (the *longest* match);
+* on a tie in length, the earliest-priority accepting tag wins — this is
+  how literal keywords shadow the identifier sort;
+* layout matches are skipped silently.
+
+Definitions can be added and removed while the scanner is live:
+:meth:`Scanner.add_token` / :meth:`Scanner.remove_token` update the shared
+NFA and ask the lazy DFA to invalidate exactly the states the change can
+affect (section 6's MODIFY, transposed to scanning).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .dfa import LazyDFA
+from .nfa import NFA
+from .regex import Regex
+
+
+class ScanError(ValueError):
+    """No token matches at the current position."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class Lexeme:
+    """One scanned token: the sort it belongs to, its text and position."""
+
+    __slots__ = ("sort", "text", "position")
+
+    def __init__(self, sort: str, text: str, position: int) -> None:
+        self.sort = sort
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"Lexeme({self.sort}, {self.text!r}, @{self.position})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Lexeme)
+            and other.sort == self.sort
+            and other.text == self.text
+            and other.position == self.position
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sort, self.text, self.position))
+
+
+class Scanner:
+    """A maximal-munch scanner over a lazily determinized NFA."""
+
+    def __init__(self) -> None:
+        self.nfa = NFA()
+        self.dfa = LazyDFA(self.nfa)
+        self._priority: List[str] = []
+        self._layout: List[str] = []
+        self._definitions: Dict[str, Regex] = {}
+
+    # -- definition management (the incremental interface) -----------------
+
+    def add_token(
+        self,
+        sort: str,
+        regex: Regex,
+        layout: bool = False,
+        before: Optional[str] = None,
+    ) -> None:
+        """Add (or extend) a token definition.
+
+        Re-adding an existing sort *extends* it (alternation), matching
+        how SDF lexical functions accumulate per sort.  Priority is the
+        order of first addition; pass ``before`` to splice a new
+        definition ahead of an existing sort — the way a keyword added to
+        a live language must outrank the identifier sort on length ties.
+        """
+        if sort in self._definitions:
+            from .regex import Alt
+
+            previous = self._definitions[sort]
+            self.remove_token(sort, _keep_priority=True)
+            regex = Alt((previous, regex))
+        self.nfa.add_definition(sort, regex)
+        self._definitions[sort] = regex
+        if sort not in self._priority:
+            if before is not None and before in self._priority:
+                self._priority.insert(self._priority.index(before), sort)
+            else:
+                self._priority.append(sort)
+        if layout and sort not in self._layout:
+            self._layout.append(sort)
+        self.dfa.invalidate_definition(sort)
+
+    def remove_token(self, sort: str, _keep_priority: bool = False) -> None:
+        """Remove a token definition and invalidate affected DFA states."""
+        if sort not in self._definitions:
+            return
+        self.dfa.invalidate_definition(sort)
+        self.nfa.remove_definition(sort)
+        del self._definitions[sort]
+        if not _keep_priority:
+            if sort in self._priority:
+                self._priority.remove(sort)
+            if sort in self._layout:
+                self._layout.remove(sort)
+
+    @property
+    def sorts(self) -> Tuple[str, ...]:
+        return tuple(self._priority)
+
+    # -- scanning --------------------------------------------------------
+
+    def scan(self, text: str) -> List[Lexeme]:
+        """Tokenize ``text`` completely; layout sorts are dropped."""
+        result: List[Lexeme] = []
+        position = 0
+        while position < len(text):
+            lexeme = self._match_at(text, position)
+            if lexeme is None:
+                raise ScanError(
+                    f"no token matches at position {position}: "
+                    f"{text[position:position + 20]!r}...",
+                    position,
+                )
+            if lexeme.sort not in self._layout:
+                result.append(lexeme)
+            position += len(lexeme.text)
+        return result
+
+    def _match_at(self, text: str, position: int) -> Optional[Lexeme]:
+        """Longest match starting at ``position`` (None if nothing matches)."""
+        state = self.dfa.start
+        best_sort: Optional[str] = None
+        best_end = position
+        index = position
+        while True:
+            if state.tags:
+                sort = self._highest_priority(state.tags)
+                if sort is not None and (index > best_end or best_sort is None):
+                    best_sort, best_end = sort, index
+            if index >= len(text):
+                break
+            next_state = self.dfa.step(state, text[index])
+            if next_state is None:
+                break
+            state = next_state
+            index += 1
+        if best_sort is None or best_end == position:
+            return None
+        return Lexeme(best_sort, text[position:best_end], position)
+
+    def _highest_priority(self, tags: Sequence[str]) -> Optional[str]:
+        ranked = [t for t in tags if t in self._priority]
+        if not ranked:
+            return None
+        return min(ranked, key=self._priority.index)
+
+    # -- metrics -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "dfa_states": self.dfa.materialized_states,
+            "transitions_computed": self.dfa.transitions_computed,
+            "nfa_states": self.nfa.size,
+            "definitions": len(self._definitions),
+        }

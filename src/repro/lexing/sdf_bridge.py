@@ -1,0 +1,138 @@
+"""Bridge: SDF lexical syntax → ISG scanner.
+
+This is the glue that makes the full ISG/IPG pipeline of section 1 run:
+given a parsed SDF definition, build a :class:`~repro.lexing.scanner.Scanner`
+whose token sorts are
+
+* every quoted literal of the context-free syntax (keywords and
+  punctuation, added first so they shadow identifier-like sorts on equal
+  length — reserved words),
+* every lexical sort the context-free syntax references (``ID``,
+  ``LITERAL``, ...), compiled from its lexical functions with helper sorts
+  (``LETTER``, ``ID-TAIL``) inlined,
+* the declared layout sorts, marked as layout.
+
+Helper-sort inlining requires the lexical definitions to be non-recursive
+(Appendix B's are); a cycle raises :class:`LexicalCycleError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..sdf.ast import (
+    CfIter,
+    CfLiteral,
+    CfSepIter,
+    CfSort,
+    LexCharClass,
+    LexElem,
+    LexLiteral,
+    LexSortRef,
+    SdfDefinition,
+)
+from .chars import parse_char_class
+from .regex import Alt, Concat, Epsilon, Regex, Star, Sym, literal, plus
+from .scanner import Scanner
+
+
+class LexicalCycleError(ValueError):
+    """A lexical sort is (mutually) recursive and cannot be inlined."""
+
+
+def _sort_regexes(definition: SdfDefinition) -> Dict[str, List[Tuple[LexElem, ...]]]:
+    table: Dict[str, List[Tuple[LexElem, ...]]] = {}
+    for function in definition.lexical.functions:
+        table.setdefault(function.sort, []).append(function.elems)
+    return table
+
+
+class _Inliner:
+    def __init__(self, definition: SdfDefinition) -> None:
+        self.bodies = _sort_regexes(definition)
+        self.memo: Dict[str, Regex] = {}
+        self.in_progress: Set[str] = set()
+
+    def regex_for(self, sort: str) -> Regex:
+        if sort in self.memo:
+            return self.memo[sort]
+        if sort in self.in_progress:
+            raise LexicalCycleError(f"lexical sort {sort!r} is recursive")
+        if sort not in self.bodies:
+            raise LexicalCycleError(f"lexical sort {sort!r} has no definition")
+        self.in_progress.add(sort)
+        alternatives = [self._body(body) for body in self.bodies[sort]]
+        self.in_progress.remove(sort)
+        regex = alternatives[0] if len(alternatives) == 1 else Alt(alternatives)
+        self.memo[sort] = regex
+        return regex
+
+    def _body(self, elems: Sequence[LexElem]) -> Regex:
+        parts: List[Regex] = []
+        for elem in elems:
+            if isinstance(elem, LexLiteral):
+                parts.append(literal(elem.text))
+            elif isinstance(elem, LexCharClass):
+                charset = parse_char_class(elem.spec)
+                if elem.negated:
+                    charset = charset.complement()
+                parts.append(Sym(charset))
+            else:
+                assert isinstance(elem, LexSortRef)
+                inner = self.regex_for(elem.name)
+                if elem.iterator == "*":
+                    parts.append(Star(inner))
+                elif elem.iterator == "+":
+                    parts.append(plus(inner))
+                else:
+                    parts.append(inner)
+        if not parts:
+            return Epsilon()
+        return parts[0] if len(parts) == 1 else Concat(parts)
+
+
+def referenced_lexical_sorts(definition: SdfDefinition) -> Tuple[str, ...]:
+    """Lexical sorts the context-free syntax uses as terminals."""
+    cf_sorts = set(definition.contextfree.sorts)
+    seen: List[str] = []
+    for function in definition.contextfree.functions:
+        for elem in function.elems:
+            if isinstance(elem, (CfSort, CfIter, CfSepIter)):
+                name = elem.name
+                if name not in cf_sorts and name not in seen:
+                    seen.append(name)
+    return tuple(seen)
+
+
+def cf_literals(definition: SdfDefinition) -> Tuple[str, ...]:
+    """Every quoted literal of the context-free syntax, in source order."""
+    seen: List[str] = []
+    for function in definition.contextfree.functions:
+        for elem in function.elems:
+            if isinstance(elem, CfLiteral) and elem.text not in seen:
+                seen.append(elem.text)
+            if isinstance(elem, CfSepIter) and elem.separator not in seen:
+                seen.append(elem.separator)
+    return tuple(seen)
+
+
+def scanner_from_sdf(definition: SdfDefinition) -> Scanner:
+    """Build the ISG scanner for an SDF definition.
+
+    Literal token sorts are named ``'lit:<text>'`` to keep them apart from
+    lexical sorts; callers mapping lexemes to grammar terminals strip the
+    prefix (a ``lit:`` lexeme's terminal is its text, other lexemes'
+    terminal is their sort name — mirroring
+    :meth:`repro.sdf.tokens.Token.terminal`).
+    """
+    scanner = Scanner()
+    # Literals first: on equal-length matches the earlier definition wins,
+    # which reserves keywords against ID-like sorts.
+    for text in cf_literals(definition):
+        scanner.add_token(f"lit:{text}", literal(text))
+    inliner = _Inliner(definition)
+    for sort in referenced_lexical_sorts(definition):
+        scanner.add_token(sort, inliner.regex_for(sort))
+    for sort in definition.lexical.layout:
+        scanner.add_token(sort, inliner.regex_for(sort), layout=True)
+    return scanner

@@ -1,0 +1,94 @@
+"""Parser actions: shift, reduce, accept.
+
+Section 3.1: *"An action can be either a 'shift', 'reduce', 'accept', or
+'error'."*  Errors are represented, as in the paper, by an *empty* action
+set rather than an explicit object.
+
+The same action classes serve both control styles:
+
+* graph-backed control (``Shift.target`` is an ``ItemSet``), used by PG and
+  IPG, and
+* table-backed control (``Shift.target`` is an integer state number), used
+  by the tabular LR parser of the Yacc baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from ..grammar.rules import Rule
+
+
+class Action:
+    """Base class; instances are immutable value objects."""
+
+    __slots__ = ()
+
+
+class Shift(Action):
+    """Advance one step and move to ``target`` (an item set or state id)."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Any) -> None:
+        object.__setattr__(self, "target", target)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Shift is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Shift) and other.target == self.target
+
+    def __hash__(self) -> int:
+        return hash(("shift", self.target))
+
+    def __repr__(self) -> str:
+        return f"Shift({self.target!r})"
+
+
+class Reduce(Action):
+    """The rule ``rule`` has been recognized completely."""
+
+    __slots__ = ("rule",)
+
+    def __init__(self, rule: Rule) -> None:
+        object.__setattr__(self, "rule", rule)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Reduce is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Reduce) and other.rule == self.rule
+
+    def __hash__(self) -> int:
+        return hash(("reduce", self.rule))
+
+    def __repr__(self) -> str:
+        return f"Reduce({self.rule!s})"
+
+
+class Accept(Action):
+    """The whole input has been recognized."""
+
+    __slots__ = ()
+
+    _instance = None
+
+    def __new__(cls) -> "Accept":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Accept)
+
+    def __hash__(self) -> int:
+        return hash("accept")
+
+    def __repr__(self) -> str:
+        return "Accept()"
+
+
+ACCEPT_ACTION = Accept()
+
+ActionSet = Tuple[Action, ...]

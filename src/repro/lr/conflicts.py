@@ -1,0 +1,62 @@
+"""Parse-table conflict descriptions.
+
+LR(0) tables for interesting grammars are full of conflicts — the booleans
+table of Fig. 4.1(b) contains ``s5/r3``-style entries — and that is fine for
+the parallel parser, which forks on them.  The deterministic baselines
+(Yacc-style LALR(1), the simple LR-PARSE) instead require a conflict-free
+table, so conflicts must be detectable and reportable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..grammar.symbols import Terminal
+from .actions import Action, Reduce, Shift
+
+
+class Conflict:
+    """Several possible actions in one (state, terminal) table cell."""
+
+    __slots__ = ("state", "terminal", "actions")
+
+    def __init__(self, state: int, terminal: Terminal, actions: Sequence[Action]) -> None:
+        self.state = state
+        self.terminal = terminal
+        self.actions = tuple(actions)
+
+    @property
+    def kind(self) -> str:
+        """``shift/reduce`` or ``reduce/reduce`` (or both)."""
+        shifts = sum(1 for a in self.actions if isinstance(a, Shift))
+        reduces = sum(1 for a in self.actions if isinstance(a, Reduce))
+        if shifts and reduces:
+            return "shift/reduce"
+        if reduces > 1:
+            return "reduce/reduce"
+        return "other"
+
+    def __repr__(self) -> str:
+        return (
+            f"Conflict(state={self.state}, on={self.terminal}, "
+            f"kind={self.kind}, {len(self.actions)} actions)"
+        )
+
+    def describe(self) -> str:
+        lines = [f"state {self.state}, on {self.terminal!s} ({self.kind}):"]
+        for action in self.actions:
+            lines.append(f"    {action!r}")
+        return "\n".join(lines)
+
+
+def report(conflicts: Sequence[Conflict]) -> str:
+    """Human-readable multi-conflict report (Yacc's 'n conflicts' message)."""
+    if not conflicts:
+        return "no conflicts"
+    shift_reduce = sum(1 for c in conflicts if c.kind == "shift/reduce")
+    reduce_reduce = sum(1 for c in conflicts if c.kind == "reduce/reduce")
+    header = (
+        f"{len(conflicts)} conflicts "
+        f"({shift_reduce} shift/reduce, {reduce_reduce} reduce/reduce)"
+    )
+    return "\n".join([header] + [c.describe() for c in conflicts])

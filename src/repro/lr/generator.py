@@ -1,0 +1,132 @@
+"""The conventional parser generator PG and the graph-backed parser control.
+
+This is section 4 of the paper: ``GENERATE-PARSER`` builds the complete
+graph of item sets up front, and ``ACTION``/``GOTO`` read it during parsing.
+The functions are packaged as :class:`ConventionalGenerator` (PG of the
+measurements in section 7) and :class:`GraphControl`, the object the parsing
+runtimes of :mod:`repro.runtime` are parameterized with.
+
+``GraphControl`` is also the superclass of the lazy control of section 5 —
+the only override there is ``action`` (expand-on-demand), exactly mirroring
+how the paper derives its lazy generator from this conventional one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import NonTerminal, Terminal
+from .actions import ACCEPT_ACTION, Action, ActionSet, Reduce, Shift
+from .graph import ItemSetGraph
+from .states import ACCEPT, ItemSet
+
+
+class GotoOnNonCompleteState(AssertionError):
+    """GOTO was called on a state that is not complete.
+
+    Appendix A proves this never happens for LR-PARSE and PAR-PARSE; the
+    control raises (rather than silently expanding) so that any violation
+    of the invariant is loud.  ``tests/core/test_appendix_a_invariant.py``
+    exercises this across random grammars.
+    """
+
+
+class GraphControl:
+    """ACTION and GOTO over a graph of item sets (section 4).
+
+    The runtimes call :meth:`action` with the current state and input
+    terminal and :meth:`goto` after reductions.  This conventional variant
+    requires every state it touches to be complete already.
+    """
+
+    def __init__(self, graph: ItemSetGraph) -> None:
+        self.graph = graph
+
+    @property
+    def start_state(self) -> ItemSet:
+        return self.graph.start
+
+    # -- the paper's ACTION -------------------------------------------------
+
+    def action(self, state: ItemSet, symbol: Terminal) -> ActionSet:
+        """All actions the parser can perform in ``state`` on ``symbol``.
+
+        Returns a *set* of actions (as a tuple, reductions first): the
+        parallel parser forks on every member; the simple LR parser demands
+        at most one.
+        """
+        if state.needs_expansion:
+            raise GotoOnNonCompleteState(
+                f"conventional ACTION reached unexpanded state {state!r}; "
+                f"use the lazy control for on-demand generation"
+            )
+        return self._actions_of(state, symbol)
+
+    @staticmethod
+    def _actions_of(state: ItemSet, symbol: Terminal) -> ActionSet:
+        actions: Tuple[Action, ...] = tuple(
+            Reduce(rule) for rule in state.reductions
+        )
+        target = state.transitions.get(symbol)
+        if target is ACCEPT:
+            actions += (ACCEPT_ACTION,)
+        elif isinstance(target, ItemSet):
+            actions += (Shift(target),)
+        return actions
+
+    # -- the paper's GOTO ---------------------------------------------------
+
+    def goto(self, state: ItemSet, symbol: NonTerminal) -> ItemSet:
+        """The state after reducing a rule that delivered ``symbol``.
+
+        *"Because we assume the graph of item sets to have been generated
+        correctly, we can be sure that there is exactly one transition for
+        symbol in state.transitions."*  Appendix A guarantees ``state`` is
+        complete, which we assert.
+        """
+        if state.needs_expansion:
+            raise GotoOnNonCompleteState(
+                f"GOTO called on non-complete state {state!r} "
+                f"(violates the Appendix A invariant)"
+            )
+        target = state.transitions.get(symbol)
+        if not isinstance(target, ItemSet):
+            raise LookupError(
+                f"no GOTO transition on {symbol} from state #{state.uid}"
+            )
+        return target
+
+
+class ConventionalGenerator:
+    """PG: generate the whole graph of item sets before parsing (section 4).
+
+    Usage::
+
+        pg = ConventionalGenerator(grammar)
+        control = pg.generate()        # the expensive up-front phase
+        PoolParser(control).parse(tokens)
+    """
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self.graph: Optional[ItemSetGraph] = None
+
+    def generate(self) -> GraphControl:
+        """Build the complete graph; returns the parser control.
+
+        This is GENERATE-PARSER of section 4: seed the start state, then
+        expand while any initial state remains.
+        """
+        self.graph = ItemSetGraph(self.grammar)
+        self.graph.expand_all()
+        return GraphControl(self.graph)
+
+    def regenerate(self) -> GraphControl:
+        """Throw the old graph away and build a new one.
+
+        This is what a *non*-incremental generator must do after every
+        grammar change — the cost the measurements of section 7 put on PG's
+        'modify' phase.
+        """
+        return self.generate()

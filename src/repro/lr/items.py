@@ -1,0 +1,101 @@
+"""Dotted rules ("items") — the atoms of LR parse-table construction.
+
+Section 4: *"The kernel field of a set of items contains the rules that are
+potentially being recognized by the parser in that state/set of items.  The
+dots indicate how far the parser has progressed in each rule."*
+
+An :class:`Item` is an immutable ``(rule, dot)`` pair.  A *kernel* is a
+frozen set of items; kernels identify item sets, which is exactly the lookup
+``EXPAND`` performs ("When a set of items with kernel kernel' does not yet
+exist...").
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..grammar.rules import Rule
+from ..grammar.symbols import Symbol
+
+
+class Item:
+    """A rule with a recognition cursor: ``A ::= alpha . beta``."""
+
+    __slots__ = ("rule", "dot", "_hash")
+
+    def __init__(self, rule: Rule, dot: int = 0) -> None:
+        if not 0 <= dot <= len(rule.rhs):
+            raise ValueError(f"dot {dot} out of range for {rule}")
+        object.__setattr__(self, "rule", rule)
+        object.__setattr__(self, "dot", dot)
+        object.__setattr__(self, "_hash", hash((rule, dot)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Item is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Item):
+            return NotImplemented
+        return self.dot == other.dot and self.rule == other.rule
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Item") -> bool:
+        if not isinstance(other, Item):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self):
+        return (*self.rule.sort_key(), self.dot)
+
+    # -- cursor queries ----------------------------------------------------
+
+    @property
+    def at_end(self) -> bool:
+        """True when the rule has been recognized completely."""
+        return self.dot == len(self.rule.rhs)
+
+    @property
+    def next_symbol(self) -> Optional[Symbol]:
+        """The symbol just after the dot, or None when at the end."""
+        if self.at_end:
+            return None
+        return self.rule.rhs[self.dot]
+
+    def advanced(self) -> "Item":
+        """The item with the dot moved one symbol to the right."""
+        if self.at_end:
+            raise ValueError(f"cannot advance completed item {self}")
+        return Item(self.rule, self.dot + 1)
+
+    @property
+    def before_dot(self) -> Tuple[Symbol, ...]:
+        return self.rule.rhs[: self.dot]
+
+    @property
+    def after_dot(self) -> Tuple[Symbol, ...]:
+        return self.rule.rhs[self.dot :]
+
+    def __repr__(self) -> str:
+        return f"Item({self!s})"
+
+    def __str__(self) -> str:
+        parts = [str(s) for s in self.rule.rhs]
+        parts.insert(self.dot, "•")
+        return f"{self.rule.lhs} ::= {' '.join(parts)}"
+
+
+Kernel = FrozenSet[Item]
+
+
+def kernel_of(items: Iterable[Item]) -> Kernel:
+    """Freeze ``items`` into a kernel (the identity of an item set)."""
+    return frozenset(items)
+
+
+def sorted_items(items: Iterable[Item]) -> Tuple[Item, ...]:
+    """Items in the stable order used throughout for determinism."""
+    return tuple(sorted(items))

@@ -1,0 +1,56 @@
+"""SLR(1) table construction.
+
+SLR(1) refines the LR(0) table by restricting each reduction ``A ::= beta``
+to the terminals in FOLLOW(A).  It sits between the paper's two poles —
+LR(0) (what IPG generates incrementally) and LALR(1) (what Yacc generates) —
+and the ablation bench ``bench_ablation_lr0_vs_lalr`` uses all three to show
+the generation-time/parse-determinism trade-off the Postscript discusses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..grammar.analysis import GrammarAnalysis
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Terminal
+from .graph import ItemSetGraph
+from .states import ACCEPT
+from .table import ParseTable, TableRow, _index_graph
+
+
+def slr_table(grammar: Grammar) -> ParseTable:
+    """Build the full LR(0) automaton, then attach FOLLOW-restricted reduces."""
+    graph = ItemSetGraph(grammar)
+    graph.expand_all()
+    return slr_table_from_graph(graph)
+
+
+def slr_table_from_graph(graph: ItemSetGraph) -> ParseTable:
+    grammar = graph.grammar
+    analysis = GrammarAnalysis(grammar)
+    mapping, states = _index_graph(graph)
+    rows: List[TableRow] = []
+    for state in states:
+        if state.needs_expansion:
+            raise ValueError(f"state #{state.uid} not expanded")
+        row = TableRow()
+        for symbol, target in state.transitions.items():
+            if target is ACCEPT:
+                row.accepts = True
+            elif isinstance(symbol, Terminal):
+                row.shifts[symbol] = mapping[target.uid]
+            else:
+                row.gotos[symbol] = mapping[target.uid]
+        row.reduces = [
+            (rule, analysis.follow(rule.lhs)) for rule in state.reductions
+        ]
+        rows.append(row)
+    rule_numbers = {rule: i for i, rule in enumerate(sorted(grammar.rules))}
+    return ParseTable(
+        rows,
+        start=mapping[graph.start.uid],
+        terminals=sorted(grammar.terminals),
+        nonterminals=sorted(grammar.nonterminals - {grammar.start}),
+        rule_numbers=rule_numbers,
+    )

@@ -1,0 +1,153 @@
+"""Item sets — the states of the LR automaton, with the paper's life cycle.
+
+Section 4 defines a set of items as an object with fields ``kernel``,
+``transitions``, ``reductions`` and ``type``; section 6.2 adds a reference
+count and the *dirty* state.  The complete life cycle implemented here:
+
+::
+
+              EXPAND                    MODIFY (gc off)
+    initial ─────────► complete ──────────────────────► initial
+        ▲                  │
+        │                  │ MODIFY (gc on: transitions stashed)
+        │   RE-EXPAND      ▼
+        └──────────────  dirty
+
+``transitions`` maps a symbol to either another :class:`ItemSet` (a shift
+edge for terminals, a GOTO edge for non-terminals) or the :data:`ACCEPT`
+sentinel on the end-marker — the paper's special ``($ accept)`` transition.
+
+Item sets compare by *identity*: two distinct states may transiently carry
+equal kernels only during start-state re-keying, and the graph enforces
+kernel uniqueness.  Identity semantics is also what lets parse stacks share
+states (section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple, Union
+
+from ..grammar.rules import Rule
+from ..grammar.symbols import Symbol
+from .items import Item, Kernel, sorted_items
+
+
+class _AcceptSentinel:
+    """Target of the special ``($ accept)`` transition."""
+
+    _instance: Optional["_AcceptSentinel"] = None
+
+    def __new__(cls) -> "_AcceptSentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ACCEPT"
+
+
+#: The accept transition target (section 4: "The transition ($ accept) is a
+#: special case, the accept action").
+ACCEPT = _AcceptSentinel()
+
+TransitionTarget = Union["ItemSet", _AcceptSentinel]
+
+
+class StateType(enum.Enum):
+    """The ``type`` field of a set of items.
+
+    * ``INITIAL`` — kernel known, transitions/reductions not yet computed
+      (open circle in the paper's diagrams).
+    * ``COMPLETE`` — fully expanded (black circle).
+    * ``DIRTY`` — made initial by ``MODIFY`` but retaining its old
+      transitions for the reference-count bookkeeping of section 6.2.
+    """
+
+    INITIAL = "initial"
+    COMPLETE = "complete"
+    DIRTY = "dirty"
+
+
+class ItemSet:
+    """One state of the (partially generated) LR automaton."""
+
+    __slots__ = (
+        "uid",
+        "kernel",
+        "transitions",
+        "reductions",
+        "type",
+        "refcount",
+        "old_transitions",
+    )
+
+    def __init__(self, uid: int, kernel: Kernel) -> None:
+        self.uid = uid
+        self.kernel: Kernel = kernel
+        self.transitions: Dict[Symbol, TransitionTarget] = {}
+        self.reductions: Tuple[Rule, ...] = ()
+        self.type = StateType.INITIAL
+        self.refcount = 0
+        #: Transitions held before this state was made dirty; consumed by
+        #: RE-EXPAND to decrement reference counts (section 6.2).
+        self.old_transitions: Optional[Dict[Symbol, TransitionTarget]] = None
+
+    # -- type queries -------------------------------------------------
+
+    @property
+    def is_initial(self) -> bool:
+        return self.type is StateType.INITIAL
+
+    @property
+    def is_complete(self) -> bool:
+        return self.type is StateType.COMPLETE
+
+    @property
+    def is_dirty(self) -> bool:
+        return self.type is StateType.DIRTY
+
+    @property
+    def needs_expansion(self) -> bool:
+        """True for states ACTION must expand before use (initial/dirty)."""
+        return self.type is not StateType.COMPLETE
+
+    # -- structure queries ----------------------------------------------
+
+    def successors(self) -> Tuple["ItemSet", ...]:
+        """Item sets this state points to (accept sentinel excluded)."""
+        return tuple(
+            t for t in self.transitions.values() if isinstance(t, ItemSet)
+        )
+
+    def has_transition_on(self, symbol: Symbol) -> bool:
+        return symbol in self.transitions
+
+    def accepts_on_end(self) -> bool:
+        return any(t is ACCEPT for t in self.transitions.values())
+
+    def kernel_items(self) -> Tuple[Item, ...]:
+        return sorted_items(self.kernel)
+
+    # -- display -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line rendering in the style of the paper's figures."""
+        marker = {
+            StateType.INITIAL: "o",
+            StateType.COMPLETE: "*",
+            StateType.DIRTY: "~",
+        }[self.type]
+        lines = [f"({marker}{self.uid})"]
+        for item in self.kernel_items():
+            flag = "  <reduce>" if item.rule in self.reductions else ""
+            lines.append(f"    {item}{flag}")
+        for symbol, target in self.transitions.items():
+            if target is ACCEPT:
+                lines.append(f"    --{symbol}--> accept")
+            else:
+                lines.append(f"    --{symbol}--> {target.uid}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ItemSet(#{self.uid}, {self.type.value}, {len(self.kernel)} kernel items)"

@@ -1,0 +1,270 @@
+"""Tabular ACTION/GOTO parse tables — Fig. 4.1(b) of the paper.
+
+*"The parse table in Fig 4.1(b) is a tabular representation of the graph of
+item sets of Fig 4.1(c)."*  The graph-driven generators never use this form
+(they need the kernels at parse time), but the Yacc baseline of section 7
+does: a :class:`ParseTable` is a frozen, kernel-free rendering of a fully
+expanded automaton, with per-lookahead reduce actions for SLR(1)/LALR(1).
+
+A :class:`TableControl` adapts a table to the same ``start_state`` /
+``action`` / ``goto`` interface the graph controls expose, so every parsing
+runtime in :mod:`repro.runtime` can run off either representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..grammar.rules import Rule
+from ..grammar.symbols import END, NonTerminal, Symbol, Terminal
+from .actions import ACCEPT_ACTION, Action, ActionSet, Reduce, Shift
+from .conflicts import Conflict
+from .graph import ItemSetGraph
+from .states import ACCEPT, ItemSet
+
+
+class TableRow:
+    """One parser state in tabular form."""
+
+    __slots__ = ("shifts", "gotos", "reduces", "accepts")
+
+    def __init__(self) -> None:
+        #: terminal -> target state index
+        self.shifts: Dict[Terminal, int] = {}
+        #: non-terminal -> target state index
+        self.gotos: Dict[NonTerminal, int] = {}
+        #: (rule, lookaheads); ``None`` lookaheads = reduce on *every*
+        #: terminal (the LR(0) convention of Fig. 4.1(b)).
+        self.reduces: List[Tuple[Rule, Optional[FrozenSet[Terminal]]]] = []
+        #: accept on the end-marker
+        self.accepts: bool = False
+
+
+class ParseTable:
+    """An immutable ACTION/GOTO table plus conflict metadata."""
+
+    def __init__(
+        self,
+        rows: Sequence[TableRow],
+        start: int,
+        terminals: Sequence[Terminal],
+        nonterminals: Sequence[NonTerminal],
+        rule_numbers: Optional[Dict[Rule, int]] = None,
+    ) -> None:
+        self._rows = tuple(rows)
+        self.start = start
+        self.terminals = tuple(terminals)
+        self.nonterminals = tuple(nonterminals)
+        self.rule_numbers = dict(rule_numbers or {})
+
+    # -- the ACTION / GOTO functions -----------------------------------
+
+    def action(self, state: int, symbol: Terminal) -> ActionSet:
+        row = self._rows[state]
+        actions: List[Action] = [
+            Reduce(rule)
+            for rule, lookaheads in row.reduces
+            if lookaheads is None or symbol in lookaheads
+        ]
+        if symbol == END and row.accepts:
+            actions.append(ACCEPT_ACTION)
+        target = row.shifts.get(symbol)
+        if target is not None:
+            actions.append(Shift(target))
+        return tuple(actions)
+
+    def goto(self, state: int, symbol: NonTerminal) -> int:
+        target = self._rows[state].gotos.get(symbol)
+        if target is None:
+            raise LookupError(f"no GOTO on {symbol} from state {state}")
+        return target
+
+    # -- inspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def conflicts(self) -> Tuple[Conflict, ...]:
+        """Every multi-action (state, terminal) cell.
+
+        The end-marker column is included: an accept can clash with a
+        reduce on ``$`` (e.g. for cyclic grammars), and such a cell is a
+        conflict like any other.
+        """
+        found: List[Conflict] = []
+        columns = list(self.terminals)
+        if END not in columns:
+            columns.append(END)
+        for index in range(len(self._rows)):
+            for terminal in columns:
+                actions = self.action(index, terminal)
+                if len(actions) > 1:
+                    found.append(Conflict(index, terminal, actions))
+        return tuple(found)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return not self.conflicts()
+
+    def cell_count(self) -> int:
+        """Number of populated ACTION/GOTO cells (a size metric)."""
+        total = 0
+        for row in self._rows:
+            total += len(row.shifts) + len(row.gotos) + len(row.reduces)
+            total += 1 if row.accepts else 0
+        return total
+
+    # -- rendering (Fig. 4.1(b) style) -------------------------------------
+
+    def render(self) -> str:
+        """ASCII table in the layout of the paper's Fig. 4.1(b)."""
+        terminals = list(self.terminals)
+        if END not in terminals:
+            terminals.append(END)
+        headers = (
+            ["state"]
+            + [t.name for t in terminals]
+            + [nt.name for nt in self.nonterminals]
+        )
+        table: List[List[str]] = [headers]
+        for index, row in enumerate(self._rows):
+            cells = [str(index)]
+            for terminal in terminals:
+                entries: List[str] = []
+                for rule, lookaheads in row.reduces:
+                    if lookaheads is None or terminal in lookaheads:
+                        number = self.rule_numbers.get(rule)
+                        entries.append(f"r{number}" if number is not None else "r?")
+                if terminal == END and row.accepts:
+                    entries.append("acc")
+                if terminal in row.shifts:
+                    entries.append(f"s{row.shifts[terminal]}")
+                cells.append("/".join(entries))
+            for nonterminal in self.nonterminals:
+                target = row.gotos.get(nonterminal)
+                cells.append("" if target is None else str(target))
+            table.append(cells)
+        widths = [
+            max(len(line[col]) for line in table) for col in range(len(headers))
+        ]
+        rendered = [
+            "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(line)).rstrip()
+            for line in table
+        ]
+        return "\n".join(rendered)
+
+
+class TableControl:
+    """Adapter: run the parsing runtimes off a :class:`ParseTable`.
+
+    States are plain integers here — the kernel-free representation the
+    paper says conventional LR parsers use ("only the ACTION and GOTO
+    information was needed during parsing", section 5.3).
+    """
+
+    def __init__(self, table: ParseTable) -> None:
+        self.table = table
+
+    @property
+    def start_state(self) -> int:
+        return self.table.start
+
+    def action(self, state: int, symbol: Terminal) -> ActionSet:
+        return self.table.action(state, symbol)
+
+    def goto(self, state: int, symbol: NonTerminal) -> int:
+        return self.table.goto(state, symbol)
+
+
+def resolve_conflicts(table: ParseTable) -> Tuple[ParseTable, Tuple[Conflict, ...]]:
+    """Determinize a table the way Yacc does; returns (table, conflicts).
+
+    Yacc's default conflict resolution: a shift beats a reduce
+    (shift/reduce), and among several reduces the rule declared first wins
+    (reduce/reduce).  Accept beats a reduce on the end-marker.  The
+    returned conflict list is what Yacc would print as its
+    ``n shift/reduce, m reduce/reduce`` summary.
+
+    The parallel parser never needs this — it forks on conflicts — but the
+    deterministic LR-PARSE of the Yacc baseline does.
+    """
+    conflicts = table.conflicts()
+    if not conflicts:
+        return table, ()
+
+    all_terminals = set(table.terminals)
+    all_terminals.add(END)
+
+    def rule_priority(entry) -> int:
+        rule, _lookaheads = entry
+        return table.rule_numbers.get(rule, 1 << 30)
+
+    new_rows: List[TableRow] = []
+    for index in range(len(table)):
+        old = table._rows[index]
+        row = TableRow()
+        row.shifts = dict(old.shifts)
+        row.gotos = dict(old.gotos)
+        row.accepts = old.accepts
+        claimed: set = set(row.shifts)
+        if row.accepts:
+            claimed.add(END)
+        for rule, lookaheads in sorted(old.reduces, key=rule_priority):
+            effective = all_terminals if lookaheads is None else set(lookaheads)
+            keep = frozenset(effective - claimed)
+            claimed |= keep
+            if keep:
+                row.reduces.append((rule, keep))
+        new_rows.append(row)
+
+    resolved = ParseTable(
+        new_rows,
+        start=table.start,
+        terminals=table.terminals,
+        nonterminals=table.nonterminals,
+        rule_numbers=table.rule_numbers,
+    )
+    return resolved, conflicts
+
+
+def _index_graph(graph: ItemSetGraph) -> Tuple[Dict[int, int], Tuple[ItemSet, ...]]:
+    states = graph.states()
+    mapping = {state.uid: index for index, state in enumerate(states)}
+    return mapping, states
+
+
+def lr0_table(graph: ItemSetGraph) -> ParseTable:
+    """Flatten a fully expanded graph into an LR(0) table.
+
+    Reduce actions carry no lookahead restriction: as in Fig. 4.1(b), a
+    state with a reduction reduces on every terminal, yielding the
+    characteristic ``s5/r3`` conflict cells the parallel parser forks on.
+    """
+    for state in graph.states():
+        if state.needs_expansion:
+            raise ValueError(
+                "lr0_table requires a fully expanded graph; "
+                f"state #{state.uid} is {state.type.value}"
+            )
+    mapping, states = _index_graph(graph)
+    rows: List[TableRow] = []
+    for state in states:
+        row = TableRow()
+        for symbol, target in state.transitions.items():
+            if target is ACCEPT:
+                row.accepts = True
+            elif isinstance(symbol, Terminal):
+                row.shifts[symbol] = mapping[target.uid]
+            else:
+                row.gotos[symbol] = mapping[target.uid]
+        row.reduces = [(rule, None) for rule in state.reductions]
+        rows.append(row)
+    grammar = graph.grammar
+    rule_numbers = {rule: i for i, rule in enumerate(sorted(grammar.rules))}
+    return ParseTable(
+        rows,
+        start=mapping[graph.start.uid],
+        terminals=sorted(grammar.terminals),
+        nonterminals=sorted(grammar.nonterminals - {grammar.start}),
+        rule_numbers=rule_numbers,
+    )

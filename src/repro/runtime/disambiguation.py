@@ -1,0 +1,158 @@
+"""Priority and associativity filters over parse forests.
+
+The parallel parser deliberately returns *every* parse (section 3.2); SDF
+then disambiguates with its ``priorities`` section and rule attributes
+(``left-assoc``, ``right-assoc``, ``assoc``, ``non-assoc`` — Appendix B).
+The paper's measurements predate these filters, but the surrounding
+ASF+SDF system applies them to the parser's output, and a library user
+needs them for any realistic expression language.
+
+The semantics implemented is the classic tree-filter reading:
+
+* **priority** ``r1 > r2``: a node built by ``r2`` may not be a direct
+  child of a node built by ``r1`` (at any argument position), and
+  priorities are transitive along a chain;
+* **left-assoc** on ``r``: ``r`` may not be the direct child at ``r``'s
+  *rightmost* recursive argument (so ``a op b op c`` groups to the left);
+* **right-assoc**: symmetric; **non-assoc**: both sides forbidden;
+* SDF's ``par`` attribute concerns pretty-printing, not tree selection,
+  and is ignored here.
+
+Filters compose: a tree survives iff every parent/child pair it contains
+is allowed.  :meth:`DisambiguationFilter.filter` applies that predicate to
+a :class:`~repro.runtime.parallel.ParseResult`'s trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..grammar.rules import Rule
+from ..grammar.symbols import NonTerminal
+from .forest import Leaf, ParseNode, TreeNode
+
+
+class DisambiguationFilter:
+    """A set of forbidden parent/child patterns over rules."""
+
+    def __init__(self) -> None:
+        #: child rules forbidden under a parent rule at *any* position
+        self._forbidden_anywhere: Dict[Rule, Set[Rule]] = {}
+        #: (parent rule, argument index) -> forbidden child rules
+        self._forbidden_at: Dict[Tuple[Rule, int], Set[Rule]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def forbid(self, parent: Rule, child: Rule) -> "DisambiguationFilter":
+        """Forbid ``child`` as a direct child of ``parent`` anywhere."""
+        self._forbidden_anywhere.setdefault(parent, set()).add(child)
+        return self
+
+    def forbid_at(
+        self, parent: Rule, index: int, child: Rule
+    ) -> "DisambiguationFilter":
+        """Forbid ``child`` as the ``index``-th child of ``parent``."""
+        if not 0 <= index < len(parent.rhs):
+            raise ValueError(
+                f"rule {parent} has no argument position {index}"
+            )
+        self._forbidden_at.setdefault((parent, index), set()).add(child)
+        return self
+
+    def priority_chain(self, *levels: Iterable[Rule]) -> "DisambiguationFilter":
+        """Declare ``levels[0] > levels[1] > ...`` (transitively).
+
+        Each level is an iterable of rules of equal priority; every rule
+        of a lower level is forbidden under every rule of a higher one.
+        """
+        groups: List[Tuple[Rule, ...]] = [tuple(level) for level in levels]
+        for high_index, high_group in enumerate(groups):
+            for low_group in groups[high_index + 1 :]:
+                for parent in high_group:
+                    for child in low_group:
+                        self.forbid(parent, child)
+        return self
+
+    def left_assoc(self, rule: Rule, *, group: Iterable[Rule] = ()) -> "DisambiguationFilter":
+        """``a op b op c`` groups left: forbid the rightmost recursion.
+
+        ``group`` extends the restriction to mutually-associative rules
+        (SDF attaches ``assoc`` pairwise within a priority group).
+        """
+        position = self._recursive_position(rule, last=True)
+        for child in (rule, *group):
+            self.forbid_at(rule, position, child)
+        return self
+
+    def right_assoc(self, rule: Rule, *, group: Iterable[Rule] = ()) -> "DisambiguationFilter":
+        position = self._recursive_position(rule, last=False)
+        for child in (rule, *group):
+            self.forbid_at(rule, position, child)
+        return self
+
+    def non_assoc(self, rule: Rule) -> "DisambiguationFilter":
+        self.left_assoc(rule)
+        self.right_assoc(rule)
+        return self
+
+    @staticmethod
+    def _recursive_position(rule: Rule, last: bool) -> int:
+        positions = [
+            index
+            for index, symbol in enumerate(rule.rhs)
+            if symbol == rule.lhs
+        ]
+        if not positions:
+            raise ValueError(
+                f"rule {rule} is not recursive; associativity does not apply"
+            )
+        return positions[-1] if last else positions[0]
+
+    # -- the predicate -----------------------------------------------------
+
+    def allows(self, parent: Rule, index: int, child: Rule) -> bool:
+        if child in self._forbidden_anywhere.get(parent, ()):
+            return False
+        if child in self._forbidden_at.get((parent, index), ()):
+            return False
+        return True
+
+    def allows_tree(self, tree: TreeNode) -> bool:
+        """True iff no node of the tree violates any restriction."""
+        verdict_cache: Dict[int, bool] = {}
+
+        def check(node: TreeNode) -> bool:
+            cached = verdict_cache.get(id(node))
+            if cached is not None:
+                return cached
+            allowed = True
+            if isinstance(node, ParseNode):
+                for index, child in enumerate(node.children):
+                    if isinstance(child, ParseNode) and not self.allows(
+                        node.rule, index, child.rule
+                    ):
+                        allowed = False
+                        break
+                    if not check(child):
+                        allowed = False
+                        break
+            verdict_cache[id(node)] = allowed
+            return allowed
+
+        return check(tree)
+
+    def filter(self, trees: Sequence[TreeNode]) -> Tuple[TreeNode, ...]:
+        """The surviving trees, in their original order."""
+        return tuple(tree for tree in trees if self.allows_tree(tree))
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self._forbidden_anywhere or self._forbidden_at)
+
+    def __repr__(self) -> str:
+        anywhere = sum(len(v) for v in self._forbidden_anywhere.values())
+        positional = sum(len(v) for v in self._forbidden_at.values())
+        return (
+            f"DisambiguationFilter({anywhere} priority restrictions, "
+            f"{positional} positional restrictions)"
+        )

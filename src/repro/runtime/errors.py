@@ -1,0 +1,46 @@
+"""Runtime errors shared by all parsing algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..grammar.symbols import Terminal
+
+
+class ParseError(Exception):
+    """The input is not a sentence of the language.
+
+    The deterministic parser raises this; the parallel parser returns a
+    :class:`~repro.runtime.parallel.ParseResult` with ``accepted=False``
+    instead (all its sub-parsers died), and only raises for *structural*
+    problems (see :class:`SweepLimitExceeded`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: Optional[int] = None,
+        symbol: Optional[Terminal] = None,
+    ) -> None:
+        super().__init__(message)
+        self.position = position
+        self.symbol = symbol
+
+
+class AmbiguousInputError(ParseError):
+    """A deterministic parser met a multi-action cell.
+
+    Raised by LR-PARSE when ACTION returns more than one action — the paper:
+    *"LR-PARSE can only handle sets of at most one action correctly."*
+    """
+
+
+class SweepLimitExceeded(ParseError):
+    """The parallel parser exceeded its per-token work budget.
+
+    This only happens for *infinitely* ambiguous (cyclic) grammars, which
+    both Tomita's algorithm and IPG exclude ("grammars are restricted to
+    the class of finitely ambiguous context-free grammars", section 2.1).
+    The budget turns the restriction into a loud diagnostic instead of a
+    hang.
+    """

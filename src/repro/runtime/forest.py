@@ -1,0 +1,175 @@
+"""Parse trees with hash-consed sharing.
+
+The measurements footnote of section 7: *"after a suggestion of B. Lang, we
+improved the sharing of parse trees."*  We realize that sharing with a
+hash-consing factory: requesting the same leaf or the same
+``(rule, children)`` node twice returns the *same object*.  Sub-derivations
+common to several parallel parsers are therefore represented once, and
+duplicate accepting parses collapse by object identity.
+
+Nodes are immutable; ambiguity at the sentence level appears as several
+distinct root nodes (the pool parser reports all of them), and
+:func:`count_trees`/:func:`enumerate_strings` treat a shared node as the
+single subtree it is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..grammar.rules import Rule
+from ..grammar.symbols import Symbol, Terminal
+
+
+class TreeNode:
+    """Base class for forest nodes; all nodes know their grammar symbol."""
+
+    __slots__ = ()
+
+    @property
+    def symbol(self) -> Symbol:
+        raise NotImplementedError
+
+    def width(self) -> int:
+        """Number of token leaves under the node."""
+        raise NotImplementedError
+
+
+class Leaf(TreeNode):
+    """A shifted token: terminal plus input position."""
+
+    __slots__ = ("terminal", "position")
+
+    def __init__(self, terminal: Terminal, position: int) -> None:
+        object.__setattr__(self, "terminal", terminal)
+        object.__setattr__(self, "position", position)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Leaf is immutable")
+
+    @property
+    def symbol(self) -> Symbol:
+        return self.terminal
+
+    def width(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return f"Leaf({self.terminal!s}@{self.position})"
+
+
+class ParseNode(TreeNode):
+    """An application of ``rule`` to already-built children."""
+
+    __slots__ = ("rule", "children")
+
+    def __init__(self, rule: Rule, children: Tuple[TreeNode, ...]) -> None:
+        if len(children) != len(rule.rhs):
+            raise ValueError(
+                f"rule {rule} wants {len(rule.rhs)} children, got {len(children)}"
+            )
+        object.__setattr__(self, "rule", rule)
+        object.__setattr__(self, "children", children)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ParseNode is immutable")
+
+    @property
+    def symbol(self) -> Symbol:
+        return self.rule.lhs
+
+    def width(self) -> int:
+        return sum(child.width() for child in self.children)
+
+    def __repr__(self) -> str:
+        return f"ParseNode({self.rule.lhs!s}, {len(self.children)} children)"
+
+
+class Forest:
+    """Hash-consing factory for leaves and parse nodes."""
+
+    def __init__(self) -> None:
+        self._leaves: Dict[Tuple[Terminal, int], Leaf] = {}
+        self._nodes: Dict[Tuple[Rule, Tuple[int, ...]], ParseNode] = {}
+
+    def leaf(self, terminal: Terminal, position: int) -> Leaf:
+        key = (terminal, position)
+        node = self._leaves.get(key)
+        if node is None:
+            node = Leaf(terminal, position)
+            self._leaves[key] = node
+        return node
+
+    def node(self, rule: Rule, children: Sequence[TreeNode]) -> ParseNode:
+        children_tuple = tuple(children)
+        key = (rule, tuple(id(child) for child in children_tuple))
+        node = self._nodes.get(key)
+        if node is None:
+            node = ParseNode(rule, children_tuple)
+            self._nodes[key] = node
+        return node
+
+    @property
+    def size(self) -> int:
+        """Distinct nodes allocated (a sharing metric for the benches)."""
+        return len(self._leaves) + len(self._nodes)
+
+
+# -- tree utilities ----------------------------------------------------------
+
+
+def tokens_of(tree: TreeNode) -> Tuple[Terminal, ...]:
+    """The terminal yield of a tree, left to right."""
+    result: List[Terminal] = []
+    _collect_tokens(tree, result)
+    return tuple(result)
+
+
+def _collect_tokens(tree: TreeNode, out: List[Terminal]) -> None:
+    if isinstance(tree, Leaf):
+        out.append(tree.terminal)
+        return
+    assert isinstance(tree, ParseNode)
+    for child in tree.children:
+        _collect_tokens(child, out)
+
+
+def pretty(tree: TreeNode, indent: str = "") -> str:
+    """Indented one-node-per-line rendering."""
+    if isinstance(tree, Leaf):
+        return f"{indent}{tree.terminal!s}"
+    assert isinstance(tree, ParseNode)
+    lines = [f"{indent}{tree.rule!s}"]
+    for child in tree.children:
+        lines.append(pretty(child, indent + "  "))
+    return "\n".join(lines)
+
+
+def bracketed(tree: TreeNode) -> str:
+    """Compact  ``A(b c(d))``  rendering, convenient in tests."""
+    if isinstance(tree, Leaf):
+        return str(tree.terminal)
+    assert isinstance(tree, ParseNode)
+    inner = " ".join(bracketed(child) for child in tree.children)
+    return f"{tree.rule.lhs!s}({inner})"
+
+
+def node_count(tree: TreeNode, _seen: Optional[set] = None) -> int:
+    """Distinct nodes in the (possibly shared) tree."""
+    seen = _seen if _seen is not None else set()
+    if id(tree) in seen:
+        return 0
+    seen.add(id(tree))
+    if isinstance(tree, Leaf):
+        return 1
+    assert isinstance(tree, ParseNode)
+    return 1 + sum(node_count(child, seen) for child in tree.children)
+
+
+def depth(tree: TreeNode) -> int:
+    if isinstance(tree, Leaf):
+        return 1
+    assert isinstance(tree, ParseNode)
+    if not tree.children:
+        return 1
+    return 1 + max(depth(child) for child in tree.children)

@@ -1,0 +1,172 @@
+"""A graph-structured-stack (GSS) GLR recognizer.
+
+The paper's PAR-PARSE keeps one linear stack per parser, the simplified
+presentation of Tomita's algorithm [Tom85].  Tomita's full algorithm — and
+Rekers' refinement [Rek87] the authors' implementation is based on — merges
+parsers that reach the same state on the same input position into a single
+*graph-structured stack* node, so the number of live stack tops is bounded
+by the number of parser states instead of growing with the amount of
+ambiguity.
+
+This module implements that merged representation as a *recognizer* (no
+tree construction), with Nozohoor-Farshi's re-examination fix so that
+reductions discovered after an edge is added to an existing node are not
+missed.  It exists for two purposes:
+
+* the ablation bench ``bench_ablation_pool_vs_gss`` quantifies what the
+  paper's simplification costs on ambiguous inputs, and
+* property tests cross-check PAR-PARSE, GSS and Earley on random grammars.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..grammar.symbols import END, Terminal
+from ..lr.actions import Accept, Reduce, Shift
+from .errors import SweepLimitExceeded
+
+
+class GSSNode:
+    """One stack top (or interior vertex) of the graph-structured stack."""
+
+    __slots__ = ("state", "edges")
+
+    def __init__(self, state: Any) -> None:
+        self.state = state
+        #: predecessor vertices (the cells "below" this one)
+        self.edges: List["GSSNode"] = []
+
+    def __repr__(self) -> str:
+        return f"GSSNode(state={getattr(self.state, 'uid', self.state)}, {len(self.edges)} edges)"
+
+
+def _key(state: Any) -> Any:
+    """Hashable identity of a parser state (works for item sets and ints)."""
+    uid = getattr(state, "uid", None)
+    return uid if uid is not None else state
+
+
+class GSSParser:
+    """GLR recognition over a merged stack graph."""
+
+    def __init__(self, control: Any, max_steps_per_token: int = 1_000_000) -> None:
+        self.control = control
+        self.max_steps_per_token = max_steps_per_token
+        #: filled in by :meth:`recognize`; exposed for the ablation bench
+        self.last_stats: Dict[str, int] = {}
+
+    def recognize(self, tokens: Iterable[Terminal]) -> bool:
+        sentence: List[Terminal] = list(tokens)
+        sentence.append(END)
+
+        nodes_created = 0
+        edges_created = 0
+        reductions_applied = 0
+
+        start_node = GSSNode(self.control.start_state)
+        nodes_created += 1
+        frontier: Dict[Any, GSSNode] = {_key(start_node.state): start_node}
+        accepted = False
+
+        for position, symbol in enumerate(sentence):
+            if not frontier:
+                break
+
+            worklist: List[GSSNode] = list(frontier.values())
+            processed: Set[int] = set()
+            applied: Set[Tuple] = set()
+            shifts: List[Tuple[GSSNode, Any]] = []
+            shift_seen: Set[Tuple[int, Any]] = set()
+            steps = 0
+
+            while worklist:
+                node = worklist.pop()
+                steps += 1
+                if steps > self.max_steps_per_token:
+                    raise SweepLimitExceeded(
+                        f"GSS work budget exceeded at position {position}",
+                        position=position,
+                        symbol=symbol,
+                    )
+                processed.add(id(node))
+
+                for action in self.control.action(node.state, symbol):
+                    if isinstance(action, Shift):
+                        shift_key = (id(node), _key(action.target))
+                        if shift_key not in shift_seen:
+                            shift_seen.add(shift_key)
+                            shifts.append((node, action.target))
+                    elif isinstance(action, Accept):
+                        accepted = True
+                    else:
+                        assert isinstance(action, Reduce)
+                        rule = action.rule
+                        for path in _paths(node, len(rule.rhs)):
+                            reduction_key = (
+                                id(node),
+                                rule,
+                                tuple(id(p) for p in path),
+                            )
+                            if reduction_key in applied:
+                                continue
+                            applied.add(reduction_key)
+                            reductions_applied += 1
+                            base = path[-1]
+                            goto_state = self.control.goto(base.state, rule.lhs)
+                            key = _key(goto_state)
+                            target = frontier.get(key)
+                            if target is None:
+                                target = GSSNode(goto_state)
+                                nodes_created += 1
+                                target.edges.append(base)
+                                edges_created += 1
+                                frontier[key] = target
+                                worklist.append(target)
+                            elif base not in target.edges:
+                                target.edges.append(base)
+                                edges_created += 1
+                                # Farshi's fix: a new edge may open new
+                                # reduction paths for nodes already handled
+                                # this round; re-examine them (the applied
+                                # set keeps this terminating and cheap).
+                                for other in frontier.values():
+                                    if id(other) in processed:
+                                        worklist.append(other)
+
+            new_frontier: Dict[Any, GSSNode] = {}
+            for node, target_state in shifts:
+                key = _key(target_state)
+                target = new_frontier.get(key)
+                if target is None:
+                    target = GSSNode(target_state)
+                    nodes_created += 1
+                    new_frontier[key] = target
+                if node not in target.edges:
+                    target.edges.append(node)
+                    edges_created += 1
+            frontier = new_frontier
+
+        self.last_stats = {
+            "nodes_created": nodes_created,
+            "edges_created": edges_created,
+            "reductions_applied": reductions_applied,
+        }
+        return accepted
+
+
+def _paths(node: GSSNode, length: int) -> List[Tuple[GSSNode, ...]]:
+    """All downward paths of exactly ``length`` edges; includes ``node``.
+
+    The returned tuples start at ``node`` and end at the vertex the GOTO is
+    taken from.  ``length`` 0 yields the single path ``(node,)`` — that is
+    how epsilon reductions anchor at the node itself.
+    """
+    paths: List[Tuple[GSSNode, ...]] = [(node,)]
+    for _ in range(length):
+        extended: List[Tuple[GSSNode, ...]] = []
+        for path in paths:
+            for edge in path[-1].edges:
+                extended.append(path + (edge,))
+        paths = extended
+    return paths

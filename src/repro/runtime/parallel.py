@@ -1,0 +1,287 @@
+"""PAR-PARSE: the (pseudo-)parallel LR parser of section 3.2.
+
+A dynamically varying pool of simple LR parsers runs over the input.  All
+parsers are synchronized on shift actions: the pool ``this_sweep`` holds
+parsers that still have to act on the current symbol, ``next_sweep`` those
+already waiting for the next one.  When ``ACTION`` returns several actions
+the parser is *copied* per action — an O(1) operation because parse stacks
+are shared cons chains (:mod:`repro.runtime.stacks`).
+
+Deviations from the paper's listing, each deliberate and documented:
+
+* **Tree building.**  The listing only recognizes; the measurement protocol
+  of section 7 builds parse trees, so shift pushes a leaf and reduce pushes
+  a hash-consed :class:`~repro.runtime.forest.ParseNode`.
+* **Duplicate-parser elision.**  Two parsers whose stacks carry the same
+  states *and* the same trees are interchangeable, so only one is kept.
+  This loses nothing (their futures are identical) and keeps converging
+  ambiguous reductions from multiplying the pool.
+* **Sweep budget.**  Cyclic grammars (``A ::= A``) can reduce forever
+  without consuming input.  Tomita's algorithm — and therefore IPG —
+  restricts itself to finitely ambiguous grammars (section 2.1); the
+  budget raises :class:`~repro.runtime.errors.SweepLimitExceeded` instead
+  of hanging when that restriction is violated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import END, Terminal
+from ..lr.actions import Accept, Reduce, Shift
+from .errors import SweepLimitExceeded
+from .forest import Forest, TreeNode
+from .stacks import StackCell
+from .trace import Trace, TraceEvent
+
+
+class ParseStats:
+    """Work counters for one PAR-PARSE run (reported by the benches)."""
+
+    __slots__ = (
+        "sweeps",
+        "action_calls",
+        "shifts",
+        "reduces",
+        "forks",
+        "max_live_parsers",
+        "duplicates_dropped",
+        "accepting_parsers",
+    )
+
+    def __init__(self) -> None:
+        self.sweeps = 0
+        self.action_calls = 0
+        self.shifts = 0
+        self.reduces = 0
+        self.forks = 0
+        self.max_live_parsers = 1
+        self.duplicates_dropped = 0
+        self.accepting_parsers = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return f"ParseStats({self.snapshot()})"
+
+
+class ParseResult:
+    """Outcome of a parallel parse.
+
+    ``trees`` holds one root per *distinct* accepted derivation; an
+    unambiguous sentence yields exactly one, an ambiguous one several.
+    ``accepted`` is the paper's return value: at least one simple parser
+    accepted.
+    """
+
+    __slots__ = ("accepted", "trees", "stats")
+
+    def __init__(
+        self,
+        accepted: bool,
+        trees: Tuple[TreeNode, ...],
+        stats: ParseStats,
+    ) -> None:
+        self.accepted = accepted
+        self.trees = trees
+        self.stats = stats
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return len(self.trees) > 1
+
+    @property
+    def tree(self) -> Optional[TreeNode]:
+        """The unique tree, if there is exactly one."""
+        return self.trees[0] if len(self.trees) == 1 else None
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def __repr__(self) -> str:
+        return (
+            f"ParseResult(accepted={self.accepted}, "
+            f"trees={len(self.trees)}, sweeps={self.stats.sweeps})"
+        )
+
+
+class _Parser:
+    """The paper's LRparser object: a single field, the stack."""
+
+    __slots__ = ("stack",)
+
+    def __init__(self, stack: StackCell) -> None:
+        self.stack = stack
+
+
+class PoolParser:
+    """PAR-PARSE packaged as a reusable engine.
+
+    Parameters
+    ----------
+    control:
+        ``start_state`` / ``action`` / ``goto`` provider; pass a lazy
+        control to get generation-during-parsing (section 5).
+    grammar:
+        Needed for START-rule tree recovery; optional in recognition mode.
+    max_sweep_steps:
+        Work budget per input symbol; exceeding it means the grammar is
+        cyclic (infinitely ambiguous) and raises ``SweepLimitExceeded``.
+    """
+
+    def __init__(
+        self,
+        control: Any,
+        grammar: Optional[Grammar] = None,
+        max_sweep_steps: int = 1_000_000,
+    ) -> None:
+        self.control = control
+        self.grammar = grammar
+        self.max_sweep_steps = max_sweep_steps
+
+    # -- public API ------------------------------------------------------
+
+    def recognize(self, tokens: Iterable[Terminal]) -> bool:
+        return self._run(tokens, build_trees=False, trace=None).accepted
+
+    def parse(
+        self,
+        tokens: Iterable[Terminal],
+        trace: Optional[Trace] = None,
+    ) -> ParseResult:
+        return self._run(tokens, build_trees=True, trace=trace)
+
+    # -- the algorithm ---------------------------------------------------
+
+    def _run(
+        self,
+        tokens: Iterable[Terminal],
+        build_trees: bool,
+        trace: Optional[Trace],
+    ) -> ParseResult:
+        sentence: List[Terminal] = list(tokens)
+        sentence.append(END)
+
+        stats = ParseStats()
+        forest = Forest() if build_trees else None
+        accepted = False
+        accepted_trees: Dict[int, TreeNode] = {}
+
+        # Structural termination guard: for a non-cyclic grammar, the LR
+        # stack holds at most one cell per consumed token plus a bounded
+        # run of epsilon-derived non-terminals between tokens.  A stack
+        # deeper than that witnesses hidden left recursion / a cyclic
+        # grammar — the configurations Tomita's algorithm excludes — and
+        # raising beats growing without bound.
+        nonterminal_count = (
+            len(self.grammar.nonterminals) if self.grammar is not None else 0
+        )
+        max_depth = (len(sentence) + 2) * max(16, nonterminal_count + 2)
+
+        start_parser = _Parser(StackCell(self.control.start_state))
+        next_sweep: List[_Parser] = [start_parser]
+        position = 0
+
+        while next_sweep and position < len(sentence):
+            symbol = sentence[position]
+            position += 1
+            this_sweep, next_sweep = next_sweep, []
+            stats.sweeps += 1
+
+            # Signatures of configurations already alive in this sweep;
+            # used to drop exact duplicates produced by converging forks.
+            seen: Set[Tuple] = set()
+            next_seen: Set[Tuple] = set()
+            for parser in this_sweep:
+                seen.add(self._signature(parser.stack, build_trees))
+
+            steps = 0
+            while this_sweep:
+                parser = this_sweep.pop()
+                steps += 1
+                if steps > self.max_sweep_steps:
+                    raise SweepLimitExceeded(
+                        f"more than {self.max_sweep_steps} parser steps on one "
+                        f"input symbol (position {position - 1}, {symbol!s}); "
+                        f"the grammar is most likely cyclic",
+                        position=position - 1,
+                        symbol=symbol,
+                    )
+                state = parser.stack.state
+                if parser.stack.depth > max_depth:
+                    raise SweepLimitExceeded(
+                        f"parse stack exceeded depth {max_depth} at position "
+                        f"{position - 1}; the grammar has hidden left "
+                        f"recursion or is cyclic",
+                        position=position - 1,
+                        symbol=symbol,
+                    )
+                actions = self.control.action(state, symbol)
+                stats.action_calls += 1
+                if len(actions) > 1:
+                    stats.forks += len(actions) - 1
+
+                for action in actions:
+                    # "for each action a copy of the parser is made and the
+                    # action is performed on this copy" — copying is just
+                    # reusing the immutable stack pointer.
+                    if isinstance(action, Shift):
+                        leaf = forest.leaf(symbol, position - 1) if forest else None
+                        new_stack = parser.stack.push(action.target, leaf)
+                        sig = self._signature(new_stack, build_trees)
+                        if sig in next_seen:
+                            stats.duplicates_dropped += 1
+                            continue
+                        next_seen.add(sig)
+                        next_sweep.append(_Parser(new_stack))
+                        stats.shifts += 1
+                        if trace is not None:
+                            trace.record(
+                                TraceEvent(
+                                    "shift", state, symbol=symbol, target=action.target
+                                )
+                            )
+                    elif isinstance(action, Reduce):
+                        rule = action.rule
+                        below, children = parser.stack.pop(len(rule.rhs))
+                        goto_state = self.control.goto(below.state, rule.lhs)
+                        node = forest.node(rule, children) if forest else None
+                        new_stack = below.push(goto_state, node)
+                        sig = self._signature(new_stack, build_trees)
+                        if sig in seen:
+                            stats.duplicates_dropped += 1
+                            continue
+                        seen.add(sig)
+                        this_sweep.append(_Parser(new_stack))
+                        stats.reduces += 1
+                        if trace is not None:
+                            trace.record(
+                                TraceEvent(
+                                    "reduce", state, rule=rule, target=goto_state
+                                )
+                            )
+                    else:
+                        assert isinstance(action, Accept)
+                        accepted = True
+                        stats.accepting_parsers += 1
+                        if trace is not None:
+                            trace.record(TraceEvent("accept", state))
+                        if forest is not None and self.grammar is not None:
+                            from .lr_parse import recover_start_trees
+
+                            for tree in recover_start_trees(
+                                parser.stack, self.grammar.start_rules(), forest
+                            ):
+                                accepted_trees.setdefault(id(tree), tree)
+
+                live = len(this_sweep) + len(next_sweep)
+                if live > stats.max_live_parsers:
+                    stats.max_live_parsers = live
+
+        return ParseResult(accepted, tuple(accepted_trees.values()), stats)
+
+    @staticmethod
+    def _signature(stack: StackCell, build_trees: bool) -> Tuple:
+        return stack.full_signature() if build_trees else stack.signature()

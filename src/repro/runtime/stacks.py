@@ -1,0 +1,120 @@
+"""Parse stacks as immutable cons cells with structural sharing.
+
+Section 3.2 (description of PAR-PARSE): *"It is important for the lazy
+parser generator that the implementation of the copy operation for parsers
+is such that the parse stacks become different objects which share the
+states on them."*
+
+A stack is a linked chain of :class:`StackCell`; copying a parser is
+copying a single pointer, and pushing allocates one cell.  Popping ``n``
+cells is walking ``n`` links — the original chain is untouched, so sibling
+parsers created by a fork keep their view intact.
+
+Each cell carries the parser state plus the parse-forest node for the
+symbol that was recognized on entering that state (None for the start
+cell), which is how PAR-PARSE builds trees without a separate pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class StackCell:
+    """One immutable stack cell: (state, tree, link to the cell below)."""
+
+    __slots__ = ("state", "tree", "below", "depth")
+
+    def __init__(
+        self,
+        state: Any,
+        below: Optional["StackCell"] = None,
+        tree: Any = None,
+    ) -> None:
+        object.__setattr__(self, "state", state)
+        object.__setattr__(self, "below", below)
+        object.__setattr__(self, "tree", tree)
+        object.__setattr__(self, "depth", 1 if below is None else below.depth + 1)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("StackCell is immutable")
+
+    def push(self, state: Any, tree: Any = None) -> "StackCell":
+        """A new top cell on this stack (O(1), shares the whole chain)."""
+        return StackCell(state, self, tree)
+
+    def pop(self, count: int) -> Tuple["StackCell", List[Any]]:
+        """Walk ``count`` cells down; return (new top, popped trees).
+
+        Trees come back in *left-to-right* order (the deepest popped cell
+        first), ready to be used as the children of a reduction.
+        """
+        trees: List[Any] = []
+        cell: Optional[StackCell] = self
+        for _ in range(count):
+            if cell is None:
+                raise IndexError("pop past the bottom of the parse stack")
+            trees.append(cell.tree)
+            cell = cell.below
+        if cell is None:
+            raise IndexError("pop removed the start state")
+        trees.reverse()
+        return cell, trees
+
+    def states(self) -> Tuple[Any, ...]:
+        """States from top to bottom (the stack *signature*).
+
+        Signatures identify parser configurations: the pool parser uses
+        them to drop duplicate parsers created by converging reductions.
+        """
+        result = []
+        cell: Optional[StackCell] = self
+        while cell is not None:
+            result.append(cell.state)
+            cell = cell.below
+        return tuple(result)
+
+    def signature(self) -> Tuple[int, ...]:
+        """Hashable identity-based signature (state ids, top to bottom)."""
+        result = []
+        cell: Optional[StackCell] = self
+        while cell is not None:
+            result.append(id(cell.state))
+            cell = cell.below
+        return tuple(result)
+
+    def full_signature(self) -> Tuple[Tuple[int, int], ...]:
+        """Signature including tree identities.
+
+        Two parsers with equal full signatures are completely
+        interchangeable — same states *and* same derivations — so one can
+        be dropped without losing any parse.
+        """
+        result = []
+        cell: Optional[StackCell] = self
+        while cell is not None:
+            result.append((id(cell.state), id(cell.tree)))
+            cell = cell.below
+        return tuple(result)
+
+    def __iter__(self) -> Iterator["StackCell"]:
+        cell: Optional[StackCell] = self
+        while cell is not None:
+            yield cell
+            cell = cell.below
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:
+        return f"StackCell(depth={self.depth}, top={self.state!r})"
+
+
+def shared_cells(a: StackCell, b: StackCell) -> int:
+    """Number of cells physically shared between two stacks.
+
+    Only used by tests and the stack-sharing ablation bench to demonstrate
+    that forking really is O(1) and reduction preserves the common tail.
+    """
+    a_cells = set(map(id, a))
+    return sum(1 for cell in b if id(cell) in a_cells)

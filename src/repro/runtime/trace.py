@@ -1,0 +1,75 @@
+"""Parse tracing: the move-by-move record of Fig. 4.2.
+
+The paper illustrates LR parsing by showing *"the moves of a parser when
+parsing the sentence 'true or false'"*.  A :class:`Trace` collects those
+moves as structured events so tests can assert the exact sequence and the
+examples can print it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..grammar.rules import Rule
+from ..grammar.symbols import Terminal
+
+
+class TraceEvent:
+    """One parser move."""
+
+    __slots__ = ("kind", "state", "symbol", "rule", "target", "parser_id")
+
+    def __init__(
+        self,
+        kind: str,
+        state: Any,
+        symbol: Optional[Terminal] = None,
+        rule: Optional[Rule] = None,
+        target: Any = None,
+        parser_id: int = 0,
+    ) -> None:
+        self.kind = kind  # "shift" | "reduce" | "goto" | "accept" | "die" | "fork"
+        self.state = state
+        self.symbol = symbol
+        self.rule = rule
+        self.target = target
+        self.parser_id = parser_id
+
+    def __repr__(self) -> str:
+        core = f"{self.kind} state={_state_id(self.state)}"
+        if self.symbol is not None:
+            core += f" on={self.symbol}"
+        if self.rule is not None:
+            core += f" rule=({self.rule})"
+        if self.target is not None:
+            core += f" -> {_state_id(self.target)}"
+        return f"<{core}>"
+
+
+def _state_id(state: Any) -> Any:
+    return getattr(state, "uid", state)
+
+
+class Trace:
+    """An append-only list of events with convenience views."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(event.kind for event in self.events)
+
+    def moves(self) -> Tuple[Tuple[str, Any], ...]:
+        """(kind, state-id) pairs — the granularity of Fig. 4.2."""
+        return tuple(
+            (event.kind, _state_id(event.state)) for event in self.events
+        )
+
+    def render(self) -> str:
+        return "\n".join(repr(event) for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,83 @@
+"""The SDF front end: Appendix B's syntax definition formalism.
+
+Pipeline: text → :mod:`lexer` (tokens) → :mod:`parser` (AST) →
+:mod:`normalize` (core :class:`~repro.grammar.grammar.Grammar`).
+:mod:`corpus` carries the four section-7 measurement inputs and the
+grammar-modification rule.
+"""
+
+from .ast import (
+    AbbrevFDef,
+    AbbrevFList,
+    CfIter,
+    CfLiteral,
+    CfSepIter,
+    CfSort,
+    ContextFreeSyntax,
+    Function,
+    LexCharClass,
+    LexLiteral,
+    LexSortRef,
+    LexicalFunction,
+    LexicalSyntax,
+    PrioDef,
+    SdfDefinition,
+)
+from .corpus import (
+    CORPUS,
+    TOKEN_COUNTS,
+    corpus_tokens,
+    modification_function,
+    modification_rule,
+    sdf_definition,
+    sdf_grammar,
+)
+from .lexer import SdfLexer, terminal_stream, tokenize
+from .normalize import (
+    NormalizationError,
+    SdfMetadata,
+    normalize,
+    normalize_with_metadata,
+    rule_for_function,
+)
+from .parser import SdfParser, parse_sdf
+from .tokens import KEYWORDS, SdfSyntaxError, Token, TokenKind
+
+__all__ = [
+    "AbbrevFDef",
+    "AbbrevFList",
+    "CORPUS",
+    "CfIter",
+    "CfLiteral",
+    "CfSepIter",
+    "CfSort",
+    "ContextFreeSyntax",
+    "Function",
+    "KEYWORDS",
+    "LexCharClass",
+    "LexLiteral",
+    "LexSortRef",
+    "LexicalFunction",
+    "LexicalSyntax",
+    "NormalizationError",
+    "SdfMetadata",
+    "PrioDef",
+    "SdfDefinition",
+    "SdfLexer",
+    "SdfParser",
+    "SdfSyntaxError",
+    "TOKEN_COUNTS",
+    "Token",
+    "TokenKind",
+    "corpus_tokens",
+    "modification_function",
+    "modification_rule",
+    "normalize",
+    "normalize_with_metadata",
+    "parse_sdf",
+    "rule_for_function",
+    "sdf_definition",
+    "sdf_grammar",
+    "terminal_stream",
+    "tokenize",
+]

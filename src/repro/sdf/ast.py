@@ -1,0 +1,220 @@
+"""Abstract syntax of SDF definitions (the Appendix B subset).
+
+An SDF definition has two parts: *"the lexical syntax and the context-free
+syntax.  In the context-free syntax section the non-terminals used are
+declared first in the 'sorts' declaration part, followed by the declaration
+of the syntax rules in the 'functions' declaration part.  An SDF function
+``beta -> A`` is equivalent to a BNF syntax rule ``A ::= beta``."*
+
+The classes here are plain immutable records; the interesting work happens
+in :mod:`repro.sdf.parser` (text → AST) and :mod:`repro.sdf.normalize`
+(AST → :class:`repro.grammar.Grammar`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# lexical syntax
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LexSortRef:
+    """A sort (optionally iterated) inside a lexical function body."""
+
+    name: str
+    iterator: Optional[str] = None  # "+", "*" or None
+
+    def __str__(self) -> str:
+        return self.name + (self.iterator or "")
+
+
+@dataclass(frozen=True)
+class LexLiteral:
+    """A quoted literal inside a lexical function body."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return f'"{self.text}"'
+
+
+@dataclass(frozen=True)
+class LexCharClass:
+    """A character class, possibly complemented (``~[...]``)."""
+
+    spec: str  # raw source text, brackets included
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return ("~" if self.negated else "") + self.spec
+
+
+LexElem = Union[LexSortRef, LexLiteral, LexCharClass]
+
+
+@dataclass(frozen=True)
+class LexicalFunction:
+    """``LEX-ELEM+ -> SORT``."""
+
+    elems: Tuple[LexElem, ...]
+    sort: str
+
+    def __str__(self) -> str:
+        body = " ".join(str(e) for e in self.elems)
+        return f"{body} -> {self.sort}"
+
+
+@dataclass(frozen=True)
+class LexicalSyntax:
+    sorts: Tuple[str, ...] = ()
+    layout: Tuple[str, ...] = ()
+    functions: Tuple[LexicalFunction, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.sorts or self.layout or self.functions)
+
+
+# ---------------------------------------------------------------------------
+# context-free syntax
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CfSort:
+    """A plain sort reference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CfLiteral:
+    """A quoted literal (a keyword/punctuation terminal of the language)."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return f'"{self.text}"'
+
+
+@dataclass(frozen=True)
+class CfIter:
+    """``SORT+`` or ``SORT*``."""
+
+    name: str
+    iterator: str  # "+" or "*"
+
+    def __str__(self) -> str:
+        return f"{self.name}{self.iterator}"
+
+
+@dataclass(frozen=True)
+class CfSepIter:
+    """``{SORT "sep"}+`` or ``{SORT "sep"}*``."""
+
+    name: str
+    separator: str
+    iterator: str
+
+    def __str__(self) -> str:
+        return f'{{{self.name} "{self.separator}"}}{self.iterator}'
+
+
+CfElem = Union[CfSort, CfLiteral, CfIter, CfSepIter]
+
+
+@dataclass(frozen=True)
+class Function:
+    """``CF-ELEM* -> SORT ATTRIBUTES`` — one BNF rule, SDF-style."""
+
+    elems: Tuple[CfElem, ...]
+    sort: str
+    attributes: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        body = " ".join(str(e) for e in self.elems)
+        attrs = (
+            " {" + ", ".join(self.attributes) + "}" if self.attributes else ""
+        )
+        return f"{body} -> {self.sort}{attrs}"
+
+
+@dataclass(frozen=True)
+class AbbrevFDef:
+    """An abbreviated function in a priority declaration."""
+
+    elems: Tuple[CfElem, ...]
+    sort: Optional[str] = None  # None for the arrow-less CF-ELEM+ form
+
+    def __str__(self) -> str:
+        body = " ".join(str(e) for e in self.elems)
+        return body if self.sort is None else f"{body} -> {self.sort}"
+
+
+@dataclass(frozen=True)
+class AbbrevFList:
+    """One operand of a priority chain: a def or a parenthesized group."""
+
+    defs: Tuple[AbbrevFDef, ...]
+
+    def __str__(self) -> str:
+        if len(self.defs) == 1:
+            return str(self.defs[0])
+        return "(" + ", ".join(str(d) for d in self.defs) + ")"
+
+
+@dataclass(frozen=True)
+class PrioDef:
+    """A ``>``- or ``<``-chain of abbreviated function lists."""
+
+    lists: Tuple[AbbrevFList, ...]
+    direction: Optional[str] = None  # ">", "<", or None for a single element
+
+    def __str__(self) -> str:
+        sep = f" {self.direction} " if self.direction else ""
+        return sep.join(str(l) for l in self.lists)
+
+
+@dataclass(frozen=True)
+class ContextFreeSyntax:
+    sorts: Tuple[str, ...] = ()
+    priorities: Tuple[PrioDef, ...] = ()
+    functions: Tuple[Function, ...] = ()
+
+
+@dataclass(frozen=True)
+class SdfDefinition:
+    """``module ID begin <lexical> <context-free> end ID``."""
+
+    name: str
+    lexical: LexicalSyntax = LexicalSyntax()
+    contextfree: ContextFreeSyntax = ContextFreeSyntax()
+    end_name: Optional[str] = None
+
+    def validate(self) -> List[str]:
+        """Well-formedness problems (empty list = fine)."""
+        problems: List[str] = []
+        if self.end_name is not None and self.end_name != self.name:
+            problems.append(
+                f"module is named {self.name!r} but ends with {self.end_name!r}"
+            )
+        declared = set(self.contextfree.sorts) | set(self.lexical.sorts)
+        for function in self.contextfree.functions:
+            for elem in function.elems:
+                if isinstance(elem, (CfSort, CfIter, CfSepIter)):
+                    if elem.name not in declared:
+                        problems.append(
+                            f"function {function} uses undeclared sort {elem.name!r}"
+                        )
+            if function.sort not in declared:
+                problems.append(
+                    f"function {function} defines undeclared sort {function.sort!r}"
+                )
+        return problems

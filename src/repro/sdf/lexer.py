@@ -1,0 +1,169 @@
+"""Hand-written lexical scanner for SDF definition texts.
+
+Implements the *lexical syntax* half of Appendix B: white space and
+``--``-to-end-of-line comments are layout; the produced token stream is
+what the context-free SDF parser consumes.  (The generic, regex-driven ISG
+scanner in :mod:`repro.lexing` can do the same job — and the test suite
+checks both agree — but the bootstrap path must not depend on it.)
+
+Lexeme classes, as in the appendix:
+
+* ``ID``: ``LETTER ID-TAIL*`` where ID-TAIL is ``[a-zA-Z0-9\\-_]``; a
+  double hyphen ends the identifier (it starts a comment);
+* ``LITERAL``: ``"`` L-CHAR* ``"`` with ``\\``-escapes;
+* ``CHAR-CLASS``: ``[`` CHAR-RANGE* ``]`` with ``\\``-escapes;
+* ``ITERATOR``: ``+`` or ``*``;
+* punctuation: ``-> ( ) { } , > < ~ ?``;
+* word-like keywords per :data:`repro.sdf.tokens.KEYWORDS`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..grammar.symbols import Terminal
+from .tokens import KEYWORDS, PUNCTUATION, SdfSyntaxError, Token, TokenKind
+
+
+def _is_id_start(ch: str) -> bool:
+    return ch.isalpha()
+
+
+def _is_id_tail(ch: str) -> bool:
+    return ch.isalnum() or ch in "-_"
+
+
+class SdfLexer:
+    """Single-pass scanner over an SDF definition string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self) -> str:
+        ch = self.text[self.position]
+        self.position += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _error(self, message: str) -> SdfSyntaxError:
+        return SdfSyntaxError(message, self.line, self.column)
+
+    # -- scanning --------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """The whole token stream (layout removed, no EOF sentinel)."""
+        result: List[Token] = []
+        while True:
+            self._skip_layout()
+            if self.position >= len(self.text):
+                return result
+            result.append(self._next_token())
+
+    def terminals(self) -> List[Terminal]:
+        """The stream mapped to grammar terminals (the benches' input)."""
+        return [token.terminal() for token in self.tokens()]
+
+    def _skip_layout(self) -> None:
+        while self.position < len(self.text):
+            ch = self._peek()
+            if ch in " \t\n\r\f":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.position < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if _is_id_start(ch):
+            word = self._scan_word()
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.ID
+            return Token(kind, word, line, column)
+
+        if ch == '"':
+            return Token(TokenKind.LITERAL, self._scan_literal(), line, column)
+
+        if ch == "[":
+            return Token(TokenKind.CHAR_CLASS, self._scan_char_class(), line, column)
+
+        if ch in "+*":
+            self._advance()
+            return Token(TokenKind.ITERATOR, ch, line, column)
+
+        for mark in PUNCTUATION:
+            if self.text.startswith(mark, self.position):
+                for _ in mark:
+                    self._advance()
+                return Token(TokenKind.PUNCT, mark, line, column)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _scan_word(self) -> str:
+        start = self.position
+        self._advance()
+        while self.position < len(self.text):
+            ch = self._peek()
+            if ch == "-" and self._peek(1) == "-":
+                break  # a comment starts; the identifier ends here
+            if not _is_id_tail(ch):
+                break
+            self._advance()
+        return self.text[start : self.position]
+
+    def _scan_literal(self) -> str:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise self._error("unterminated literal")
+            ch = self._advance()
+            if ch == "\\":
+                if self.position >= len(self.text):
+                    raise self._error("dangling escape in literal")
+                chars.append(self._advance())
+            elif ch == '"':
+                return "".join(chars)
+            elif ch == "\n":
+                raise self._error("newline inside literal")
+            else:
+                chars.append(ch)
+
+    def _scan_char_class(self) -> str:
+        start = self.position
+        self._advance()  # opening bracket
+        while True:
+            if self.position >= len(self.text):
+                raise self._error("unterminated character class")
+            ch = self._advance()
+            if ch == "\\":
+                if self.position >= len(self.text):
+                    raise self._error("dangling escape in character class")
+                self._advance()
+            elif ch == "]":
+                return self.text[start : self.position]
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convenience wrapper: the token stream of an SDF definition."""
+    return SdfLexer(text).tokens()
+
+
+def terminal_stream(text: str) -> List[Terminal]:
+    """Tokenize and map to grammar terminals (section 7 protocol input)."""
+    return SdfLexer(text).terminals()

@@ -1,0 +1,233 @@
+"""Normalization: SDF AST → core :class:`~repro.grammar.grammar.Grammar`.
+
+*"An SDF function ``beta -> A`` is equivalent to a BNF syntax rule
+``A ::= beta``"* (Appendix B).  Accordingly:
+
+* every context-free function becomes one rule, in source order;
+* a name is a non-terminal iff it is declared in the context-free
+  ``sorts`` section; every other name (the lexical sorts ``ID``,
+  ``LITERAL``, ``CHAR-CLASS``, ``ITERATOR``, ...) denotes a terminal —
+  the lexical scanner classifies tokens into those sorts before the
+  parser sees them;
+* quoted literals become terminals named by their text;
+* iterators desugar through :mod:`repro.grammar.transforms` into shared
+  left-recursive list non-terminals (``SORT+``, ``SORT*``,
+  ``{SORT ","}+`` ...), the natural LR encoding;
+* ``START ::= <top sort>`` is added (section 4 requires a START symbol).
+
+Priorities and attributes are carried through as rule *labels* only: the
+paper's parser does not interpret them (its measurements predate SDF
+disambiguation), and neither do we.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..grammar import transforms
+from ..grammar.grammar import Grammar
+from ..grammar.rules import Rule
+from ..grammar.symbols import NonTerminal, Symbol, Terminal
+from .ast import (
+    CfElem,
+    CfIter,
+    CfLiteral,
+    CfSepIter,
+    CfSort,
+    Function,
+    SdfDefinition,
+)
+
+
+class NormalizationError(ValueError):
+    """The definition cannot be turned into a grammar."""
+
+
+def normalize(
+    definition: SdfDefinition,
+    start_sort: Optional[str] = None,
+) -> Grammar:
+    """Build the context-free grammar of an SDF definition.
+
+    ``start_sort`` defaults to the first declared context-free sort —
+    conventionally the module's top sort (SDF-DEFINITION in Appendix B).
+    """
+    cf = definition.contextfree
+    if not cf.sorts:
+        raise NormalizationError(
+            f"module {definition.name!r} declares no context-free sorts"
+        )
+    top = start_sort if start_sort is not None else cf.sorts[0]
+    if top not in cf.sorts:
+        raise NormalizationError(
+            f"start sort {top!r} is not declared in module {definition.name!r}"
+        )
+
+    nonterminal_names = frozenset(cf.sorts)
+    grammar = Grammar()
+    for function in cf.functions:
+        rhs = [
+            _element_symbol(grammar, elem, nonterminal_names)
+            for elem in function.elems
+        ]
+        grammar.add_rule(
+            Rule(NonTerminal(function.sort), rhs, label=str(function))
+        )
+    transforms.augment(grammar, NonTerminal(top))
+    return grammar
+
+
+def _element_symbol(
+    grammar: Grammar,
+    elem: CfElem,
+    nonterminal_names: frozenset,
+) -> Symbol:
+    if isinstance(elem, CfLiteral):
+        return Terminal(elem.text)
+    if isinstance(elem, CfSort):
+        return _sort_symbol(elem.name, nonterminal_names)
+    if isinstance(elem, CfIter):
+        base = _sort_symbol(elem.name, nonterminal_names)
+        if elem.iterator == "+":
+            return transforms.plus(grammar, base)
+        return transforms.star(grammar, base)
+    if isinstance(elem, CfSepIter):
+        base = _sort_symbol(elem.name, nonterminal_names)
+        separator = Terminal(elem.separator)
+        if elem.iterator == "+":
+            return transforms.separated_plus(grammar, base, separator)
+        return transforms.separated_star(grammar, base, separator)
+    raise NormalizationError(f"unknown element {elem!r}")
+
+
+def _sort_symbol(name: str, nonterminal_names: frozenset) -> Symbol:
+    if name in nonterminal_names:
+        return NonTerminal(name)
+    # Not a context-free sort: it is a lexical sort, i.e. a token class
+    # the scanner delivers — a terminal from the parser's point of view.
+    return Terminal(name)
+
+
+class SdfMetadata:
+    """Everything normalization knows beyond the bare rules.
+
+    * ``rule_of`` — SDF function → the core rule it produced;
+    * ``attributes`` — rule → its attribute words;
+    * ``filter`` — the :class:`~repro.runtime.disambiguation.DisambiguationFilter`
+      assembled from the ``priorities`` section and the associativity
+      attributes;
+    * ``unapplied`` — human-readable notes about declarations that could
+      not be turned into tree restrictions (abbreviated functions without
+      a result sort, associativity on non-recursive rules, ``par``).
+    """
+
+    def __init__(self) -> None:
+        from ..runtime.disambiguation import DisambiguationFilter
+
+        self.rule_of: Dict[Function, Rule] = {}
+        self.attributes: Dict[Rule, Tuple[str, ...]] = {}
+        self.filter = DisambiguationFilter()
+        self.unapplied: List[str] = []
+
+
+def normalize_with_metadata(
+    definition: SdfDefinition,
+    start_sort: Optional[str] = None,
+) -> Tuple[Grammar, SdfMetadata]:
+    """Like :func:`normalize`, but also build the disambiguation filter.
+
+    The §7 measurements ignore priorities (the paper's parser returns all
+    trees); downstream users of an SDF-defined expression language need
+    them, so the full pipeline is: ``normalize_with_metadata`` → parse
+    with IPG → ``metadata.filter.filter(result.trees)``.
+    """
+    grammar = normalize(definition, start_sort=start_sort)
+    metadata = SdfMetadata()
+    cf = definition.contextfree
+    names = frozenset(cf.sorts)
+
+    for function in cf.functions:
+        rule = rule_for_function(grammar, function, names)
+        metadata.rule_of[function] = rule
+        if function.attributes:
+            metadata.attributes[rule] = function.attributes
+
+    def resolve(abbrev) -> Optional[Rule]:
+        if abbrev.sort is None:
+            metadata.unapplied.append(
+                f"priority operand {abbrev} has no result sort; skipped"
+            )
+            return None
+        candidate = Function(elems=abbrev.elems, sort=abbrev.sort)
+        return rule_for_function(grammar, candidate, names)
+
+    # Collect higher/lower pairs from every chain, then close the relation
+    # transitively *across* chains: SDF's priority relation is one global
+    # partial order, so ``^ > *`` in one declaration and ``* > +`` in
+    # another imply ``^ > +``.
+    beats: Dict[Rule, Set[Rule]] = {}
+    for prio in cf.priorities:
+        levels: List[Tuple[Rule, ...]] = []
+        for operand in prio.lists:
+            rules = tuple(
+                resolved
+                for resolved in (resolve(d) for d in operand.defs)
+                if resolved is not None
+            )
+            if rules:
+                levels.append(rules)
+        if len(levels) < 2:
+            continue
+        if prio.direction == "<":
+            levels.reverse()
+        for index, high_group in enumerate(levels[:-1]):
+            for parent in high_group:
+                beats.setdefault(parent, set()).update(levels[index + 1])
+
+    changed = True
+    while changed:
+        changed = False
+        for parent, lowers in list(beats.items()):
+            for lower in list(lowers):
+                transitive = beats.get(lower, ())
+                before = len(lowers)
+                lowers.update(transitive)
+                if len(lowers) != before:
+                    changed = True
+    for parent, lowers in beats.items():
+        for child in lowers:
+            metadata.filter.forbid(parent, child)
+
+    for rule, words in metadata.attributes.items():
+        for word in words:
+            try:
+                if word in ("left-assoc", "assoc"):
+                    metadata.filter.left_assoc(rule)
+                elif word == "right-assoc":
+                    metadata.filter.right_assoc(rule)
+                elif word == "par":
+                    metadata.unapplied.append(
+                        f"'par' on {rule} concerns printing; ignored"
+                    )
+            except ValueError as error:
+                metadata.unapplied.append(str(error))
+
+    return grammar, metadata
+
+
+def rule_for_function(
+    grammar: Grammar,
+    function: Function,
+    nonterminal_names: Iterable[str],
+) -> Rule:
+    """Build the rule a single SDF function denotes, against ``grammar``.
+
+    Used to translate *grammar modifications* expressed in SDF (the
+    section-7 experiment adds ``"(" CF-ELEM+ ")?" -> CF-ELEM``): iterator
+    elements reuse — or create — the shared list non-terminals in
+    ``grammar``, so adding the function is exactly one ADD-RULE when the
+    lists already exist.
+    """
+    names = frozenset(nonterminal_names)
+    rhs = [_element_symbol(grammar, elem, names) for elem in function.elems]
+    return Rule(NonTerminal(function.sort), rhs, label=str(function))

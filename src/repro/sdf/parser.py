@@ -1,0 +1,323 @@
+"""Bootstrap parser for SDF definitions: token stream → AST.
+
+This hand-written recursive-descent parser is the system's bootstrap: the
+SDF grammar used by the benchmarks is itself obtained by parsing the SDF
+definition of SDF (Appendix B) with *this* parser and normalizing the
+result.  (The paper's system has the same shape: *"the grammar of SDF has
+to be expressed in SDF itself to be acceptable to PG and IPG"*.)
+
+The accepted language is exactly the Appendix B context-free syntax; see
+:mod:`repro.sdf.ast` for the produced structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    AbbrevFDef,
+    AbbrevFList,
+    CfElem,
+    CfIter,
+    CfLiteral,
+    CfSepIter,
+    CfSort,
+    ContextFreeSyntax,
+    Function,
+    LexCharClass,
+    LexElem,
+    LexLiteral,
+    LexSortRef,
+    LexicalFunction,
+    LexicalSyntax,
+    PrioDef,
+    SdfDefinition,
+)
+from .lexer import tokenize
+from .tokens import SdfSyntaxError, Token, TokenKind
+
+_ATTRIBUTE_WORDS = ("par", "assoc", "left-assoc", "right-assoc")
+
+
+class SdfParser:
+    """Recursive descent over the token stream of one SDF definition."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.index + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SdfSyntaxError("unexpected end of input", 0, 0)
+        self.index += 1
+        return token
+
+    def _error(self, message: str) -> SdfSyntaxError:
+        token = self._peek()
+        if token is None:
+            last = self.tokens[-1] if self.tokens else None
+            line = last.line if last else 0
+            column = last.column if last else 0
+            return SdfSyntaxError(f"{message} (at end of input)", line, column)
+        return SdfSyntaxError(
+            f"{message}, found {token.kind.name} {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if token is None or not token.is_keyword(word):
+            raise self._error(f"expected keyword {word!r}")
+        return self._advance()
+
+    def _expect_punct(self, mark: str) -> Token:
+        token = self._peek()
+        if token is None or not token.is_punct(mark):
+            raise self._error(f"expected {mark!r}")
+        return self._advance()
+
+    def _expect_id(self) -> str:
+        token = self._peek()
+        if token is None or token.kind is not TokenKind.ID:
+            raise self._error("expected an identifier")
+        return self._advance().text
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token.is_keyword(word)
+
+    def _at_punct(self, mark: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token is not None and token.is_punct(mark)
+
+    # -- SDF-DEFINITION ------------------------------------------------------
+
+    def parse_definition(self) -> SdfDefinition:
+        self._expect_keyword("module")
+        name = self._expect_id()
+        self._expect_keyword("begin")
+        lexical = self._parse_lexical_syntax()
+        contextfree = self._parse_context_free_syntax()
+        self._expect_keyword("end")
+        end_name = self._expect_id()
+        if self._peek() is not None:
+            raise self._error("trailing input after module end")
+        return SdfDefinition(name, lexical, contextfree, end_name)
+
+    # -- lexical syntax ----------------------------------------------------
+
+    def _parse_lexical_syntax(self) -> LexicalSyntax:
+        if not self._at_keyword("lexical"):
+            return LexicalSyntax()
+        self._advance()
+        self._expect_keyword("syntax")
+        sorts = self._parse_sorts_decl()
+        layout: Tuple[str, ...] = ()
+        if self._at_keyword("layout"):
+            self._advance()
+            layout = self._parse_sort_name_list()
+        functions: List[LexicalFunction] = []
+        if self._at_keyword("functions"):
+            self._advance()
+            while not (
+                self._at_keyword("context-free") or self._at_keyword("end")
+            ):
+                functions.append(self._parse_lexical_function())
+        return LexicalSyntax(sorts, layout, tuple(functions))
+
+    def _parse_sorts_decl(self) -> Tuple[str, ...]:
+        if not self._at_keyword("sorts"):
+            return ()
+        self._advance()
+        return self._parse_sort_name_list()
+
+    def _parse_sort_name_list(self) -> Tuple[str, ...]:
+        names = [self._expect_id()]
+        while self._at_punct(","):
+            self._advance()
+            names.append(self._expect_id())
+        return tuple(names)
+
+    def _parse_lexical_function(self) -> LexicalFunction:
+        elems: List[LexElem] = []
+        while not self._at_punct("->"):
+            elems.append(self._parse_lex_elem())
+        if not elems:
+            raise self._error("lexical function needs at least one element")
+        self._advance()  # the arrow
+        sort = self._expect_id()
+        return LexicalFunction(tuple(elems), sort)
+
+    def _parse_lex_elem(self) -> LexElem:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected a lexical element")
+        if token.kind is TokenKind.ID:
+            self._advance()
+            nxt = self._peek()
+            if nxt is not None and nxt.kind is TokenKind.ITERATOR:
+                self._advance()
+                return LexSortRef(token.text, nxt.text)
+            return LexSortRef(token.text)
+        if token.kind is TokenKind.LITERAL:
+            self._advance()
+            return LexLiteral(token.text)
+        if token.kind is TokenKind.CHAR_CLASS:
+            self._advance()
+            return LexCharClass(token.text)
+        if token.is_punct("~"):
+            self._advance()
+            nxt = self._peek()
+            if nxt is None or nxt.kind is not TokenKind.CHAR_CLASS:
+                raise self._error("'~' must be followed by a character class")
+            self._advance()
+            return LexCharClass(nxt.text, negated=True)
+        raise self._error("expected a lexical element")
+
+    # -- context-free syntax ----------------------------------------------
+
+    def _parse_context_free_syntax(self) -> ContextFreeSyntax:
+        if not self._at_keyword("context-free"):
+            return ContextFreeSyntax()
+        self._advance()
+        self._expect_keyword("syntax")
+        sorts = self._parse_sorts_decl()
+        priorities: Tuple[PrioDef, ...] = ()
+        if self._at_keyword("priorities"):
+            self._advance()
+            priorities = self._parse_prio_defs()
+        functions: List[Function] = []
+        if self._at_keyword("functions"):
+            self._advance()
+            while not self._at_keyword("end"):
+                functions.append(self._parse_function())
+        return ContextFreeSyntax(sorts, priorities, tuple(functions))
+
+    # -- priorities --------------------------------------------------------
+
+    def _parse_prio_defs(self) -> Tuple[PrioDef, ...]:
+        defs = [self._parse_prio_def()]
+        while self._at_punct(","):
+            self._advance()
+            defs.append(self._parse_prio_def())
+        return tuple(defs)
+
+    def _parse_prio_def(self) -> PrioDef:
+        lists = [self._parse_abbrev_f_list()]
+        direction: Optional[str] = None
+        if self._at_punct(">") or self._at_punct("<"):
+            direction = self._advance().text
+            lists.append(self._parse_abbrev_f_list())
+            while self._at_punct(direction):
+                self._advance()
+                lists.append(self._parse_abbrev_f_list())
+        return PrioDef(tuple(lists), direction)
+
+    def _parse_abbrev_f_list(self) -> AbbrevFList:
+        if self._at_punct("("):
+            self._advance()
+            defs = [self._parse_abbrev_f_def()]
+            while self._at_punct(","):
+                self._advance()
+                defs.append(self._parse_abbrev_f_def())
+            self._expect_punct(")")
+            return AbbrevFList(tuple(defs))
+        return AbbrevFList((self._parse_abbrev_f_def(),))
+
+    def _parse_abbrev_f_def(self) -> AbbrevFDef:
+        elems: List[CfElem] = []
+        while self._cf_elem_ahead():
+            elems.append(self._parse_cf_elem())
+        if self._at_punct("->"):
+            self._advance()
+            sort = self._expect_id()
+            return AbbrevFDef(tuple(elems), sort)
+        if not elems:
+            raise self._error("empty abbreviated function definition")
+        return AbbrevFDef(tuple(elems), None)
+
+    # -- functions ---------------------------------------------------------
+
+    def _parse_function(self) -> Function:
+        elems: List[CfElem] = []
+        while not self._at_punct("->"):
+            if not self._cf_elem_ahead():
+                raise self._error("expected a context-free element or '->'")
+            elems.append(self._parse_cf_elem())
+        self._advance()  # the arrow
+        sort = self._expect_id()
+        attributes = self._parse_attributes()
+        return Function(tuple(elems), sort, attributes)
+
+    def _parse_attributes(self) -> Tuple[str, ...]:
+        # "{" only opens an attribute list when an attribute word follows;
+        # otherwise it is the next function's {SORT "sep"}+ element.
+        if not self._at_punct("{"):
+            return ()
+        nxt = self._peek(1)
+        if nxt is None or not any(nxt.is_keyword(w) for w in _ATTRIBUTE_WORDS):
+            return ()
+        self._advance()  # {
+        words = [self._parse_attribute_word()]
+        while self._at_punct(","):
+            self._advance()
+            words.append(self._parse_attribute_word())
+        self._expect_punct("}")
+        return tuple(words)
+
+    def _parse_attribute_word(self) -> str:
+        token = self._peek()
+        if token is None or not any(token.is_keyword(w) for w in _ATTRIBUTE_WORDS):
+            raise self._error("expected an attribute")
+        return self._advance().text
+
+    # -- CF-ELEM -------------------------------------------------------------
+
+    def _cf_elem_ahead(self) -> bool:
+        token = self._peek()
+        if token is None:
+            return False
+        if token.kind in (TokenKind.ID, TokenKind.LITERAL):
+            return True
+        return token.is_punct("{")
+
+    def _parse_cf_elem(self) -> CfElem:
+        token = self._peek()
+        assert token is not None
+        if token.kind is TokenKind.LITERAL:
+            self._advance()
+            return CfLiteral(token.text)
+        if token.kind is TokenKind.ID:
+            self._advance()
+            nxt = self._peek()
+            if nxt is not None and nxt.kind is TokenKind.ITERATOR:
+                self._advance()
+                return CfIter(token.text, nxt.text)
+            return CfSort(token.text)
+        if token.is_punct("{"):
+            self._advance()
+            sort = self._expect_id()
+            separator = self._peek()
+            if separator is None or separator.kind is not TokenKind.LITERAL:
+                raise self._error("expected a literal separator in {...}")
+            self._advance()
+            self._expect_punct("}")
+            iterator = self._peek()
+            if iterator is None or iterator.kind is not TokenKind.ITERATOR:
+                raise self._error("expected an iterator after {...}")
+            self._advance()
+            return CfSepIter(sort, separator.text, iterator.text)
+        raise self._error("expected a context-free element")
+
+
+def parse_sdf(text: str) -> SdfDefinition:
+    """Parse an SDF definition text into its AST."""
+    return SdfParser(tokenize(text)).parse_definition()

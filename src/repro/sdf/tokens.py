@@ -1,0 +1,99 @@
+"""Tokens of the SDF syntax definition formalism (Appendix B).
+
+The measurement protocol of section 7 feeds the parsers *"a stream of
+lexical tokens already in memory"*.  A :class:`Token` is one element of
+that stream; :meth:`Token.terminal` maps it onto the terminal symbol the
+context-free SDF grammar sees:
+
+* word-like keywords and punctuation become terminals named after their
+  spelling (``module``, ``->``, ``(`` ...),
+* members of the lexical sorts become terminals named after their sort
+  (``ID``, ``LITERAL``, ``CHAR-CLASS``, ``ITERATOR``) — the lexical
+  scanner has already classified them, exactly as ISG would.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from ..grammar.symbols import Terminal
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"          # module, begin, sorts, ...
+    PUNCT = "punct"              # -> ( ) { } , > < ~ ? + *... (non-word literals)
+    ID = "ID"                    # sort names and module names
+    LITERAL = "LITERAL"          # "quoted text"
+    CHAR_CLASS = "CHAR-CLASS"    # [a-z0-9]
+    ITERATOR = "ITERATOR"        # + or *
+    EOF = "eof"
+
+
+#: Word-like literals of the SDF context-free grammar; anything else
+#: word-shaped is an ID.
+KEYWORDS = frozenset(
+    {
+        "module",
+        "begin",
+        "end",
+        "lexical",
+        "syntax",
+        "sorts",
+        "layout",
+        "functions",
+        "context-free",
+        "priorities",
+        "par",
+        "assoc",
+        "left-assoc",
+        "right-assoc",
+    }
+)
+
+#: Multi-character punctuation first (longest match), then single.
+PUNCTUATION: Tuple[str, ...] = ("->", "(", ")", "{", "}", ",", ">", "<", "~", "?")
+
+
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: TokenKind, text: str, line: int, column: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def terminal(self) -> Terminal:
+        """The context-free terminal symbol this token denotes."""
+        if self.kind in (TokenKind.KEYWORD, TokenKind.PUNCT):
+            return Terminal(self.text)
+        if self.kind is TokenKind.ID:
+            return Terminal("ID")
+        if self.kind is TokenKind.LITERAL:
+            return Terminal("LITERAL")
+        if self.kind is TokenKind.CHAR_CLASS:
+            return Terminal("CHAR-CLASS")
+        if self.kind is TokenKind.ITERATOR:
+            return Terminal("ITERATOR")
+        raise ValueError(f"EOF token has no terminal ({self!r})")
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, mark: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == mark
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+class SdfSyntaxError(SyntaxError):
+    """Lexical or syntactic error in an SDF definition."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column

@@ -1,0 +1,113 @@
+"""The Cigale-style trie parser: sharing, extension, composition."""
+
+import pytest
+
+from repro.baselines.cigale import CigaleParser
+from repro.grammar.builders import grammar_from_text
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.runtime.forest import bracketed
+
+from ..conftest import toks
+
+E = NonTerminal("E")
+n = Terminal("n")
+plus = Terminal("+")
+
+
+class TestParsing:
+    def test_operators(self, ambiguous_expr):
+        parser = CigaleParser.from_grammar(ambiguous_expr)
+        assert parser.recognize(toks("n"))
+        assert parser.recognize(toks("n + n + n"))
+        assert not parser.recognize(toks("n +"))
+        assert not parser.recognize(toks("+ n"))
+
+    def test_booleans(self, booleans):
+        parser = CigaleParser.from_grammar(booleans)
+        assert parser.recognize(toks("true"))
+        assert parser.recognize(toks("true or false and true"))
+        assert not parser.recognize(toks("or"))
+
+    def test_exactly_one_parse_shape(self, ambiguous_expr):
+        parser = CigaleParser.from_grammar(ambiguous_expr)
+        tree = parser.parse(toks("n + n + n"))
+        # greedy traversal commits to exactly one parse; the recursive
+        # operand parse runs its own extension loop first, so the shape is
+        # right-associated
+        assert bracketed(tree) == "START(E(E(n) + E(E(n) + E(n))))"
+
+    def test_no_start_symbol_raises(self):
+        parser = CigaleParser()
+        with pytest.raises(ValueError):
+            parser.parse(toks("n"))
+
+
+class TestIncrementalExtension:
+    def test_add_rule_takes_effect_immediately(self, ambiguous_expr):
+        parser = CigaleParser.from_grammar(ambiguous_expr)
+        assert not parser.recognize(toks("n * n"))
+        parser.add_rule(Rule(E, [E, Terminal("*"), E]))
+        assert parser.recognize(toks("n * n"))
+
+    def test_trie_shares_prefixes(self):
+        parser = CigaleParser()
+        parser.add_rule(Rule(E, [n, plus, n]))
+        size_before = parser.trie_size()
+        parser.add_rule(Rule(E, [n, plus, plus]))  # shares 'n +' prefix
+        grown = parser.trie_size() - size_before
+        assert grown == 1  # only one fresh node
+
+
+class TestModularComposition:
+    def test_merge_combines_languages(self):
+        numbers = CigaleParser(
+            grammar_from_text("E ::= n\nSTART ::= E").rules,
+            start=NonTerminal("START"),
+        )
+        sums = CigaleParser(
+            grammar_from_text("E ::= E + E\nSTART ::= E").rules
+        )
+        assert not numbers.recognize(toks("n + n"))
+        numbers.merge(sums)
+        assert numbers.recognize(toks("n + n"))
+
+    def test_merge_is_idempotent(self, ambiguous_expr):
+        a = CigaleParser.from_grammar(ambiguous_expr)
+        b = CigaleParser.from_grammar(ambiguous_expr)
+        size = a.trie_size()
+        a.merge(b)
+        assert a.trie_size() == size
+
+
+class TestKnownLimits:
+    def test_no_backtracking_means_greedy_failures(self):
+        # 'a b' vs 'a' — after greedily taking 'a b', input 'a b c' with a
+        # rule needing 'a' then 'b c' cannot be re-split
+        grammar = grammar_from_text(
+            """
+            S ::= A c
+            A ::= a b
+            A ::= a
+            START ::= S
+            """
+        )
+        parser = CigaleParser.from_grammar(grammar)
+        # greedy: A eats 'a b', then 'c' matches: this one works
+        assert parser.recognize(toks("a b c"))
+        # but the committed choice cannot handle the other split
+        grammar2 = grammar_from_text(
+            """
+            S ::= A b c
+            A ::= a b
+            A ::= a
+            START ::= S
+            """
+        )
+        parser2 = CigaleParser.from_grammar(grammar2)
+        assert not parser2.recognize(toks("a b c"))  # the documented loss
+
+    def test_single_parse_only(self, ambiguous_expr):
+        parser = CigaleParser.from_grammar(ambiguous_expr)
+        # ambiguity is not detected — exactly one tree comes back
+        assert parser.parse(toks("n + n + n")) is not None

@@ -1,0 +1,117 @@
+"""Earley's algorithm: recognition, epsilon handling, adaptability."""
+
+import pytest
+
+from repro.baselines.earley import EarleyItem, EarleyParser
+from repro.grammar.builders import grammar_from_text
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.lr.items import Item
+
+from ..conftest import toks
+
+
+class TestRecognition:
+    def test_booleans(self, booleans):
+        parser = EarleyParser(booleans)
+        assert parser.recognize(toks("true or false and true"))
+        assert not parser.recognize(toks("true or"))
+        assert not parser.recognize(toks("")) is True
+
+    def test_ambiguous(self, ambiguous_expr):
+        parser = EarleyParser(ambiguous_expr)
+        assert parser.recognize(toks("n + n + n"))
+        assert not parser.recognize(toks("n n"))
+
+    def test_left_recursion(self):
+        parser = EarleyParser(
+            grammar_from_text("E ::= E + n\nE ::= n\nSTART ::= E")
+        )
+        assert parser.recognize(toks("n + n + n"))
+
+    def test_right_recursion(self):
+        parser = EarleyParser(
+            grammar_from_text("E ::= n + E\nE ::= n\nSTART ::= E")
+        )
+        assert parser.recognize(toks("n + n + n"))
+
+    def test_cyclic_grammar(self):
+        parser = EarleyParser(
+            grammar_from_text("A ::= A\nA ::= a\nSTART ::= A")
+        )
+        assert parser.recognize(toks("a"))
+        assert not parser.recognize(toks("a a"))
+
+
+class TestEpsilon:
+    def test_epsilon_rules(self, epsilon_grammar):
+        parser = EarleyParser(epsilon_grammar)
+        assert parser.recognize(toks("b"))
+        assert parser.recognize(toks("a b c"))
+        assert not parser.recognize(toks("a c"))
+
+    def test_nullable_start(self):
+        parser = EarleyParser(
+            grammar_from_text("S ::=\nS ::= a S\nSTART ::= S")
+        )
+        assert parser.accepts_empty()
+        assert parser.recognize(toks("a a a"))
+
+    def test_hidden_left_recursion(self):
+        parser = EarleyParser(
+            grammar_from_text(
+                """
+                S ::= A S b
+                S ::= s
+                A ::=
+                START ::= S
+                """
+            )
+        )
+        assert parser.recognize(toks("s b b"))
+        assert not parser.recognize(toks("b s"))
+
+    def test_deeply_nullable_chain(self):
+        parser = EarleyParser(
+            grammar_from_text(
+                """
+                S ::= A B C x
+                A ::=
+                B ::= A A
+                C ::= B
+                START ::= S
+                """
+            )
+        )
+        assert parser.recognize(toks("x"))
+
+
+class TestAdaptability:
+    def test_no_generation_phase_grammar_edits_are_free(self, booleans):
+        parser = EarleyParser(booleans)
+        assert not parser.recognize(toks("unknown"))
+        booleans.add_rule(
+            Rule(NonTerminal("B"), [Terminal("unknown")])
+        )
+        assert parser.recognize(toks("unknown"))
+        booleans.delete_rule(Rule(NonTerminal("B"), [Terminal("unknown")]))
+        assert not parser.recognize(toks("unknown"))
+
+
+class TestChart:
+    def test_chart_has_one_set_per_position(self, booleans):
+        parser = EarleyParser(booleans)
+        chart = parser.chart(toks("true or false"))
+        assert len(chart) == 4
+
+    def test_chart_size_recorded(self, booleans):
+        parser = EarleyParser(booleans)
+        parser.recognize(toks("true or false"))
+        assert parser.last_chart_size > 0
+
+    def test_items_are_value_objects(self, booleans):
+        rule = next(iter(booleans.rules))
+        a = EarleyItem(Item(rule, 0), 0)
+        b = EarleyItem(Item(rule, 0), 0)
+        assert a == b and hash(a) == hash(b)
+        assert a != EarleyItem(Item(rule, 0), 1)

@@ -1,0 +1,79 @@
+"""LL(1) predictive parsing: table construction, conflicts, parsing."""
+
+import pytest
+
+from repro.baselines.ll1 import LL1Parser, LL1Table, NotLL1Error
+from repro.grammar.builders import grammar_from_text
+from repro.runtime.errors import ParseError
+from repro.runtime.forest import bracketed
+
+from ..conftest import toks
+
+LL1_EXPR = """
+    E ::= n R
+    R ::= + n R
+    R ::=
+    START ::= E
+"""
+
+
+class TestTable:
+    def test_clean_grammar(self):
+        table = LL1Table(grammar_from_text(LL1_EXPR))
+        assert table.is_ll1
+
+    def test_left_recursion_conflicts(self):
+        table = LL1Table(
+            grammar_from_text("E ::= E + n\nE ::= n\nSTART ::= E")
+        )
+        assert not table.is_ll1
+
+    def test_ambiguity_conflicts(self, ambiguous_expr):
+        table = LL1Table(ambiguous_expr)
+        assert not table.is_ll1
+        assert all(len(c.rules) >= 2 for c in table.conflicts)
+
+    def test_nullable_rule_predicted_on_follow(self):
+        table = LL1Table(grammar_from_text(LL1_EXPR))
+        from repro.grammar.symbols import END, NonTerminal
+
+        row = table.table[NonTerminal("R")]
+        assert END in row  # R ::= ε predicted on end-of-input
+
+
+class TestParser:
+    def test_strict_mode_rejects_conflicts(self, ambiguous_expr):
+        with pytest.raises(NotLL1Error):
+            LL1Parser(ambiguous_expr)
+
+    def test_lenient_mode_allows(self, ambiguous_expr):
+        parser = LL1Parser(ambiguous_expr, strict=False)
+        assert parser is not None
+
+    def test_parses(self):
+        parser = LL1Parser(grammar_from_text(LL1_EXPR))
+        assert parser.recognize(toks("n + n + n"))
+        assert not parser.recognize(toks("n + + n"))
+        assert not parser.recognize(toks("+"))
+
+    def test_tree(self):
+        parser = LL1Parser(grammar_from_text(LL1_EXPR))
+        tree = parser.parse(toks("n + n"))
+        assert bracketed(tree) == "START(E(n R(+ n R())))"
+
+    def test_trailing_input_rejected(self):
+        parser = LL1Parser(grammar_from_text(LL1_EXPR))
+        with pytest.raises(ParseError):
+            parser.parse(toks("n n"))
+
+    def test_error_positions(self):
+        parser = LL1Parser(grammar_from_text(LL1_EXPR))
+        with pytest.raises(ParseError) as excinfo:
+            parser.parse(toks("n + +"))
+        assert excinfo.value.position == 2
+
+    def test_epsilon_heavy_grammar(self, epsilon_grammar):
+        parser = LL1Parser(epsilon_grammar)
+        assert parser.recognize(toks("b"))
+        assert parser.recognize(toks("a b c"))
+        assert not parser.recognize(toks("c"))

@@ -1,0 +1,114 @@
+"""Report rendering and shape checking, on synthetic results."""
+
+import pytest
+
+from repro.bench.harness import PHASES, ProtocolResult
+from repro.bench.report import (
+    Capability,
+    check_figure_7_1_shape,
+    render_figure_7_1,
+)
+
+
+def result(system, input_name, **overrides):
+    times = {phase: 0.010 for phase in PHASES}
+    times.update(overrides)
+    return ProtocolResult(system, input_name, times)
+
+
+def good_grid():
+    rows = []
+    for input_name in ("a.sdf", "b.sdf"):
+        rows.append(
+            result("yacc", input_name, construct=0.100, modify=0.100)
+        )
+        rows.append(result("pg", input_name, construct=0.040, modify=0.040))
+        rows.append(
+            result(
+                "ipg",
+                input_name,
+                construct=0.0001,
+                modify=0.0002,
+                parse1=0.020,
+                parse2=0.010,
+            )
+        )
+    return rows
+
+
+class TestShapeCheck:
+    def test_good_grid_passes(self):
+        assert check_figure_7_1_shape(good_grid()) == []
+
+    def test_slow_ipg_construction_flagged(self):
+        rows = good_grid()
+        rows[2].times["construct"] = 0.099  # nearly Yacc's
+        problems = check_figure_7_1_shape(rows)
+        assert any("construct" in p for p in problems)
+
+    def test_slow_ipg_modify_flagged(self):
+        rows = good_grid()
+        rows[2].times["modify"] = 0.090
+        problems = check_figure_7_1_shape(rows)
+        assert any("modify" in p for p in problems)
+
+    def test_missing_lazy_warmup_flagged(self):
+        rows = good_grid()
+        for row in rows:
+            if row.system == "ipg":
+                row.times["parse1"] = 0.001
+                row.times["parse2"] = 0.010
+        problems = check_figure_7_1_shape(rows)
+        assert any("parse1" in p for p in problems)
+
+    def test_incomplete_grid_tolerated(self):
+        lone = result("ipg", "x.sdf", parse1=0.020, parse2=0.010)
+        assert check_figure_7_1_shape([lone]) == []
+
+
+class TestRendering:
+    def test_all_rows_and_phases_present(self):
+        rendered = render_figure_7_1(good_grid())
+        for needle in ("yacc", "pg", "ipg", "construct", "modify", "total"):
+            assert needle in rendered
+
+    def test_protocol_result_total(self):
+        row = result("ipg", "x.sdf")
+        assert row.total() == pytest.approx(0.010 * len(PHASES))
+
+
+class TestCapabilityMarks:
+    def test_marks_thresholds(self):
+        capability = Capability("X")
+        capability.handles_ambiguity = True
+        capability.handles_left_recursion = True
+        capability.parse_seconds = 0.010
+        capability.modify_ratio = 0.01
+        capability.composes = True
+        marks = capability.marks(baseline_seconds=0.010)
+        assert marks == {
+            "powerful": "++",
+            "fast": "++",
+            "flexible": "++",
+            "modular": "+",
+        }
+
+    def test_partial_power(self):
+        capability = Capability("X")
+        capability.handles_ambiguity = True
+        assert capability.marks(1.0)["powerful"] == "+"
+
+    def test_slow_row_gets_no_fast_mark(self):
+        capability = Capability("X")
+        capability.parse_seconds = 10.0
+        assert capability.marks(baseline_seconds=0.001)["fast"] == ""
+
+    def test_unmeasured_row_blank(self):
+        capability = Capability("X")
+        marks = capability.marks(1.0)
+        assert marks == {
+            "powerful": "",
+            "fast": "",
+            "flexible": "",
+            "modular": "",
+        }

@@ -1,0 +1,96 @@
+"""Shared fixtures: the paper's example grammars and small helpers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.grammar.builders import grammar_from_text
+from repro.grammar.grammar import Grammar
+from repro.grammar.symbols import Terminal
+
+#: Fig. 4.1(a): the grammar of the booleans.
+BOOLEANS = """
+    B ::= true
+    B ::= false
+    B ::= B or B
+    B ::= B and B
+    START ::= B
+"""
+
+#: Fig. 6.2(a): the smallest grammar whose graph update is non-trivial —
+#: "a complicated way to describe a language with only the sentences
+#: 'a b' and 'c b'".
+FIG62 = """
+    START ::= E
+    E ::= c C
+    C ::= B
+    START ::= D
+    D ::= a A
+    A ::= B
+    B ::= b
+"""
+
+#: A classic ambiguous expression grammar (Catalan-number parse counts).
+AMBIGUOUS_EXPR = """
+    E ::= n
+    E ::= E + E
+    START ::= E
+"""
+
+#: An unambiguous expression grammar with parentheses and precedence.
+EXPR = """
+    E ::= E + T
+    E ::= T
+    T ::= T * F
+    T ::= F
+    F ::= n
+    F ::= ( E )
+    START ::= E
+"""
+
+#: Epsilon rules in several positions.
+EPSILON = """
+    S ::= A b C
+    A ::=
+    A ::= a
+    C ::=
+    C ::= c
+    START ::= S
+"""
+
+
+@pytest.fixture()
+def booleans() -> Grammar:
+    return grammar_from_text(BOOLEANS)
+
+
+@pytest.fixture()
+def fig62() -> Grammar:
+    return grammar_from_text(FIG62)
+
+
+@pytest.fixture()
+def ambiguous_expr() -> Grammar:
+    return grammar_from_text(AMBIGUOUS_EXPR)
+
+
+@pytest.fixture()
+def expr() -> Grammar:
+    return grammar_from_text(EXPR)
+
+
+@pytest.fixture()
+def epsilon_grammar() -> Grammar:
+    return grammar_from_text(EPSILON)
+
+
+def toks(text: str) -> List[Terminal]:
+    """Whitespace-split a sentence into terminals (test convenience)."""
+    return [Terminal(part) for part in text.split()]
+
+
+@pytest.fixture(name="toks")
+def toks_fixture():
+    return toks

@@ -1,0 +1,79 @@
+"""E9 — Appendix A: GOTO is always called on a complete set of items.
+
+The proof covers LR-PARSE and PAR-PARSE; the probe below turns any
+violation into an exception, and we drive both runtimes over lazy controls
+(where an incomplete state *could* plausibly leak into GOTO if the
+implementation were wrong) across the example grammars and edit sessions.
+"""
+
+import pytest
+
+from repro.core.incremental import IncrementalGenerator
+from repro.core.lazy import LazyGenerator
+from repro.core.metrics import AppendixAViolation, ControlProbe
+from repro.grammar.builders import grammar_from_text
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.lr.generator import GotoOnNonCompleteState
+from repro.runtime.lr_parse import SimpleLRParser
+from repro.runtime.parallel import PoolParser
+
+from ..conftest import toks
+
+
+class TestInvariantHolds:
+    def test_pool_parser_on_lazy_control(self, booleans):
+        generator = LazyGenerator(booleans)
+        probe = ControlProbe(generator.control())
+        parser = PoolParser(probe, booleans)
+        for sentence in ("true and true", "false or false", "true or"):
+            parser.parse(toks(sentence))
+        assert probe.goto_calls > 0
+
+    def test_simple_parser_on_lazy_control(self, booleans):
+        generator = LazyGenerator(booleans)
+        probe = ControlProbe(generator.control())
+        parser = SimpleLRParser(probe, booleans)
+        assert parser.parse(toks("true and false")).accepted
+        assert probe.goto_calls > 0
+
+    def test_through_edit_sessions(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=True)
+        probe = ControlProbe(generator.control)
+        parser = PoolParser(probe, booleans)
+        B = NonTerminal("B")
+        assert parser.parse(toks("true and true")).accepted
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        assert parser.parse(toks("unknown or true")).accepted
+        generator.delete_rule(Rule(B, [Terminal("unknown")]))
+        assert parser.parse(toks("true or true and false")).accepted
+
+    def test_on_epsilon_grammar(self, epsilon_grammar):
+        generator = LazyGenerator(epsilon_grammar)
+        probe = ControlProbe(generator.control())
+        parser = PoolParser(probe, epsilon_grammar)
+        assert parser.parse(toks("a b c")).accepted
+        assert parser.parse(toks("b")).accepted
+
+
+class TestViolationsAreLoud:
+    def test_probe_raises_on_initial_state(self, booleans):
+        generator = LazyGenerator(booleans)
+        probe = ControlProbe(generator.control())
+        with pytest.raises(AppendixAViolation):
+            probe.goto(generator.graph.start, NonTerminal("B"))
+
+    def test_graph_control_raises_too(self, booleans):
+        generator = LazyGenerator(booleans)
+        control = generator.control()
+        with pytest.raises(GotoOnNonCompleteState):
+            control.goto(generator.graph.start, NonTerminal("B"))
+
+    def test_conventional_action_rejects_unexpanded_state(self, booleans):
+        from repro.lr.generator import GraphControl
+        from repro.lr.graph import ItemSetGraph
+
+        graph = ItemSetGraph(booleans)
+        control = GraphControl(graph)
+        with pytest.raises(GotoOnNonCompleteState):
+            control.action(graph.start, Terminal("true"))

@@ -1,0 +1,140 @@
+"""E4 — section 5: lazy parser generation on the booleans grammar.
+
+Fig. 5.1(a): after GENERATE-PARSER the graph is just the initial start
+state.  Fig. 5.1(b): the first ACTION call expands it, creating initial
+states 1, 2, 3.  Fig. 5.2: after parsing 'true and true' the graph has the
+accept path expanded but the 'or'/'false' regions untouched.
+"""
+
+import pytest
+
+from repro.core.lazy import LazyControl, LazyGenerator
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.runtime.parallel import PoolParser
+
+from ..conftest import toks
+
+B = NonTerminal("B")
+true, false = Terminal("true"), Terminal("false")
+and_, or_ = Terminal("and"), Terminal("or")
+
+
+@pytest.fixture()
+def generator(booleans):
+    return LazyGenerator(booleans)
+
+
+def states_by_uid(generator):
+    return {s.uid: s for s in generator.graph.states()}
+
+
+class TestGeneratePhase:
+    def test_construction_creates_only_the_start_state(self, generator):
+        assert len(generator.graph) == 1
+        assert generator.graph.start.is_initial
+
+    def test_fraction_expanded_starts_at_zero(self, generator):
+        assert generator.fraction_expanded() == 0.0
+
+
+class TestFirstActionCall(object):
+    def test_expands_start_state_only(self, generator, booleans):
+        control = generator.control()
+        actions = control.action(generator.graph.start, true)
+        # Fig. 5.1(b): start is complete; 1, 2, 3 exist but are initial
+        assert generator.graph.start.is_complete
+        assert len(generator.graph) == 4
+        others = [s for s in generator.graph.states() if s.uid != 0]
+        assert all(s.is_initial for s in others)
+        # the action returned is the shift of 'true' into state 2
+        assert len(actions) == 1
+
+    def test_action_on_complete_state_does_not_reexpand(self, generator):
+        control = generator.control()
+        control.action(generator.graph.start, true)
+        expansions = generator.graph.stats.expansions
+        control.action(generator.graph.start, false)
+        assert generator.graph.stats.expansions == expansions
+
+
+class TestFig52:
+    """The graph after parsing 'true and true'."""
+
+    @pytest.fixture()
+    def parsed(self, generator, booleans):
+        parser = PoolParser(generator.control(), booleans)
+        assert parser.parse(toks("true and true")).accepted
+        return generator
+
+    def test_seven_states_exist(self, parsed):
+        # Fig. 5.2 shows states 0-6; state 7 (via 'or') was never created
+        assert len(parsed.graph) == 7
+
+    def test_or_and_false_regions_untouched(self, parsed):
+        states = states_by_uid(parsed)
+        # state 3 is 'false' (created but never entered: still initial),
+        # state 5 is the 'or' state (same)
+        assert states[3].is_initial
+        assert states[5].is_initial
+
+    def test_and_path_complete(self, parsed):
+        states = states_by_uid(parsed)
+        for uid in (0, 1, 2, 4, 6):
+            assert states[uid].is_complete, f"state {uid} should be complete"
+
+    def test_sentences_in_the_warm_region_cost_no_expansion(self, parsed, booleans):
+        expansions = parsed.graph.stats.expansions
+        parser = PoolParser(parsed.control(), booleans)
+        assert parser.parse(toks("true and true and true")).accepted
+        assert parsed.graph.stats.expansions == expansions
+
+    def test_new_region_expands_on_demand(self, parsed, booleans):
+        expansions = parsed.graph.stats.expansions
+        parser = PoolParser(parsed.control(), booleans)
+        assert parser.parse(toks("false or true")).accepted
+        assert parsed.graph.stats.expansions > expansions
+
+
+class TestEquivalenceWithConventional:
+    def test_forced_lazy_graph_equals_conventional(self, booleans):
+        from repro.lr.generator import ConventionalGenerator
+
+        lazy = LazyGenerator(booleans)
+        lazy.force()
+        conventional = ConventionalGenerator(booleans.copy())
+        conventional.generate()
+
+        def shape(graph):
+            return {
+                frozenset(map(str, s.kernel)): (
+                    {
+                        str(symbol): frozenset(
+                            map(str, getattr(target, "kernel", ["accept"]))
+                        )
+                        for symbol, target in s.transitions.items()
+                    },
+                    frozenset(map(str, s.reductions)),
+                )
+                for s in graph.states()
+            }
+
+        assert shape(lazy.graph) == shape(conventional.graph)
+
+    def test_acceptance_matches_conventional(self, booleans):
+        from repro.lr.generator import ConventionalGenerator
+
+        lazy_parser = PoolParser(LazyGenerator(booleans).control(), booleans)
+        conventional_parser = PoolParser(
+            ConventionalGenerator(booleans.copy()).generate(), booleans
+        )
+        for sentence in (
+            "true",
+            "true and false",
+            "true or false and true",
+            "true or",
+            "and",
+            "",
+        ):
+            assert lazy_parser.recognize(toks(sentence)) == (
+                conventional_parser.recognize(toks(sentence))
+            ), sentence

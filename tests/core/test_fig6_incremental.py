@@ -1,0 +1,219 @@
+"""E6 — section 6: incremental parser generation.
+
+Covers the three worked examples:
+
+* Fig. 6.1: adding ``B ::= unknown`` to the booleans — transitions are
+  added, nothing else changes;
+* Fig. 6.4/6.5: MODIFY makes states 0, 4, 5 initial (they have a
+  transition on B); re-expanding 0 reconnects 1, 2, 3 and creates the new
+  'unknown' state;
+* Fig. 6.2/6.3: the a-b/c-b grammar where adding ``A ::= b`` *changes* an
+  existing kernel's successor — the old graph is not a subgraph of the new
+  one, and MODIFY still gets it right.
+"""
+
+import pytest
+
+from repro.core.incremental import IncrementalGenerator
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.runtime.parallel import PoolParser
+
+from ..conftest import toks
+
+B = NonTerminal("B")
+A = NonTerminal("A")
+
+
+@pytest.fixture()
+def warm_booleans(booleans):
+    """An incremental generator whose graph is fully warmed up."""
+    generator = IncrementalGenerator(booleans, gc=False)
+    parser = PoolParser(generator.control, booleans)
+    for sentence in ("true and true", "false or false"):
+        assert parser.parse(toks(sentence)).accepted
+    return generator, parser
+
+
+class TestFig64Invalidation:
+    def test_states_with_b_transition_are_invalidated(self, warm_booleans, booleans):
+        generator, _parser = warm_booleans
+        assert all(s.is_complete for s in generator.graph.states())
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        pending = {s.uid for s in generator.graph.pending_states()}
+        # Fig. 6.4: "the sets of items 0, 4, and 5 are made initial,
+        # because they had a transition for 'B'"
+        assert pending == {0, 4, 5}
+
+    def test_other_states_untouched(self, warm_booleans):
+        generator, _parser = warm_booleans
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        states = {s.uid: s for s in generator.graph.states()}
+        for uid in (1, 2, 3, 6, 7):
+            assert states[uid].is_complete
+
+
+class TestFig65Reexpansion:
+    def test_reexpansion_reconnects_old_states(self, warm_booleans, booleans):
+        generator, parser = warm_booleans
+        count_before = len(generator.graph)
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        assert parser.parse(toks("true and unknown")).accepted
+        states = {s.uid: s for s in generator.graph.states()}
+        # 0 was re-expanded and points at the same objects 1, 2, 3
+        assert states[0].transitions[B] is states[1]
+        assert states[0].transitions[Terminal("true")] is states[2]
+        assert states[0].transitions[Terminal("false")] is states[3]
+        # exactly one new state: the 'unknown' leaf (Fig. 6.5's state 8)
+        new_states = [s for s in generator.graph.states() if s.uid >= count_before]
+        assert len(new_states) == 1
+        assert str(next(iter(new_states[0].kernel))) == "B ::= unknown •"
+
+    def test_language_extended(self, warm_booleans):
+        generator, parser = warm_booleans
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        assert parser.parse(toks("unknown")).accepted
+        assert parser.parse(toks("unknown or true")).accepted
+        assert not parser.parse(toks("mystery")).accepted
+
+    def test_old_language_still_accepted(self, warm_booleans):
+        generator, parser = warm_booleans
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        assert parser.parse(toks("true and false or true")).accepted
+
+
+class TestDeletion:
+    def test_deleting_restores_old_language(self, warm_booleans):
+        generator, parser = warm_booleans
+        rule = Rule(B, [Terminal("unknown")])
+        generator.add_rule(rule)
+        assert parser.parse(toks("unknown")).accepted
+        generator.delete_rule(rule)
+        assert not parser.parse(toks("unknown")).accepted
+        assert parser.parse(toks("true and true")).accepted
+
+    def test_deleting_core_rule(self, warm_booleans, booleans):
+        generator, parser = warm_booleans
+        generator.delete_rule(Rule(B, [Terminal("false")]))
+        assert not parser.parse(toks("false")).accepted
+        assert parser.parse(toks("true")).accepted
+
+    def test_delete_then_readd_roundtrip(self, warm_booleans):
+        generator, parser = warm_booleans
+        rule = Rule(B, [Terminal("true")])
+        generator.delete_rule(rule)
+        assert not parser.parse(toks("true or true")).accepted
+        generator.add_rule(rule)
+        assert parser.parse(toks("true or true")).accepted
+
+
+class TestFig62Counterexample:
+    """Adding ``A ::= b``: the old graph is NOT a subgraph of the new."""
+
+    @pytest.fixture()
+    def warm(self, fig62):
+        generator = IncrementalGenerator(fig62, gc=False)
+        parser = PoolParser(generator.control, fig62)
+        assert parser.parse(toks("a b")).accepted
+        assert parser.parse(toks("c b")).accepted
+        return generator, parser
+
+    def test_only_a_transition_states_invalidated(self, warm):
+        generator, _parser = warm
+        invalidated_before = generator.invalidated_states
+        generator.add_rule(Rule(A, [Terminal("b")]))
+        # exactly the states with a transition on A (the paper: set 3)
+        pending = generator.graph.pending_states()
+        assert all(
+            A in (s.old_transitions or {}) or not s.is_dirty for s in pending
+        )
+        assert generator.invalidated_states > invalidated_before
+
+    def test_merged_kernel_state_created(self, warm, fig62):
+        generator, parser = warm
+        generator.add_rule(Rule(A, [Terminal("b")]))
+        assert parser.parse(toks("a b")).accepted
+        # Fig. 6.3: the transition on b now reaches a state with the merged
+        # kernel {B ::= b •, A ::= b •}
+        merged = [
+            s
+            for s in generator.graph.states()
+            if {str(i) for i in s.kernel} == {"B ::= b •", "A ::= b •"}
+        ]
+        assert len(merged) == 1
+
+    def test_old_b_state_survives(self, warm):
+        generator, parser = warm
+        before = {
+            s.uid
+            for s in generator.graph.states()
+            if {str(i) for i in s.kernel} == {"B ::= b •"}
+        }
+        generator.add_rule(Rule(A, [Terminal("b")]))
+        assert parser.parse(toks("c b")).accepted
+        after = {
+            s.uid
+            for s in generator.graph.states()
+            if {str(i) for i in s.kernel} == {"B ::= b •"}
+        }
+        # "Set of items 7 and the transition of 2 to 7 are not affected"
+        assert before == after
+
+    def test_language_unchanged_by_redundant_rule(self, warm):
+        # A ::= b makes 'a b' derivable two ways but adds no sentences
+        generator, parser = warm
+        generator.add_rule(Rule(A, [Terminal("b")]))
+        assert parser.parse(toks("a b")).accepted
+        assert parser.parse(toks("c b")).accepted
+        assert not parser.parse(toks("a a")).accepted
+
+
+class TestStartRuleModification:
+    def test_adding_start_rule_updates_start_kernel(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=False)
+        parser = PoolParser(generator.control, booleans)
+        assert parser.parse(toks("true")).accepted
+        booleans.add_rule(
+            Rule(booleans.start, [B, Terminal(";"), B], label="pairs")
+        )
+        assert generator.graph.start.is_initial
+        assert parser.parse(toks("true ; false")).accepted
+        assert parser.parse(toks("true")).accepted
+
+    def test_deleting_start_rule(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=False)
+        parser = PoolParser(generator.control, booleans)
+        assert parser.parse(toks("true")).accepted
+        generator.delete_rule(Rule(booleans.start, [B]))
+        assert not parser.parse(toks("true")).accepted
+
+
+class TestObserverWiring:
+    def test_direct_grammar_edits_are_noticed(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=False)
+        parser = PoolParser(generator.control, booleans)
+        assert parser.parse(toks("true")).accepted
+        # edit the grammar directly, not through the generator
+        booleans.add_rule(Rule(B, [Terminal("unknown")]))
+        assert parser.parse(toks("unknown")).accepted
+
+    def test_close_detaches(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=False)
+        parser = PoolParser(generator.control, booleans)
+        assert parser.parse(toks("true")).accepted
+        generator.close()
+        booleans.add_rule(Rule(B, [Terminal("unknown")]))
+        # the generator no longer tracks the grammar; the graph is stale
+        # and the new sentence is (incorrectly, but by request) rejected
+        assert not parser.parse(toks("unknown")).accepted
+
+    def test_modifications_counted(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=False)
+        generator.add_rule(Rule(B, [Terminal("u")]))
+        generator.delete_rule(Rule(B, [Terminal("u")]))
+        assert generator.modifications == 2
+
+    def test_noop_edit_triggers_nothing(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=False)
+        generator.add_rule(Rule(B, [Terminal("true")]))  # already present
+        assert generator.modifications == 0

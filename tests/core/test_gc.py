@@ -1,0 +1,154 @@
+"""E10 — section 6.2: garbage collection of item sets."""
+
+import pytest
+
+from repro.core.gc import GarbageCollector
+from repro.core.incremental import IncrementalGenerator
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.lr.states import StateType
+from repro.runtime.parallel import PoolParser
+
+from ..conftest import toks
+
+B = NonTerminal("B")
+
+
+@pytest.fixture()
+def warm(booleans):
+    generator = IncrementalGenerator(booleans, gc=True)
+    parser = PoolParser(generator.control, booleans)
+    assert parser.parse(toks("true and true or false")).accepted
+    return generator, parser
+
+
+class TestDirtyStates:
+    def test_modify_marks_dirty_not_initial(self, warm):
+        generator, _parser = warm
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        dirty = [s for s in generator.graph.states() if s.is_dirty]
+        assert dirty, "with GC on, MODIFY should produce dirty states"
+        for state in dirty:
+            assert state.old_transitions, "dirty states keep their history"
+            assert not state.transitions
+
+    def test_initial_states_have_nothing_to_stash(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=True)
+        # nothing parsed: only the initial start state exists
+        generator.add_rule(Rule(booleans.start, [B, B]))
+        assert generator.graph.start.type is not StateType.DIRTY
+
+    def test_double_modify_keeps_original_history(self, warm):
+        generator, _parser = warm
+        generator.add_rule(Rule(B, [Terminal("u1")]))
+        dirty = next(s for s in generator.graph.states() if s.is_dirty)
+        history = dirty.old_transitions
+        generator.add_rule(Rule(B, [Terminal("u2")]))
+        assert dirty.old_transitions is history
+
+
+class TestReexpansionAndRefcounts:
+    def test_refcounts_balanced_after_session(self, warm):
+        generator, parser = warm
+        rule = Rule(B, [Terminal("unknown")])
+        generator.add_rule(rule)
+        assert parser.parse(toks("unknown or true")).accepted
+        generator.delete_rule(rule)
+        assert parser.parse(toks("true and false")).accepted
+        assert generator.collector is not None
+        assert generator.collector.check_refcounts() == []
+
+    def test_dangling_region_survives_until_reexpansion(self, warm):
+        generator, parser = warm
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        # before any re-expansion, nothing was collected (Fig. 6.4's
+        # dangling 1, 2, 3 must be retained for reconnection)
+        assert generator.graph.stats.states_removed == 0
+        assert parser.parse(toks("true and unknown")).accepted
+        # after re-expansion, the old targets were reconnected, not freed
+        states = {s.uid: s for s in generator.graph.states()}
+        assert 1 in states and 2 in states and 3 in states
+
+    def test_xor_example_reclaims_states(self, booleans):
+        """The paper's §6.2 example: after adding 'B ::= B xor B', the old
+        operator region (states 1, 6, 7) can never be re-used..."""
+        generator = IncrementalGenerator(booleans, gc=True)
+        parser = PoolParser(generator.control, booleans)
+        assert parser.parse(toks("true and true or false")).accepted
+        before = len(generator.graph)
+        generator.add_rule(Rule(B, [B, Terminal("xor"), B]))
+        assert parser.parse(toks("true xor true")).accepted
+        # ...they are reclaimed once the re-expansions release them, or
+        # at the latest by the cycle sweep.
+        removed_by_refcount = generator.graph.stats.states_removed
+        generator.collect_garbage(force_sweep=True)
+        states = {s.uid for s in generator.graph.states()}
+        assert 1 not in states or removed_by_refcount > 0
+
+    def test_refcount_cascade(self, warm):
+        generator, parser = warm
+        # delete the only path into the 'and' region, re-expand, and the
+        # whole chain 4→6 should eventually be released by the sweep
+        generator.delete_rule(Rule(B, [B, Terminal("and"), B]))
+        assert parser.parse(toks("true or false")).accepted
+        generator.collect_garbage(force_sweep=True)
+        for state in generator.graph.states():
+            for item in state.kernel:
+                assert "and" not in str(item)
+
+
+class TestMarkAndSweep:
+    def test_sweep_keeps_dirty_histories_alive(self, warm):
+        generator, _parser = warm
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        removed = generator.collector.collect_cycles()
+        # 1, 2, 3 are reachable through the dirty start state's history
+        states = {s.uid for s in generator.graph.states()}
+        assert {1, 2, 3} <= states
+
+    def test_sweep_removes_orphaned_cycles(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=True)
+        parser = PoolParser(generator.control, booleans)
+        assert parser.parse(toks("true and true or true")).accepted
+        # replace the whole operator language: the 4↔6/5↔7 cycle orbits
+        # become garbage that pure refcounting cannot free
+        generator.delete_rule(Rule(B, [B, Terminal("and"), B]))
+        generator.delete_rule(Rule(B, [B, Terminal("or"), B]))
+        assert parser.parse(toks("true")).accepted
+        live_before = len(generator.graph)
+        removed = generator.collector.collect_cycles()
+        assert removed > 0
+        assert len(generator.graph) == live_before - removed
+        assert generator.collector.check_refcounts() == []
+
+    def test_sweep_never_removes_start(self, warm):
+        generator, _parser = warm
+        generator.collector.collect_cycles()
+        assert generator.graph.start in generator.graph
+
+    def test_dirty_fraction_and_threshold(self, warm):
+        generator, _parser = warm
+        assert generator.collector.dirty_fraction() == 0.0
+        generator.add_rule(Rule(B, [Terminal("unknown")]))
+        assert generator.collector.dirty_fraction() > 0.0
+        # collect_garbage honours the threshold
+        removed = generator.collect_garbage(dirty_threshold=0.99)
+        assert removed == 0
+
+    def test_collect_garbage_disabled_without_gc(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=False)
+        assert generator.collect_garbage(force_sweep=True) == 0
+
+
+class TestGcOffMode:
+    def test_without_gc_states_accumulate(self, booleans):
+        generator = IncrementalGenerator(booleans, gc=False)
+        parser = PoolParser(generator.control, booleans)
+        assert parser.parse(toks("true and true")).accepted
+        for index in range(5):
+            rule = Rule(B, [Terminal(f"g{index}")])
+            generator.add_rule(rule)
+            assert parser.parse(toks(f"g{index}")).accepted
+            generator.delete_rule(rule)
+            assert parser.parse(toks("true")).accepted
+        assert generator.graph.stats.states_removed == 0

@@ -1,0 +1,137 @@
+"""The IPG facade: the user-level API of the whole system."""
+
+import pytest
+
+from repro.core.ipg import IPG
+from repro.grammar.grammar import GrammarError
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+
+BOOLEANS = """
+    B ::= true
+    B ::= false
+    B ::= B or B
+    B ::= B and B
+    START ::= B
+"""
+
+
+@pytest.fixture()
+def ipg():
+    return IPG.from_text(BOOLEANS)
+
+
+class TestParsing:
+    def test_parse_string_input(self, ipg):
+        result = ipg.parse("true or false")
+        assert result.accepted
+        assert len(result.trees) == 1
+
+    def test_parse_terminal_list(self, ipg):
+        result = ipg.parse([Terminal("true"), Terminal("or"), Terminal("false")])
+        assert result.accepted
+
+    def test_mixed_token_input(self, ipg):
+        assert ipg.parse(["true", Terminal("and"), "false"]).accepted
+
+    def test_bad_token_type_rejected(self, ipg):
+        with pytest.raises(TypeError):
+            ipg.parse([42])  # type: ignore[list-item]
+
+    def test_recognize(self, ipg):
+        assert ipg.recognize("true and true")
+        assert not ipg.recognize("true and")
+
+    def test_recognize_gss_agrees(self, ipg):
+        for sentence in ("true", "true or false", "or", ""):
+            assert ipg.recognize(sentence) == ipg.recognize_gss(sentence)
+
+    def test_trace_support(self, ipg):
+        from repro.runtime.trace import Trace
+
+        trace = Trace()
+        ipg.parse("true", trace=trace)
+        assert len(trace) > 0
+
+
+class TestEditing:
+    def test_add_rule_text(self, ipg):
+        assert ipg.add_rule("B ::= unknown") is True
+        assert ipg.recognize("unknown or true")
+
+    def test_add_rule_object(self, ipg):
+        rule = Rule(NonTerminal("B"), [Terminal("nil")])
+        assert ipg.add_rule(rule)
+        assert ipg.recognize("nil")
+
+    def test_add_existing_rule_is_noop(self, ipg):
+        assert ipg.add_rule("B ::= true") is False
+
+    def test_delete_rule_text(self, ipg):
+        assert ipg.delete_rule("B ::= false")
+        assert not ipg.recognize("false")
+
+    def test_rule_text_resolves_known_nonterminals(self, ipg):
+        ipg.add_rule("B ::= not B")
+        assert ipg.recognize("not true")
+        assert ipg.recognize("not not false")
+
+    def test_rule_text_new_lhs(self, ipg):
+        ipg.add_rule("C ::= maybe")
+        # C is unreachable but legal; language unchanged
+        assert ipg.recognize("true")
+        assert not ipg.recognize("maybe")
+
+    def test_malformed_rule_text_rejected(self, ipg):
+        with pytest.raises(GrammarError):
+            ipg.add_rule("B -> true")
+        with pytest.raises(GrammarError):
+            ipg.add_rule("::= x")
+
+    def test_epsilon_rule_text(self, ipg):
+        ipg.add_rule("B ::= ε")
+        assert ipg.recognize("")
+
+
+class TestIntrospection:
+    def test_summary_counts(self, ipg):
+        before = ipg.summary()
+        assert before["states"] == 1  # just the initial start state
+        ipg.parse("true and true")
+        after = ipg.summary()
+        assert after["complete"] > 0
+        assert after["states"] > before["states"]
+
+    def test_table_fraction_grows_with_coverage(self, ipg):
+        ipg.parse("true and true")
+        partial = ipg.table_fraction()
+        ipg.parse("false or false")
+        fuller = ipg.table_fraction()
+        assert 0 < partial < fuller <= 1.0
+
+    def test_repr(self, ipg):
+        assert "IPG(" in repr(ipg)
+
+    def test_collect_garbage_roundtrip(self, ipg):
+        ipg.parse("true and true or false")
+        ipg.add_rule("B ::= B xor B")
+        ipg.parse("true xor true")
+        removed = ipg.collect_garbage(force_sweep=True)
+        assert removed >= 0
+        assert ipg.recognize("true xor false and true")
+
+
+class TestConstructors:
+    def test_from_rules(self):
+        rules = [
+            Rule(NonTerminal("B"), [Terminal("x")]),
+            Rule(NonTerminal("START"), [NonTerminal("B")]),
+        ]
+        ipg = IPG.from_rules(rules)
+        assert ipg.recognize("x")
+
+    def test_gc_flag(self):
+        ipg = IPG.from_text(BOOLEANS, gc=False)
+        assert ipg.generator.collector is None
+        ipg = IPG.from_text(BOOLEANS, gc=True)
+        assert ipg.generator.collector is not None

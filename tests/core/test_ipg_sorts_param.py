@@ -1,0 +1,39 @@
+"""The sorts= escape hatch for forward-referenced non-terminals."""
+
+import pytest
+
+from repro.core.ipg import IPG
+from repro.grammar.symbols import NonTerminal, Terminal
+
+
+@pytest.fixture()
+def ipg():
+    return IPG.from_text(
+        """
+        CMD ::= go
+        START ::= CMD
+        """
+    )
+
+
+class TestSortsParameter:
+    def test_forward_reference_without_sorts_is_terminal(self, ipg):
+        ipg.add_rule("CMD ::= turn N")
+        # N became a terminal: the literal token 'N' is required
+        assert ipg.recognize([Terminal("turn"), Terminal("N")])
+
+    def test_forward_reference_with_sorts_is_nonterminal(self, ipg):
+        ipg.add_rule("CMD ::= turn N", sorts={"N"})
+        ipg.add_rule("N ::= 1")
+        assert ipg.recognize("turn 1")
+        assert not ipg.recognize("turn N")
+
+    def test_sorts_accepted_on_delete(self, ipg):
+        ipg.add_rule("CMD ::= turn N", sorts={"N"})
+        ipg.add_rule("N ::= 1")
+        assert ipg.delete_rule("CMD ::= turn N", sorts={"N"})
+        assert not ipg.recognize("turn 1")
+
+    def test_known_nonterminals_do_not_need_sorts(self, ipg):
+        ipg.add_rule("CMD ::= CMD then CMD")
+        assert ipg.recognize("go then go")

@@ -1,0 +1,68 @@
+"""Metrics: the §5.2 table fraction and graph summaries."""
+
+import pytest
+
+from repro.core.lazy import LazyGenerator
+from repro.core.metrics import ControlProbe, graph_summary, table_fraction
+from repro.runtime.parallel import PoolParser
+
+from ..conftest import toks
+
+
+class TestTableFraction:
+    def test_zero_before_parsing(self, booleans):
+        generator = LazyGenerator(booleans)
+        assert table_fraction(generator.graph, booleans) == 0.0
+
+    def test_partial_after_one_sentence(self, booleans):
+        generator = LazyGenerator(booleans)
+        parser = PoolParser(generator.control(), booleans)
+        parser.parse(toks("true and true"))
+        fraction = table_fraction(generator.graph, booleans)
+        # Fig. 5.2: 5 of the 8 states of the full table are complete
+        assert fraction == pytest.approx(5 / 8)
+
+    def test_one_after_forcing(self, booleans):
+        generator = LazyGenerator(booleans)
+        generator.force()
+        assert table_fraction(generator.graph, booleans) == 1.0
+
+
+class TestGraphSummary:
+    def test_summary_keys(self, booleans):
+        generator = LazyGenerator(booleans)
+        summary = graph_summary(generator.graph)
+        for key in ("states", "complete", "initial", "dirty", "transitions"):
+            assert key in summary
+
+    def test_counts_consistent(self, booleans):
+        generator = LazyGenerator(booleans)
+        parser = PoolParser(generator.control(), booleans)
+        parser.parse(toks("true or false"))
+        summary = graph_summary(generator.graph)
+        assert (
+            summary["complete"] + summary["initial"] + summary["dirty"]
+            == summary["states"]
+        )
+
+
+class TestControlProbe:
+    def test_counts_calls(self, booleans):
+        generator = LazyGenerator(booleans)
+        probe = ControlProbe(generator.control())
+        parser = PoolParser(probe, booleans)
+        parser.parse(toks("true and true"))
+        snapshot = probe.snapshot()
+        assert snapshot["action_calls"] > 0
+        assert snapshot["goto_calls"] > 0
+        assert snapshot["expansions_triggered"] > 0
+
+    def test_transparent_start_state(self, booleans):
+        generator = LazyGenerator(booleans)
+        probe = ControlProbe(generator.control())
+        assert probe.start_state is generator.graph.start
+
+    def test_graph_passthrough(self, booleans):
+        generator = LazyGenerator(booleans)
+        probe = ControlProbe(generator.control())
+        assert probe.graph is generator.graph

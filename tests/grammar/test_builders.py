@@ -1,0 +1,104 @@
+"""The builder DSL and the BNF text notation."""
+
+import pytest
+
+from repro.grammar.builders import (
+    GrammarBuilder,
+    grammar_from_text,
+    rules_from_text,
+)
+from repro.grammar.grammar import GrammarError
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+
+
+class TestGrammarBuilder:
+    def test_lhs_names_become_nonterminals_everywhere(self):
+        grammar = (
+            GrammarBuilder()
+            .rule("B", ["true"])
+            .rule("B", ["B", "or", "B"])
+            .start("B")
+            .build()
+        )
+        rule = next(r for r in grammar.rules if len(r.rhs) == 3)
+        assert rule.rhs[0] == NonTerminal("B")
+        assert rule.rhs[1] == Terminal("or")
+
+    def test_sort_declaration_forces_nonterminal(self):
+        grammar = (
+            GrammarBuilder()
+            .sort("X")
+            .rule("B", ["X"])
+            .start("B")
+            .build()
+        )
+        (rule,) = grammar.rules_for(NonTerminal("B"))
+        assert rule.rhs[0] == NonTerminal("X")
+
+    def test_undeclared_name_is_terminal(self):
+        grammar = GrammarBuilder().rule("B", ["x"]).start("B").build()
+        (rule,) = grammar.rules_for(NonTerminal("B"))
+        assert rule.rhs[0] == Terminal("x")
+
+    def test_start_adds_start_rules(self):
+        grammar = GrammarBuilder().rule("B", ["x"]).start("B").build()
+        assert len(grammar.start_rules()) == 1
+
+    def test_explicit_symbols_pass_through(self):
+        grammar = (
+            GrammarBuilder()
+            .rule("B", [Terminal("B")])  # a terminal spelled like a sort
+            .start("B")
+            .build()
+        )
+        (rule,) = grammar.rules_for(NonTerminal("B"))
+        assert rule.rhs[0] == Terminal("B")
+
+    def test_build_rules_without_grammar(self):
+        rules = GrammarBuilder().rule("B", ["x"]).start("B").build_rules()
+        assert Rule(NonTerminal("B"), [Terminal("x")]) in rules
+
+
+class TestTextNotation:
+    def test_booleans(self):
+        grammar = grammar_from_text(
+            """
+            B ::= true
+            B ::= false
+            START ::= B
+            """
+        )
+        assert len(grammar) == 3
+        assert grammar.defines(NonTerminal("B"))
+
+    def test_epsilon_rule_via_empty_rhs(self):
+        grammar = grammar_from_text("A ::=\nSTART ::= A")
+        assert Rule(NonTerminal("A"), []) in grammar
+
+    def test_epsilon_rule_via_epsilon_sign(self):
+        grammar = grammar_from_text("A ::= ε\nSTART ::= A")
+        assert Rule(NonTerminal("A"), []) in grammar
+
+    def test_comments_and_blank_lines_ignored(self):
+        grammar = grammar_from_text(
+            """
+            # the booleans
+            B ::= true
+
+            START ::= B  # top
+            """
+        )
+        assert len(grammar) == 2
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(GrammarError):
+            grammar_from_text("B = true")
+
+    def test_missing_lhs_rejected(self):
+        with pytest.raises(GrammarError):
+            grammar_from_text("::= true")
+
+    def test_rules_from_text(self):
+        rules = rules_from_text("B ::= x\nSTART ::= B")
+        assert len(rules) == 2

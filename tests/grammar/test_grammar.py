@@ -1,0 +1,190 @@
+"""The mutable Grammar: edits, observers, derived views, validation."""
+
+import pytest
+
+from repro.grammar.grammar import Grammar, GrammarError
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import END, NonTerminal, START, Terminal
+
+B = NonTerminal("B")
+true = Terminal("true")
+false = Terminal("false")
+or_ = Terminal("or")
+
+
+def booleans_rules():
+    return [
+        Rule(B, [true]),
+        Rule(B, [false]),
+        Rule(B, [B, or_, B]),
+        Rule(START, [B]),
+    ]
+
+
+class TestEdits:
+    def test_add_returns_true_on_change(self):
+        grammar = Grammar()
+        assert grammar.add_rule(Rule(B, [true])) is True
+
+    def test_add_duplicate_returns_false(self):
+        grammar = Grammar([Rule(B, [true])])
+        assert grammar.add_rule(Rule(B, [true])) is False
+        assert len(grammar) == 1
+
+    def test_delete_returns_true_on_change(self):
+        grammar = Grammar([Rule(B, [true])])
+        assert grammar.delete_rule(Rule(B, [true])) is True
+        assert len(grammar) == 0
+
+    def test_delete_absent_returns_false(self):
+        grammar = Grammar()
+        assert grammar.delete_rule(Rule(B, [true])) is False
+
+    def test_replace_rule(self):
+        grammar = Grammar([Rule(B, [true])])
+        grammar.replace_rule(Rule(B, [true]), Rule(B, [false]))
+        assert Rule(B, [false]) in grammar
+        assert Rule(B, [true]) not in grammar
+
+    def test_replace_absent_raises(self):
+        grammar = Grammar()
+        with pytest.raises(GrammarError):
+            grammar.replace_rule(Rule(B, [true]), Rule(B, [false]))
+
+    def test_revision_counts_changes_only(self):
+        grammar = Grammar()
+        base = grammar.revision
+        grammar.add_rule(Rule(B, [true]))
+        grammar.add_rule(Rule(B, [true]))  # no-op
+        grammar.delete_rule(Rule(B, [true]))
+        assert grammar.revision == base + 2
+
+    def test_batch_update_deletes_first(self):
+        grammar = Grammar([Rule(B, [true])])
+        grammar.update(add=[Rule(B, [false])], delete=[Rule(B, [true])])
+        assert grammar.rules == frozenset({Rule(B, [false])})
+
+
+class TestValidation:
+    def test_start_not_allowed_in_rhs(self):
+        grammar = Grammar()
+        with pytest.raises(GrammarError):
+            grammar.add_rule(Rule(B, [START]))
+
+    def test_end_marker_not_allowed_in_rhs(self):
+        grammar = Grammar()
+        with pytest.raises(GrammarError):
+            grammar.add_rule(Rule(B, [END]))
+
+    def test_non_rule_rejected(self):
+        grammar = Grammar()
+        with pytest.raises(GrammarError):
+            grammar.add_rule("B ::= true")  # type: ignore[arg-type]
+
+
+class TestDerivedViews:
+    def test_terminals_and_nonterminals(self):
+        grammar = Grammar(booleans_rules())
+        assert grammar.terminals == frozenset({true, false, or_})
+        assert grammar.nonterminals == frozenset({B, START})
+
+    def test_views_shrink_after_delete(self):
+        grammar = Grammar(booleans_rules())
+        grammar.delete_rule(Rule(B, [false]))
+        assert false not in grammar.terminals
+
+    def test_symbol_shared_by_rules_survives_single_delete(self):
+        grammar = Grammar([Rule(B, [true]), Rule(B, [true, or_, true])])
+        grammar.delete_rule(Rule(B, [true]))
+        assert true in grammar.terminals
+
+    def test_rules_for_preserves_insertion_order(self):
+        grammar = Grammar(booleans_rules())
+        assert grammar.rules_for(B) == (
+            Rule(B, [true]),
+            Rule(B, [false]),
+            Rule(B, [B, or_, B]),
+        )
+
+    def test_copy_preserves_insertion_order(self):
+        grammar = Grammar(booleans_rules())
+        assert grammar.copy().rules_for(B) == grammar.rules_for(B)
+
+    def test_start_rules(self):
+        grammar = Grammar(booleans_rules())
+        assert grammar.start_rules() == (Rule(START, [B]),)
+
+    def test_defines(self):
+        grammar = Grammar(booleans_rules())
+        assert grammar.defines(B)
+        assert not grammar.defines(NonTerminal("Z"))
+
+    def test_iteration_is_deterministic(self):
+        grammar = Grammar(booleans_rules())
+        assert list(grammar) == sorted(grammar.rules)
+
+
+class TestObservers:
+    def test_observer_sees_additions_and_deletions(self):
+        grammar = Grammar()
+        events = []
+        grammar.subscribe(lambda g, rule, added: events.append((rule, added)))
+        rule = Rule(B, [true])
+        grammar.add_rule(rule)
+        grammar.delete_rule(rule)
+        assert events == [(rule, True), (rule, False)]
+
+    def test_observer_not_called_for_noop(self):
+        grammar = Grammar([Rule(B, [true])])
+        events = []
+        grammar.subscribe(lambda g, rule, added: events.append(added))
+        grammar.add_rule(Rule(B, [true]))
+        assert events == []
+
+    def test_unsubscribe(self):
+        grammar = Grammar()
+        events = []
+        unsubscribe = grammar.subscribe(
+            lambda g, rule, added: events.append(added)
+        )
+        unsubscribe()
+        grammar.add_rule(Rule(B, [true]))
+        assert events == []
+
+    def test_observer_runs_after_update(self):
+        grammar = Grammar()
+        seen = []
+        grammar.subscribe(
+            lambda g, rule, added: seen.append(rule in g)
+        )
+        grammar.add_rule(Rule(B, [true]))
+        assert seen == [True]
+
+
+class TestSnapshots:
+    def test_snapshot_is_frozen(self):
+        grammar = Grammar(booleans_rules())
+        snap = grammar.snapshot()
+        grammar.delete_rule(Rule(B, [true]))
+        assert Rule(B, [true]) in snap
+
+    def test_copy_is_independent(self):
+        grammar = Grammar(booleans_rules())
+        clone = grammar.copy()
+        clone.delete_rule(Rule(B, [true]))
+        assert Rule(B, [true]) in grammar
+
+    def test_copy_does_not_share_observers(self):
+        grammar = Grammar()
+        events = []
+        grammar.subscribe(lambda g, r, a: events.append(a))
+        clone = grammar.copy()
+        clone.add_rule(Rule(B, [true]))
+        assert events == []
+
+
+class TestDisplay:
+    def test_pretty_lists_rules(self):
+        grammar = Grammar([Rule(B, [true]), Rule(B, [false])])
+        assert "B ::= true" in grammar.pretty()
+        assert "B ::= false" in grammar.pretty()

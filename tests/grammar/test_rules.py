@@ -1,0 +1,84 @@
+"""Rules: value semantics, epsilon bodies, immutability."""
+
+import pytest
+
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+
+B = NonTerminal("B")
+E = NonTerminal("E")
+true = Terminal("true")
+or_ = Terminal("or")
+
+
+class TestConstruction:
+    def test_basic(self):
+        rule = Rule(B, [true])
+        assert rule.lhs == B
+        assert rule.rhs == (true,)
+
+    def test_epsilon_body(self):
+        rule = Rule(B, [])
+        assert rule.is_epsilon
+        assert len(rule) == 0
+
+    def test_lhs_must_be_nonterminal(self):
+        with pytest.raises(TypeError):
+            Rule(true, [B])  # type: ignore[arg-type]
+
+    def test_body_must_contain_symbols(self):
+        with pytest.raises(TypeError):
+            Rule(B, ["true"])  # type: ignore[list-item]
+
+
+class TestValueSemantics:
+    def test_structural_equality(self):
+        assert Rule(B, [B, or_, B]) == Rule(B, [B, or_, B])
+        assert hash(Rule(B, [B, or_, B])) == hash(Rule(B, [B, or_, B]))
+
+    def test_label_excluded_from_equality(self):
+        assert Rule(B, [true], label="a") == Rule(B, [true], label="b")
+        assert hash(Rule(B, [true], label="a")) == hash(Rule(B, [true]))
+
+    def test_different_lhs_differ(self):
+        assert Rule(B, [true]) != Rule(E, [true])
+
+    def test_different_rhs_differ(self):
+        assert Rule(B, [true]) != Rule(B, [true, true])
+
+    def test_usable_in_sets(self):
+        rules = {Rule(B, [true]), Rule(B, [true]), Rule(E, [true])}
+        assert len(rules) == 2
+
+
+class TestImmutability:
+    def test_cannot_assign_fields(self):
+        rule = Rule(B, [true])
+        with pytest.raises(AttributeError):
+            rule.lhs = E  # type: ignore[misc]
+
+    def test_rhs_is_tuple(self):
+        assert isinstance(Rule(B, [true]).rhs, tuple)
+
+
+class TestQueries:
+    def test_symbols_includes_lhs(self):
+        rule = Rule(B, [B, or_, B])
+        assert rule.symbols() == (B, B, or_, B)
+
+    def test_terminals_and_nonterminals(self):
+        rule = Rule(B, [B, or_, B])
+        assert rule.terminals() == (or_,)
+        assert rule.nonterminals() == (B, B, B)
+
+    def test_sorting_is_deterministic(self):
+        rules = [Rule(E, [true]), Rule(B, [true]), Rule(B, [])]
+        assert sorted(rules) == [Rule(B, []), Rule(B, [true]), Rule(E, [true])]
+
+
+class TestDisplay:
+    def test_str_uses_bnf_arrow(self):
+        assert str(Rule(B, [B, or_, B])) == "B ::= B or B"
+
+    def test_epsilon_shown_explicitly(self):
+        assert str(Rule(B, [])) == "B ::= ε"

@@ -1,0 +1,113 @@
+"""Symbols: identity, interning, ordering, coercion."""
+
+import pickle
+
+import pytest
+
+from repro.grammar.symbols import (
+    END,
+    NonTerminal,
+    START,
+    START_NAME,
+    Symbol,
+    Terminal,
+    as_symbol,
+)
+
+
+class TestIdentity:
+    def test_equal_terminals_are_identical(self):
+        assert Terminal("x") is Terminal("x")
+
+    def test_equal_nonterminals_are_identical(self):
+        assert NonTerminal("E") is NonTerminal("E")
+
+    def test_terminal_differs_from_nonterminal_of_same_name(self):
+        assert Terminal("E") != NonTerminal("E")
+        assert hash(Terminal("E")) != hash(NonTerminal("E"))
+
+    def test_different_names_differ(self):
+        assert Terminal("a") != Terminal("b")
+
+    def test_end_marker_is_a_terminal(self):
+        assert isinstance(END, Terminal)
+        assert END.name == "$"
+
+    def test_start_symbol(self):
+        assert isinstance(START, NonTerminal)
+        assert START.name == START_NAME
+
+
+class TestValidation:
+    def test_symbol_itself_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            Symbol("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Terminal("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            Terminal(7)  # type: ignore[arg-type]
+
+
+class TestOrdering:
+    def test_terminals_sort_before_nonterminals(self):
+        assert Terminal("z") < NonTerminal("a")
+
+    def test_within_class_by_name(self):
+        assert Terminal("a") < Terminal("b")
+        assert NonTerminal("A") < NonTerminal("B")
+
+    def test_sorting_is_stable_and_total(self):
+        symbols = [NonTerminal("B"), Terminal("b"), Terminal("a"), NonTerminal("A")]
+        ordered = sorted(symbols)
+        assert ordered == [
+            Terminal("a"),
+            Terminal("b"),
+            NonTerminal("A"),
+            NonTerminal("B"),
+        ]
+
+
+class TestKindPredicates:
+    def test_terminal_predicates(self):
+        assert Terminal("x").is_terminal
+        assert not Terminal("x").is_nonterminal
+
+    def test_nonterminal_predicates(self):
+        assert NonTerminal("X").is_nonterminal
+        assert not NonTerminal("X").is_terminal
+
+
+class TestCoercion:
+    def test_symbols_pass_through(self):
+        t = Terminal("x")
+        assert as_symbol(t) is t
+
+    def test_string_defaults_to_terminal(self):
+        assert as_symbol("x") == Terminal("x")
+
+    def test_string_in_nonterminal_set(self):
+        assert as_symbol("E", frozenset({"E"})) == NonTerminal("E")
+
+    def test_start_name_is_always_nonterminal(self):
+        assert as_symbol(START_NAME) == START
+
+
+class TestDisplay:
+    def test_str_is_bare_name(self):
+        assert str(Terminal("or")) == "or"
+        assert str(NonTerminal("B")) == "B"
+
+    def test_repr_mentions_class(self):
+        assert "Terminal" in repr(Terminal("x"))
+        assert "NonTerminal" in repr(NonTerminal("X"))
+
+
+class TestPickle:
+    def test_round_trip_preserves_interning(self):
+        t = Terminal("x")
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone is t

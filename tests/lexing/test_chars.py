@@ -1,0 +1,93 @@
+"""Character sets and SDF class parsing."""
+
+import pytest
+
+from repro.lexing.chars import (
+    ALPHABET,
+    CharClassError,
+    CharSet,
+    parse_char_class,
+    single,
+)
+
+
+class TestCharSet:
+    def test_membership(self):
+        cs = CharSet("abc")
+        assert "a" in cs and "d" not in cs
+
+    def test_union(self):
+        assert CharSet("ab").union(CharSet("bc")) == CharSet("abc")
+
+    def test_complement_relative_to_alphabet(self):
+        cs = CharSet("a").complement()
+        assert "a" not in cs
+        assert "b" in cs
+        assert "\n" in cs
+        assert len(cs) == len(ALPHABET) - 1
+
+    def test_double_complement_is_identity(self):
+        cs = CharSet("xyz")
+        assert cs.complement().complement() == cs
+
+    def test_value_semantics(self):
+        assert CharSet("ab") == CharSet("ba")
+        assert hash(CharSet("ab")) == hash(CharSet("ba"))
+
+    def test_rejects_non_characters(self):
+        with pytest.raises(CharClassError):
+            CharSet(["ab"])
+
+    def test_single(self):
+        assert single("x") == CharSet("x")
+
+
+class TestParseCharClass:
+    def test_plain_characters(self):
+        assert parse_char_class("[abc]") == CharSet("abc")
+
+    def test_ranges(self):
+        cs = parse_char_class("[a-e]")
+        assert cs == CharSet("abcde")
+
+    def test_multiple_ranges(self):
+        cs = parse_char_class("[a-cx-z0-2]")
+        assert cs == CharSet("abcxyz012")
+
+    def test_escaped_dash_is_literal(self):
+        cs = parse_char_class(r"[a\-z]")
+        assert cs == CharSet("a-z")  # three characters, no range
+
+    def test_escaped_specials(self):
+        cs = parse_char_class(r"[\n\t\[\]]")
+        assert cs == CharSet("\n\t[]")
+
+    def test_leading_or_trailing_dash(self):
+        # a dash with no right neighbour is literal
+        assert "-" in parse_char_class(r"[ab\-]")
+
+    def test_empty_class(self):
+        assert len(parse_char_class("[]")) == 0
+
+    def test_empty_class_complement_is_everything(self):
+        assert parse_char_class("[]").complement() == CharSet(ALPHABET)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(CharClassError):
+            parse_char_class("[z-a]")
+
+    def test_missing_brackets_rejected(self):
+        with pytest.raises(CharClassError):
+            parse_char_class("abc")
+
+    def test_dangling_escape_rejected(self):
+        # "[a\]" — the backslash escapes the closing bracket, leaving the
+        # class body as "a\" with nothing after the escape
+        with pytest.raises(CharClassError):
+            parse_char_class("[a\\]")
+
+    def test_appendix_b_id_tail(self):
+        cs = parse_char_class(r"[a-zA-Z0-9\-_]")
+        for ch in "azAZ09-_":
+            assert ch in cs
+        assert "+" not in cs

@@ -1,0 +1,157 @@
+"""Lazy DFA and the ISG scanner: laziness, longest match, invalidation."""
+
+import pytest
+
+from repro.lexing.chars import parse_char_class
+from repro.lexing.dfa import LazyDFA
+from repro.lexing.nfa import NFA
+from repro.lexing.regex import Star, Sym, literal, plus
+from repro.lexing.scanner import Lexeme, ScanError, Scanner
+
+
+def basic_scanner():
+    scanner = Scanner()
+    scanner.add_token("IF", literal("if"))
+    scanner.add_token("ID", plus(Sym(parse_char_class("[a-z]"))))
+    scanner.add_token("NUM", plus(Sym(parse_char_class("[0-9]"))))
+    scanner.add_token("WS", plus(Sym(parse_char_class("[\\ ]"))), layout=True)
+    return scanner
+
+
+class TestLazyDFA:
+    def test_states_materialize_on_demand(self):
+        nfa = NFA()
+        nfa.add_definition("ID", plus(Sym(parse_char_class("[a-z]"))))
+        nfa.add_definition("NUM", plus(Sym(parse_char_class("[0-9]"))))
+        dfa = LazyDFA(nfa)
+        _ = dfa.start
+        assert dfa.materialized_states == 1
+        dfa.step(dfa.start, "a")
+        assert dfa.materialized_states == 2  # the NUM side never appears
+
+    def test_transitions_memoized(self):
+        nfa = NFA()
+        nfa.add_definition("ID", plus(Sym(parse_char_class("[a-z]"))))
+        dfa = LazyDFA(nfa)
+        dfa.step(dfa.start, "a")
+        computed = dfa.transitions_computed
+        dfa.step(dfa.start, "a")
+        assert dfa.transitions_computed == computed
+
+    def test_dead_ends_memoized_as_none(self):
+        nfa = NFA()
+        nfa.add_definition("ID", plus(Sym(parse_char_class("[a-z]"))))
+        dfa = LazyDFA(nfa)
+        assert dfa.step(dfa.start, "9") is None
+        assert dfa.start.transitions["9"] is None
+
+    def test_full_state_count_is_an_upper_bound(self):
+        nfa = NFA()
+        nfa.add_definition("ID", plus(Sym(parse_char_class("[a-z]"))))
+        nfa.add_definition("NUM", plus(Sym(parse_char_class("[0-9]"))))
+        dfa = LazyDFA(nfa)
+        dfa.step(dfa.start, "a")
+        assert dfa.materialized_states <= dfa.full_state_count()
+        assert 0 < dfa.fraction_of_full() < 1
+
+
+class TestScanning:
+    def test_longest_match(self):
+        scanner = basic_scanner()
+        assert scanner.scan("iffy") == [Lexeme("ID", "iffy", 0)]
+
+    def test_priority_breaks_length_ties(self):
+        scanner = basic_scanner()
+        assert scanner.scan("if") == [Lexeme("IF", "if", 0)]
+
+    def test_layout_skipped(self):
+        scanner = basic_scanner()
+        lexemes = scanner.scan("if   abc 42")
+        assert [(l.sort, l.text) for l in lexemes] == [
+            ("IF", "if"),
+            ("ID", "abc"),
+            ("NUM", "42"),
+        ]
+
+    def test_positions_recorded(self):
+        scanner = basic_scanner()
+        lexemes = scanner.scan("ab 12")
+        assert [l.position for l in lexemes] == [0, 3]
+
+    def test_scan_error_on_unknown_character(self):
+        scanner = basic_scanner()
+        with pytest.raises(ScanError) as excinfo:
+            scanner.scan("ab !")
+        assert excinfo.value.position == 3
+
+    def test_empty_input(self):
+        assert basic_scanner().scan("") == []
+
+    def test_backtracking_to_last_accept(self):
+        # 'abc1x': ID matches 'abc', NUM '1', then ID 'x' — the scanner
+        # must rewind to the last accepting point, not die mid-token
+        scanner = basic_scanner()
+        lexemes = scanner.scan("abc1x")
+        assert [(l.sort, l.text) for l in lexemes] == [
+            ("ID", "abc"),
+            ("NUM", "1"),
+            ("ID", "x"),
+        ]
+
+
+class TestIncrementalModification:
+    def test_remove_changes_classification(self):
+        scanner = basic_scanner()
+        assert scanner.scan("if")[0].sort == "IF"
+        scanner.remove_token("IF")
+        assert scanner.scan("if")[0].sort == "ID"
+
+    def test_add_after_scanning_invalidates_lazily(self):
+        scanner = basic_scanner()
+        scanner.scan("abc if 42")
+        # '->' shares no prefix with existing sorts, so the new branch
+        # only affects the (re-derived) start state
+        scanner.add_token("ARROW", literal("->"))
+        lexemes = scanner.scan("abc ->")
+        assert [(l.sort, l.text) for l in lexemes] == [
+            ("ID", "abc"),
+            ("ARROW", "->"),
+        ]
+
+    def test_late_keyword_loses_length_ties_to_earlier_id(self):
+        # priority is first-addition order: a keyword added *after* the
+        # identifier sort cannot reserve itself against it
+        scanner = basic_scanner()
+        scanner.add_token("WHILE", literal("while"))
+        assert scanner.scan("while")[0].sort == "ID"
+
+    def test_before_parameter_reserves_late_keyword(self):
+        # ...unless it is spliced ahead of ID with before=
+        scanner = basic_scanner()
+        scanner.add_token("WHILE", literal("while"), before="ID")
+        assert scanner.scan("while")[0].sort == "WHILE"
+        assert scanner.scan("whiles")[0].sort == "ID"  # longest match wins
+
+    def test_readding_extends_definition(self):
+        scanner = Scanner()
+        scanner.add_token("K", literal("aa"))
+        scanner.add_token("K", literal("bb"))
+        assert scanner.scan("aa")[0].sort == "K"
+        assert scanner.scan("bb")[0].sort == "K"
+
+    def test_invalidation_returns_drop_count(self):
+        scanner = basic_scanner()
+        scanner.scan("abc if 42")
+        dropped = scanner.dfa.invalidate_definition("ID")
+        assert dropped > 0
+
+    def test_stats_shape(self):
+        scanner = basic_scanner()
+        scanner.scan("abc")
+        stats = scanner.stats()
+        assert set(stats) == {
+            "dfa_states",
+            "transitions_computed",
+            "nfa_states",
+            "definitions",
+        }

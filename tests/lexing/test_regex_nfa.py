@@ -1,0 +1,124 @@
+"""Regex AST properties and the Thompson NFA."""
+
+import pytest
+
+from repro.lexing.chars import CharSet, parse_char_class
+from repro.lexing.nfa import NFA
+from repro.lexing.regex import (
+    Alt,
+    Concat,
+    Epsilon,
+    Star,
+    Sym,
+    first_chars,
+    literal,
+    nullable,
+    optional,
+    plus,
+)
+
+
+def matches(nfa: NFA, text: str):
+    """Tags accepting exactly ``text``."""
+    states = nfa.epsilon_closure(frozenset({nfa.start}))
+    for ch in text:
+        states = nfa.step(states, ch)
+        if not states:
+            return ()
+    return nfa.accepting_tags(states)
+
+
+class TestRegexProperties:
+    def test_nullable(self):
+        assert nullable(Epsilon())
+        assert nullable(Star(literal("a")))
+        assert nullable(optional(literal("a")))
+        assert not nullable(literal("a"))
+        assert not nullable(plus(literal("a")))
+        assert nullable(Concat([Epsilon(), Star(literal("x"))]))
+        assert not nullable(Concat([Epsilon(), literal("x")]))
+        assert nullable(Alt([literal("x"), Epsilon()]))
+
+    def test_first_chars(self):
+        assert first_chars(literal("abc")) == ("a",)
+        assert first_chars(Alt([literal("a"), literal("b")])) == ("a", "b")
+        assert first_chars(Concat([Star(literal("a")), literal("b")])) == (
+            "a",
+            "b",
+        )
+
+    def test_immutability(self):
+        regex = literal("ab")
+        with pytest.raises(AttributeError):
+            regex.parts = ()  # type: ignore[attr-defined]
+
+
+class TestThompson:
+    def test_literal(self):
+        nfa = NFA()
+        nfa.add_definition("AB", literal("ab"))
+        assert matches(nfa, "ab") == ("AB",)
+        assert matches(nfa, "a") == ()
+        assert matches(nfa, "abc") == ()
+
+    def test_alternation(self):
+        nfa = NFA()
+        nfa.add_definition("K", Alt([literal("if"), literal("then")]))
+        assert matches(nfa, "if") == ("K",)
+        assert matches(nfa, "then") == ("K",)
+        assert matches(nfa, "else") == ()
+
+    def test_star(self):
+        nfa = NFA()
+        nfa.add_definition("AS", Star(literal("a")))
+        assert matches(nfa, "") == ("AS",)
+        assert matches(nfa, "aaaa") == ("AS",)
+        assert matches(nfa, "ab") == ()
+
+    def test_plus(self):
+        nfa = NFA()
+        nfa.add_definition("AP", plus(literal("a")))
+        assert matches(nfa, "") == ()
+        assert matches(nfa, "aaa") == ("AP",)
+
+    def test_char_classes(self):
+        nfa = NFA()
+        nfa.add_definition("ID", plus(Sym(parse_char_class("[a-z]"))))
+        assert matches(nfa, "hello") == ("ID",)
+        assert matches(nfa, "Hello") == ()
+
+    def test_empty_alt_matches_nothing(self):
+        nfa = NFA()
+        nfa.add_definition("NONE", Alt([]))
+        assert matches(nfa, "") == ()
+        assert matches(nfa, "x") == ()
+
+    def test_multiple_definitions_share_the_start(self):
+        nfa = NFA()
+        nfa.add_definition("IF", literal("if"))
+        nfa.add_definition("ID", plus(Sym(parse_char_class("[a-z]"))))
+        assert matches(nfa, "if") == ("IF", "ID")  # both accept; order = priority
+        assert matches(nfa, "iffy") == ("ID",)
+
+
+class TestRemoveDefinition:
+    def test_removal_forgets_the_language(self):
+        nfa = NFA()
+        nfa.add_definition("IF", literal("if"))
+        nfa.add_definition("ID", plus(Sym(parse_char_class("[a-z]"))))
+        nfa.remove_definition("IF")
+        assert matches(nfa, "if") == ("ID",)
+
+    def test_removal_drops_owned_states(self):
+        nfa = NFA()
+        nfa.add_definition("A", literal("aaa"))
+        size = nfa.size
+        nfa.add_definition("B", literal("bbb"))
+        nfa.remove_definition("B")
+        assert nfa.size == size
+
+    def test_removal_of_absent_tag_is_noop(self):
+        nfa = NFA()
+        nfa.add_definition("A", literal("a"))
+        nfa.remove_definition("NOPE")
+        assert matches(nfa, "a") == ("A",)

@@ -1,0 +1,86 @@
+"""SDF lexical syntax → ISG scanner: the full front-end dogfood."""
+
+import pytest
+
+from repro.lexing.sdf_bridge import (
+    LexicalCycleError,
+    cf_literals,
+    referenced_lexical_sorts,
+    scanner_from_sdf,
+)
+from repro.sdf.corpus import CORPUS, sdf_definition
+from repro.sdf.lexer import tokenize
+from repro.sdf.parser import parse_sdf
+
+
+def isg_terminal(lexeme):
+    return lexeme.sort[4:] if lexeme.sort.startswith("lit:") else lexeme.sort
+
+
+class TestBridgeStructure:
+    def test_referenced_lexical_sorts(self):
+        sorts = referenced_lexical_sorts(sdf_definition())
+        assert set(sorts) == {"ID", "LITERAL", "CHAR-CLASS", "ITERATOR"}
+
+    def test_cf_literals_include_keywords_and_separators(self):
+        literals = cf_literals(sdf_definition())
+        assert "module" in literals
+        assert "->" in literals
+        assert "," in literals  # from the {SORT ","}+ separators
+
+
+class TestEquivalenceWithBootstrapLexer:
+    @pytest.mark.parametrize("name", list(CORPUS))
+    def test_corpus_streams_identical(self, name):
+        scanner = scanner_from_sdf(sdf_definition())
+        lexemes = scanner.scan(CORPUS[name])
+        hand = tokenize(CORPUS[name])
+        assert [isg_terminal(l) for l in lexemes] == [
+            t.terminal().name for t in hand
+        ]
+
+    def test_keywords_reserved_against_id(self):
+        scanner = scanner_from_sdf(sdf_definition())
+        (lexeme,) = scanner.scan("module")
+        assert lexeme.sort == "lit:module"
+        (lexeme,) = scanner.scan("modules")  # longer: the ID wins
+        assert lexeme.sort == "ID"
+
+
+class TestLaziness:
+    def test_small_input_materializes_fraction(self):
+        scanner = scanner_from_sdf(sdf_definition())
+        scanner.scan("module x begin end x")
+        assert 0 < scanner.dfa.fraction_of_full() < 1
+
+
+class TestCycleDetection:
+    def test_recursive_lexical_sort_rejected(self):
+        text = """
+module loop
+begin
+  lexical syntax
+    sorts A
+    functions
+      A "x" -> A
+  context-free syntax
+    sorts S
+    functions
+      A -> S
+end loop
+"""
+        with pytest.raises(LexicalCycleError):
+            scanner_from_sdf(parse_sdf(text))
+
+    def test_undefined_lexical_sort_rejected(self):
+        text = """
+module hole
+begin
+  context-free syntax
+    sorts S
+    functions
+      GHOST -> S
+end hole
+"""
+        with pytest.raises(LexicalCycleError):
+            scanner_from_sdf(parse_sdf(text))

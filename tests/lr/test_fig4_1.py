@@ -1,0 +1,145 @@
+"""E2 — Fig. 4.1: the booleans grammar, its graph of item sets, its table.
+
+The conventional generator with deterministic expansion order reproduces
+the *exact* state numbering of the paper's figure:
+
+========  =================================================  =====================
+state     kernel                                             transitions
+========  =================================================  =====================
+0         START ::= •B                                       B→1, true→2, false→3
+1         START ::= B•, B ::= B•or B, B ::= B•and B          and→4, or→5, $→accept
+2         B ::= true•                                        (reduce B ::= true)
+3         B ::= false•                                       (reduce B ::= false)
+4         B ::= B and •B                                     B→6, true→2, false→3
+5         B ::= B or •B                                      B→7, true→2, false→3
+6         B ::= B and B•, B ::= B•or B, B ::= B•and B        and→4, or→5
+7         B ::= B or B•,  B ::= B•or B, B ::= B•and B        and→4, or→5
+========  =================================================  =====================
+"""
+
+import pytest
+
+from repro.grammar.builders import grammar_from_text
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import END, NonTerminal, Terminal
+from repro.lr.generator import ConventionalGenerator
+from repro.lr.items import Item
+from repro.lr.states import ACCEPT
+from repro.lr.table import lr0_table
+
+B = NonTerminal("B")
+true, false = Terminal("true"), Terminal("false")
+and_, or_ = Terminal("and"), Terminal("or")
+
+R_TRUE = Rule(B, [true])
+R_FALSE = Rule(B, [false])
+R_OR = Rule(B, [B, or_, B])
+R_AND = Rule(B, [B, and_, B])
+
+
+@pytest.fixture()
+def graph(booleans):
+    generator = ConventionalGenerator(booleans)
+    generator.generate()
+    return generator.graph
+
+
+def state(graph, uid):
+    return {s.uid: s for s in graph.states()}[uid]
+
+
+class TestGraphShape:
+    def test_eight_states(self, graph):
+        assert len(graph) == 8
+
+    def test_all_states_complete(self, graph):
+        assert all(s.is_complete for s in graph.states())
+
+    def test_state0_kernel(self, graph):
+        start_rule = next(iter(graph.grammar.start_rules()))
+        assert state(graph, 0).kernel == frozenset({Item(start_rule, 0)})
+
+    def test_state0_transitions(self, graph):
+        transitions = state(graph, 0).transitions
+        assert transitions[B].uid == 1
+        assert transitions[true].uid == 2
+        assert transitions[false].uid == 3
+
+    def test_state1_accepts_on_end(self, graph):
+        assert state(graph, 1).transitions[END] is ACCEPT
+
+    def test_state1_operator_transitions(self, graph):
+        transitions = state(graph, 1).transitions
+        assert transitions[and_].uid == 4
+        assert transitions[or_].uid == 5
+
+    def test_leaf_reductions(self, graph):
+        assert state(graph, 2).reductions == (R_TRUE,)
+        assert state(graph, 3).reductions == (R_FALSE,)
+
+    def test_operand_states_share_leaf_states(self, graph):
+        for uid in (4, 5):
+            transitions = state(graph, uid).transitions
+            assert transitions[true].uid == 2
+            assert transitions[false].uid == 3
+
+    def test_goto_after_operand(self, graph):
+        assert state(graph, 4).transitions[B].uid == 6
+        assert state(graph, 5).transitions[B].uid == 7
+
+    def test_reduction_states(self, graph):
+        assert state(graph, 6).reductions == (R_AND,)
+        assert state(graph, 7).reductions == (R_OR,)
+
+    def test_reduction_states_keep_operator_items(self, graph):
+        # kernels of 6 and 7 contain the dotted operator rules, giving the
+        # s5/r3-style conflicts of Fig. 4.1(b)
+        for uid, reduced in ((6, R_AND), (7, R_OR)):
+            transitions = state(graph, uid).transitions
+            assert transitions[and_].uid == 4
+            assert transitions[or_].uid == 5
+            assert Item(reduced, 3) in state(graph, uid).kernel
+
+
+class TestTable:
+    def test_conflict_cells_match_figure(self, graph):
+        table = lr0_table(graph)
+        conflicts = table.conflicts()
+        # states 6 and 7 each conflict on 'or' and 'and' (shift/reduce)
+        located = {(c.state, c.terminal.name) for c in conflicts}
+        assert located == {
+            (6, "or"),
+            (6, "and"),
+            (7, "or"),
+            (7, "and"),
+            # LR(0) reduces on *every* terminal: states 6/7 also reduce
+            # under true/false where no shift exists — single actions, so
+            # no conflicts there.
+        }
+
+    def test_render_mentions_accept(self, graph):
+        rendered = lr0_table(graph).render()
+        assert "acc" in rendered
+        assert "s2" in rendered
+
+    def test_lr0_table_requires_complete_graph(self, booleans):
+        from repro.lr.graph import ItemSetGraph
+
+        partial = ItemSetGraph(booleans)
+        with pytest.raises(ValueError):
+            lr0_table(partial)
+
+
+class TestDeterminism:
+    def test_regeneration_reproduces_numbering(self, booleans):
+        first = ConventionalGenerator(booleans)
+        first.generate()
+        second = ConventionalGenerator(booleans.copy())
+        second.generate()
+        a = {
+            s.uid: sorted(str(i) for i in s.kernel) for s in first.graph.states()
+        }
+        b = {
+            s.uid: sorted(str(i) for i in s.kernel) for s in second.graph.states()
+        }
+        assert a == b

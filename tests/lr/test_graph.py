@@ -1,0 +1,162 @@
+"""CLOSURE, EXPAND and the ItemSetGraph bookkeeping (section 4)."""
+
+import pytest
+
+from repro.grammar.builders import grammar_from_text
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import END, NonTerminal, Terminal
+from repro.lr.graph import ItemSetGraph
+from repro.lr.items import Item
+from repro.lr.states import ACCEPT, StateType
+
+
+class TestClosure:
+    def test_closure_adds_rules_of_next_nonterminal(self, booleans):
+        graph = ItemSetGraph(booleans)
+        closure = graph.closure(graph.start.kernel)
+        texts = {str(item) for item in closure}
+        assert "B ::= • true" in texts
+        assert "B ::= • B or B" in texts
+
+    def test_closure_is_transitive(self):
+        grammar = grammar_from_text(
+            """
+            S ::= A
+            A ::= B
+            B ::= b
+            START ::= S
+            """
+        )
+        graph = ItemSetGraph(grammar)
+        closure = graph.closure(graph.start.kernel)
+        texts = {str(item) for item in closure}
+        assert "B ::= • b" in texts
+
+    def test_closure_of_terminal_dot_adds_nothing(self, booleans):
+        graph = ItemSetGraph(booleans)
+        rule = Rule(NonTerminal("B"), [Terminal("true")])
+        closure = graph.closure({Item(rule, 0)})
+        assert closure == (Item(rule, 0),)
+
+    def test_closure_includes_epsilon_items(self, epsilon_grammar):
+        graph = ItemSetGraph(epsilon_grammar)
+        closure = graph.closure(graph.start.kernel)
+        texts = {str(item) for item in closure}
+        assert "A ::= •" in texts
+
+    def test_closure_handles_undefined_nonterminal(self):
+        grammar = grammar_from_text("S ::= a\nSTART ::= S")
+        grammar.add_rule(
+            Rule(NonTerminal("S"), [NonTerminal("GHOST"), Terminal("x")])
+        )
+        graph = ItemSetGraph(grammar)
+        closure = graph.closure(graph.start.kernel)  # must not blow up
+        assert any(item.next_symbol == NonTerminal("GHOST") for item in closure)
+
+
+class TestExpand:
+    def test_expand_makes_state_complete(self, booleans):
+        graph = ItemSetGraph(booleans)
+        assert graph.start.is_initial
+        graph.expand(graph.start)
+        assert graph.start.is_complete
+
+    def test_expand_links_existing_states_by_kernel(self, booleans):
+        graph = ItemSetGraph(booleans)
+        graph.expand_all()
+        # expanding everything twice over must not create new states
+        count = len(graph)
+        assert graph.stats.states_created == count
+
+    def test_transitions_created_for_undefined_nonterminals(self):
+        # Crucial for MODIFY's lemma: transitions exist for *every* symbol
+        # after a dot, even a non-terminal with no rules yet.
+        grammar = grammar_from_text("S ::= a\nSTART ::= S")
+        grammar.add_rule(
+            Rule(NonTerminal("S"), [NonTerminal("GHOST"), Terminal("x")])
+        )
+        graph = ItemSetGraph(grammar)
+        graph.expand(graph.start)
+        assert NonTerminal("GHOST") in graph.start.transitions
+
+    def test_epsilon_rule_contributes_reduction_in_closure_state(
+        self, epsilon_grammar
+    ):
+        graph = ItemSetGraph(epsilon_grammar)
+        graph.expand(graph.start)
+        reduced = {str(rule) for rule in graph.start.reductions}
+        assert "A ::= ε" in reduced
+
+    def test_accept_transition_for_start_rule(self, booleans):
+        graph = ItemSetGraph(booleans)
+        graph.expand_all()
+        accepting = [s for s in graph.states() if s.accepts_on_end()]
+        assert len(accepting) == 1
+        assert accepting[0].transitions[END] is ACCEPT
+
+    def test_refcounts_incremented_per_edge(self, booleans):
+        graph = ItemSetGraph(booleans)
+        graph.expand_all()
+        for state in graph.states():
+            expected = sum(
+                1
+                for other in graph.states()
+                for target in other.transitions.values()
+                if target is state
+            )
+            pin = 1 if state is graph.start else 0
+            assert state.refcount == expected + pin
+
+
+class TestGraphBookkeeping:
+    def test_start_state_pinned(self, booleans):
+        graph = ItemSetGraph(booleans)
+        with pytest.raises(ValueError):
+            graph.remove_state(graph.start)
+
+    def test_duplicate_kernel_rejected(self, booleans):
+        graph = ItemSetGraph(booleans)
+        with pytest.raises(ValueError):
+            graph._create_state(graph.start.kernel)
+
+    def test_state_lookup_by_kernel(self, booleans):
+        graph = ItemSetGraph(booleans)
+        assert graph.state_by_kernel(graph.start.kernel) is graph.start
+
+    def test_remove_state(self, booleans):
+        graph = ItemSetGraph(booleans)
+        graph.expand_all()
+        victim = next(s for s in graph.states() if s is not graph.start)
+        graph.remove_state(victim)
+        assert victim not in graph
+        assert graph.state_by_kernel(victim.kernel) is None
+        assert graph.stats.states_removed == 1
+
+    def test_fraction_complete(self, booleans):
+        graph = ItemSetGraph(booleans)
+        assert graph.fraction_complete() == 0.0
+        graph.expand_all()
+        assert graph.fraction_complete() == 1.0
+
+    def test_refresh_start_kernel(self, booleans):
+        graph = ItemSetGraph(booleans)
+        old_kernel = graph.start.kernel
+        booleans.add_rule(
+            Rule(booleans.start, [NonTerminal("B"), NonTerminal("B")])
+        )
+        graph.refresh_start_kernel()
+        assert graph.start.kernel != old_kernel
+        assert graph.state_by_kernel(graph.start.kernel) is graph.start
+        assert graph.state_by_kernel(old_kernel) is None
+
+    def test_validate_passes_on_complete_graph(self, booleans):
+        graph = ItemSetGraph(booleans)
+        graph.expand_all()
+        graph.validate()
+
+    def test_to_dot_renders(self, booleans):
+        graph = ItemSetGraph(booleans)
+        graph.expand_all()
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert "accept" in dot

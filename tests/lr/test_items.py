@@ -1,0 +1,72 @@
+"""Dotted rules: cursor mechanics and kernel identity."""
+
+import pytest
+
+from repro.lr.items import Item, kernel_of, sorted_items
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+
+B = NonTerminal("B")
+or_ = Terminal("or")
+rule = Rule(B, [B, or_, B])
+epsilon_rule = Rule(B, [])
+
+
+class TestCursor:
+    def test_initial_dot(self):
+        item = Item(rule, 0)
+        assert item.next_symbol == B
+        assert not item.at_end
+
+    def test_mid_dot(self):
+        item = Item(rule, 1)
+        assert item.next_symbol == or_
+        assert item.before_dot == (B,)
+        assert item.after_dot == (or_, B)
+
+    def test_at_end(self):
+        item = Item(rule, 3)
+        assert item.at_end
+        assert item.next_symbol is None
+
+    def test_advance(self):
+        assert Item(rule, 0).advanced() == Item(rule, 1)
+
+    def test_advance_past_end_raises(self):
+        with pytest.raises(ValueError):
+            Item(rule, 3).advanced()
+
+    def test_dot_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Item(rule, 4)
+
+    def test_epsilon_item_is_immediately_at_end(self):
+        item = Item(epsilon_rule, 0)
+        assert item.at_end
+
+
+class TestValueSemantics:
+    def test_equality_by_rule_and_dot(self):
+        assert Item(rule, 1) == Item(rule, 1)
+        assert Item(rule, 1) != Item(rule, 2)
+
+    def test_hashable(self):
+        assert len({Item(rule, 1), Item(rule, 1)}) == 1
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Item(rule, 0).dot = 2  # type: ignore[misc]
+
+    def test_display_places_bullet(self):
+        assert str(Item(rule, 1)) == "B ::= B • or B"
+
+
+class TestKernels:
+    def test_kernel_of_is_order_insensitive(self):
+        a = kernel_of([Item(rule, 0), Item(rule, 1)])
+        b = kernel_of([Item(rule, 1), Item(rule, 0)])
+        assert a == b
+
+    def test_sorted_items_is_deterministic(self):
+        items = [Item(rule, 2), Item(rule, 0), Item(epsilon_rule, 0)]
+        assert sorted_items(items) == sorted_items(reversed(items))

@@ -1,0 +1,29 @@
+"""Property-based tests (hypothesis).
+
+A deterministic profile is loaded for the whole package: randomized
+search is excellent at *finding* counterexamples during development, but
+a released test suite must have reproducible content and runtime.  With
+``derandomize=True`` every run explores the same example sequence — rare
+pathological grammars (hypothesis can synthesize LALR inputs whose
+lookahead closure takes minutes) cannot turn a green suite into an
+unbounded one.  To hunt with fresh randomness, run::
+
+    HYPOTHESIS_PROFILE=search pytest tests/property
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro-deterministic",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "search",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-deterministic"))

@@ -1,0 +1,89 @@
+"""Ambiguity accounting: the pool parser finds *all* parses.
+
+The OBJ-style backtracking parser enumerates every derivation by brute
+force (its one virtue); on grammars both engines handle, the pool parser's
+tree count must match exactly.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.baselines.rd_backtrack import (
+    BacktrackBudgetExceeded,
+    BacktrackingParser,
+)
+from repro.grammar.analysis import GrammarAnalysis
+from repro.lr.generator import ConventionalGenerator
+from repro.runtime.errors import SweepLimitExceeded
+from repro.runtime.forest import bracketed, tokens_of
+from repro.runtime.parallel import PoolParser
+
+from .strategies import derive_sentence, grammars, is_pool_safe, sentences
+
+
+def _both_safe(grammar) -> bool:
+    analysis = GrammarAnalysis(grammar)
+    return (
+        is_pool_safe(grammar)
+        and not analysis.left_recursive()  # backtracking cannot do these
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(grammars(max_rules=7, allow_epsilon=False), sentences(max_length=5))
+def test_pool_tree_count_matches_backtracking(grammar, sentence):
+    assume(_both_safe(grammar))
+    pool = PoolParser(
+        ConventionalGenerator(grammar.copy()).generate(),
+        grammar,
+        max_sweep_steps=5_000,
+    )
+    backtracking = BacktrackingParser(grammar, max_steps=200_000)
+    try:
+        pool_trees = pool.parse(sentence).trees
+        bt_trees = backtracking.parses(sentence)
+    except (SweepLimitExceeded, BacktrackBudgetExceeded):
+        assume(False)
+        return
+    assert len(pool_trees) == len(bt_trees)
+    assert {bracketed(t) for t in pool_trees} == {
+        bracketed(t) for t in bt_trees
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(grammars(allow_epsilon=False), st.integers(0, 2 ** 32))
+def test_every_tree_yields_the_input(grammar, seed):
+    assume(is_pool_safe(grammar))
+    sentence = derive_sentence(grammar, seed)
+    assume(sentence is not None)
+    pool = PoolParser(
+        ConventionalGenerator(grammar.copy()).generate(),
+        grammar,
+        max_sweep_steps=5_000,
+    )
+    try:
+        result = pool.parse(sentence)
+    except SweepLimitExceeded:
+        assume(False)
+        return
+    assert result.accepted
+    for tree in result.trees:
+        assert tokens_of(tree) == tuple(sentence)
+
+
+@settings(max_examples=40, deadline=None)
+@given(grammars(), sentences(max_length=5))
+def test_trees_are_pairwise_distinct(grammar, sentence):
+    assume(is_pool_safe(grammar))
+    pool = PoolParser(
+        ConventionalGenerator(grammar.copy()).generate(),
+        grammar,
+        max_sweep_steps=5_000,
+    )
+    try:
+        result = pool.parse(sentence)
+    except SweepLimitExceeded:
+        assume(False)
+        return
+    rendered = [bracketed(t) for t in result.trees]
+    assert len(rendered) == len(set(rendered))

@@ -1,0 +1,93 @@
+"""GC safety: collection never changes the recognized language, and the
+refcount books always balance after realistic editing sessions."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.incremental import IncrementalGenerator
+from repro.runtime.errors import SweepLimitExceeded
+from repro.runtime.parallel import PoolParser
+
+from .strategies import grammars, graph_shape, is_pool_safe, rules, sentences
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    grammars(max_rules=6),
+    st.lists(rules(nonterminal_count=3), min_size=1, max_size=4),
+    st.lists(sentences(max_length=4), min_size=1, max_size=3),
+)
+def test_language_stable_across_gc(grammar, new_rules, probe_sentences):
+    assume(is_pool_safe(grammar))
+    generator = IncrementalGenerator(grammar, gc=True)
+    parser = PoolParser(generator.control, grammar, max_sweep_steps=5_000)
+
+    def verdicts():
+        out = []
+        for sentence in probe_sentences:
+            try:
+                out.append(parser.recognize(sentence))
+            except SweepLimitExceeded:
+                out.append("guard")
+        return out
+
+    verdicts()  # warm the graph
+    added = [r for r in new_rules if generator.add_rule(r)]
+    before_sweep = verdicts()
+    generator.collect_garbage(force_sweep=True)
+    assert verdicts() == before_sweep
+    for rule in added:
+        generator.delete_rule(rule)
+    after_delete = verdicts()
+    generator.collect_garbage(force_sweep=True)
+    assert verdicts() == after_delete
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    grammars(max_rules=6),
+    st.lists(
+        st.tuples(st.booleans(), rules(nonterminal_count=3)),
+        min_size=1,
+        max_size=5,
+    ),
+    st.lists(sentences(max_length=4), min_size=1, max_size=2),
+)
+def test_refcounts_balance_after_sessions(grammar, edits, probe_sentences):
+    assume(is_pool_safe(grammar))
+    generator = IncrementalGenerator(grammar, gc=True)
+    parser = PoolParser(generator.control, grammar, max_sweep_steps=5_000)
+    collector = generator.collector
+    assert collector is not None
+
+    def probe():
+        for sentence in probe_sentences:
+            try:
+                parser.recognize(sentence)
+            except SweepLimitExceeded:
+                pass
+
+    probe()
+    for add, rule in edits:
+        if add:
+            generator.add_rule(rule)
+        else:
+            generator.delete_rule(rule)
+        probe()
+    assert collector.check_refcounts() == []
+    collector.collect_cycles()
+    assert collector.check_refcounts() == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(grammars(max_rules=6), st.lists(rules(3), min_size=1, max_size=3))
+def test_sweep_equals_gc_off_reachable_shape(grammar, new_rules):
+    """With or without GC, the reachable graph shape is the same."""
+    with_gc = IncrementalGenerator(grammar, gc=True)
+    without_gc = IncrementalGenerator(grammar.copy(), gc=False)
+    for generator in (with_gc, without_gc):
+        generator.graph.expand_all()
+        for rule in new_rules:
+            generator.add_rule(rule)
+        generator.graph.expand_all()
+    with_gc.collect_garbage(force_sweep=True)
+    assert graph_shape(with_gc.graph) == graph_shape(without_gc.graph)

@@ -1,0 +1,102 @@
+"""ISG scanner properties: maximal munch, laziness transparency,
+incremental-modification coherence."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.lexing.chars import parse_char_class
+from repro.lexing.regex import Sym, literal, plus
+from repro.lexing.scanner import ScanError, Scanner
+
+#: Keyword pool: lowercase words, distinct from each other.
+keywords = st.lists(
+    st.text(alphabet="abcd", min_size=1, max_size=4),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+
+def scanner_with(words):
+    scanner = Scanner()
+    for index, word in enumerate(words):
+        scanner.add_token(f"K{index}", literal(word))
+    scanner.add_token("ID", plus(Sym(parse_char_class("[a-d]"))))
+    scanner.add_token("WS", plus(Sym(parse_char_class("[\\ ]"))), layout=True)
+    return scanner
+
+
+@settings(max_examples=60, deadline=None)
+@given(keywords, st.lists(st.integers(), min_size=1, max_size=6))
+def test_roundtrip_with_separators(words, picks):
+    """Scanning space-joined tokens recovers exactly those tokens."""
+    scanner = scanner_with(words)
+    chosen = [words[i % len(words)] for i in picks]
+    text = " ".join(chosen)
+    lexemes = scanner.scan(text)
+    assert [l.text for l in lexemes] == chosen
+
+
+@settings(max_examples=60, deadline=None)
+@given(keywords, st.integers(0, 100))
+def test_cold_and_warm_scans_agree(words, salt):
+    """Lazy DFA materialization is observationally transparent."""
+    scanner = scanner_with(words)
+    text = " ".join(words) + " " + "abcd"[salt % 4]
+    cold = scanner.scan(text)
+    warm = scanner.scan(text)
+    assert cold == warm
+
+
+@settings(max_examples=60, deadline=None)
+@given(keywords)
+def test_keywords_shadow_id_exactly(words):
+    scanner = scanner_with(words)
+    for index, word in enumerate(words):
+        (lexeme,) = scanner.scan(word)
+        assert lexeme.sort == f"K{index}"
+    # a word not in the pool falls back to ID
+    other = "abcd"[: max(1, len(words[0]) - 1)] + "dd"
+    assume(other not in words)
+    (lexeme,) = scanner.scan(other)
+    assert lexeme.sort == "ID"
+
+
+@settings(max_examples=40, deadline=None)
+@given(keywords)
+def test_removal_then_rescan_equals_fresh_scanner(words):
+    """Incremental removal ≡ building a scanner without the definition."""
+    assume(len(words) >= 2)
+    text = " ".join(words)
+
+    incremental = scanner_with(words)
+    incremental.scan(text)  # warm, so invalidation has work to do
+    incremental.remove_token("K0")
+
+    fresh = Scanner()
+    for index, word in enumerate(words):
+        if index != 0:
+            fresh.add_token(f"K{index}", literal(word))
+    fresh.add_token("ID", plus(Sym(parse_char_class("[a-d]"))))
+    fresh.add_token("WS", plus(Sym(parse_char_class("[\\ ]"))), layout=True)
+
+    assert incremental.scan(text) == fresh.scan(text)
+
+
+@settings(max_examples=60, deadline=None)
+@given(keywords, st.text(alphabet="abcd ", max_size=12))
+def test_lexemes_tile_the_input(words, text):
+    """Lexemes (plus skipped layout) exactly tile the scanned text."""
+    scanner = scanner_with(words)
+    try:
+        lexemes = scanner.scan(text)
+    except ScanError:
+        assume(False)
+        return
+    rebuilt = list(text)
+    for lexeme in lexemes:
+        assert text[lexeme.position : lexeme.position + len(lexeme.text)] == (
+            lexeme.text
+        )
+    # non-layout lexemes never overlap and appear in order
+    positions = [l.position for l in lexemes]
+    assert positions == sorted(positions)

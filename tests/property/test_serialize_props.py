@@ -1,0 +1,67 @@
+"""Serialization round trips over random grammars."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.lr.generator import ConventionalGenerator
+from repro.lr.lalr import lalr_table
+from repro.lr.serialize import loads, dumps, table_from_dict, table_to_dict
+from repro.lr.table import TableControl, lr0_table, resolve_conflicts
+from repro.runtime.errors import SweepLimitExceeded
+from repro.runtime.lr_parse import SimpleLRParser
+from repro.runtime.parallel import PoolParser
+
+from .strategies import grammars, is_pool_safe, sentences
+
+
+@settings(max_examples=40, deadline=None)
+@given(grammars(), sentences(max_length=4))
+def test_lr0_table_round_trip_preserves_verdicts(grammar, sentence):
+    assume(is_pool_safe(grammar))
+    generator = ConventionalGenerator(grammar)
+    generator.generate()
+    table = lr0_table(generator.graph)
+    clone = loads(dumps(table))
+
+    original = PoolParser(TableControl(table), grammar, max_sweep_steps=5_000)
+    restored = PoolParser(TableControl(clone), grammar, max_sweep_steps=5_000)
+    try:
+        assert original.recognize(sentence) == restored.recognize(sentence)
+    except SweepLimitExceeded:
+        assume(False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(grammars())
+def test_encoding_is_deterministic_and_stable(grammar):
+    generator = ConventionalGenerator(grammar)
+    generator.generate()
+    table = lr0_table(generator.graph)
+    first = dumps(table)
+    second = dumps(loads(first))
+    assert first == second  # a fixpoint after one round trip
+
+
+@settings(max_examples=30, deadline=None)
+@given(grammars(), sentences(max_length=4))
+def test_resolved_lalr_round_trip(grammar, sentence):
+    table, _ = resolve_conflicts(lalr_table(grammar))
+    assume(table.is_deterministic)
+    clone = loads(dumps(table))
+    original = SimpleLRParser(TableControl(table), grammar)
+    restored = SimpleLRParser(TableControl(clone), grammar)
+    assert original.recognize(sentence) == restored.recognize(sentence)
+
+
+@settings(max_examples=30, deadline=None)
+@given(grammars())
+def test_structure_preserved(grammar):
+    generator = ConventionalGenerator(grammar)
+    generator.generate()
+    table = lr0_table(generator.graph)
+    clone = table_from_dict(table_to_dict(table))
+    assert len(clone) == len(table)
+    assert clone.start == table.start
+    assert clone.terminals == table.terminals
+    assert clone.nonterminals == table.nonterminals
+    assert clone.cell_count() == table.cell_count()
+    assert len(clone.conflicts()) == len(table.conflicts())

@@ -1,0 +1,208 @@
+"""Priority/associativity tree filters."""
+
+import pytest
+
+from repro.core.ipg import IPG
+from repro.grammar.builders import grammar_from_text
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.runtime.disambiguation import DisambiguationFilter
+from repro.runtime.forest import bracketed
+
+from ..conftest import toks
+
+E = NonTerminal("E")
+PLUS = Rule(E, [E, Terminal("+"), E])
+TIMES = Rule(E, [E, Terminal("*"), E])
+NUM = Rule(E, [Terminal("n")])
+
+GRAMMAR = """
+    E ::= n
+    E ::= E + E
+    E ::= E * E
+    START ::= E
+"""
+
+
+@pytest.fixture()
+def ipg():
+    return IPG(grammar_from_text(GRAMMAR))
+
+
+class TestAssociativity:
+    def test_left_assoc_keeps_left_leaning_tree(self, ipg):
+        filt = DisambiguationFilter().left_assoc(PLUS)
+        result = ipg.parse("n + n + n")
+        assert len(result.trees) == 2
+        survivors = filt.filter(result.trees)
+        assert len(survivors) == 1
+        assert bracketed(survivors[0]) == "START(E(E(E(n) + E(n)) + E(n)))"
+
+    def test_right_assoc_keeps_right_leaning_tree(self, ipg):
+        filt = DisambiguationFilter().right_assoc(PLUS)
+        survivors = filt.filter(ipg.parse("n + n + n").trees)
+        assert [bracketed(t) for t in survivors] == [
+            "START(E(E(n) + E(E(n) + E(n))))"
+        ]
+
+    def test_non_assoc_rejects_chains_entirely(self, ipg):
+        filt = DisambiguationFilter().non_assoc(PLUS)
+        assert filt.filter(ipg.parse("n + n + n").trees) == ()
+        # single application is still fine
+        assert len(filt.filter(ipg.parse("n + n").trees)) == 1
+
+    def test_assoc_on_non_recursive_rule_rejected(self):
+        with pytest.raises(ValueError):
+            DisambiguationFilter().left_assoc(NUM)
+
+    def test_assoc_group(self, ipg):
+        # '+' and '*' mutually left-associative: 'n + n * n' read
+        # left-to-right when both at the same level
+        filt = (
+            DisambiguationFilter()
+            .left_assoc(PLUS, group=[TIMES])
+            .left_assoc(TIMES, group=[PLUS])
+        )
+        survivors = filt.filter(ipg.parse("n + n * n").trees)
+        assert [bracketed(t) for t in survivors] == [
+            "START(E(E(E(n) + E(n)) * E(n)))"
+        ]
+
+
+class TestPriorities:
+    def test_times_binds_tighter(self, ipg):
+        filt = DisambiguationFilter().priority_chain([TIMES], [PLUS])
+        survivors = filt.filter(ipg.parse("n + n * n").trees)
+        assert [bracketed(t) for t in survivors] == [
+            "START(E(E(n) + E(E(n) * E(n))))"
+        ]
+
+    def test_chain_is_transitive(self):
+        grammar = grammar_from_text(
+            """
+            E ::= n
+            E ::= E + E
+            E ::= E * E
+            E ::= E ^ E
+            START ::= E
+            """
+        )
+        power = Rule(E, [E, Terminal("^"), E])
+        filt = DisambiguationFilter().priority_chain([power], [TIMES], [PLUS])
+        ipg = IPG(grammar)
+        survivors = filt.filter(ipg.parse("n + n ^ n").trees)
+        assert [bracketed(t) for t in survivors] == [
+            "START(E(E(n) + E(E(n) ^ E(n))))"
+        ]
+
+    def test_full_expression_disambiguation(self, ipg):
+        filt = (
+            DisambiguationFilter()
+            .priority_chain([TIMES], [PLUS])
+            .left_assoc(PLUS)
+            .left_assoc(TIMES)
+        )
+        result = ipg.parse("n + n * n + n")
+        survivors = filt.filter(result.trees)
+        assert len(survivors) == 1
+        assert bracketed(survivors[0]) == (
+            "START(E(E(E(n) + E(E(n) * E(n))) + E(n)))"
+        )
+
+    def test_empty_filter_keeps_everything(self, ipg):
+        filt = DisambiguationFilter()
+        assert filt.is_empty
+        result = ipg.parse("n + n + n")
+        assert filt.filter(result.trees) == result.trees
+
+
+class TestFromSdf:
+    TEXT = """
+module calc
+begin
+  lexical syntax
+    sorts NUM
+    functions
+      [0-9] -> NUM
+  context-free syntax
+    sorts EXP
+    priorities
+      EXP "*" EXP -> EXP > EXP "+" EXP -> EXP
+    functions
+      NUM             -> EXP
+      EXP "+" EXP     -> EXP {left-assoc}
+      EXP "*" EXP     -> EXP {left-assoc}
+end calc
+"""
+
+    def test_filter_built_from_sdf(self):
+        from repro.sdf.normalize import normalize_with_metadata
+        from repro.sdf.parser import parse_sdf
+
+        grammar, metadata = normalize_with_metadata(parse_sdf(self.TEXT))
+        ipg = IPG(grammar)
+        result = ipg.parse("NUM + NUM * NUM + NUM")
+        assert len(result.trees) > 1
+        survivors = metadata.filter.filter(result.trees)
+        assert len(survivors) == 1
+        tree = bracketed(survivors[0])
+        assert tree == (
+            "START(EXP(EXP(EXP(NUM) + EXP(EXP(NUM) * EXP(NUM))) + EXP(NUM)))"
+        )
+
+    def test_metadata_records_attributes(self):
+        from repro.sdf.normalize import normalize_with_metadata
+        from repro.sdf.parser import parse_sdf
+
+        _grammar, metadata = normalize_with_metadata(parse_sdf(self.TEXT))
+        attributed = {
+            str(rule): words for rule, words in metadata.attributes.items()
+        }
+        assert attributed == {
+            "EXP ::= EXP + EXP": ("left-assoc",),
+            "EXP ::= EXP * EXP": ("left-assoc",),
+        }
+
+    def test_priorities_transitive_across_chains(self):
+        # ^ > * and * > + declared in *separate* chains must still imply
+        # ^ > + (the relation is one global partial order)
+        text = """
+module calc
+begin
+  lexical syntax
+    sorts NUM
+    functions
+      [0-9] -> NUM
+  context-free syntax
+    sorts EXP
+    priorities
+      EXP "^" EXP -> EXP > EXP "*" EXP -> EXP,
+      EXP "*" EXP -> EXP > EXP "+" EXP -> EXP
+    functions
+      NUM         -> EXP
+      EXP "^" EXP -> EXP {right-assoc}
+      EXP "*" EXP -> EXP {left-assoc}
+      EXP "+" EXP -> EXP {left-assoc}
+end calc
+"""
+        from repro.sdf.normalize import normalize_with_metadata
+        from repro.sdf.parser import parse_sdf
+
+        grammar, metadata = normalize_with_metadata(parse_sdf(text))
+        ipg = IPG(grammar)
+        result = ipg.parse("NUM ^ NUM + NUM")
+        survivors = metadata.filter.filter(result.trees)
+        assert [bracketed(t) for t in survivors] == [
+            "START(EXP(EXP(EXP(NUM) ^ EXP(NUM)) + EXP(NUM)))"
+        ]
+
+    def test_corpus_sdf_metadata_is_buildable(self):
+        # the ASF.sdf priorities section must at least not crash
+        from repro.sdf.corpus import CORPUS
+        from repro.sdf.normalize import normalize_with_metadata
+        from repro.sdf.parser import parse_sdf
+
+        _grammar, metadata = normalize_with_metadata(
+            parse_sdf(CORPUS["ASF.sdf"])
+        )
+        assert not metadata.filter.is_empty

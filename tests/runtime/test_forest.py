@@ -1,0 +1,106 @@
+"""Hash-consed parse forests: sharing, yields, rendering."""
+
+import pytest
+
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.runtime.forest import (
+    Forest,
+    Leaf,
+    ParseNode,
+    bracketed,
+    depth,
+    node_count,
+    pretty,
+    tokens_of,
+)
+
+B = NonTerminal("B")
+true = Terminal("true")
+or_ = Terminal("or")
+R_TRUE = Rule(B, [true])
+R_OR = Rule(B, [B, or_, B])
+
+
+class TestHashConsing:
+    def test_leaves_are_shared(self):
+        forest = Forest()
+        assert forest.leaf(true, 0) is forest.leaf(true, 0)
+
+    def test_leaves_differ_by_position(self):
+        forest = Forest()
+        assert forest.leaf(true, 0) is not forest.leaf(true, 2)
+
+    def test_nodes_are_shared(self):
+        forest = Forest()
+        leaf = forest.leaf(true, 0)
+        assert forest.node(R_TRUE, [leaf]) is forest.node(R_TRUE, [leaf])
+
+    def test_nodes_differ_by_children_identity(self):
+        forest = Forest()
+        a = forest.node(R_TRUE, [forest.leaf(true, 0)])
+        b = forest.node(R_TRUE, [forest.leaf(true, 2)])
+        assert a is not b
+
+    def test_size_counts_distinct_nodes(self):
+        forest = Forest()
+        leaf = forest.leaf(true, 0)
+        forest.node(R_TRUE, [leaf])
+        forest.node(R_TRUE, [leaf])  # shared, no growth
+        assert forest.size == 2
+
+
+class TestNodes:
+    def test_arity_checked(self):
+        forest = Forest()
+        with pytest.raises(ValueError):
+            forest.node(R_OR, [forest.leaf(true, 0)])
+
+    def test_symbols(self):
+        forest = Forest()
+        leaf = forest.leaf(true, 0)
+        node = forest.node(R_TRUE, [leaf])
+        assert leaf.symbol == true
+        assert node.symbol == B
+
+    def test_width(self):
+        forest = Forest()
+        left = forest.node(R_TRUE, [forest.leaf(true, 0)])
+        right = forest.node(R_TRUE, [forest.leaf(true, 2)])
+        top = forest.node(R_OR, [left, forest.leaf(or_, 1), right])
+        assert top.width() == 3
+
+    def test_immutability(self):
+        forest = Forest()
+        node = forest.node(R_TRUE, [forest.leaf(true, 0)])
+        with pytest.raises(AttributeError):
+            node.children = ()  # type: ignore[misc]
+
+
+class TestUtilities:
+    def _tree(self):
+        forest = Forest()
+        left = forest.node(R_TRUE, [forest.leaf(true, 0)])
+        right = forest.node(R_TRUE, [forest.leaf(true, 2)])
+        return forest.node(R_OR, [left, forest.leaf(or_, 1), right])
+
+    def test_tokens_of(self):
+        assert tokens_of(self._tree()) == (true, or_, true)
+
+    def test_bracketed(self):
+        assert bracketed(self._tree()) == "B(B(true) or B(true))"
+
+    def test_pretty_contains_rules(self):
+        rendered = pretty(self._tree())
+        assert "B ::= B or B" in rendered
+        assert "true" in rendered
+
+    def test_depth(self):
+        assert depth(self._tree()) == 3
+
+    def test_node_count_respects_sharing(self):
+        forest = Forest()
+        shared = forest.node(R_TRUE, [forest.leaf(true, 0)])
+        top = forest.node(R_OR, [shared, forest.leaf(or_, 1), shared])
+        # shared subtree counted once: top + shared + leaf(true) + leaf(or)
+        assert node_count(top) == 4

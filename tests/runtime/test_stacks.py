@@ -1,0 +1,108 @@
+"""Cons-cell parse stacks: sharing, popping, signatures."""
+
+import pytest
+
+from repro.runtime.stacks import StackCell, shared_cells
+
+
+def build(*states):
+    stack = StackCell(states[0])
+    for state in states[1:]:
+        stack = stack.push(state)
+    return stack
+
+
+class TestBasics:
+    def test_push_creates_new_cell(self):
+        a = build(0)
+        b = a.push(1)
+        assert b.state == 1
+        assert b.below is a
+        assert a.state == 0  # untouched
+
+    def test_depth(self):
+        assert len(build(0, 1, 2)) == 3
+
+    def test_states_top_to_bottom(self):
+        assert build(0, 1, 2).states() == (2, 1, 0)
+
+    def test_immutable(self):
+        cell = build(0)
+        with pytest.raises(AttributeError):
+            cell.state = 9  # type: ignore[misc]
+
+
+class TestPop:
+    def test_pop_returns_trees_left_to_right(self):
+        stack = StackCell(0)
+        stack = stack.push(1, "left")
+        stack = stack.push(2, "mid")
+        stack = stack.push(3, "right")
+        below, trees = stack.pop(3)
+        assert below.state == 0
+        assert trees == ["left", "mid", "right"]
+
+    def test_pop_zero(self):
+        stack = build(0, 1)
+        below, trees = stack.pop(0)
+        assert below is stack
+        assert trees == []
+
+    def test_pop_preserves_original_chain(self):
+        stack = build(0, 1, 2)
+        stack.pop(2)
+        assert stack.states() == (2, 1, 0)
+
+    def test_pop_past_bottom_raises(self):
+        with pytest.raises(IndexError):
+            build(0, 1).pop(2)  # popping the start state is an error
+
+    def test_pop_exactly_to_bottom_raises(self):
+        # the start state must always remain
+        with pytest.raises(IndexError):
+            build(0).pop(1)
+
+
+class TestSharing:
+    def test_fork_shares_all_cells(self):
+        trunk = build(0, 1, 2)
+        left = trunk.push(3)
+        right = trunk.push(4)
+        assert shared_cells(left, right) == 3
+
+    def test_divergent_stacks_share_common_tail(self):
+        trunk = build(0, 1)
+        left = trunk.push(2).push(3)
+        right = trunk.push(9)
+        assert shared_cells(left, right) == 2
+
+    def test_fork_is_o1(self):
+        # structural check standing in for timing: pushing onto a deep
+        # stack must not copy it (the below pointer is identical)
+        deep = build(*range(10_000))
+        forked = deep.push(-1)
+        assert forked.below is deep
+
+
+class TestSignatures:
+    def test_signature_equal_for_same_cells(self):
+        stack = build(0, 1)
+        assert stack.signature() == stack.signature()
+
+    def test_signature_distinguishes_structurally_equal_ints(self):
+        # identity-based: distinct state objects differ even if equal
+        class State:
+            pass
+
+        a, b = State(), State()
+        assert StackCell(a).signature() != StackCell(b).signature()
+
+    def test_full_signature_includes_trees(self):
+        base = StackCell(0)
+        with_tree = base.push(1, tree="t1")
+        with_other = base.push(1, tree="t2")
+        assert with_tree.signature() == with_other.signature()
+        assert with_tree.full_signature() != with_other.full_signature()
+
+    def test_iteration(self):
+        assert [cell.state for cell in build(0, 1, 2)] == [2, 1, 0]

@@ -1,0 +1,71 @@
+"""Tracing the parallel parser, and the trace API itself."""
+
+import pytest
+
+from repro.lr.generator import ConventionalGenerator
+from repro.runtime.parallel import PoolParser
+from repro.runtime.trace import Trace, TraceEvent
+
+from ..conftest import toks
+
+
+@pytest.fixture()
+def pool(booleans):
+    control = ConventionalGenerator(booleans).generate()
+    return PoolParser(control, booleans)
+
+
+class TestPoolTracing:
+    def test_events_recorded(self, pool):
+        trace = Trace()
+        result = pool.parse(toks("true and false"), trace=trace)
+        assert result.accepted
+        kinds = set(trace.kinds())
+        assert {"shift", "reduce", "accept"} <= kinds
+
+    def test_fork_produces_interleaved_events(self, pool):
+        # an ambiguous sentence forks: more events than the deterministic
+        # move count for the same input
+        short = Trace()
+        pool.parse(toks("true and false"), trace=short)
+        forked = Trace()
+        pool.parse(toks("true and false and true"), trace=forked)
+        assert len(forked) > len(short)
+
+    def test_rejected_input_has_no_accept_event(self, pool):
+        trace = Trace()
+        result = pool.parse(toks("true or"), trace=trace)
+        assert not result.accepted
+        assert "accept" not in trace.kinds()
+
+    def test_trace_off_by_default(self, pool):
+        # just documents that passing no trace is fine
+        assert pool.parse(toks("true")).accepted
+
+
+class TestTraceApi:
+    def test_event_repr_mentions_fields(self, booleans):
+        from repro.grammar.rules import Rule
+        from repro.grammar.symbols import NonTerminal, Terminal
+
+        event = TraceEvent(
+            "reduce",
+            state=7,
+            rule=Rule(NonTerminal("B"), [Terminal("true")]),
+            target=1,
+        )
+        rendered = repr(event)
+        assert "reduce" in rendered
+        assert "B ::= true" in rendered
+        assert "7" in rendered and "1" in rendered
+
+    def test_moves_use_state_uids(self, pool):
+        trace = Trace()
+        pool.parse(toks("true"), trace=trace)
+        for _kind, state in trace.moves():
+            assert isinstance(state, int)
+
+    def test_render_one_line_per_event(self, pool):
+        trace = Trace()
+        pool.parse(toks("true"), trace=trace)
+        assert len(trace.render().splitlines()) == len(trace)

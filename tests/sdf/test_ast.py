@@ -1,0 +1,101 @@
+"""SDF AST records: rendering and validation."""
+
+from repro.sdf.ast import (
+    AbbrevFDef,
+    AbbrevFList,
+    CfIter,
+    CfLiteral,
+    CfSepIter,
+    CfSort,
+    ContextFreeSyntax,
+    Function,
+    LexCharClass,
+    LexLiteral,
+    LexSortRef,
+    LexicalFunction,
+    LexicalSyntax,
+    PrioDef,
+    SdfDefinition,
+)
+
+
+class TestRendering:
+    def test_cf_elements(self):
+        assert str(CfSort("EXP")) == "EXP"
+        assert str(CfLiteral("module")) == '"module"'
+        assert str(CfIter("DECL", "+")) == "DECL+"
+        assert str(CfSepIter("SORT", ",", "+")) == '{SORT ","}+'
+
+    def test_lex_elements(self):
+        assert str(LexSortRef("LETTER")) == "LETTER"
+        assert str(LexSortRef("LETTER", "*")) == "LETTER*"
+        assert str(LexLiteral("+")) == '"+"'
+        assert str(LexCharClass("[a-z]")) == "[a-z]"
+        assert str(LexCharClass("[a-z]", negated=True)) == "~[a-z]"
+
+    def test_function(self):
+        function = Function(
+            elems=(CfLiteral("x"), CfSort("T")),
+            sort="S",
+            attributes=("left-assoc",),
+        )
+        assert str(function) == '"x" T -> S {left-assoc}'
+
+    def test_lexical_function(self):
+        function = LexicalFunction((LexSortRef("LETTER", "+"),), "ID")
+        assert str(function) == "LETTER+ -> ID"
+
+    def test_priorities(self):
+        chain = PrioDef(
+            lists=(
+                AbbrevFList((AbbrevFDef((CfSort("A"),), "S"),)),
+                AbbrevFList(
+                    (
+                        AbbrevFDef((CfSort("B"),), "S"),
+                        AbbrevFDef((CfSort("C"),), None),
+                    )
+                ),
+            ),
+            direction=">",
+        )
+        assert str(chain) == "A -> S > (B -> S, C)"
+
+
+class TestValidation:
+    def _definition(self, functions, sorts=("S",), lexical_sorts=()):
+        return SdfDefinition(
+            name="m",
+            lexical=LexicalSyntax(sorts=tuple(lexical_sorts)),
+            contextfree=ContextFreeSyntax(
+                sorts=tuple(sorts), functions=tuple(functions)
+            ),
+            end_name="m",
+        )
+
+    def test_clean(self):
+        definition = self._definition(
+            [Function((CfLiteral("x"),), "S")]
+        )
+        assert definition.validate() == []
+
+    def test_end_name_mismatch(self):
+        definition = SdfDefinition(name="a", end_name="b")
+        assert any("ends with" in p for p in definition.validate())
+
+    def test_undeclared_element_sort(self):
+        definition = self._definition([Function((CfSort("T"),), "S")])
+        assert any("undeclared sort 'T'" in p for p in definition.validate())
+
+    def test_undeclared_target_sort(self):
+        definition = self._definition([Function((CfLiteral("x"),), "T")])
+        assert any("undeclared sort 'T'" in p for p in definition.validate())
+
+    def test_lexical_sorts_count_as_declared(self):
+        definition = self._definition(
+            [Function((CfSort("ID"),), "S")], lexical_sorts=("ID",)
+        )
+        assert definition.validate() == []
+
+    def test_lexical_syntax_emptiness(self):
+        assert LexicalSyntax().is_empty
+        assert not LexicalSyntax(sorts=("X",)).is_empty

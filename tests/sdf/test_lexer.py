@@ -1,0 +1,122 @@
+"""The SDF bootstrap lexer: token classes, layout, errors."""
+
+import pytest
+
+from repro.grammar.symbols import Terminal
+from repro.sdf.lexer import SdfLexer, terminal_stream, tokenize
+from repro.sdf.tokens import SdfSyntaxError, TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)]
+
+
+class TestTokenClasses:
+    def test_keywords(self):
+        assert kinds("module begin end") == [TokenKind.KEYWORD] * 3
+
+    def test_context_free_is_one_keyword(self):
+        tokens = tokenize("context-free syntax")
+        assert tokens[0].text == "context-free"
+        assert tokens[0].kind is TokenKind.KEYWORD
+
+    def test_identifiers(self):
+        tokens = tokenize("EXP CF-ELEM a_b2")
+        assert all(t.kind is TokenKind.ID for t in tokens)
+        assert texts("CF-ELEM") == ["CF-ELEM"]
+
+    def test_literals_unescape(self):
+        tokens = tokenize(r'"module" "\"" "\\"')
+        assert [t.text for t in tokens] == ["module", '"', "\\"]
+        assert all(t.kind is TokenKind.LITERAL for t in tokens)
+
+    def test_char_classes_keep_raw_text(self):
+        (token,) = tokenize(r"[a-zA-Z0-9\-_]")
+        assert token.kind is TokenKind.CHAR_CLASS
+        assert token.text == r"[a-zA-Z0-9\-_]"
+
+    def test_iterators(self):
+        tokens = tokenize("+ *")
+        assert all(t.kind is TokenKind.ITERATOR for t in tokens)
+
+    def test_punctuation_longest_match(self):
+        assert texts("->") == ["->"]
+        # a lone '-' is not a token of the formalism at all
+        with pytest.raises(SdfSyntaxError):
+            tokenize("- >")
+
+    def test_all_punctuation(self):
+        text = "-> ( ) { } , > < ~ ?"
+        tokens = tokenize(text)
+        assert [t.text for t in tokens] == text.split()
+
+
+class TestLayout:
+    def test_whitespace_skipped(self):
+        assert len(tokenize("  a \t b \n c ")) == 3
+
+    def test_comments_to_end_of_line(self):
+        tokens = tokenize("a -- a comment with -> tokens\nb")
+        assert texts("a -- x ->\nb") == ["a", "b"]
+        assert len(tokens) == 2
+
+    def test_double_hyphen_ends_identifier(self):
+        tokens = tokenize("abc--comment\ndef")
+        assert [t.text for t in tokens] == ["abc", "def"]
+
+    def test_single_hyphen_stays_in_identifier(self):
+        (token,) = tokenize("context-free")
+        assert token.text == "context-free"
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_literal(self):
+        with pytest.raises(SdfSyntaxError):
+            tokenize('"open')
+
+    def test_newline_in_literal(self):
+        with pytest.raises(SdfSyntaxError):
+            tokenize('"a\nb"')
+
+    def test_unterminated_char_class(self):
+        with pytest.raises(SdfSyntaxError):
+            tokenize("[abc")
+
+    def test_dangling_escape(self):
+        with pytest.raises(SdfSyntaxError):
+            tokenize('"abc\\')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SdfSyntaxError):
+            tokenize("a ; b")
+
+
+class TestTerminalMapping:
+    def test_keywords_map_to_themselves(self):
+        assert terminal_stream("module X") == [Terminal("module"), Terminal("ID")]
+
+    def test_lexical_sorts(self):
+        assert terminal_stream('"lit" [a] + NAME') == [
+            Terminal("LITERAL"),
+            Terminal("CHAR-CLASS"),
+            Terminal("ITERATOR"),
+            Terminal("ID"),
+        ]
+
+    def test_eof_has_no_terminal(self):
+        from repro.sdf.tokens import Token
+
+        token = Token(TokenKind.EOF, "", 1, 1)
+        with pytest.raises(ValueError):
+            token.terminal()

@@ -1,0 +1,157 @@
+"""The SDF bootstrap parser: AST construction and error reporting."""
+
+import pytest
+
+from repro.sdf.ast import (
+    CfIter,
+    CfLiteral,
+    CfSepIter,
+    CfSort,
+    LexCharClass,
+    LexLiteral,
+    LexSortRef,
+)
+from repro.sdf.parser import parse_sdf
+from repro.sdf.tokens import SdfSyntaxError
+
+MINIMAL = """
+module tiny
+begin
+  context-free syntax
+    sorts S
+    functions
+      "x" -> S
+end tiny
+"""
+
+FULL = """
+module full
+begin
+  lexical syntax
+    sorts LETTER, ID
+    layout WS
+    functions
+      [a-z]      -> LETTER
+      LETTER+    -> ID
+      [\\ \\t]    -> WS
+  context-free syntax
+    sorts S, T
+    priorities
+      "a" T -> S > "b" T -> S,
+      ( "c" -> T, "d" -> T ) < T T -> S
+    functions
+      "a" T          -> S
+      T T            -> S  {left-assoc, par}
+      {T ","}+       -> S
+      ID             -> T
+      T "?"          -> T
+      ID*            -> T
+end full
+"""
+
+
+class TestMinimal:
+    def test_module_names(self):
+        definition = parse_sdf(MINIMAL)
+        assert definition.name == "tiny"
+        assert definition.end_name == "tiny"
+        assert definition.lexical.is_empty
+
+    def test_function(self):
+        definition = parse_sdf(MINIMAL)
+        (function,) = definition.contextfree.functions
+        assert function.sort == "S"
+        assert function.elems == (CfLiteral("x"),)
+
+    def test_validate_clean(self):
+        assert parse_sdf(MINIMAL).validate() == []
+
+
+class TestFull:
+    @pytest.fixture()
+    def definition(self):
+        return parse_sdf(FULL)
+
+    def test_lexical_sorts_and_layout(self, definition):
+        assert definition.lexical.sorts == ("LETTER", "ID")
+        assert definition.lexical.layout == ("WS",)
+
+    def test_lexical_functions(self, definition):
+        first, second, third = definition.lexical.functions
+        assert first.elems == (LexCharClass("[a-z]"),)
+        assert second.elems == (LexSortRef("LETTER", "+"),)
+        assert second.sort == "ID"
+
+    def test_priorities_chains(self, definition):
+        first, second = definition.contextfree.priorities
+        assert first.direction == ">"
+        assert len(first.lists) == 2
+        assert second.direction == "<"
+        assert len(second.lists[0].defs) == 2  # the parenthesized group
+
+    def test_attributes(self, definition):
+        attributed = [
+            f for f in definition.contextfree.functions if f.attributes
+        ]
+        assert len(attributed) == 1
+        assert attributed[0].attributes == ("left-assoc", "par")
+
+    def test_element_varieties(self, definition):
+        elems = [
+            elem
+            for function in definition.contextfree.functions
+            for elem in function.elems
+        ]
+        assert any(isinstance(e, CfSepIter) for e in elems)
+        assert any(isinstance(e, CfIter) and e.iterator == "*" for e in elems)
+        assert any(isinstance(e, CfSort) for e in elems)
+        assert any(isinstance(e, CfLiteral) and e.text == "?" for e in elems)
+
+    def test_attribute_brace_vs_sepiter_brace(self, definition):
+        # '{T ","}+' must not be mistaken for an attribute list
+        sep_iters = [
+            elem
+            for function in definition.contextfree.functions
+            for elem in function.elems
+            if isinstance(elem, CfSepIter)
+        ]
+        assert sep_iters == [CfSepIter("T", ",", "+")]
+
+
+class TestErrors:
+    def test_missing_module_keyword(self):
+        with pytest.raises(SdfSyntaxError):
+            parse_sdf("begin end x")
+
+    def test_mismatched_end_name_is_reported_by_validate(self):
+        definition = parse_sdf(MINIMAL.replace("end tiny", "end wrong"))
+        assert definition.validate()
+
+    def test_trailing_input(self):
+        with pytest.raises(SdfSyntaxError):
+            parse_sdf(MINIMAL + "\nmodule again")
+
+    def test_missing_arrow_target(self):
+        bad = MINIMAL.replace('"x" -> S', '"x" -> "y"')
+        with pytest.raises(SdfSyntaxError):
+            parse_sdf(bad)
+
+    def test_undeclared_sort_flagged(self):
+        bad = MINIMAL.replace('"x" -> S', "T -> S")
+        problems = parse_sdf(bad).validate()
+        assert any("undeclared" in p for p in problems)
+
+    def test_empty_abbrev_def_rejected(self):
+        bad = """
+module p
+begin
+  context-free syntax
+    sorts S
+    priorities
+      > -> S
+    functions
+      "x" -> S
+end p
+"""
+        with pytest.raises(SdfSyntaxError):
+            parse_sdf(bad)

@@ -1,0 +1,143 @@
+"""The interactive REPL, driven through scripted sessions."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import ReplSession, run_session
+
+
+class TestSession:
+    def test_build_and_parse(self):
+        output = run_session(
+            [
+                "add B ::= true",
+                "add B ::= B or B",
+                "add START ::= B",
+                "parse true or true",
+            ]
+        )
+        assert any("accepted (1 parse)" in line for line in output)
+        assert any("B(B(true) or B(true))" in line for line in output)
+
+    def test_ambiguous_parse_lists_every_tree(self):
+        output = run_session(
+            [
+                "add E ::= n",
+                "add E ::= E + E",
+                "add START ::= E",
+                "parse n + n + n",
+            ]
+        )
+        assert any("accepted (2 parses)" in line for line in output)
+
+    def test_trees_toggle(self):
+        output = run_session(
+            [
+                "add B ::= x",
+                "add START ::= B",
+                "trees off",
+                "parse x",
+            ]
+        )
+        assert not any("B(x)" in line for line in output)
+
+    def test_incremental_edit_cycle(self):
+        output = run_session(
+            [
+                "add B ::= true",
+                "add START ::= B",
+                "recognize unknown",
+                "add B ::= unknown",
+                "recognize unknown",
+                "delete B ::= unknown",
+                "recognize unknown",
+            ]
+        )
+        verdicts = [l for l in output if l in ("accepted", "rejected")]
+        assert verdicts == ["rejected", "accepted", "rejected"]
+
+    def test_sort_declaration_for_forward_reference(self):
+        output = run_session(
+            [
+                "sort N",
+                "add CMD ::= turn N",
+                "add N ::= 1",
+                "add START ::= CMD",
+                "recognize turn 1",
+            ]
+        )
+        assert output[-1] == "accepted"
+
+    def test_show_and_summary_and_fraction(self):
+        output = run_session(
+            [
+                "add B ::= x",
+                "add START ::= B",
+                "parse x",
+                "show",
+                "summary",
+                "fraction",
+            ]
+        )
+        assert any("B ::= x" in line for line in output)
+        assert any("states=" in line for line in output)
+        assert any("% of the full table" in line for line in output)
+
+    def test_gc_command(self):
+        output = run_session(
+            [
+                "add B ::= x",
+                "add START ::= B",
+                "parse x",
+                "gc",
+            ]
+        )
+        assert any("reclaimed" in line for line in output)
+
+    def test_errors_are_reported_not_raised(self):
+        output = run_session(["add B -> x"])
+        assert any(line.startswith("error:") for line in output)
+
+    def test_unknown_command(self):
+        output = run_session(["frobnicate"])
+        assert "unknown command" in output[0]
+
+    def test_help_and_quit(self):
+        session = ReplSession()
+        assert "commands:" in session.execute("help")[0]
+        assert session.execute("quit") == ["bye"]
+        assert session.finished
+
+    def test_blank_lines_and_comments_ignored(self):
+        assert run_session(["", "   ", "# nothing"]) == []
+
+    def test_parse_before_start_rule(self):
+        output = run_session(["parse x"])
+        assert output == ["rejected"]
+
+    def test_fraction_before_start_rule(self):
+        assert run_session(["fraction"]) == ["no START rule yet"]
+
+    def test_duplicate_add_reported(self):
+        output = run_session(["add B ::= x", "add B ::= x"])
+        assert output[-1] == "(rule already present)"
+
+    def test_delete_missing_reported(self):
+        assert run_session(["delete B ::= x"]) == ["(no such rule)"]
+
+
+class TestProcessEntryPoint:
+    def test_python_dash_m_repro(self):
+        script = "add B ::= hi\nadd START ::= B\nrecognize hi\nquit\n"
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            input=script,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 0
+        assert "accepted" in completed.stdout
+        assert "bye" in completed.stdout
