@@ -1,10 +1,36 @@
-"""Legacy setup shim.
+"""Packaging for the IPG reproduction.
 
-The offline environment ships a setuptools without ``wheel``; this shim
-lets ``pip install -e . --no-build-isolation --no-use-pep517`` perform an
-editable install there.  All real metadata lives in ``pyproject.toml``.
+The offline environment ships a setuptools without ``wheel``; plain
+``setup.py`` metadata (no PEP 517 build isolation) lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work there, and
+installs the ``repro`` console script (REPL plus the ``serve``/``batch``
+service subcommands).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single-source the version from the package itself.
+_version = re.search(
+    r'__version__ = "([^"]+)"',
+    (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text(),
+).group(1)
+
+setup(
+    name="repro-ipg",
+    version=_version,
+    description=(
+        "Reproduction of Heering/Klint/Rekers, 'Incremental Generation of "
+        "Parsers' (PLDI 1989), grown into a multi-session parse service"
+    ),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

@@ -15,6 +15,8 @@ together with every substrate and baseline its evaluation relies on:
 ``repro.sdf``             the SDF front end and the section-7 corpus
 ``repro.lexing``          ISG: regex → NFA → lazy DFA incremental scanner
 ``repro.bench``           the Fig. 7.1 measurement harness
+``repro.service``         the multi-session parse service (workspace,
+                          JSON protocol, result cache, snapshots)
 ========================  ====================================================
 
 Quickstart::
@@ -42,7 +44,7 @@ from .grammar import (
     grammar_from_text,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Grammar",

@@ -13,7 +13,8 @@ sanity checks).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+import random
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from ..grammar.builders import grammar_from_text
 from ..grammar.grammar import Grammar
@@ -122,3 +123,65 @@ def ambiguous_sentence(operators: int) -> TokenStream:
         tokens.append(Terminal("+"))
         tokens.append(Terminal("n"))
     return tokens
+
+
+# -- service traffic ------------------------------------------------------
+
+
+def service_requests(
+    sessions: int = 20,
+    requests_per_session: int = 30,
+    seed: int = 0,
+    edit_fraction: float = 0.15,
+    sentence_pool: int = 8,
+) -> List[Dict[str, Any]]:
+    """A deterministic interleaved edit/parse request stream.
+
+    Traffic for the multi-session parse service
+    (:class:`repro.service.Dispatcher`): ``sessions`` users each open a
+    booleans grammar, then issue ``requests_per_session`` requests in a
+    round-robin interleaving — mostly ``parse``/``recognize`` of sentences
+    drawn from a small per-session pool (so repeats exercise the result
+    cache), with an ``edit_fraction`` share of ``add-rule``/``delete-rule``
+    toggles that bump the grammar version and evict cached results.
+
+    The stream is a plain list of JSON-able request dicts, directly
+    consumable by ``Dispatcher.handle``, ``run_batch``, or (encoded) the
+    ``serve``/``batch`` CLI subcommands.
+    """
+    rng = random.Random(seed)
+    names = [f"s{index:03d}" for index in range(sessions)]
+    requests: List[Dict[str, Any]] = [
+        {"cmd": "open", "session": name, "grammar": BOOLEANS_TEXT}
+        for name in names
+    ]
+    sentences = [
+        " ".join(t.name for t in _boolean_sentence(rng.randrange(1, 12)))
+        for _ in range(sentence_pool)
+    ]
+    toggled: Dict[str, bool] = {name: False for name in names}
+    for _round in range(requests_per_session):
+        for name in names:
+            roll = rng.random()
+            if roll < edit_fraction:
+                rule = "B ::= maybe"
+                if toggled[name]:
+                    requests.append(
+                        {"cmd": "delete-rule", "session": name, "rule": rule}
+                    )
+                else:
+                    requests.append(
+                        {"cmd": "add-rule", "session": name, "rule": rule}
+                    )
+                toggled[name] = not toggled[name]
+            else:
+                cmd = "parse" if roll < (1 + edit_fraction) / 2 else "recognize"
+                requests.append(
+                    {
+                        "cmd": cmd,
+                        "session": name,
+                        "tokens": rng.choice(sentences),
+                    }
+                )
+    requests.append({"cmd": "metrics"})
+    return requests

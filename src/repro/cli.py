@@ -17,6 +17,19 @@ or script it::
     add START ::= B
     parse true' | python -m repro
 
+Besides the REPL there are two service subcommands (see
+:mod:`repro.service`):
+
+``python -m repro serve``
+    Answer line-delimited JSON requests on stdin (one response per
+    request on stdout, each with ``time`` and — for parses — ``cache``
+    fields).
+
+``python -m repro batch [file...]``
+    Run the same requests non-interactively from files (or stdin),
+    printing responses to stdout and a throughput/cache summary to
+    stderr.
+
 Commands
 --------
 
@@ -176,9 +189,17 @@ def run_session(lines: Iterable[str]) -> List[str]:
     return output
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """The ``python -m repro`` entry point."""
-    del argv
+_USAGE = """usage: python -m repro [subcommand]
+
+subcommands:
+  (none) | repl     the interactive grammar-definition REPL
+  serve             answer line-delimited JSON requests on stdin
+  batch [file...]   run JSON requests from files (or stdin) and print
+                    responses plus a throughput/cache summary on stderr
+  help              this message"""
+
+
+def _repl_main() -> int:
     session = ReplSession()
     interactive = sys.stdin.isatty()
     if interactive:
@@ -193,6 +214,64 @@ def main(argv: Optional[List[str]] = None) -> int:
         for out in session.execute(line):
             print(out)
     return 0
+
+
+def _serve_main() -> int:
+    from .service.server import serve
+
+    return serve(sys.stdin, sys.stdout)
+
+
+def _batch_main(paths: List[str]) -> int:
+    import json
+
+    from .service.server import run_batch
+
+    if paths:
+        lines: List[str] = []
+        for path in paths:
+            try:
+                with open(path) as handle:
+                    lines.extend(handle.readlines())
+            except OSError as error:
+                print(f"error: cannot read {path!r}: {error}", file=sys.stderr)
+                return 2
+    else:
+        lines = sys.stdin.readlines()
+    responses, summary = run_batch(lines)
+    from .service.protocol import encode
+
+    for response in responses:
+        print(encode(response))
+    print(json.dumps(summary, sort_keys=True), file=sys.stderr)
+    return 1 if summary["errors"] else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The ``python -m repro`` / ``repro`` entry point."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if not args or args[0] == "repl":
+            return _repl_main()
+        command, rest = args[0], args[1:]
+        if command == "serve":
+            return _serve_main()
+        if command == "batch":
+            return _batch_main(rest)
+        if command in ("help", "-h", "--help"):
+            print(_USAGE)
+            return 0
+        print(_USAGE, file=sys.stderr)
+        print(f"error: unknown subcommand {command!r}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream reader closed early (`python -m repro help | head`).
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # does not raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -109,6 +109,16 @@ class IPG:
     # -- introspection -----------------------------------------------------
 
     @property
+    def version(self) -> int:
+        """Monotone grammar version, bumped by every successful MODIFY.
+
+        Mirrors :attr:`Grammar.revision`; the service layer keys result
+        caches on it so a grammar edit implicitly invalidates every parse
+        computed against the older grammar.
+        """
+        return self.grammar.revision
+
+    @property
     def graph(self):
         return self.generator.graph
 

@@ -69,6 +69,51 @@ class ControlProbe:
         }
 
 
+class LatencyStats:
+    """Per-key call counters and cumulative wall time.
+
+    The parse service records one ``(command, seconds)`` sample per request
+    it dispatches; ``snapshot`` renders the aggregate the ``metrics``
+    protocol command reports.  Keys are arbitrary strings, so the same
+    class can aggregate per-command, per-session, or per-phase timings.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._seconds: Dict[str, float] = {}
+
+    def record(self, key: str, seconds: float) -> None:
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._seconds[key] = self._seconds.get(key, 0.0) + seconds
+
+    @property
+    def total_count(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._seconds.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``key -> {count, seconds, mean}`` for every recorded key."""
+        report: Dict[str, Dict[str, float]] = {}
+        for key in sorted(self._counts):
+            count = self._counts[key]
+            seconds = self._seconds[key]
+            report[key] = {
+                "count": count,
+                "seconds": round(seconds, 6),
+                "mean": round(seconds / count, 6) if count else 0.0,
+            }
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyStats({self.total_count} calls, "
+            f"{self.total_seconds:.3f}s)"
+        )
+
+
 def table_fraction(lazy_graph: ItemSetGraph, grammar: Optional[Grammar] = None) -> float:
     """Completed lazy states / states of the *full* parse table.
 

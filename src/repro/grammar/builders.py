@@ -114,12 +114,14 @@ class GrammarBuilder:
         return Rule(NonTerminal(lhs), body, label=label)
 
 
-def grammar_from_text(text: str) -> Grammar:
+def grammar_from_text(text: str, sorts: Iterable[str] = ()) -> Grammar:
     """Parse the paper's ``A ::= x y z`` notation into a Grammar.
 
     One rule per line; blank lines and ``#`` comments ignored; an empty
     right-hand side (or the word ``ε``) denotes an epsilon rule.  Names
-    that occur as some left-hand side are non-terminals.
+    that occur as some left-hand side are non-terminals; pass ``sorts`` to
+    force additional names to be non-terminals even though no rule in
+    ``text`` defines them (forward references, snapshot round-trips).
     """
     sketches: List[Tuple[str, List[str]]] = []
     for raw_line in text.splitlines():
@@ -136,6 +138,7 @@ def grammar_from_text(text: str) -> Grammar:
         sketches.append((lhs, parts))
 
     builder = GrammarBuilder()
+    builder.sort(*sorts)
     for lhs, parts in sketches:
         builder.rule(lhs, parts)
     return builder.build()

@@ -91,6 +91,16 @@ class Grammar:
         """Monotone counter bumped by every successful edit."""
         return self._revision
 
+    def advance_revision(self, to: int) -> int:
+        """Raise the revision counter to at least ``to`` (never lowers it).
+
+        A restored snapshot continues the counter of the session that was
+        saved, so protocol clients keying on the advertised version never
+        see it move backwards.
+        """
+        self._revision = max(self._revision, to)
+        return self._revision
+
     @property
     def rules(self) -> FrozenSet[Rule]:
         return frozenset(self._rules)

@@ -18,11 +18,16 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Tuple
 
+from ..grammar.builders import grammar_from_text
+from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule
 from ..grammar.symbols import NonTerminal, Symbol, Terminal
 from .table import ParseTable, TableRow
 
 FORMAT_VERSION = 1
+
+#: Format tag for serialized grammars (text + sort declarations).
+GRAMMAR_FORMAT_VERSION = 1
 
 
 def _symbol_to_json(symbol: Symbol) -> List[str]:
@@ -149,6 +154,45 @@ def table_from_dict(payload: Dict[str, Any]) -> ParseTable:
             for rule_index, number in payload["rule_numbers"]
         },
     )
+
+
+def grammar_to_dict(grammar: Grammar, sorts: Tuple[str, ...] = ()) -> Dict[str, Any]:
+    """A JSON-able encoding of a grammar: its BNF listing plus sorts.
+
+    The cheapest faithful encoding of a grammar *is* its text (see the
+    module docstring), but the text alone cannot distinguish a referenced-
+    but-undefined non-terminal from a terminal, so every non-terminal name
+    is recorded as a sort declaration alongside any extra ``sorts``.
+    """
+    declared = {nt.name for nt in grammar.nonterminals}
+    declared.update(sorts)
+    return {
+        "format": GRAMMAR_FORMAT_VERSION,
+        "text": grammar.pretty(),
+        "sorts": sorted(declared),
+    }
+
+
+def grammar_from_dict(payload: Dict[str, Any]) -> Grammar:
+    if payload.get("format") != GRAMMAR_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported grammar format {payload.get('format')!r}"
+        )
+    return grammar_from_text(payload.get("text", ""), sorts=payload.get("sorts", ()))
+
+
+def save_payload(payload: Dict[str, Any], path: str) -> None:
+    """Write any JSON-able payload (table, grammar, session) to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=None, sort_keys=True)
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"expected a JSON object in {path}, got {type(payload).__name__}")
+    return payload
 
 
 def dumps(table: ParseTable) -> str:

@@ -1,0 +1,73 @@
+"""The multi-session parse service.
+
+Section 1 motivates IPG with *"an environment where language definitions
+are developed (and modified) interactively"* by many users at once.  This
+package is that environment's server side: a long-lived process that
+multiplexes many named grammar sessions, answers a line-delimited JSON
+request protocol, caches parse results aggressively, and persists session
+snapshots for warm restarts.
+
+========================  ====================================================
+``service.workspace``     :class:`Workspace` — the registry of named
+                          :class:`ParseSession` objects (IPG + version)
+``service.cache``         :class:`ResultCache` — LRU over
+                          ``(session, version, mode, tokens)`` keys
+``service.protocol``      request decoding, response encoding, error types
+``service.dispatcher``    :class:`Dispatcher` — one JSON request in, one
+                          JSON response (with ``time``/``cache``) out
+``service.snapshot``      session <-> JSON persistence (grammar text plus a
+                          deterministic-table fast path when conflict-free)
+``service.server``        the stdio serve loop and batch runner
+========================  ====================================================
+
+Quickstart::
+
+    from repro.service import Dispatcher
+
+    d = Dispatcher()
+    d.handle({"cmd": "open", "session": "s1",
+              "grammar": "START ::= B\\nB ::= true"})
+    response = d.handle({"cmd": "parse", "session": "s1", "tokens": "true"})
+    assert response["accepted"] and "time" in response
+"""
+
+from .cache import CacheStats, ResultCache
+from .dispatcher import Dispatcher
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+    SessionNotFound,
+    encode,
+    iter_requests,
+)
+from .server import run_batch, serve
+from .snapshot import (
+    SESSION_FORMAT_VERSION,
+    load_session,
+    save_session,
+    session_from_dict,
+    session_to_dict,
+)
+from .workspace import ParseSession, Workspace
+
+__all__ = [
+    "CacheStats",
+    "Dispatcher",
+    "ParseSession",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ResultCache",
+    "SESSION_FORMAT_VERSION",
+    "ServiceError",
+    "SessionNotFound",
+    "Workspace",
+    "encode",
+    "iter_requests",
+    "load_session",
+    "run_batch",
+    "save_session",
+    "serve",
+    "session_from_dict",
+    "session_to_dict",
+]

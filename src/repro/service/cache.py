@@ -1,0 +1,106 @@
+"""The LRU result cache of the parse service.
+
+Keys are ``(session, grammar_version, mode, tokens)`` tuples.  Because the
+grammar version participates in the key, a MODIFY invalidates every cached
+parse *implicitly* — a stale entry can never be returned, only linger.  The
+workspace additionally subscribes to each session's grammar and calls
+:meth:`ResultCache.invalidate` on every notification, so stale entries are
+reclaimed eagerly instead of waiting for LRU pressure.
+
+Values are plain JSON-able payload dicts (the exact object the dispatcher
+puts in a response), so a cache hit costs one ``OrderedDict`` move and no
+re-serialization work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+#: Cache key: (session name, grammar version, mode, token names).
+CacheKey = Tuple[str, int, str, Tuple[str, ...]]
+
+
+class CacheStats:
+    """Hit/miss/eviction counters, reported by the ``metrics`` command."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return f"CacheStats({self.snapshot()})"
+
+
+class ResultCache:
+    """A bounded LRU mapping cache keys to response payloads."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: CacheKey) -> Tuple[bool, Optional[Any]]:
+        """``(found, value)``; a hit refreshes the entry's recency."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True, self._entries[key]
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, session: str) -> int:
+        """Drop every entry belonging to ``session``; returns the count."""
+        stale = [key for key in self._entries if key[0] == session]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += count
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({len(self._entries)}/{self.capacity} entries, "
+            f"hit_rate={self.stats.hit_rate:.2%})"
+        )

@@ -1,0 +1,253 @@
+"""The request dispatcher: one JSON request in, one JSON response out.
+
+Every response carries ``time`` (seconds spent on the request) and, for the
+parse-shaped commands, ``cache`` (whether the answer came from the LRU
+result cache) — the two bookkeeping fields of the Korp command API that
+made its cache behaviour observable from the outside.  Errors are data,
+not exceptions: a failed request produces ``{"error": ..., "time": ...}``
+so one bad line never takes the serve loop down.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..core.metrics import LatencyStats
+from ..grammar.grammar import GrammarError
+from ..runtime.errors import ParseError
+from .protocol import (
+    COMMANDS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+    require,
+)
+from .snapshot import (
+    load_session,
+    save_session,
+    session_from_dict,
+    session_to_dict,
+)
+from .workspace import Workspace
+
+Handler = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+class Dispatcher:
+    """Serves the protocol of :mod:`repro.service.protocol` over a workspace."""
+
+    def __init__(
+        self,
+        workspace: Optional[Workspace] = None,
+        cache_capacity: int = 1024,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.workspace = workspace if workspace is not None else Workspace(cache_capacity)
+        self.stats = LatencyStats()
+        self._clock = clock
+        self._handler_map = self._handlers()
+
+    # -- the entry point ---------------------------------------------------
+
+    def handle(self, request: Any) -> Dict[str, Any]:
+        """Serve one request; always returns a response with ``time``."""
+        started = self._clock()
+        cmd = request.get("cmd") if isinstance(request, dict) else None
+        try:
+            if not isinstance(request, dict):
+                raise ProtocolError(
+                    f"requests must be JSON objects, got {type(request).__name__}"
+                )
+            if not isinstance(cmd, str):
+                raise ProtocolError("request is missing the 'cmd' field")
+            handler = self._handler_map.get(cmd)
+            if handler is None:
+                raise ProtocolError(
+                    f"unknown command {cmd!r} — known: {', '.join(COMMANDS)}"
+                )
+            response = handler(request)
+        except (ServiceError, GrammarError, ParseError, OSError) as error:
+            response = {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 — server boundary
+            # One malformed request (wrong field types, corrupt payloads)
+            # must never take down the loop and every other session's
+            # state; unexpected types are named so bugs stay diagnosable.
+            response = {"error": f"{type(error).__name__}: {error}"}
+        if cmd is not None:
+            response.setdefault("cmd", cmd)
+        if isinstance(request, dict) and "session" in request:
+            response.setdefault("session", request["session"])
+        elapsed = self._clock() - started
+        response["time"] = round(elapsed, 6)
+        self.stats.record(cmd if isinstance(cmd, str) else "<invalid>", elapsed)
+        return response
+
+    def _handlers(self) -> Dict[str, Handler]:
+        return {
+            "open": self._open,
+            "close": self._close,
+            "add-rule": self._add_rule,
+            "delete-rule": self._delete_rule,
+            "parse": self._parse,
+            "recognize": self._recognize,
+            "batch-parse": self._batch_parse,
+            "snapshot": self._snapshot,
+            "restore": self._restore,
+            "metrics": self._metrics,
+            "info": self._info,
+            "sessions": self._sessions,
+        }
+
+    # -- session lifecycle -------------------------------------------------
+
+    def _open(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = require(request, "session")
+        session = self.workspace.open(
+            name,
+            grammar_text=request.get("grammar", ""),
+            sorts=request.get("sorts", ()),
+            force=bool(request.get("force", False)),
+        )
+        return {
+            "opened": name,
+            "rules": len(session.ipg.grammar),
+            "version": session.version,
+        }
+
+    def _close(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = require(request, "session")
+        return {"closed": self.workspace.close(name)}
+
+    def _sessions(self, _request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"sessions": list(self.workspace.names())}
+
+    # -- grammar modification ----------------------------------------------
+
+    def _add_rule(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.workspace.get(require(request, "session"))
+        added = session.add_rule(
+            require(request, "rule"), sorts=request.get("sorts", ())
+        )
+        return {"added": added, "version": session.version}
+
+    def _delete_rule(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.workspace.get(require(request, "session"))
+        deleted = session.delete_rule(
+            require(request, "rule"), sorts=request.get("sorts", ())
+        )
+        return {"deleted": deleted, "version": session.version}
+
+    # -- parsing -----------------------------------------------------------
+
+    def _parse(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = require(request, "session")
+        payload, cached = self.workspace.parse(name, require(request, "tokens"))
+        response = dict(payload)
+        response["trees"] = list(payload["trees"])
+        response["tree_count"] = len(payload["trees"])
+        response["cache"] = cached
+        response["version"] = self.workspace.get(name).version
+        return response
+
+    def _recognize(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = require(request, "session")
+        payload, cached = self.workspace.recognize(name, require(request, "tokens"))
+        response = dict(payload)
+        response["cache"] = cached
+        response["version"] = self.workspace.get(name).version
+        return response
+
+    def _batch_parse(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = require(request, "session")
+        inputs = require(request, "inputs")
+        if not isinstance(inputs, (list, tuple)):
+            raise ProtocolError("'batch-parse' needs a list in the 'inputs' field")
+        results = []
+        hits = 0
+        for tokens in inputs:
+            payload, cached = self.workspace.parse(name, tokens)
+            hits += cached
+            results.append(
+                {
+                    "tokens": tokens,
+                    "accepted": payload["accepted"],
+                    "tree_count": len(payload["trees"]),
+                    "cache": cached,
+                }
+            )
+        return {
+            "results": results,
+            "cache_hits": hits,
+            "cache": bool(inputs) and hits == len(inputs),
+            "version": self.workspace.get(name).version,
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def _snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.workspace.get(require(request, "session"))
+        path = request.get("path")
+        if path is not None:
+            payload = save_session(session, path)
+            return {
+                "saved": path,
+                "version": session.version,
+                "deterministic": payload["table"] is not None,
+            }
+        payload = session_to_dict(session)
+        return {
+            "snapshot": payload,
+            "version": session.version,
+            "deterministic": payload["table"] is not None,
+        }
+
+    def _restore(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request.get("session")
+        if "path" in request:
+            session = load_session(request["path"], name=name)
+        elif "snapshot" in request:
+            session = session_from_dict(request["snapshot"], name=name)
+        else:
+            raise ProtocolError("'restore' needs a 'path' or 'snapshot' field")
+        self.workspace.adopt(session, force=bool(request.get("force", False)))
+        return {
+            "restored": session.name,
+            "rules": len(session.ipg.grammar),
+            "version": session.version,
+            "fast_path": session.has_fast_path,
+        }
+
+    # -- introspection -----------------------------------------------------
+
+    def _metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if "session" in request:
+            session = self.workspace.get(request["session"])
+            return {
+                "version": session.version,
+                "rules": len(session.ipg.grammar),
+                "fast_path": session.has_fast_path,
+                "summary": session.summary(),
+            }
+        return {
+            "sessions": len(self.workspace),
+            "cache": self.workspace.cache.stats.snapshot(),
+            "cache_entries": len(self.workspace.cache),
+            "requests": self.stats.snapshot(),
+        }
+
+    def _info(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if "session" in request:
+            session = self.workspace.get(request["session"])
+            return {
+                "version": session.version,
+                "rules": len(session.ipg.grammar),
+                "grammar": session.grammar_text,
+                "sorts": sorted(session.sorts),
+                "fast_path": session.has_fast_path,
+            }
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "commands": list(COMMANDS),
+            "sessions": list(self.workspace.names()),
+        }

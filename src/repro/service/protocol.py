@@ -1,0 +1,104 @@
+"""The JSON request/response protocol of the parse service.
+
+Requests are JSON objects with a ``cmd`` field; responses are JSON objects
+that always carry a ``time`` field (seconds spent serving the request) and,
+for parse-shaped commands, a ``cache`` field — the shape of the Korp corpus
+backend's command/parameter API, which this service deliberately mirrors.
+
+The wire format is line-delimited JSON, but the decoder is tolerant: a
+single physical line may carry several concatenated objects (optionally
+separated by literal ``\\n`` escape sequences, as produced by shells whose
+``echo`` does not interpret backslash escapes), and :func:`iter_requests`
+yields each object in order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional
+
+#: Version of the request/response protocol, reported by ``info``.
+PROTOCOL_VERSION = 1
+
+#: Commands the dispatcher understands (documented in README.md).
+COMMANDS = (
+    "open",
+    "close",
+    "add-rule",
+    "delete-rule",
+    "parse",
+    "recognize",
+    "batch-parse",
+    "snapshot",
+    "restore",
+    "metrics",
+    "info",
+    "sessions",
+)
+
+
+class ServiceError(Exception):
+    """Base class for errors reported as ``{"error": ...}`` responses."""
+
+
+class ProtocolError(ServiceError):
+    """Malformed request: bad JSON, missing field, unknown command."""
+
+
+class SessionNotFound(ServiceError):
+    """The request names a session the workspace does not hold."""
+
+
+def require(request: Dict[str, Any], field: str) -> Any:
+    """The value of ``field``, or a :class:`ProtocolError` naming it."""
+    if field not in request:
+        cmd = request.get("cmd", "?")
+        raise ProtocolError(f"{cmd!r} request is missing the {field!r} field")
+    return request[field]
+
+
+def encode(response: Dict[str, Any]) -> str:
+    """One response as compact, key-sorted JSON (no trailing newline)."""
+    return json.dumps(response, separators=(",", ":"), sort_keys=True)
+
+
+def iter_requests(text: str) -> Iterator[Dict[str, Any]]:
+    """Yield every JSON object embedded in ``text``.
+
+    Handles the strict case (one object) and the concatenated case
+    (several objects on one line, separated by whitespace or by the
+    two-character sequences ``\\n`` / ``\\r`` that an escape-unaware
+    ``echo`` leaves between objects).
+    """
+    decoder = json.JSONDecoder()
+    index, length = 0, len(text)
+    while index < length:
+        while index < length:
+            if text[index].isspace():
+                index += 1
+            elif text[index] == "\\" and index + 1 < length and text[index + 1] in "nrt":
+                index += 2
+            else:
+                break
+        if index >= length:
+            break
+        try:
+            payload, index = decoder.raw_decode(text, index)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"bad JSON request: {error}") from error
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"requests must be JSON objects, got {type(payload).__name__}"
+            )
+        yield payload
+
+
+def parse_request(line: str) -> Optional[Dict[str, Any]]:
+    """The single request on ``line`` (None for blank/comment lines)."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    requests = list(iter_requests(stripped))
+    if len(requests) != 1:
+        raise ProtocolError(f"expected one request per line, got {len(requests)}")
+    return requests[0]

@@ -1,0 +1,89 @@
+"""The serve loop (line-delimited JSON over stdio) and the batch runner.
+
+``serve`` is intentionally transport-minimal: it reads lines from any
+file-like object, decodes the request(s) on each line, and writes one
+response line per request, flushing after every write so a driving process
+(editor, test harness, ``echo | python -m repro serve``) sees answers
+immediately.  A TCP or HTTP front end would wrap the same
+:class:`~repro.service.dispatcher.Dispatcher`; none is included because
+the container has no network story, but the seam is this module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
+
+from .dispatcher import Dispatcher
+from .protocol import ProtocolError, encode, iter_requests
+
+
+def _decode_line(line: str) -> Tuple[List[Dict[str, Any]], Optional[str]]:
+    """``(requests, error)`` for one physical input line."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return [], None
+    try:
+        return list(iter_requests(stripped)), None
+    except ProtocolError as error:
+        return [], str(error)
+
+
+def serve(
+    input_stream: IO[str],
+    output_stream: IO[str],
+    dispatcher: Optional[Dispatcher] = None,
+) -> int:
+    """Answer requests from ``input_stream`` until EOF; returns 0."""
+    dispatcher = dispatcher if dispatcher is not None else Dispatcher()
+    try:
+        for line in input_stream:
+            requests, error = _decode_line(line)
+            if error is not None:
+                output_stream.write(encode({"error": error, "time": 0.0}) + "\n")
+                output_stream.flush()
+                continue
+            for request in requests:
+                response = dispatcher.handle(request)
+                output_stream.write(encode(response) + "\n")
+                output_stream.flush()
+    except BrokenPipeError:
+        # The reader went away (e.g. `... | head`); that ends the
+        # session, it is not an error.
+        pass
+    return 0
+
+
+def run_batch(
+    lines: Iterable[str],
+    dispatcher: Optional[Dispatcher] = None,
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Serve every request in ``lines``; returns (responses, summary).
+
+    The summary reports what a throughput run cares about: request count,
+    error count, total service time, and the cache hit rate of the
+    workspace's result cache.
+    """
+    dispatcher = dispatcher if dispatcher is not None else Dispatcher()
+    responses: List[Dict[str, Any]] = []
+    errors = 0
+    for line in lines:
+        requests, error = _decode_line(line)
+        if error is not None:
+            responses.append({"error": error, "time": 0.0})
+            errors += 1
+            continue
+        for request in requests:
+            response = dispatcher.handle(request)
+            responses.append(response)
+            errors += "error" in response
+    total_time = sum(r.get("time", 0.0) for r in responses)
+    summary = {
+        "requests": len(responses),
+        "errors": errors,
+        "seconds": round(total_time, 6),
+        "requests_per_second": (
+            round(len(responses) / total_time, 1) if total_time else 0.0
+        ),
+        "cache": dispatcher.workspace.cache.stats.snapshot(),
+    }
+    return responses, summary

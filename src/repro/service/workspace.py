@@ -1,0 +1,297 @@
+"""Named IPG sessions and the registry that owns them.
+
+A :class:`ParseSession` wraps one :class:`~repro.core.ipg.IPG` with the
+state an interactive user accumulates — declared sorts, the monotone
+grammar version, and (after a snapshot restore of a conflict-free grammar)
+a deterministic-table fast path.  A :class:`Workspace` is the paper's
+"many users" made concrete: a dictionary of named sessions sharing one
+LRU result cache, wired so that every MODIFY (observed through the
+existing :meth:`Grammar.subscribe` hook) evicts that session's cached
+results and drops its fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.ipg import IPG, TokenInput
+from ..grammar.builders import grammar_from_text
+from ..grammar.grammar import Grammar, GrammarError
+from ..grammar.rules import Rule
+from ..grammar.symbols import Terminal
+from ..lr.slr import slr_table
+from ..lr.table import ParseTable, TableControl
+from ..runtime.errors import AmbiguousInputError, ParseError
+from ..runtime.forest import bracketed
+from ..runtime.lr_parse import SimpleLRParser
+from .cache import CacheKey, ResultCache
+from .protocol import ServiceError, SessionNotFound
+
+#: Callback invoked (with the session) after every grammar modification.
+ModifyListener = Callable[["ParseSession"], None]
+
+
+class ParseSession:
+    """One named grammar-definition session: an IPG plus user state."""
+
+    def __init__(
+        self,
+        name: str,
+        grammar_text: str = "",
+        sorts: Iterable[str] = (),
+        grammar: Optional[Grammar] = None,
+    ) -> None:
+        self.name = name
+        self.sorts = set(sorts)
+        if grammar is None:
+            grammar = (
+                grammar_from_text(grammar_text, sorts=self.sorts)
+                if grammar_text.strip()
+                else Grammar()
+            )
+        self.ipg = IPG(grammar)
+        self.fast_table: Optional[ParseTable] = None
+        self._fast_parser: Optional[SimpleLRParser] = None
+        self._table_cache: Optional[Tuple[int, Optional[ParseTable]]] = None
+        self._listeners: List[ModifyListener] = []
+        self._unsubscribe = self.ipg.grammar.subscribe(self._on_modify)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the grammar's observer list."""
+        self._unsubscribe()
+        self._listeners.clear()
+
+    def on_modify(self, listener: ModifyListener) -> None:
+        self._listeners.append(listener)
+
+    def _on_modify(self, _grammar: Grammar, _rule: Rule, _added: bool) -> None:
+        # Any MODIFY outdates both the deterministic fast path and (via the
+        # registered listeners) every cached result for this session.
+        self.fast_table = None
+        self._fast_parser = None
+        for listener in list(self._listeners):
+            listener(self)
+
+    # -- grammar state -----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self.ipg.version
+
+    @property
+    def grammar_text(self) -> str:
+        return self.ipg.grammar.pretty()
+
+    def declare_sorts(self, names: Iterable[str]) -> None:
+        self.sorts.update(names)
+
+    def add_rule(self, rule: str, sorts: Iterable[str] = ()) -> bool:
+        self.declare_sorts(sorts)
+        return self.ipg.add_rule(rule, sorts=self.sorts)
+
+    def delete_rule(self, rule: str, sorts: Iterable[str] = ()) -> bool:
+        self.declare_sorts(sorts)
+        return self.ipg.delete_rule(rule, sorts=self.sorts)
+
+    # -- the deterministic fast path ---------------------------------------
+
+    def attach_fast_path(self, table: ParseTable) -> None:
+        """Parse through ``table`` until the next grammar modification.
+
+        Only snapshots of conflict-free grammars carry a table; the simple
+        LR parser over it is the service's analogue of the paper's Yacc
+        deployment mode ("about twice as fast" a parser, section 7).
+        A conflicted table is rejected outright — the deterministic parser
+        would make ``parse`` and ``recognize`` disagree on conflicted
+        states (e.g. from a corrupted snapshot file).
+        """
+        if not table.is_deterministic:
+            raise ServiceError(
+                f"cannot attach a fast path for session {self.name!r}: "
+                f"the table has {len(table.conflicts())} conflict(s)"
+            )
+        if frozenset(table.rule_numbers) != self.ipg.grammar.rules:
+            raise ServiceError(
+                f"cannot attach a fast path for session {self.name!r}: "
+                f"the table was generated from a different grammar"
+            )
+        self.fast_table = table
+        self._fast_parser = SimpleLRParser(TableControl(table), self.ipg.grammar)
+
+    def deterministic_table(self) -> Optional[ParseTable]:
+        """The conflict-free SLR(1) table for the current grammar, or None.
+
+        Memoized per grammar version: building the table costs a full
+        ``expand_all``, and periodic snapshotting (autosave) would
+        otherwise pay it on every request — for conflicted grammars
+        without ever getting a table back.
+        """
+        if self.fast_table is not None:
+            return self.fast_table
+        if self._table_cache is not None and self._table_cache[0] == self.version:
+            return self._table_cache[1]
+        candidate: Optional[ParseTable] = None
+        if self.ipg.grammar.start_rules():
+            # Work on a copy: table construction must not leak observers
+            # into (or expansion work onto) the live session's grammar.
+            try:
+                table = slr_table(self.ipg.grammar.copy())
+            except GrammarError:
+                table = None
+            if table is not None and table.is_deterministic:
+                candidate = table
+        self._table_cache = (self.version, candidate)
+        return candidate
+
+    @property
+    def has_fast_path(self) -> bool:
+        return self._fast_parser is not None
+
+    # -- parsing (JSON-able payloads) --------------------------------------
+
+    def parse_payload(self, tokens: TokenInput) -> Dict[str, Any]:
+        """``{"accepted", "trees"}`` for ``tokens`` — the cacheable value."""
+        return self._parse_terminals(self.ipg.coerce_tokens(tokens))
+
+    def _parse_terminals(self, terminals: List[Terminal]) -> Dict[str, Any]:
+        if self._fast_parser is not None:
+            try:
+                result = self._fast_parser.parse(terminals)
+                tree = result.tree
+                return {
+                    "accepted": True,
+                    "trees": [bracketed(tree)] if tree is not None else [],
+                }
+            except AmbiguousInputError:
+                pass  # defensive: fall through to the forking parser
+            except ParseError:
+                return {"accepted": False, "trees": []}
+        result = self.ipg.parse(terminals)
+        return {
+            "accepted": result.accepted,
+            "trees": sorted(bracketed(tree) for tree in result.trees),
+        }
+
+    def recognize_payload(self, tokens: TokenInput) -> Dict[str, Any]:
+        return self._recognize_terminals(self.ipg.coerce_tokens(tokens))
+
+    def _recognize_terminals(self, terminals: List[Terminal]) -> Dict[str, Any]:
+        if self._fast_parser is not None:
+            return {"accepted": self._fast_parser.recognize(terminals)}
+        return {"accepted": self.ipg.recognize(terminals)}
+
+    def summary(self) -> Dict[str, int]:
+        return self.ipg.summary()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParseSession({self.name!r}, {len(self.ipg.grammar)} rules, "
+            f"version={self.version})"
+        )
+
+
+class Workspace:
+    """The registry of sessions plus the shared result cache."""
+
+    def __init__(self, cache_capacity: int = 1024) -> None:
+        self._sessions: Dict[str, ParseSession] = {}
+        self.cache = ResultCache(cache_capacity)
+
+    # -- registry ----------------------------------------------------------
+
+    def open(
+        self,
+        name: str,
+        grammar_text: str = "",
+        sorts: Iterable[str] = (),
+        force: bool = False,
+    ) -> ParseSession:
+        if name in self._sessions and not force:
+            raise ServiceError(
+                f"session {name!r} is already open (pass force to replace it)"
+            )
+        session = ParseSession(name, grammar_text, sorts)
+        self.adopt(session, force=force)
+        return session
+
+    def adopt(self, session: ParseSession, force: bool = False) -> ParseSession:
+        """Register an externally built session (e.g. a snapshot restore)."""
+        if self._sessions.get(session.name) is session:
+            # Idempotent re-adoption: closing-and-re-adding the same object
+            # would detach its own grammar subscription for good.
+            return session
+        if session.name in self._sessions:
+            if not force:
+                raise ServiceError(
+                    f"session {session.name!r} is already open "
+                    f"(pass force to replace it)"
+                )
+            self.close(session.name)
+        session.on_modify(self._invalidate)
+        self._sessions[session.name] = session
+        return session
+
+    def get(self, name: str) -> ParseSession:
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise SessionNotFound(
+                f"no open session named {name!r} — 'open' it first"
+            ) from None
+
+    def close(self, name: str) -> bool:
+        session = self._sessions.pop(name, None)
+        if session is None:
+            return False
+        session.close()
+        self.cache.invalidate(name)
+        return True
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._sessions))
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def _invalidate(self, session: ParseSession) -> None:
+        self.cache.invalidate(session.name)
+
+    # -- cached parsing ----------------------------------------------------
+
+    def _cached(
+        self, name: str, mode: str, tokens: TokenInput
+    ) -> Tuple[Dict[str, Any], bool]:
+        session = self.get(name)
+        terminals = session.ipg.coerce_tokens(tokens)
+        key: CacheKey = (
+            name,
+            session.version,
+            mode,
+            tuple(t.name for t in terminals),
+        )
+        hit, value = self.cache.get(key)
+        if hit:
+            return value, True
+        payload = (
+            session._parse_terminals(terminals)
+            if mode == "parse"
+            else session._recognize_terminals(terminals)
+        )
+        self.cache.put(key, payload)
+        return payload, False
+
+    def parse(self, name: str, tokens: TokenInput) -> Tuple[Dict[str, Any], bool]:
+        """``(payload, was_cached)`` for a tree-building parse."""
+        return self._cached(name, "parse", tokens)
+
+    def recognize(self, name: str, tokens: TokenInput) -> Tuple[Dict[str, Any], bool]:
+        """``(payload, was_cached)`` for accept/reject recognition."""
+        return self._cached(name, "recognize", tokens)
+
+    def __repr__(self) -> str:
+        return f"Workspace({len(self)} sessions, cache={self.cache!r})"

@@ -135,3 +135,17 @@ class TestConstructors:
         assert ipg.generator.collector is None
         ipg = IPG.from_text(BOOLEANS, gc=True)
         assert ipg.generator.collector is not None
+
+
+class TestVersion:
+    def test_version_bumps_on_modify_only(self):
+        ipg = IPG.from_text(BOOLEANS)
+        before = ipg.version
+        ipg.parse("true and true")
+        assert ipg.version == before            # parsing never bumps
+        assert ipg.add_rule("B ::= maybe")
+        assert ipg.version == before + 1
+        assert not ipg.add_rule("B ::= maybe")  # no-op edit
+        assert ipg.version == before + 1
+        assert ipg.delete_rule("B ::= maybe")
+        assert ipg.version == before + 2

@@ -66,3 +66,24 @@ class TestControlProbe:
         generator = LazyGenerator(booleans)
         probe = ControlProbe(generator.control())
         assert probe.graph is generator.graph
+
+
+class TestLatencyStats:
+    def test_records_per_key(self):
+        from repro.core.metrics import LatencyStats
+
+        stats = LatencyStats()
+        stats.record("parse", 0.2)
+        stats.record("parse", 0.4)
+        stats.record("open", 0.1)
+        report = stats.snapshot()
+        assert report["parse"]["count"] == 2
+        assert abs(report["parse"]["seconds"] - 0.6) < 1e-9
+        assert abs(report["parse"]["mean"] - 0.3) < 1e-9
+        assert stats.total_count == 3
+        assert abs(stats.total_seconds - 0.7) < 1e-9
+
+    def test_empty_snapshot(self):
+        from repro.core.metrics import LatencyStats
+
+        assert LatencyStats().snapshot() == {}

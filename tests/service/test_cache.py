@@ -1,0 +1,72 @@
+"""The LRU result cache: recency, eviction, invalidation, stats."""
+
+from repro.service.cache import ResultCache
+
+import pytest
+
+
+def key(session="s", version=1, mode="parse", tokens=("true",)):
+    return (session, version, mode, tuple(tokens))
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        found, value = cache.get(key())
+        assert not found and value is None
+        cache.put(key(), {"accepted": True})
+        found, value = cache.get(key())
+        assert found and value == {"accepted": True}
+
+    def test_distinct_versions_are_distinct_entries(self):
+        cache = ResultCache(capacity=4)
+        cache.put(key(version=1), "old")
+        cache.put(key(version=2), "new")
+        assert cache.get(key(version=1)) == (True, "old")
+        assert cache.get(key(version=2)) == (True, "new")
+
+    def test_stats_count_hits_and_misses(self):
+        cache = ResultCache(capacity=4)
+        cache.get(key())
+        cache.put(key(), 1)
+        cache.get(key())
+        cache.get(key())
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(key(tokens=("a",)), 1)
+        cache.put(key(tokens=("b",)), 2)
+        cache.get(key(tokens=("a",)))          # refresh 'a'
+        cache.put(key(tokens=("c",)), 3)       # evicts 'b', not 'a'
+        assert key(tokens=("a",)) in cache
+        assert key(tokens=("b",)) not in cache
+        assert key(tokens=("c",)) in cache
+        assert cache.stats.evictions == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_only_that_session(self):
+        cache = ResultCache(capacity=8)
+        cache.put(key(session="alice"), 1)
+        cache.put(key(session="alice", tokens=("false",)), 2)
+        cache.put(key(session="bob"), 3)
+        assert cache.invalidate("alice") == 2
+        assert len(cache) == 1
+        assert key(session="bob") in cache
+        assert cache.stats.invalidations == 2
+
+    def test_clear(self):
+        cache = ResultCache(capacity=8)
+        cache.put(key(), 1)
+        cache.put(key(tokens=("x",)), 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0

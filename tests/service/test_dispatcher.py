@@ -1,0 +1,252 @@
+"""The JSON request protocol: golden exchanges, caching, invalidation."""
+
+from repro.service import Dispatcher, ProtocolError, iter_requests
+from repro.service.protocol import parse_request
+
+import pytest
+
+BOOLEANS = "START ::= B\nB ::= true\nB ::= false\nB ::= B or B"
+
+
+@pytest.fixture()
+def dispatcher():
+    return Dispatcher()
+
+
+@pytest.fixture()
+def booleans_dispatcher(dispatcher):
+    response = dispatcher.handle(
+        {"cmd": "open", "session": "s1", "grammar": BOOLEANS}
+    )
+    assert "error" not in response
+    return dispatcher
+
+
+class TestResponseEnvelope:
+    def test_every_response_carries_time(self, dispatcher):
+        for request in (
+            {"cmd": "info"},
+            {"cmd": "sessions"},
+            {"cmd": "metrics"},
+            {"cmd": "nope"},
+            {"no-cmd": True},
+        ):
+            assert "time" in dispatcher.handle(request)
+
+    def test_session_is_echoed(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "true"}
+        )
+        assert response["session"] == "s1"
+        assert response["cmd"] == "parse"
+
+    def test_errors_are_data_not_exceptions(self, dispatcher):
+        assert "error" in dispatcher.handle({"cmd": "parse", "session": "ghost",
+                                             "tokens": "x"})
+        assert "error" in dispatcher.handle({"cmd": "parse"})
+        assert "error" in dispatcher.handle({"cmd": "frobnicate"})
+        assert "error" in dispatcher.handle("not a dict")
+        assert "error" in dispatcher.handle({"cmd": "add-rule", "session": "s",
+                                             "rule": "B -> x"})
+
+
+class TestOpenParse:
+    def test_golden_open(self, dispatcher):
+        response = dispatcher.handle(
+            {"cmd": "open", "session": "s1", "grammar": BOOLEANS}
+        )
+        assert response["opened"] == "s1"
+        assert response["rules"] == 4
+        assert response["version"] == 4
+
+    def test_open_twice_is_an_error_unless_forced(self, booleans_dispatcher):
+        again = {"cmd": "open", "session": "s1", "grammar": BOOLEANS}
+        assert "error" in booleans_dispatcher.handle(again)
+        assert "error" not in booleans_dispatcher.handle({**again, "force": True})
+
+    def test_golden_parse(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "true or false"}
+        )
+        assert response["accepted"] is True
+        assert response["tree_count"] == 1
+        assert response["trees"] == ["START(B(B(true) or B(false)))"]
+        assert response["cache"] is False
+        assert response["version"] == 4
+
+    def test_rejected_parse(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "or or"}
+        )
+        assert response["accepted"] is False
+        assert response["tree_count"] == 0
+
+    def test_recognize(self, booleans_dispatcher):
+        yes = booleans_dispatcher.handle(
+            {"cmd": "recognize", "session": "s1", "tokens": "false"}
+        )
+        no = booleans_dispatcher.handle(
+            {"cmd": "recognize", "session": "s1", "tokens": "or"}
+        )
+        assert yes["accepted"] and not no["accepted"]
+        assert yes["cache"] is False
+
+    def test_open_with_sorts_allows_forward_references(self, dispatcher):
+        dispatcher.handle(
+            {"cmd": "open", "session": "fwd",
+             "grammar": "START ::= CMD\nCMD ::= turn N", "sorts": ["N"]}
+        )
+        dispatcher.handle({"cmd": "add-rule", "session": "fwd", "rule": "N ::= 1"})
+        response = dispatcher.handle(
+            {"cmd": "recognize", "session": "fwd", "tokens": "turn 1"}
+        )
+        assert response["accepted"] is True
+
+
+class TestCaching:
+    def test_repeat_parse_hits_cache(self, booleans_dispatcher):
+        request = {"cmd": "parse", "session": "s1", "tokens": "true"}
+        first = booleans_dispatcher.handle(request)
+        second = booleans_dispatcher.handle(request)
+        assert first["cache"] is False
+        assert second["cache"] is True
+        assert second["trees"] == first["trees"]
+
+    def test_add_rule_bumps_version_and_evicts(self, booleans_dispatcher):
+        request = {"cmd": "parse", "session": "s1", "tokens": "true"}
+        before = booleans_dispatcher.handle(request)
+        booleans_dispatcher.handle(request)
+        edit = booleans_dispatcher.handle(
+            {"cmd": "add-rule", "session": "s1", "rule": "B ::= maybe"}
+        )
+        assert edit["added"] is True
+        assert edit["version"] == before["version"] + 1
+        after = booleans_dispatcher.handle(request)
+        assert after["cache"] is False
+        assert after["version"] == edit["version"]
+
+    def test_delete_rule_also_evicts(self, booleans_dispatcher):
+        request = {"cmd": "recognize", "session": "s1", "tokens": "true or true"}
+        booleans_dispatcher.handle(request)
+        assert booleans_dispatcher.handle(request)["cache"] is True
+        booleans_dispatcher.handle(
+            {"cmd": "delete-rule", "session": "s1", "rule": "B ::= B or B"}
+        )
+        after = booleans_dispatcher.handle(request)
+        assert after["cache"] is False
+        assert after["accepted"] is False
+
+    def test_no_op_edit_keeps_cache_warm(self, booleans_dispatcher):
+        request = {"cmd": "parse", "session": "s1", "tokens": "true"}
+        booleans_dispatcher.handle(request)
+        duplicate = booleans_dispatcher.handle(
+            {"cmd": "add-rule", "session": "s1", "rule": "B ::= true"}
+        )
+        assert duplicate["added"] is False
+        assert booleans_dispatcher.handle(request)["cache"] is True
+
+    def test_sessions_cache_independently(self, booleans_dispatcher):
+        booleans_dispatcher.handle(
+            {"cmd": "open", "session": "s2", "grammar": BOOLEANS}
+        )
+        request1 = {"cmd": "parse", "session": "s1", "tokens": "true"}
+        request2 = {"cmd": "parse", "session": "s2", "tokens": "true"}
+        booleans_dispatcher.handle(request1)
+        booleans_dispatcher.handle(request2)
+        # An edit in s2 must not cost s1 its cached result.
+        booleans_dispatcher.handle(
+            {"cmd": "add-rule", "session": "s2", "rule": "B ::= maybe"}
+        )
+        assert booleans_dispatcher.handle(request1)["cache"] is True
+        assert booleans_dispatcher.handle(request2)["cache"] is False
+
+
+class TestBatchParse:
+    def test_batch_reports_per_input_and_aggregate(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "batch-parse", "session": "s1",
+             "inputs": ["true", "false", "true", "or"]}
+        )
+        accepted = [r["accepted"] for r in response["results"]]
+        assert accepted == [True, True, True, False]
+        assert response["cache_hits"] == 1          # the repeated "true"
+        assert response["cache"] is False
+        assert "time" in response
+
+    def test_batch_needs_a_list(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "batch-parse", "session": "s1", "inputs": "true"}
+        )
+        assert "error" in response
+
+
+class TestIntrospection:
+    def test_metrics_global(self, booleans_dispatcher):
+        booleans_dispatcher.handle({"cmd": "parse", "session": "s1", "tokens": "true"})
+        response = booleans_dispatcher.handle({"cmd": "metrics"})
+        assert response["sessions"] == 1
+        assert response["cache"]["misses"] >= 1
+        assert response["requests"]["parse"]["count"] == 1
+
+    def test_metrics_per_session(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle({"cmd": "metrics", "session": "s1"})
+        assert response["rules"] == 4
+        assert "states" in response["summary"]
+
+    def test_info(self, booleans_dispatcher):
+        server = booleans_dispatcher.handle({"cmd": "info"})
+        assert server["protocol"] == 1
+        assert "parse" in server["commands"]
+        assert server["sessions"] == ["s1"]
+        session = booleans_dispatcher.handle({"cmd": "info", "session": "s1"})
+        assert "B ::= true" in session["grammar"]
+
+    def test_close(self, booleans_dispatcher):
+        assert booleans_dispatcher.handle(
+            {"cmd": "close", "session": "s1"}
+        )["closed"] is True
+        assert "error" in booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "true"}
+        )
+
+
+class TestRequestDecoding:
+    def test_single_object(self):
+        assert parse_request('{"cmd":"info"}') == {"cmd": "info"}
+
+    def test_blank_and_comment_lines(self):
+        assert parse_request("") is None
+        assert parse_request("   ") is None
+        assert parse_request("# a comment") is None
+
+    def test_concatenated_objects(self):
+        requests = list(iter_requests('{"cmd":"a"} {"cmd":"b"}'))
+        assert [r["cmd"] for r in requests] == ["a", "b"]
+
+    def test_literal_backslash_n_separator(self):
+        # What `echo '...\n...'` produces under escape-unaware shells.
+        text = '{"cmd":"a"}\\n{"cmd":"b"}'
+        assert [r["cmd"] for r in iter_requests(text)] == ["a", "b"]
+
+    def test_bad_json_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            list(iter_requests("{nope"))
+        with pytest.raises(ProtocolError):
+            list(iter_requests("[1, 2]"))
+
+
+class TestWorkspaceAdoption:
+    def test_re_adopting_the_same_session_keeps_subscriptions(self):
+        from repro.service import session_from_dict, session_to_dict
+        from repro.service.workspace import ParseSession, Workspace
+
+        ws = Workspace()
+        session = session_from_dict(
+            session_to_dict(ParseSession("s", "START ::= B\nB ::= x"))
+        )
+        ws.adopt(session)
+        ws.adopt(session, force=True)      # idempotent, must not detach
+        assert session.has_fast_path
+        session.add_rule("B ::= y")
+        assert not session.has_fast_path   # MODIFY still drops the fast path
+        assert session.recognize_payload("y")["accepted"] is True
