@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Hot-path benchmark: tokens/sec per control-plane tier.
+
+Measures warm PAR-PARSE throughput for the lazy (seed-equivalent and
+current), compiled, and dense-table controls on the §7 workloads, and
+writes ``BENCH_parse_hotpath.json`` at the repo root so the perf
+trajectory is tracked across PRs:
+
+    PYTHONPATH=src python benchmarks/bench_parse_hotpath.py
+
+CI smoke mode — booleans workload only, checked against the committed
+floor (fails when any tier regresses more than 3x):
+
+    PYTHONPATH=src python benchmarks/bench_parse_hotpath.py \\
+        --workload booleans --floor benchmarks/hotpath_floor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    from repro.bench.hotpath import (
+        check_floor,
+        collect_hotpath_report,
+        render_hotpath,
+    )
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.hotpath import (
+        check_floor,
+        collect_hotpath_report,
+        render_hotpath,
+    )
+
+WORKLOAD_NAMES = ("sdf", "booleans")
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_parse_hotpath.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workload",
+        choices=[*WORKLOAD_NAMES, "all"],
+        default="all",
+        help="which §7 workload(s) to measure (default: all)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed warm parses per tier"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-output", action="store_true", help="skip writing the JSON file"
+    )
+    parser.add_argument(
+        "--floor",
+        type=Path,
+        default=None,
+        help="floor JSON to check against (exit 1 on a >3x regression)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(WORKLOAD_NAMES) if args.workload == "all" else [args.workload]
+    report = collect_hotpath_report(repeats=args.repeats, workload_names=names)
+
+    for name in names:
+        print(render_hotpath(report["workloads"][name]))
+        print()
+
+    if not args.no_output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if args.floor is not None:
+        floor = json.loads(args.floor.read_text())
+        workload_name = floor.get("workload", "booleans")
+        measured = report["workloads"].get(workload_name)
+        if measured is None:
+            print(f"floor check: workload {workload_name!r} was not measured")
+            return 1
+        problems = check_floor(
+            measured, floor, max_regression=floor.get("max_regression", 3.0)
+        )
+        if problems:
+            print("floor check: FAIL")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("floor check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,10 +9,13 @@ EXPERIMENTS.md (and re-runnable by anyone questioning those numbers):
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 from repro.baselines.earley import EarleyParser
 from repro.bench.harness import run_figure_7_1
+from repro.bench.hotpath import collect_hotpath_report, render_hotpath
 from repro.bench.report import (
     capability_matrix,
     check_figure_7_1_shape,
@@ -24,6 +27,9 @@ from repro.core.ipg import IPG
 from repro.core.metrics import table_fraction
 from repro.lexing import scanner_from_sdf
 from repro.sdf.corpus import CORPUS, corpus_tokens, sdf_definition
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HOTPATH_JSON = REPO_ROOT / "BENCH_parse_hotpath.json"
 
 
 def main() -> None:
@@ -76,6 +82,17 @@ def main() -> None:
     print(f"  IPG (warm) parse of SDF.sdf:{best_ipg * 1000:8.2f} ms")
     print(f"  ratio: {best_earley / best_ipg:.1f}x "
           f"(paper predicted 'much inferior parsing performance')")
+
+    print()
+    print("=" * 72)
+    print("Hot path — tokens/sec per control-plane tier (lazy → compiled → table)")
+    print("=" * 72)
+    hotpath = collect_hotpath_report(repeats=5)
+    for report in hotpath["workloads"].values():
+        print(render_hotpath(report))
+        print()
+    HOTPATH_JSON.write_text(json.dumps(hotpath, indent=2) + "\n")
+    print(f"  wrote {HOTPATH_JSON} (tracked across PRs)")
 
     print()
     print("=" * 72)

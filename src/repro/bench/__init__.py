@@ -1,5 +1,13 @@
 """Benchmark support: workloads, the §7 protocol harness, and reports."""
 
+from .hotpath import (
+    CONTROL_TIERS,
+    FEASIBLE_INPUTS,
+    check_floor,
+    collect_hotpath_report,
+    measure_hotpath,
+    render_hotpath,
+)
 from .harness import (
     IPGSystem,
     PGSystem,
@@ -27,7 +35,9 @@ from .workloads import (
 )
 
 __all__ = [
+    "CONTROL_TIERS",
     "Capability",
+    "FEASIBLE_INPUTS",
     "Fig71Workload",
     "IPGSystem",
     "PGSystem",
@@ -41,8 +51,12 @@ __all__ = [
     "booleans_workload",
     "capability_matrix",
     "check_figure_7_1_shape",
+    "check_floor",
+    "collect_hotpath_report",
+    "measure_hotpath",
     "render_capability_matrix",
     "render_figure_7_1",
+    "render_hotpath",
     "run_figure_7_1",
     "run_protocol",
     "sdf_workload",

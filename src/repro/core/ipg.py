@@ -30,6 +30,7 @@ from ..grammar.builders import GrammarBuilder, grammar_from_text
 from ..grammar.grammar import Grammar, GrammarError
 from ..grammar.rules import Rule
 from ..grammar.symbols import NonTerminal, Terminal
+from ..lr.compiled import CompiledControl
 from ..runtime.gss import GSSParser
 from ..runtime.parallel import ParseResult, PoolParser
 from ..runtime.trace import Trace
@@ -51,10 +52,16 @@ class IPG:
     ) -> None:
         self.grammar = grammar
         self.generator = IncrementalGenerator(grammar, gc=gc)
+        # The compiled control plane: ACTION results memoized into shared
+        # tuples, invalidated precisely through the grammar's observer
+        # chain (the generator subscribed first, so MODIFY marks states
+        # before the cache flush inspects them).  All parsing runtimes of
+        # this IPG run through it.
+        self.control = CompiledControl(self.generator.control, grammar)
         self._pool = PoolParser(
-            self.generator.control, grammar, max_sweep_steps=max_sweep_steps
+            self.control, grammar, max_sweep_steps=max_sweep_steps
         )
-        self._gss = GSSParser(self.generator.control)
+        self._gss = GSSParser(self.control)
 
     # -- constructors ------------------------------------------------------
 
@@ -123,7 +130,9 @@ class IPG:
         return self.generator.graph
 
     def summary(self) -> Dict[str, int]:
-        return graph_summary(self.generator.graph)
+        data = graph_summary(self.generator.graph)
+        data.update(self.control.stats.snapshot())
+        return data
 
     def table_fraction(self) -> float:
         """How much of the full parse table has been generated (§5.2)."""

@@ -26,7 +26,7 @@ class Symbol:
     and never instantiated directly.
     """
 
-    __slots__ = ("name", "_hash")
+    __slots__ = ("name",)
 
     _intern: Dict[Tuple[type, str], "Symbol"] = {}
 
@@ -41,17 +41,15 @@ class Symbol:
             return cached
         obj = object.__new__(cls)
         obj.name = name
-        obj._hash = hash(key)
         cls._intern[key] = obj
         return obj
 
-    def __eq__(self, other: object) -> bool:
-        if self is other:
-            return True
-        return type(self) is type(other) and self.name == other.name  # type: ignore[attr-defined]
-
-    def __hash__(self) -> int:
-        return self._hash
+    # Equality and hashing are *identity-based* (inherited from object):
+    # interning in ``__new__`` guarantees that two symbols with the same
+    # class and name are the same object, and ``__reduce__`` re-interns on
+    # unpickling.  Identity semantics lets every symbol-keyed dict probe in
+    # the hot ACTION/GOTO loop use the C-level pointer hash instead of
+    # dispatching into a Python-level ``__hash__``.
 
     def __lt__(self, other: "Symbol") -> bool:
         """Stable ordering used to make generated automata deterministic.

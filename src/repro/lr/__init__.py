@@ -9,6 +9,7 @@
 """
 
 from .actions import ACCEPT_ACTION, Accept, Action, ActionSet, Reduce, Shift
+from .compiled import CompiledControl, CompiledStats
 from .conflicts import Conflict, report
 from .generator import ConventionalGenerator, GotoOnNonCompleteState, GraphControl
 from .graph import GraphStats, ItemSetGraph
@@ -17,7 +18,14 @@ from .lalr import compute_lalr_lookaheads, lalr_table, lalr_table_from_graph
 from .serialize import dumps, load_table, loads, save_table, table_from_dict, table_to_dict
 from .slr import slr_table, slr_table_from_graph
 from .states import ACCEPT, ItemSet, StateType
-from .table import ParseTable, TableControl, TableRow, lr0_table, resolve_conflicts
+from .table import (
+    DenseTable,
+    ParseTable,
+    TableControl,
+    TableRow,
+    lr0_table,
+    resolve_conflicts,
+)
 
 __all__ = [
     "ACCEPT",
@@ -25,8 +33,11 @@ __all__ = [
     "Accept",
     "Action",
     "ActionSet",
+    "CompiledControl",
+    "CompiledStats",
     "Conflict",
     "ConventionalGenerator",
+    "DenseTable",
     "GotoOnNonCompleteState",
     "GraphControl",
     "GraphStats",

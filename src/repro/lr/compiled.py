@@ -1,0 +1,220 @@
+"""The compiled control plane: memoized ACTION over a graph-backed control.
+
+The lazy/incremental generators make the parse-time ACTION/GOTO loop the
+system's steady state, yet the graph controls recompute
+``GraphControl._actions_of`` — a fresh tuple of :class:`Reduce`/
+:class:`Shift` objects — on *every* call.  :class:`CompiledControl` wraps
+any graph-backed control (conventional or lazy) and memoizes ACTION
+results per ``(state, terminal)`` into per-state dicts of pre-built,
+shared action tuples, so warm traffic pays two dict lookups per step.
+
+Laziness and incremental MODIFY are preserved exactly:
+
+* a cache miss delegates to the wrapped control, so an initial/dirty state
+  is still expanded on demand (section 5) before its actions are cached;
+* the wrapper subscribes to :meth:`Grammar.subscribe` and, on every edit,
+  flushes precisely the entries of states the generator's MODIFY
+  un-expanded (dirty/initial again) or the collector removed.  The
+  generator subscribes to the grammar *before* the wrapper is built, so by
+  the time the wrapper's observer runs the affected states are already
+  marked and the flush is exact — no version counters, no over-flushing.
+
+Only complete states ever have cache entries (ACTION completes a state
+before returning), so a surviving entry is always consistent with the
+current grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.rules import Rule
+from ..grammar.symbols import NonTerminal, Terminal
+from .actions import ActionSet, Reduce, Shift
+from .graph import ItemSetGraph
+from .states import ItemSet
+
+#: uid -> (state object, per-terminal memo of shared action tuples).  The
+#: stored state reference both pins the object (uids are never reused, ids
+#: could be) and lets the flush re-check the state's life-cycle type.
+_StateEntry = Tuple[ItemSet, Dict[Terminal, ActionSet]]
+
+#: Pre-decoded single-action cells (the *step cache* protocol shared with
+#: :class:`~repro.lr.table.TableControl`): a deterministic cell is stored
+#: as ``(STEP_SHIFT, target)``, ``(STEP_REDUCE, rule, arity, lhs)`` or
+#: ``(STEP_ACCEPT,)``; a conflicted or empty cell as ``False``.  Runtime
+#: fast paths dispatch on the leading int without touching the action
+#: objects at all.
+STEP_SHIFT = 1
+STEP_REDUCE = 2
+STEP_ACCEPT = 3
+
+Step = Any  # Tuple[int, ...] or the False sentinel
+
+
+def encode_step(actions: ActionSet) -> Step:
+    """Pre-decode an ACTION cell for the step-cache protocol."""
+    if len(actions) != 1:
+        return False
+    action = actions[0]
+    if isinstance(action, Shift):
+        return (STEP_SHIFT, action.target)
+    if isinstance(action, Reduce):
+        rule = action.rule
+        return (STEP_REDUCE, rule, len(rule.rhs), rule.lhs)
+    return (STEP_ACCEPT,)
+
+
+class CompiledStats:
+    """ACTION-cache counters, merged into ``IPG.summary()`` and the
+    service ``metrics`` command."""
+
+    __slots__ = (
+        "action_cache_hits",
+        "action_cache_misses",
+        "action_cache_flushes",
+        "action_cache_evicted",
+    )
+
+    def __init__(self) -> None:
+        self.action_cache_hits = 0
+        self.action_cache_misses = 0
+        self.action_cache_flushes = 0
+        self.action_cache_evicted = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.action_cache_hits + self.action_cache_misses
+        return self.action_cache_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return f"CompiledStats({self.snapshot()})"
+
+
+class CompiledControl:
+    """Memoizing ACTION/GOTO wrapper around a graph-backed control.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped control (typically a
+        :class:`~repro.core.lazy.LazyControl`); must expose
+        ``start_state``/``action``/``goto`` and a ``graph``.
+    grammar:
+        The grammar to observe for invalidation.  Defaults to the wrapped
+        graph's grammar.  The wrapper must be constructed *after* the
+        generator that repairs the graph has subscribed, so its flush
+        observes the post-MODIFY state types.
+    """
+
+    def __init__(self, inner: Any, grammar: Optional[Grammar] = None) -> None:
+        self.inner = inner
+        self.graph: ItemSetGraph = inner.graph
+        self.stats = CompiledStats()
+        #: The memo itself, exposed read-only as the zero-call probe
+        #: surface for runtime fast paths: a parser loop may look up
+        #: ``action_cache.get(state.uid)`` and, after verifying the entry's
+        #: state identity, read the per-terminal dict directly — reporting
+        #: the hits it took via :meth:`count_probe_hits`.  Misses must go
+        #: through :meth:`action`.
+        self.action_cache: Dict[int, _StateEntry] = {}
+        #: state -> {terminal -> pre-decoded step}; keyed by the state
+        #: object itself (identity hash) and kept in lock-step with
+        #: :attr:`action_cache` by both the miss path and the flush.
+        self.fast_step_cache: Dict[ItemSet, Dict[Terminal, Step]] = {}
+        if grammar is None:
+            grammar = self.graph.grammar
+        self._unsubscribe: Callable[[], None] = grammar.subscribe(self._on_edit)
+
+    def close(self) -> None:
+        """Detach from the grammar's observer list."""
+        self._unsubscribe()
+
+    # -- the control interface -------------------------------------------
+
+    @property
+    def start_state(self) -> ItemSet:
+        return self.inner.start_state
+
+    def action(self, state: ItemSet, symbol: Terminal) -> ActionSet:
+        entry = self.action_cache.get(state.uid)
+        if entry is not None and entry[0] is state:
+            per_state = entry[1]
+            cached = per_state.get(symbol)
+            if cached is not None:
+                self.stats.action_cache_hits += 1
+                return cached
+        else:
+            per_state = {}
+            self.action_cache[state.uid] = (state, per_state)
+        self.stats.action_cache_misses += 1
+        # Delegation expands initial/dirty states on demand (section 5/6),
+        # so after this call the state is complete and the result stable
+        # until the next grammar edit flushes it.
+        actions = self.inner.action(state, symbol)
+        per_state[symbol] = actions
+        steps = self.fast_step_cache.get(state)
+        if steps is None:
+            steps = {}
+            self.fast_step_cache[state] = steps
+        steps[symbol] = encode_step(actions)
+        return actions
+
+    def count_probe_hits(self, hits: int) -> None:
+        """Credit ``hits`` direct :attr:`action_cache` probes to the stats.
+
+        Runtime fast paths that bypass :meth:`action` report their hit
+        batches here so ``metrics`` still reflects the real hit rate.
+        """
+        self.stats.action_cache_hits += hits
+
+    def goto(self, state: ItemSet, symbol: NonTerminal) -> ItemSet:
+        # GOTO is a single dict probe on a complete state (Appendix A
+        # guarantees completeness).  Non-complete states have empty
+        # transitions, so every irregular case — missing transition,
+        # unexpanded state, accept sentinel — misses the probe and falls
+        # through to the wrapped control's strict error handling.
+        target = state.transitions.get(symbol)
+        if isinstance(target, ItemSet):
+            return target
+        return self.inner.goto(state, symbol)
+
+    # -- precise invalidation ----------------------------------------------
+
+    def _on_edit(self, _grammar: Grammar, _rule: Rule, _added: bool) -> None:
+        """Flush entries of states this MODIFY un-expanded or removed.
+
+        The generator's own observer already ran (it subscribed first), so
+        every affected state is dirty/initial — or gone from the graph —
+        by now.  Entries of untouched complete states survive: a MODIFY
+        only costs the cache what it cost the graph.
+        """
+        graph = self.graph
+        stale = [
+            uid
+            for uid, (state, _) in self.action_cache.items()
+            if state.needs_expansion or state not in graph
+        ]
+        for uid in stale:
+            state = self.action_cache.pop(uid)[0]
+            self.fast_step_cache.pop(state, None)
+        self.stats.action_cache_flushes += 1
+        self.stats.action_cache_evicted += len(stale)
+
+    # -- introspection -----------------------------------------------------
+
+    def cached_states(self) -> int:
+        return len(self.action_cache)
+
+    def cached_cells(self) -> int:
+        return sum(len(entry[1]) for entry in self.action_cache.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledControl({self.cached_states()} states, "
+            f"{self.cached_cells()} cells, hit_rate={self.stats.hit_rate:.2f})"
+        )

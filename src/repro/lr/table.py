@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..grammar.rules import Rule
 from ..grammar.symbols import END, NonTerminal, Symbol, Terminal
 from .actions import ACCEPT_ACTION, Action, ActionSet, Reduce, Shift
+from .compiled import Step, encode_step
 from .conflicts import Conflict
 from .graph import ItemSetGraph
 from .states import ACCEPT, ItemSet
@@ -56,6 +57,8 @@ class ParseTable:
         self.terminals = tuple(terminals)
         self.nonterminals = tuple(nonterminals)
         self.rule_numbers = dict(rule_numbers or {})
+        self._conflicts: Optional[Tuple[Conflict, ...]] = None
+        self._dense: Optional["DenseTable"] = None
 
     # -- the ACTION / GOTO functions -----------------------------------
 
@@ -90,7 +93,14 @@ class ParseTable:
         The end-marker column is included: an accept can clash with a
         reduce on ``$`` (e.g. for cyclic grammars), and such a cell is a
         conflict like any other.
+
+        The table is immutable, so the state × terminal scan runs once and
+        the result is cached — ``is_deterministic`` probes (snapshot
+        autosave, fast-path attachment, ``resolve_conflicts``) would
+        otherwise re-scan the full grid on every call.
         """
+        if self._conflicts is not None:
+            return self._conflicts
         found: List[Conflict] = []
         columns = list(self.terminals)
         if END not in columns:
@@ -100,11 +110,18 @@ class ParseTable:
                 actions = self.action(index, terminal)
                 if len(actions) > 1:
                     found.append(Conflict(index, terminal, actions))
-        return tuple(found)
+        self._conflicts = tuple(found)
+        return self._conflicts
 
     @property
     def is_deterministic(self) -> bool:
         return not self.conflicts()
+
+    def dense(self) -> "DenseTable":
+        """The dense integer-indexed form of this table (built once)."""
+        if self._dense is None:
+            self._dense = DenseTable(self)
+        return self._dense
 
     def cell_count(self) -> int:
         """Number of populated ACTION/GOTO cells (a size metric)."""
@@ -154,26 +171,167 @@ class ParseTable:
         return "\n".join(rendered)
 
 
+class DenseTable:
+    """Dense integer-indexed rendering of a :class:`ParseTable`.
+
+    Symbols are interned to column indices once; every ACTION cell becomes
+    an integer index (packed into a flat per-state row) into a pool of
+    pre-built, shared action tuples, and every GOTO cell an interned state
+    number.  A lookup is then two list indexings plus one dict probe for
+    the symbol's column — no per-call allocation at all.
+
+    State numbers are *interned int objects* (``_state_objects``): the
+    pool parser's duplicate elision keys on state identity, so every
+    occurrence of state ``n`` — shift target, goto target, start state —
+    must be the same object even where CPython does not cache the int.
+    """
+
+    __slots__ = (
+        "table",
+        "step_cache",
+        "_term_index",
+        "_nt_index",
+        "_state_objects",
+        "_pool",
+        "_action_rows",
+        "_default_actions",
+        "_goto_rows",
+    )
+
+    def __init__(self, table: ParseTable) -> None:
+        self.table = table
+        columns: List[Terminal] = list(table.terminals)
+        if END not in columns:
+            columns.append(END)
+        self._term_index: Dict[Terminal, int] = {
+            t: i for i, t in enumerate(columns)
+        }
+        self._nt_index: Dict[NonTerminal, int] = {
+            nt: i for i, nt in enumerate(table.nonterminals)
+        }
+        self._state_objects: List[int] = [int(n) for n in range(len(table))]
+
+        # ACTION: rows of pool indices; equal cells share one tuple, and
+        # the step pool mirrors it so equal cells also share one
+        # pre-decoded step (encode once per distinct cell, not per grid
+        # position).
+        pool: List[ActionSet] = [()]
+        pool_index: Dict[ActionSet, int] = {(): 0}
+        step_pool: List[Step] = [encode_step(())]
+        self._pool = pool
+        self._action_rows: List[List[int]] = []
+        # Unknown terminals (input tokens outside the grammar) still reduce
+        # on LR(0)-style "reduce on everything" entries; one shared default
+        # tuple per state mirrors ParseTable.action for that case.
+        self._default_actions: List[ActionSet] = []
+        self._goto_rows: List[List[Optional[int]]] = []
+        #: state -> {terminal -> pre-decoded step} for the runtime fast
+        #: path (the step-cache protocol of :mod:`repro.lr.compiled`);
+        #: keyed by the interned state ints, built once alongside the
+        #: dense rows.  Tables are immutable, so it never invalidates.
+        self.step_cache: Dict[int, Dict[Terminal, Step]] = {}
+
+        for state in range(len(table)):
+            action_row: List[int] = []
+            steps: Dict[Terminal, Step] = {}
+            for terminal in columns:
+                actions = self._reintern(table.action(state, terminal))
+                index = pool_index.get(actions)
+                if index is None:
+                    index = len(pool)
+                    pool.append(actions)
+                    pool_index[actions] = index
+                    step_pool.append(encode_step(actions))
+                action_row.append(index)
+                steps[terminal] = step_pool[index]
+            self._action_rows.append(action_row)
+            self.step_cache[self._state_objects[state]] = steps
+
+            row = table._rows[state]
+            defaults = tuple(
+                Reduce(rule) for rule, lookaheads in row.reduces if lookaheads is None
+            )
+            default_index = pool_index.get(defaults)
+            if default_index is None:
+                default_index = len(pool)
+                pool.append(defaults)
+                pool_index[defaults] = default_index
+                step_pool.append(encode_step(defaults))
+            self._default_actions.append(pool[default_index])
+
+            goto_row: List[Optional[int]] = [None] * len(self._nt_index)
+            for nonterminal, target in row.gotos.items():
+                goto_row[self._nt_index[nonterminal]] = self._state_objects[target]
+            self._goto_rows.append(goto_row)
+
+    def _reintern(self, actions: ActionSet) -> ActionSet:
+        """Rebuild shift actions so their targets are interned state ints."""
+        rebuilt: List[Action] = []
+        changed = False
+        for action in actions:
+            if isinstance(action, Shift):
+                interned = self._state_objects[action.target]
+                if interned is not action.target:
+                    action = Shift(interned)
+                    changed = True
+            rebuilt.append(action)
+        return tuple(rebuilt) if changed else actions
+
+    # -- the ACTION / GOTO fast path -----------------------------------
+
+    @property
+    def start_state(self) -> int:
+        return self._state_objects[self.table.start]
+
+    def action(self, state: int, symbol: Terminal) -> ActionSet:
+        index = self._term_index.get(symbol)
+        if index is None:
+            return self._default_actions[state]
+        return self._pool[self._action_rows[state][index]]
+
+    def goto(self, state: int, symbol: NonTerminal) -> int:
+        index = self._nt_index.get(symbol)
+        target = self._goto_rows[state][index] if index is not None else None
+        if target is None:
+            raise LookupError(f"no GOTO on {symbol} from state {state}")
+        return target
+
+    def __len__(self) -> int:
+        return len(self._action_rows)
+
+    def pool_size(self) -> int:
+        """Distinct action tuples backing the whole grid (a sharing metric)."""
+        return len(self._pool)
+
+
 class TableControl:
     """Adapter: run the parsing runtimes off a :class:`ParseTable`.
 
     States are plain integers here — the kernel-free representation the
     paper says conventional LR parsers use ("only the ACTION and GOTO
-    information was needed during parsing", section 5.3).
+    information was needed during parsing", section 5.3).  Lookups are
+    served from the table's :class:`DenseTable` form (built once, cached
+    on the table), so the Yacc baseline and the service's snapshot-restore
+    SLR fast path both run on packed integer rows.
     """
 
     def __init__(self, table: ParseTable) -> None:
         self.table = table
+        self._dense = table.dense()
+        #: Step-cache protocol (see :mod:`repro.lr.compiled`): lets the
+        #: pool parser's deterministic stretch dispatch on pre-decoded
+        #: cells without per-step action-object inspection.
+        self.fast_step_cache = self._dense.step_cache
 
     @property
     def start_state(self) -> int:
-        return self.table.start
+        return self._dense.start_state
 
     def action(self, state: int, symbol: Terminal) -> ActionSet:
-        return self.table.action(state, symbol)
+        return self._dense.action(state, symbol)
 
     def goto(self, state: int, symbol: NonTerminal) -> int:
-        return self.table.goto(state, symbol)
+        return self._dense.goto(state, symbol)
 
 
 def resolve_conflicts(table: ParseTable) -> Tuple[ParseTable, Tuple[Conflict, ...]]:

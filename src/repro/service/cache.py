@@ -15,7 +15,7 @@ re-serialization work.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
 
 #: Cache key: (session name, grammar version, mode, token names).
 CacheKey = Tuple[str, int, str, Tuple[str, ...]]
@@ -61,6 +61,9 @@ class ResultCache:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        #: session name -> its live keys, so a grammar edit invalidates in
+        #: O(that session's entries) instead of scanning the whole cache.
+        self._by_session: Dict[str, Set[CacheKey]] = {}
         self.stats = CacheStats()
 
     def get(self, key: CacheKey) -> Tuple[bool, Optional[Any]]:
@@ -75,13 +78,17 @@ class ResultCache:
     def put(self, key: CacheKey, value: Any) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
+        self._by_session.setdefault(key[0], set()).add(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._discard_index(evicted)
             self.stats.evictions += 1
 
     def invalidate(self, session: str) -> int:
         """Drop every entry belonging to ``session``; returns the count."""
-        stale = [key for key in self._entries if key[0] == session]
+        stale = self._by_session.pop(session, None)
+        if not stale:
+            return 0
         for key in stale:
             del self._entries[key]
         self.stats.invalidations += len(stale)
@@ -90,8 +97,16 @@ class ResultCache:
     def clear(self) -> int:
         count = len(self._entries)
         self._entries.clear()
+        self._by_session.clear()
         self.stats.invalidations += count
         return count
+
+    def _discard_index(self, key: CacheKey) -> None:
+        keys = self._by_session.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_session[key[0]]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -233,6 +233,7 @@ class Dispatcher:
             "sessions": len(self.workspace),
             "cache": self.workspace.cache.stats.snapshot(),
             "cache_entries": len(self.workspace.cache),
+            "action_cache": self.workspace.action_cache_summary(),
             "requests": self.stats.snapshot(),
         }
 

@@ -261,6 +261,19 @@ class Workspace:
     def _invalidate(self, session: ParseSession) -> None:
         self.cache.invalidate(session.name)
 
+    def action_cache_summary(self) -> Dict[str, int]:
+        """Aggregate compiled-control ACTION-cache counters over sessions.
+
+        Warm service traffic should show hits dominating misses; a grammar
+        edit shows up as a flush with a small eviction count (only the
+        states MODIFY touched).
+        """
+        total: Dict[str, int] = {}
+        for session in self._sessions.values():
+            for key, value in session.ipg.control.stats.snapshot().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
     # -- cached parsing ----------------------------------------------------
 
     def _cached(

@@ -1,0 +1,86 @@
+"""Hot-path benchmark plumbing: floor checks and report shape."""
+
+from repro.bench.hotpath import check_floor, measure_hotpath
+from repro.bench.workloads import booleans_workload
+
+
+def report_with(rates):
+    return {
+        "workload": "booleans",
+        "inputs": {
+            "small": {"tokens": 19, "tokens_per_sec": dict(rates)},
+        },
+    }
+
+
+HEALTHY = {
+    "lazy_baseline": 5_000.0,
+    "lazy": 7_000.0,
+    "compiled": 11_000.0,
+    "table": 11_000.0,
+}
+
+
+class TestCheckFloor:
+    def floor(self):
+        return {
+            "workload": "booleans",
+            "max_regression": 3.0,
+            "tokens_per_sec": {"small": dict(HEALTHY)},
+            "relative": [
+                {
+                    "input": "small",
+                    "numerator": "compiled",
+                    "denominator": "lazy_baseline",
+                    "min_ratio": 1.25,
+                }
+            ],
+        }
+
+    def test_healthy_run_passes(self):
+        assert check_floor(report_with(HEALTHY), self.floor()) == []
+
+    def test_uniformly_slower_machine_still_passes(self):
+        # Absolute rates 2.5x below the reference floor but the same-run
+        # ratio intact: a slower CI runner must not fail the check.
+        slow = {tier: rate / 2.5 for tier, rate in HEALTHY.items()}
+        assert check_floor(report_with(slow), self.floor()) == []
+
+    def test_absolute_collapse_fails(self):
+        crawl = {tier: rate / 10 for tier, rate in HEALTHY.items()}
+        problems = check_floor(report_with(crawl), self.floor())
+        assert any("below the floor" in p for p in problems)
+
+    def test_relative_regression_fails_even_on_a_fast_machine(self):
+        # compiled no faster than the baseline — the regression the job
+        # exists to catch — on a machine fast enough to clear every
+        # absolute floor.
+        regressed = dict(HEALTHY)
+        regressed["compiled"] = HEALTHY["lazy_baseline"] * 1.1
+        problems = check_floor(report_with(regressed), self.floor())
+        assert any("only 1.10x" in p for p in problems)
+
+    def test_missing_input_reported(self):
+        report = {"workload": "booleans", "inputs": {}}
+        problems = check_floor(report, self.floor())
+        assert problems and all("missing" in p for p in problems)
+
+    def test_missing_tier_reported(self):
+        rates = {k: v for k, v in HEALTHY.items() if k != "compiled"}
+        problems = check_floor(report_with(rates), self.floor())
+        assert any("compiled" in p for p in problems)
+
+
+class TestMeasureHotpath:
+    def test_report_shape_and_speedups(self):
+        report = measure_hotpath(
+            booleans_workload(), repeats=1, inputs=("tiny",)
+        )
+        assert report["workload"] == "booleans"
+        assert set(report["inputs"]) == {"tiny"}
+        rates = report["inputs"]["tiny"]["tokens_per_sec"]
+        assert set(rates) == {"lazy_baseline", "lazy", "compiled", "table"}
+        assert all(rate > 0 for rate in rates.values())
+        assert "tiny" in report["speedup_compiled_vs_baseline"]
+        assert "aggregate" in report["speedup_compiled_vs_baseline"]
+        assert set(report["aggregate_tokens_per_sec"]) == set(rates)

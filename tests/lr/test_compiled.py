@@ -1,0 +1,281 @@
+"""The compiled control plane: memoization, invalidation, dense tables."""
+
+import pytest
+
+from repro.core.incremental import IncrementalGenerator
+from repro.core.ipg import IPG
+from repro.grammar.builders import grammar_from_text
+from repro.lr.compiled import (
+    STEP_ACCEPT,
+    STEP_REDUCE,
+    STEP_SHIFT,
+    CompiledControl,
+    encode_step,
+)
+from repro.lr.graph import ItemSetGraph
+from repro.lr.slr import slr_table
+from repro.lr.table import DenseTable, TableControl, lr0_table
+from repro.grammar.symbols import END, NonTerminal, Terminal
+from repro.runtime.parallel import PoolParser
+
+BOOLEANS = """
+    B ::= true
+    B ::= false
+    B ::= B or B
+    B ::= B and B
+    START ::= B
+"""
+
+
+def booleans():
+    return grammar_from_text(BOOLEANS)
+
+
+def compiled_setup(grammar):
+    generator = IncrementalGenerator(grammar)
+    control = CompiledControl(generator.control, grammar)
+    return generator, control
+
+
+def toks(text):
+    return [Terminal(part) for part in text.split()]
+
+
+class TestMemoization:
+    def test_repeated_action_returns_shared_tuple(self):
+        grammar = booleans()
+        _, control = compiled_setup(grammar)
+        parser = PoolParser(control, grammar)
+        assert parser.recognize(toks("true and false"))
+        state = control.start_state
+        first = control.action(state, Terminal("true"))
+        second = control.action(state, Terminal("true"))
+        assert first is second  # the memo hands back the same tuple object
+
+    def test_hits_and_misses_counted(self):
+        grammar = booleans()
+        _, control = compiled_setup(grammar)
+        parser = PoolParser(control, grammar)
+        parser.recognize(toks("true and false"))
+        cold = control.stats.snapshot()
+        assert cold["action_cache_misses"] > 0
+        parser.recognize(toks("true and false"))
+        warm = control.stats.snapshot()
+        assert warm["action_cache_misses"] == cold["action_cache_misses"]
+        assert warm["action_cache_hits"] > cold["action_cache_hits"]
+
+    def test_results_equal_inner_control(self):
+        grammar = booleans()
+        generator, control = compiled_setup(grammar)
+        parser = PoolParser(control, grammar)
+        parser.recognize(toks("true or true and false"))
+        for state in generator.graph.states():
+            if not state.is_complete:
+                continue
+            for name in ("true", "false", "and", "or"):
+                symbol = Terminal(name)
+                assert control.action(state, symbol) == generator.control.action(
+                    state, symbol
+                )
+
+    def test_step_cache_mirrors_actions(self):
+        grammar = booleans()
+        _, control = compiled_setup(grammar)
+        parser = PoolParser(control, grammar)
+        parser.recognize(toks("true and false"))
+        assert control.fast_step_cache  # populated during the parse
+        for state, steps in control.fast_step_cache.items():
+            for symbol, step in steps.items():
+                assert step == encode_step(control.action(state, symbol))
+
+
+class TestInvalidation:
+    def test_add_rule_is_visible_through_the_cache(self):
+        grammar = booleans()
+        _, control = compiled_setup(grammar)
+        parser = PoolParser(control, grammar)
+        assert not parser.recognize(toks("true or unknown"))
+        grammar.add_rule(IPG(booleans()).coerce_rule("B ::= unknown"))
+        assert parser.recognize(toks("true or unknown"))
+
+    def test_delete_rule_is_visible_through_the_cache(self):
+        grammar = booleans()
+        _, control = compiled_setup(grammar)
+        parser = PoolParser(control, grammar)
+        assert parser.recognize(toks("true and false"))
+        [and_rule] = [r for r in grammar.rules if Terminal("and") in r.rhs]
+        grammar.delete_rule(and_rule)
+        assert not parser.recognize(toks("true and false"))
+        assert parser.recognize(toks("true or false"))
+
+    def test_flush_is_precise(self):
+        # An edit only evicts the states MODIFY un-expanded, not the
+        # whole cache.
+        grammar = grammar_from_text(
+            """
+            A ::= x
+            C ::= z
+            START ::= A C
+            """
+        )
+        _, control = compiled_setup(grammar)
+        parser = PoolParser(control, grammar)
+        assert parser.recognize(toks("x z"))
+        cached_before = control.cached_states()
+        assert cached_before > 0
+        grammar.add_rule(
+            IPG(grammar.copy()).coerce_rule("C ::= zz")
+        )
+        evicted = control.stats.action_cache_evicted
+        assert 0 < evicted < cached_before
+        assert parser.recognize(toks("x zz"))
+
+    def test_summary_reports_cache_counters(self):
+        ipg = IPG.from_text(BOOLEANS)
+        ipg.parse("true and true")
+        summary = ipg.summary()
+        assert "action_cache_hits" in summary
+        assert "action_cache_misses" in summary
+        assert summary["action_cache_misses"] > 0
+
+
+class TestEncodeStep:
+    def test_multi_action_cells_encode_false(self):
+        grammar = booleans()
+        graph = ItemSetGraph(grammar)
+        graph.expand_all()
+        table = lr0_table(graph)
+        control = TableControl(table)
+        conflicted = [
+            (state, terminal)
+            for state in range(len(table))
+            for terminal in table.terminals
+            if len(table.action(state, terminal)) > 1
+        ]
+        assert conflicted  # LR(0) booleans has shift/reduce conflicts
+        state, terminal = conflicted[0]
+        assert control.fast_step_cache[state][terminal] is False
+
+    def test_kinds(self):
+        grammar = booleans()
+        table = lr0_table_of(grammar)
+        kinds = {
+            step[0]
+            for steps in TableControl(table).fast_step_cache.values()
+            for step in steps.values()
+            if step is not False
+        }
+        assert kinds == {STEP_SHIFT, STEP_REDUCE, STEP_ACCEPT}
+
+
+def lr0_table_of(grammar):
+    graph = ItemSetGraph(grammar)
+    graph.expand_all()
+    return lr0_table(graph)
+
+
+class TestDenseTable:
+    def grammar(self):
+        return grammar_from_text(
+            """
+            E ::= E + T
+            E ::= T
+            T ::= n
+            START ::= E
+            """
+        )
+
+    def test_dense_action_matches_sparse(self):
+        table = slr_table(self.grammar())
+        dense = table.dense()
+        columns = list(table.terminals) + [END]
+        for state in range(len(table)):
+            for terminal in columns:
+                assert dense.action(state, terminal) == table.action(state, terminal)
+
+    def test_unknown_terminal_matches_sparse(self):
+        table = lr0_table_of(self.grammar())
+        dense = table.dense()
+        stranger = Terminal("stranger")
+        for state in range(len(table)):
+            assert dense.action(state, stranger) == table.action(state, stranger)
+
+    def test_dense_goto_matches_sparse(self):
+        table = slr_table(self.grammar())
+        dense = table.dense()
+        for state in range(len(table)):
+            for nonterminal in table.nonterminals:
+                try:
+                    expected = table.goto(state, nonterminal)
+                except LookupError:
+                    with pytest.raises(LookupError):
+                        dense.goto(state, nonterminal)
+                else:
+                    assert dense.goto(state, nonterminal) == expected
+
+    def test_goto_unknown_nonterminal_raises(self):
+        dense = slr_table(self.grammar()).dense()
+        with pytest.raises(LookupError):
+            dense.goto(0, NonTerminal("GHOST"))
+
+    def test_dense_form_is_cached_on_the_table(self):
+        table = slr_table(self.grammar())
+        assert table.dense() is table.dense()
+        assert isinstance(table.dense(), DenseTable)
+
+    def test_action_tuples_are_shared_across_calls(self):
+        table = slr_table(self.grammar())
+        control = TableControl(table)
+        a = control.action(table.start, Terminal("n"))
+        b = control.action(table.start, Terminal("n"))
+        assert a is b
+
+    def test_default_only_pool_entries_keep_step_pool_in_sync(self):
+        # Regression: a state whose lookahead-less reduce + full shift row
+        # makes its *defaults* tuple a brand-new pool entry used to desync
+        # the parallel step pool and crash construction with IndexError.
+        grammar = grammar_from_text(
+            """
+            START ::= S
+            S ::= Z
+            S ::= a
+            Z ::= S
+            Z ::= S a
+            """
+        )
+        table = lr0_table_of(grammar)
+        control = TableControl(table)  # must not raise
+        for state, steps in control.fast_step_cache.items():
+            for symbol, step in steps.items():
+                assert step == encode_step(control.action(state, symbol))
+
+    def test_state_objects_are_interned(self):
+        # Duplicate elision keys on state identity, so every occurrence of
+        # a state number must be the same int object.
+        table = slr_table(self.grammar())
+        dense = table.dense()
+        for state in range(len(table)):
+            for terminal in list(table.terminals) + [END]:
+                for action in dense.action(state, terminal):
+                    if hasattr(action, "target"):
+                        assert action.target is dense._state_objects[action.target]
+
+
+class TestConflictCaching:
+    def test_conflicts_computed_once(self):
+        table = lr0_table_of(booleans())
+        first = table.conflicts()
+        assert first  # LR(0) booleans is conflicted
+        assert table.conflicts() is first  # cached tuple, not a re-scan
+
+    def test_is_deterministic_uses_the_cache(self):
+        table = slr_table(
+            grammar_from_text(
+                """
+                A ::= x
+                START ::= A
+                """
+            )
+        )
+        assert table.is_deterministic
+        assert table.conflicts() is table.conflicts()

@@ -26,10 +26,17 @@ class TestBasics:
     def test_states_top_to_bottom(self):
         assert build(0, 1, 2).states() == (2, 1, 0)
 
-    def test_immutable(self):
-        cell = build(0)
-        with pytest.raises(AttributeError):
-            cell.state = 9  # type: ignore[misc]
+    def test_push_does_not_disturb_signature(self):
+        # Cells are immutable by convention (enforcement was dropped from
+        # the hot path); pushing must never change an existing cell's
+        # identity, chain, or cached signature hash.
+        cell = build(0, 1)
+        sig_before = cell.sig
+        states_before = cell.states()
+        cell.push(2)
+        assert cell.sig == sig_before
+        assert cell.states() == states_before
+        assert cell.depth == 2
 
 
 class TestPop:
@@ -106,3 +113,51 @@ class TestSignatures:
 
     def test_iteration(self):
         assert [cell.state for cell in build(0, 1, 2)] == [2, 1, 0]
+
+
+class TestCellAsKey:
+    """A cell is its own O(1) signature key (__hash__/__eq__)."""
+
+    def test_same_chain_same_key(self):
+        class State:
+            pass
+
+        a, b = State(), State()
+        trunk = StackCell(a)
+        left = trunk.push(b, tree="t")
+        right = trunk.push(b, tree="t")
+        assert hash(left) == hash(right)
+        assert left == right
+        assert len({left, right}) == 1
+
+    def test_different_trees_different_key(self):
+        trunk = StackCell(0)
+        with_t1 = trunk.push(1, tree="t1")
+        with_t2 = trunk.push(1, tree="t2")
+        assert with_t1 != with_t2
+
+    def test_distinct_state_objects_differ(self):
+        class State:
+            pass
+
+        assert StackCell(State()) != StackCell(State())
+
+    def test_different_depths_differ(self):
+        assert build(0, 1) != build(0, 1, 1)
+
+    def test_hash_is_cached_not_recomputed(self):
+        deep = build(*range(1000))
+        assert hash(deep) == deep.sig  # O(1) read of the push-time hash
+
+    def test_shared_tail_equality_short_circuits(self):
+        # Equality between converging forks walks only the divergent
+        # prefix; this is a semantic check that it *is* equality.
+        class State:
+            pass
+
+        s = State()
+        trunk = build(*range(50))
+        left = trunk.push(s)
+        right = trunk.push(s)
+        assert left == right
+        assert left is not right
