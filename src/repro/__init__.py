@@ -6,6 +6,8 @@ LR(0) parse-table generator driving a Tomita-style parallel LR parser —
 together with every substrate and baseline its evaluation relies on:
 
 ========================  ====================================================
+``repro.api``             **the public surface**: Language, the engine
+                          registry, ParseOutcome/Diagnostic, tokenizers
 ``repro.grammar``         symbols, rules, mutable grammars, FIRST/FOLLOW
 ``repro.lr``              item sets, CLOSURE/EXPAND, PG, SLR(1), LALR(1)
 ``repro.runtime``         LR-PARSE, PAR-PARSE (pool), GSS GLR, parse forests
@@ -21,19 +23,23 @@ together with every substrate and baseline its evaluation relies on:
 
 Quickstart::
 
-    from repro import IPG
+    from repro import Language
 
-    ipg = IPG.from_text('''
+    lang = Language.from_text('''
         B ::= true
         B ::= false
         B ::= B or B
         B ::= B and B
         START ::= B
     ''')
-    result = ipg.parse("true or false")
-    assert result.accepted
+    outcome = lang.parse("true or false")
+    assert outcome.accepted
+
+(:class:`repro.IPG` remains available as a thin compatibility facade over
+:class:`Language`.)
 """
 
+from .api import Diagnostic, Language, ParseOutcome, engines
 from .core.ipg import IPG
 from .grammar import (
     Grammar,
@@ -44,15 +50,19 @@ from .grammar import (
     grammar_from_text,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Diagnostic",
     "Grammar",
     "GrammarBuilder",
     "IPG",
+    "Language",
     "NonTerminal",
+    "ParseOutcome",
     "Rule",
     "Terminal",
+    "engines",
     "grammar_from_text",
     "__version__",
 ]

@@ -1,0 +1,448 @@
+"""The Engine protocol and registry: one uniform way to drive every parser.
+
+The repo grew four parsing runtimes (the paper's parallel pool, its
+compiled-control variant, dense-table LR(0), the graph-structured-stack
+recognizer) plus the Earley baseline — and until now the service, the CLI,
+the benches and the tests each hand-wired their favourite.  An
+:class:`Engine` packages one runtime behind ``recognize`` / ``parse`` /
+``invalidate``; the registry makes them discoverable
+(:func:`engines`) and selectable per call (``Language.parse(...,
+engine="gss")``).
+
+Engines are constructed against a :class:`~repro.api.language.Language`
+and share its incremental infrastructure: the ``lazy`` and ``compiled``
+engines run over the *same* item-set graph (so laziness and MODIFY behave
+exactly as in the paper), ``gss`` shares the compiled control, while
+``dense`` snapshots the grammar into a frozen LR(0) table that
+``invalidate`` throws away on every edit — the conventional-generator
+trade-off, deliberately preserved for comparison.  ``earley`` reads the
+live grammar and needs no tables at all.
+
+Every engine reports rejections through the same death-site protocol:
+:func:`expected_terminals` probes the ACTION row of each state the run
+died in, which is where the diagnostics layer gets its *expected set*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..baselines.earley import EarleyParser
+from ..grammar.symbols import END, Terminal
+from ..lr.actions import Accept, Reduce, Shift
+from ..lr.table import TableControl, lr0_table
+from ..runtime.gss import GSSParser
+from ..runtime.parallel import ParseFailure, ParseResult, PoolParser
+from ..runtime.forest import TreeNode
+from ..runtime.stacks import StackCell
+from .diagnostics import expected_names
+
+__all__ = [
+    "Engine",
+    "EngineReport",
+    "engines",
+    "engine_descriptions",
+    "create_engine",
+    "register_engine",
+    "expected_terminals",
+]
+
+
+class EngineReport:
+    """Normalized result every engine returns from ``recognize``/``parse``.
+
+    ``failure`` is ``None`` on acceptance; otherwise
+    ``(token_index, expected_terminal_names)`` with the index counting
+    input tokens (== input length when the input ended too early).
+    """
+
+    __slots__ = ("accepted", "trees", "stats", "failure")
+
+    def __init__(
+        self,
+        accepted: bool,
+        trees: Tuple[TreeNode, ...] = (),
+        stats: Optional[Dict[str, int]] = None,
+        failure: Optional[Tuple[int, Tuple[str, ...]]] = None,
+    ) -> None:
+        self.accepted = accepted
+        self.trees = trees
+        self.stats = stats
+        self.failure = failure
+
+    def __repr__(self) -> str:
+        return f"EngineReport(accepted={self.accepted}, trees={len(self.trees)})"
+
+
+def _sweep_states(control: Any, failure: ParseFailure) -> List[Any]:
+    """Every state the fatal sweep visited (or could have visited).
+
+    Replays PAR-PARSE's reduce closure from the sweep-start stacks.
+    LR(0) reduce actions are lookahead-independent — a reduce fires on
+    *every* terminal — so the chain explored on the failing symbol is the
+    chain any other lookahead would explore, and the union of visited
+    states therefore covers every configuration from which some terminal
+    could have been shifted.  The replay only re-treads reductions the
+    dying sweep already performed, so on a lazy control every state it
+    touches is already expanded (and ``action`` would expand it anyway).
+    """
+    visited: List[Any] = []
+    visited_ids: set = set()
+    seen_stacks: set = set()
+    work = list(failure.stacks)
+    budget = 100_000  # cyclic grammars raise before ever producing a failure
+    while work and budget:
+        budget -= 1
+        stack = work.pop()
+        if stack in seen_stacks:
+            continue
+        seen_stacks.add(stack)
+        state = stack.state
+        if id(state) not in visited_ids:
+            visited_ids.add(id(state))
+            visited.append(state)
+        for action in control.action(state, failure.symbol):
+            if isinstance(action, Reduce):
+                below, _children = stack.pop(len(action.rule.rhs))
+                goto_state = control.goto(below.state, action.rule.lhs)
+                work.append(StackCell(goto_state, below, None))
+    for state in failure.states:
+        if id(state) not in visited_ids:
+            visited_ids.add(id(state))
+            visited.append(state)
+    return visited
+
+
+def expected_terminals(
+    control: Any,
+    failure: ParseFailure,
+    terminals: Sequence[Terminal],
+) -> Tuple[str, ...]:
+    """The viable continuation set at a :class:`ParseFailure`.
+
+    For every state the fatal sweep visited (sweep-start stacks plus
+    their replayed reduce closure — see :func:`_sweep_states`), a
+    terminal with a *shift* action there would have let some parser make
+    progress; an *accept* reachable on the end-marker makes ``$`` (end of
+    input) expected.  Reduce cells deliberately do not count: LR(0)
+    reduces fire on every terminal, and the state the reduce leads to is
+    itself part of the replayed closure.  Works against any control
+    (graph-backed, compiled, dense table): they all answer ``action``.
+    """
+    states = _sweep_states(control, failure)
+    expected: List[Terminal] = []
+    seen = set()
+    for state in states:
+        for terminal in terminals:
+            if terminal in seen:
+                continue
+            if any(
+                isinstance(action, Shift)
+                for action in control.action(state, terminal)
+            ):
+                seen.add(terminal)
+                expected.append(terminal)
+        if END not in seen and any(
+            isinstance(action, Accept)
+            for action in control.action(state, END)
+        ):
+            seen.add(END)
+            expected.append(END)
+    return expected_names(expected)
+
+
+class Engine:
+    """One parsing runtime behind the uniform protocol.
+
+    Subclasses are constructed with the owning
+    :class:`~repro.api.language.Language` and read their infrastructure
+    (grammar, generator, compiled control) from it.
+    """
+
+    #: registry key, e.g. ``"lazy"``
+    name = "abstract"
+    #: one-line description for ``repro.api.engine_descriptions()``
+    summary = ""
+    #: whether ``parse`` builds derivation trees (Earley and GSS-recognition
+    #: do not; their ``parse`` reports acceptance only)
+    provides_trees = True
+
+    def __init__(self, language: Any) -> None:
+        self.language = language
+
+    # -- the protocol ------------------------------------------------------
+
+    def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
+        raise NotImplementedError
+
+    def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
+        raise NotImplementedError
+
+    def invalidate(self) -> None:
+        """Called after every grammar modification (MODIFY)."""
+
+    def prepare(self) -> None:
+        """Build whatever the engine builds ahead of parsing.
+
+        A no-op for the lazy family and Earley; the dense engine
+        generates its full table here.  The bench harness calls this in
+        the §7 ``construct`` phase so up-front generation cost lands in
+        the phase the paper measures it under.
+        """
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _report(self, result: ParseResult, control: Any) -> EngineReport:
+        failure = None
+        if not result.accepted and result.failure is not None:
+            failure = (
+                result.failure.token_index,
+                self._expected(control, result.failure),
+            )
+        return EngineReport(
+            result.accepted, result.trees, result.stats.snapshot(), failure
+        )
+
+    def _expected(self, control: Any, failure: ParseFailure) -> Tuple[str, ...]:
+        return expected_terminals(
+            control, failure, sorted(self.language.grammar.terminals)
+        )
+
+
+_REGISTRY: Dict[str, Type[Engine]] = {}
+
+
+def register_engine(cls: Type[Engine]) -> Type[Engine]:
+    """Class decorator: make an engine selectable by name."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"engine {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def engines() -> Tuple[str, ...]:
+    """Every registered engine name, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def engine_descriptions() -> Dict[str, str]:
+    """name → one-line summary, for UIs (CLI ``engine`` command, README)."""
+    return {name: cls.summary for name, cls in _REGISTRY.items()}
+
+
+def create_engine(name: str, language: Any) -> Engine:
+    """Instantiate a registered engine against a language."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise ValueError(f"unknown engine {name!r} — known engines: {known}")
+    return cls(language)
+
+
+# ---------------------------------------------------------------------------
+# The five registered engines.
+# ---------------------------------------------------------------------------
+
+
+@register_engine
+class LazyEngine(Engine):
+    """The paper's system as presented: lazy generation + parallel parsing.
+
+    Runs the pool parser directly over the lazy/incremental graph control
+    (no compiled ACTION memo), which is exactly the seed's hot path —
+    kept as a registered engine so the compiled layer's speedup stays
+    measurable through the same API it is used through.
+    """
+
+    name = "lazy"
+    summary = "parallel LR over the lazy/incremental graph (sections 5-6)"
+
+    def __init__(self, language: Any) -> None:
+        super().__init__(language)
+        self.pool = PoolParser(
+            language.generator.control,
+            language.grammar,
+            max_sweep_steps=language.max_sweep_steps,
+        )
+
+    def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
+        return self._report(
+            self.pool.recognize_result(terminals), self.pool.control
+        )
+
+    def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
+        return self._report(self.pool.parse(terminals), self.pool.control)
+
+
+@register_engine
+class CompiledEngine(Engine):
+    """Lazy + incremental generation behind the compiled control plane.
+
+    The default engine: ACTION results are memoized into shared tuples
+    and invalidated precisely on MODIFY (see :mod:`repro.lr.compiled`);
+    deterministic stretches run the Elkhound-style plain-LR fast loop.
+    """
+
+    name = "compiled"
+    summary = "the default: lazy graph + memoized ACTION + fast-path LR"
+
+    def __init__(self, language: Any) -> None:
+        super().__init__(language)
+        self.pool = PoolParser(
+            language.control,
+            language.grammar,
+            max_sweep_steps=language.max_sweep_steps,
+        )
+
+    def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
+        return self._report(
+            self.pool.recognize_result(terminals), self.pool.control
+        )
+
+    def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
+        return self._report(self.pool.parse(terminals), self.pool.control)
+
+
+@register_engine
+class DenseTableEngine(Engine):
+    """Conventional generation into a dense integer LR(0) table.
+
+    The PG/Yacc deployment shape: the whole automaton is generated up
+    front and frozen into packed integer rows
+    (:class:`~repro.lr.table.DenseTable`); a grammar edit throws the
+    table away and the next parse regenerates it from scratch — the cost
+    profile section 7 measures for non-incremental generators.
+    """
+
+    name = "dense"
+    summary = "full LR(0) generation into a frozen dense integer table"
+
+    def __init__(self, language: Any) -> None:
+        super().__init__(language)
+        self._pool: Optional[PoolParser] = None
+
+    @property
+    def pool(self) -> PoolParser:
+        """The (lazily built) pool parser — the trace-capable runtime.
+
+        Exposed under the same name as the other pool-backed engines so
+        ``Language.parse(..., trace=...)`` routes through it uniformly.
+        """
+        return self._parser()
+
+    def _parser(self) -> PoolParser:
+        if self._pool is None:
+            from ..lr.generator import ConventionalGenerator
+
+            # Generate against a copy: expansion must not leak observers
+            # onto (or expansion work into) the language's live graph.
+            generator = ConventionalGenerator(self.language.grammar.copy())
+            generator.generate()
+            control = TableControl(lr0_table(generator.graph))
+            self._pool = PoolParser(
+                control,
+                self.language.grammar,
+                max_sweep_steps=self.language.max_sweep_steps,
+            )
+        return self._pool
+
+    def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
+        pool = self._parser()
+        return self._report(pool.recognize_result(terminals), pool.control)
+
+    def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
+        pool = self._parser()
+        return self._report(pool.parse(terminals), pool.control)
+
+    def invalidate(self) -> None:
+        self._pool = None
+
+    def prepare(self) -> None:
+        self._parser()
+
+
+@register_engine
+class GSSEngine(Engine):
+    """Tomita/Rekers graph-structured-stack recognition.
+
+    Recognition runs on the merged-stack GLR engine (bounded stack tops
+    on ambiguous inputs); ``parse`` — the GSS module is a recognizer by
+    design — delegates tree building to the pool parser over the *same*
+    compiled control, so both halves see one automaton.
+    """
+
+    name = "gss"
+    summary = "merged-stack GLR recognition (trees via the shared pool)"
+    provides_trees = True  # parse delegates to the pool for trees
+
+    def __init__(self, language: Any) -> None:
+        super().__init__(language)
+        self.gss = GSSParser(language.control)
+        self.pool = PoolParser(
+            language.control,
+            language.grammar,
+            max_sweep_steps=language.max_sweep_steps,
+        )
+
+    def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
+        accepted = self.gss.recognize(terminals)
+        failure = None
+        if not accepted:
+            # Replaying reduce chains over a *graph-structured* stack
+            # would need the path enumeration of the GSS module; the
+            # shared pool over the same control reaches the identical
+            # failure point (the engines agree on acceptance by
+            # construction), so its linear-stack failure record is
+            # borrowed for the diagnosis.  Failure path only.
+            result = self.pool.recognize_result(terminals)
+            if result.failure is not None:
+                failure = (
+                    result.failure.token_index,
+                    self._expected(self.pool.control, result.failure),
+                )
+        return EngineReport(accepted, (), dict(self.gss.last_stats), failure)
+
+    def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
+        return self._report(self.pool.parse(terminals), self.pool.control)
+
+
+@register_engine
+class EarleyEngine(Engine):
+    """The Earley baseline: no generation phase, chart-driven recognition.
+
+    Reads the live grammar on every call, so modification costs nothing
+    — and parsing costs the most (the trade-off of section 2.1).
+    Recognition only: ``parse`` reports acceptance without trees.
+    """
+
+    name = "earley"
+    summary = "Earley chart recognition straight off the live grammar"
+    provides_trees = False
+
+    def __init__(self, language: Any) -> None:
+        super().__init__(language)
+        self._parser: Optional[EarleyParser] = None
+
+    def _earley(self) -> EarleyParser:
+        # The chart parser caches nullability analysis, which a grammar
+        # edit outdates; invalidate() drops the instance.
+        if self._parser is None:
+            self._parser = EarleyParser(self.language.grammar)
+        return self._parser
+
+    def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
+        parser = self._earley()
+        accepted = parser.recognize(terminals)
+        failure = None
+        if not accepted and parser.last_failure is not None:
+            failure = parser.last_failure
+        return EngineReport(
+            accepted, (), {"chart_size": parser.last_chart_size}, failure
+        )
+
+    def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
+        return self.recognize(terminals)
+
+    def invalidate(self) -> None:
+        self._parser = None

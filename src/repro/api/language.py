@@ -1,0 +1,453 @@
+"""`Language`: one object binding lexical syntax, grammar, and parser.
+
+This is the paper's user-level promise made concrete: *"an environment
+where language definitions are developed (and modified) interactively"*
+needs a single handle that couples the ISG scanner, the context-free
+grammar, and the incrementally generated parser — and survives edits to
+any of them.  A :class:`Language` is that handle::
+
+    from repro.api import Language
+
+    lang = Language.from_sdf(EXP_SDF)        # lexical + context-free syntax
+    outcome = lang.parse("true and not false")   # raw text, end to end
+    assert outcome.accepted
+
+    lang.add_rule("EXP ::= maybe")           # incremental MODIFY
+    bad = lang.parse("true and")             # rejected, with a diagnostic
+    print(bad.diagnostic.describe())         # ... expected: ..., maybe, ...
+
+Engines are selectable per call (``lang.parse(text, engine="gss")``) and
+discoverable via :func:`repro.api.engines`; tokenizers are swappable via
+:meth:`use_tokenizer`.  An SDF-derived scanner is compiled from the
+definition's *lexical* syntax and is not affected by context-free rule
+edits — for a scanner that follows grammar edits live, use
+:meth:`ScannerTokenizer.from_grammar <repro.api.tokenizers.ScannerTokenizer.from_grammar>`.
+The classic :class:`~repro.core.ipg.IPG` facade is now a thin wrapper
+over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..grammar.builders import grammar_from_text, rule_from_text
+from ..grammar.grammar import Grammar
+from ..grammar.rules import Rule
+from ..grammar.symbols import Terminal
+from ..lexing.scanner import Lexeme, ScanError
+from ..lr.compiled import CompiledControl
+from ..core.incremental import IncrementalGenerator
+from ..core.metrics import graph_summary, table_fraction
+from ..runtime.trace import Trace
+from .diagnostics import Diagnostic, ParseOutcome, line_and_column
+from .engines import Engine, create_engine, engines
+from .tokenizers import ScannerTokenizer, Tokenizer, WhitespaceTokenizer
+
+__all__ = ["Language", "LexedInput", "DEFAULT_ENGINE"]
+
+#: The engine used when none is named: the compiled control plane.
+DEFAULT_ENGINE = "compiled"
+
+TokenInput = Union[str, Iterable[Union[str, Terminal]]]
+RuleInput = Union[Rule, str]
+
+
+class LexedInput:
+    """One tokenized input: lexemes, their terminals, and the source text.
+
+    ``text`` is ``None`` when the input arrived as an explicit token
+    sequence — then the lexemes are synthetic and carry no positions.
+    """
+
+    __slots__ = ("text", "lexemes", "terminals")
+
+    def __init__(
+        self,
+        text: Optional[str],
+        lexemes: Tuple[Lexeme, ...],
+        terminals: Tuple[Terminal, ...],
+    ) -> None:
+        self.text = text
+        self.lexemes = lexemes
+        self.terminals = terminals
+
+    def __len__(self) -> int:
+        return len(self.terminals)
+
+    def __repr__(self) -> str:
+        return f"LexedInput({[t.name for t in self.terminals]})"
+
+
+class Language:
+    """A grammar + a tokenizer + the engine registry, live and editable."""
+
+    def __init__(
+        self,
+        grammar: Optional[Grammar] = None,
+        tokenizer: Optional[Tokenizer] = None,
+        engine: str = DEFAULT_ENGINE,
+        gc: bool = True,
+        max_sweep_steps: int = 1_000_000,
+        sorts: Iterable[str] = (),
+    ) -> None:
+        if engine not in engines():
+            raise ValueError(
+                f"unknown engine {engine!r} — known engines: "
+                f"{', '.join(engines())}"
+            )
+        self.grammar = grammar if grammar is not None else Grammar()
+        self.tokenizer: Tokenizer = (
+            tokenizer if tokenizer is not None else WhitespaceTokenizer()
+        )
+        self.default_engine = engine
+        self.max_sweep_steps = max_sweep_steps
+        #: declared sort names (forward references in rule text)
+        self.sorts = set(sorts)
+        self.generator = IncrementalGenerator(self.grammar, gc=gc)
+        # The compiled control plane over the lazy graph; the generator
+        # subscribed to the grammar first, so MODIFY marks states before
+        # the cache flush inspects them (see repro.lr.compiled).
+        self.control = CompiledControl(self.generator.control, self.grammar)
+        self._engines: Dict[str, Engine] = {}
+        #: the parsed SDF module when built via :meth:`from_sdf`
+        self.definition = None
+        # Subscribed last: engines are invalidated after the generator and
+        # the compiled cache have already settled the graph.
+        self._unsubscribe = self.grammar.subscribe(self._on_modify)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_text(
+        cls,
+        text: str,
+        sorts: Iterable[str] = (),
+        **kwargs: Any,
+    ) -> "Language":
+        """Build from the paper's BNF notation (``A ::= x y z`` lines)."""
+        return cls(grammar_from_text(text, sorts=sorts), sorts=sorts, **kwargs)
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[Rule], **kwargs: Any) -> "Language":
+        return cls(Grammar(rules), **kwargs)
+
+    @classmethod
+    def from_sdf(
+        cls,
+        text: str,
+        start_sort: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "Language":
+        """The full ISG/IPG pipeline from one SDF definition.
+
+        Parses ``text`` as an SDF module (Appendix B syntax), normalizes
+        its context-free syntax into the grammar, and compiles its
+        lexical syntax into the ISG scanner — so ``parse`` takes raw
+        program text with no manual lexing anywhere.
+        """
+        from ..sdf.normalize import normalize
+        from ..sdf.parser import parse_sdf
+
+        definition = parse_sdf(text)
+        language = cls(
+            normalize(definition, start_sort=start_sort),
+            tokenizer=ScannerTokenizer.from_sdf(definition),
+            **kwargs,
+        )
+        language.definition = definition
+        return language
+
+    # -- lexing ------------------------------------------------------------
+
+    def lex(self, tokens: TokenInput) -> LexedInput:
+        """Tokenize raw text (via the tokenizer) or coerce a token sequence.
+
+        Raw strings go through the tokenizer — offsets and all.  Explicit
+        sequences may mix terminal names, :class:`Terminal` objects and
+        :class:`Lexeme` s; they are taken as given (no scanning).
+        """
+        if isinstance(tokens, str):
+            lexemes = tuple(self.tokenizer.tokenize(tokens))
+            terminals = tuple(
+                self.tokenizer.terminal_of(lexeme) for lexeme in lexemes
+            )
+            return LexedInput(tokens, lexemes, terminals)
+        lexemes_list: List[Lexeme] = []
+        terminals_list: List[Terminal] = []
+        for part in tokens:
+            if isinstance(part, Terminal):
+                terminal = part
+            elif isinstance(part, Lexeme):
+                lexemes_list.append(part)
+                terminal = self.tokenizer.terminal_of(part)
+            elif isinstance(part, str):
+                terminal = Terminal(part)
+            else:
+                raise TypeError(f"cannot use {part!r} as a token")
+            terminals_list.append(terminal)
+        if len(lexemes_list) != len(terminals_list):
+            lexemes_list = []  # mixed/positionless input: no offsets
+        return LexedInput(None, tuple(lexemes_list), tuple(terminals_list))
+
+    def use_tokenizer(self, tokenizer: Tokenizer) -> None:
+        """Swap the lexical front end (closing an observing scanner)."""
+        old = self.tokenizer
+        self.tokenizer = tokenizer
+        close = getattr(old, "close", None)
+        if close is not None:
+            close()
+
+    # -- engines -----------------------------------------------------------
+
+    def engine(self, name: Optional[str] = None) -> Engine:
+        """The (cached) engine instance for ``name``."""
+        key = name if name is not None else self.default_engine
+        instance = self._engines.get(key)
+        if instance is None:
+            instance = create_engine(key, self)
+            self._engines[key] = instance
+        return instance
+
+    def use_engine(self, name: str) -> Engine:
+        """Make ``name`` the default engine (validating it exists)."""
+        instance = self.engine(name)
+        self.default_engine = name
+        return instance
+
+    # -- parsing -----------------------------------------------------------
+
+    def parse(
+        self,
+        tokens: TokenInput,
+        engine: Optional[str] = None,
+        trace: Optional[Trace] = None,
+    ) -> ParseOutcome:
+        """Parse raw text (or a token sequence); always returns an outcome.
+
+        Lexical errors do not raise: they come back as a rejected outcome
+        whose diagnostic has ``kind="lexical"`` — errors are data at this
+        layer, exactly as in the service protocol.
+
+        ``trace`` records the parser's moves and is honored by every
+        pool-backed engine (lazy/compiled/dense/gss); the Earley engine
+        has no LR moves to record and leaves the trace empty.
+        """
+        return self._run(tokens, engine, build_trees=True, trace=trace)
+
+    def recognize(
+        self,
+        tokens: TokenInput,
+        engine: Optional[str] = None,
+    ) -> ParseOutcome:
+        """Accept/reject without building trees (same outcome shape)."""
+        return self._run(tokens, engine, build_trees=False, trace=None)
+
+    def parse_lexed(
+        self,
+        lexed: LexedInput,
+        engine: Optional[str] = None,
+        build_trees: bool = True,
+    ) -> ParseOutcome:
+        """Parse an already tokenized input (the service's cache path)."""
+        started = time.perf_counter()
+        return self._outcome(lexed, self.engine(engine), build_trees, started)
+
+    def _run(
+        self,
+        tokens: TokenInput,
+        engine_name: Optional[str],
+        build_trees: bool,
+        trace: Optional[Trace],
+    ) -> ParseOutcome:
+        started = time.perf_counter()
+        selected = self.engine(engine_name)
+        try:
+            lexed = self.lex(tokens)
+        except ScanError as error:
+            return self._scan_failure(
+                tokens if isinstance(tokens, str) else "", error, selected, started
+            )
+        if trace is not None:
+            # Tracing is a pool-parser feature; route through the
+            # engine's pool when it has one.
+            pool = getattr(selected, "pool", None)
+            if pool is not None:
+                result = pool.parse(lexed.terminals, trace=trace)
+                report = selected._report(result, pool.control)
+                return self._outcome_from_report(
+                    lexed, report, selected, build_trees, started
+                )
+        return self._outcome(lexed, selected, build_trees, started)
+
+    def _outcome(
+        self,
+        lexed: LexedInput,
+        selected: Engine,
+        build_trees: bool,
+        started: float,
+    ) -> ParseOutcome:
+        report = (
+            selected.parse(lexed.terminals)
+            if build_trees
+            else selected.recognize(lexed.terminals)
+        )
+        return self._outcome_from_report(
+            lexed, report, selected, build_trees, started
+        )
+
+    def _outcome_from_report(
+        self,
+        lexed: LexedInput,
+        report: Any,
+        selected: Engine,
+        build_trees: bool,
+        started: float,
+    ) -> ParseOutcome:
+        diagnostic = None
+        if not report.accepted:
+            diagnostic = self._diagnose(lexed, report.failure)
+        return ParseOutcome(
+            accepted=report.accepted,
+            trees=report.trees,
+            engine=selected.name,
+            elapsed=time.perf_counter() - started,
+            diagnostic=diagnostic,
+            lexemes=lexed.lexemes,
+            stats=report.stats,
+            trees_built=build_trees and selected.provides_trees,
+        )
+
+    # -- diagnostics -------------------------------------------------------
+
+    def _diagnose(
+        self,
+        lexed: LexedInput,
+        failure: Optional[Tuple[int, Tuple[str, ...]]],
+    ) -> Optional[Diagnostic]:
+        if failure is None:
+            return None
+        token_index, expected = failure
+        at_end = token_index >= len(lexed.terminals)
+        token: Optional[str] = None
+        offset: Optional[int] = None
+        line: Optional[int] = None
+        column: Optional[int] = None
+        if at_end:
+            message = "unexpected end of input"
+            if lexed.text is not None:
+                offset = len(lexed.text)
+        else:
+            terminal = lexed.terminals[token_index]
+            if token_index < len(lexed.lexemes):
+                lexeme = lexed.lexemes[token_index]
+                token = lexeme.text
+                offset = lexeme.position
+            else:
+                token = terminal.name
+            message = f"unexpected {token!r}"
+        if lexed.text is not None and offset is not None:
+            line, column = line_and_column(lexed.text, offset)
+        return Diagnostic(
+            message,
+            kind="syntax",
+            token_index=token_index,
+            token=token,
+            offset=offset,
+            line=line,
+            column=column,
+            expected=expected,
+        )
+
+    def _scan_failure(
+        self,
+        text: str,
+        error: ScanError,
+        selected: Engine,
+        started: float,
+    ) -> ParseOutcome:
+        line, column = line_and_column(text, error.position)
+        diagnostic = Diagnostic(
+            str(error).splitlines()[0],
+            kind="lexical",
+            token_index=None,
+            token=None,
+            offset=error.position,
+            line=line,
+            column=column,
+            expected=(),
+        )
+        return ParseOutcome(
+            accepted=False,
+            engine=selected.name,
+            elapsed=time.perf_counter() - started,
+            diagnostic=diagnostic,
+            trees_built=False,
+        )
+
+    # -- grammar modification ----------------------------------------------
+
+    def coerce_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> Rule:
+        """A Rule from a Rule or ``"A ::= body"`` text (see ADD-RULE).
+
+        In rule text, a name is a non-terminal iff the grammar already
+        defines it, it was declared via ``sorts``, or it is the rule's own
+        left-hand side.
+        """
+        if isinstance(rule, Rule):
+            return rule
+        known = {nt.name for nt in self.grammar.nonterminals}
+        known.update(self.sorts)
+        known.update(sorts)
+        return rule_from_text(rule, known)
+
+    def add_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> bool:
+        """ADD-RULE; accepts a Rule or ``"A ::= b c"`` text."""
+        self.sorts.update(sorts)
+        return self.generator.add_rule(self.coerce_rule(rule))
+
+    def delete_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> bool:
+        """DELETE-RULE; accepts a Rule or ``"A ::= b c"`` text."""
+        self.sorts.update(sorts)
+        return self.generator.delete_rule(self.coerce_rule(rule))
+
+    def collect_garbage(self, force_sweep: bool = False) -> int:
+        return self.generator.collect_garbage(force_sweep=force_sweep)
+
+    def _on_modify(self, grammar: Grammar, rule: Rule, added: bool) -> None:
+        del grammar, rule, added
+        for instance in self._engines.values():
+            instance.invalidate()
+
+    def close(self) -> None:
+        """Detach from the grammar's observer chain."""
+        self._unsubscribe()
+        close = getattr(self.tokenizer, "close", None)
+        if close is not None:
+            close()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone grammar version (bumped by every successful MODIFY)."""
+        return self.grammar.revision
+
+    @property
+    def graph(self):
+        return self.generator.graph
+
+    def summary(self) -> Dict[str, int]:
+        data = graph_summary(self.generator.graph)
+        data.update(self.control.stats.snapshot())
+        return data
+
+    def table_fraction(self) -> float:
+        return table_fraction(self.generator.graph, self.grammar)
+
+    def __repr__(self) -> str:
+        return (
+            f"Language({len(self.grammar)} rules, "
+            f"tokenizer={self.tokenizer.name}, "
+            f"engine={self.default_engine})"
+        )

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..grammar.analysis import GrammarAnalysis
 from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule
-from ..grammar.symbols import NonTerminal, Symbol, Terminal
+from ..grammar.symbols import END, NonTerminal, Symbol, Terminal
 from ..lr.items import Item
 
 
@@ -60,18 +60,51 @@ class EarleyParser:
         self.grammar = grammar
         self._analysis = GrammarAnalysis(grammar)
         self.last_chart_size = 0
+        #: ``(token_index, expected_terminal_names)`` of the last rejected
+        #: :meth:`recognize` call; ``None`` after an accept.  The chart is
+        #: Earley's equivalent of the LR death-site protocol: the highest
+        #: non-empty item set is where recognition stalled, and the
+        #: terminals after a dot there are the viable continuations.
+        self.last_failure: Optional[Tuple[int, Tuple[str, ...]]] = None
 
     # -- recognition -------------------------------------------------------
 
     def recognize(self, tokens: Iterable[Terminal]) -> bool:
-        chart = self.chart(tokens)
+        sentence: List[Terminal] = list(tokens)
+        chart = self.chart(sentence)
         final = chart[-1]
-        return any(
+        accepted = any(
             entry.item.at_end
             and entry.origin == 0
             and entry.item.rule.lhs == self.grammar.start
             for entry in final
         )
+        self.last_failure = (
+            None if accepted else self._failure_from_chart(chart, len(sentence))
+        )
+        return accepted
+
+    def _failure_from_chart(
+        self, chart: List[Set[EarleyItem]], length: int
+    ) -> Tuple[int, Tuple[str, ...]]:
+        """Where recognition stalled and which terminals could continue."""
+        position = max(
+            (index for index, items in enumerate(chart) if items), default=0
+        )
+        expected: Set[str] = set()
+        for entry in chart[position]:
+            symbol = entry.item.next_symbol
+            if isinstance(symbol, Terminal):
+                expected.add(symbol.name)
+            elif (
+                symbol is None
+                and entry.origin == 0
+                and entry.item.rule.lhs == self.grammar.start
+            ):
+                # A completed START item: only the end of input was
+                # acceptable here (the LR engines report this as ``$``).
+                expected.add(END.name)
+        return position, tuple(sorted(expected))
 
     def chart(self, tokens: Iterable[Terminal]) -> List[Set[EarleyItem]]:
         """The full chart: one item set per input position (0..n)."""

@@ -148,10 +148,64 @@ class IPGSystem(SystemAdapter):
         self.generator.add_rule(rule)
 
 
+class EngineSystem(SystemAdapter):
+    """Any :mod:`repro.api` registry engine under the §7 protocol.
+
+    One adapter covers every registered engine: ``construct`` builds a
+    :class:`~repro.api.Language` around the grammar and instantiates the
+    engine, ``modify`` is one incremental ADD-RULE (each engine reacts
+    through its own ``invalidate`` — the dense table regenerates, the
+    graph engines repair), ``parse`` drives the uniform protocol.  This is
+    how new engines join the Fig. 7.1 comparison without touching the
+    harness: register them and they appear as ``engine:<name>``.
+    """
+
+    def __init__(self, engine_name: str) -> None:
+        from ..api import Language, engines
+
+        if engine_name not in engines():
+            raise ValueError(
+                f"unknown engine {engine_name!r} — known: {', '.join(engines())}"
+            )
+        self.engine_name = engine_name
+        self.name = f"engine:{engine_name}"
+        self.language: Optional["Language"] = None
+        self.engine = None
+
+    def construct(self, grammar: Grammar) -> None:
+        from ..api import Language
+
+        self.language = Language(grammar)
+        self.engine = self.language.engine(self.engine_name)
+        # Up-front generation cost (the dense engine's whole table; a
+        # no-op for the lazy family and Earley) lands in this phase, as
+        # the §7 protocol prescribes.
+        self.engine.prepare()
+
+    def parse(self, tokens: TokenStream) -> bool:
+        assert self.engine is not None, "construct first"
+        return self.engine.parse(list(tokens)).accepted
+
+    def modify(self, rule: Rule) -> None:
+        assert self.language is not None, "construct first"
+        self.language.add_rule(rule)
+
+
+def _engine_systems() -> Dict[str, Callable[[], SystemAdapter]]:
+    from functools import partial
+
+    from ..api import engines
+
+    return {
+        f"engine:{name}": partial(EngineSystem, name) for name in engines()
+    }
+
+
 SYSTEMS: Dict[str, Callable[[], SystemAdapter]] = {
     "yacc": YaccSystem,
     "pg": PGSystem,
     "ipg": IPGSystem,
+    **_engine_systems(),
 }
 
 

@@ -39,6 +39,9 @@ Commands
 ``delete A ::= x``        DELETE-RULE
 ``parse tok tok ...``     parse a sentence; prints every tree
 ``recognize tok ...``     accept/reject only
+``engine [name]``         show the engine registry / pick the engine
+``lexer [kind]``          show or switch the tokenizer
+                          (``whitespace`` or ``scanner``)
 ``show``                  the current grammar
 ``summary``               item-set graph statistics
 ``fraction``              §5.2: how much of the full table exists
@@ -46,6 +49,14 @@ Commands
 ``trees on|off``          toggle tree printing
 ``help`` / ``quit``
 ========================  ==================================================
+
+Parsing runs through :mod:`repro.api`: rejected inputs print a diagnostic
+line with the offending token's position and the expected terminal set,
+and ``engine`` switches between every registered parsing runtime
+(``lazy`` / ``compiled`` / ``dense`` / ``gss`` / ``earley``).  With
+``lexer scanner`` the REPL derives an ISG scanner from the grammar's own
+terminals (kept in sync with ``add``/``delete``), so punctuation no
+longer needs surrounding blanks: ``parse (n+n)*n``.
 """
 
 from __future__ import annotations
@@ -53,6 +64,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, Iterable, List, Optional
 
+from .api import ScannerTokenizer, WhitespaceTokenizer, engine_descriptions, engines
 from .core.ipg import IPG
 from .grammar.grammar import Grammar, GrammarError
 from .runtime.errors import ParseError
@@ -66,6 +78,8 @@ _HELP = """commands:
   delete <rule>     e.g.  delete E ::= E + T     (DELETE-RULE)
   parse <tokens>    parse and print every tree
   recognize <toks>  accept/reject only
+  engine [name]     show the engine registry / pick the parse engine
+  lexer [kind]      show or switch the tokenizer (whitespace|scanner)
   show              print the grammar
   summary           item-set graph statistics
   fraction          fraction of the full parse table generated (§5.2)
@@ -79,6 +93,7 @@ class ReplSession:
 
     def __init__(self) -> None:
         self.ipg = IPG(Grammar())
+        self.language = self.ipg.language
         self.declared_sorts: set = set()
         self.print_trees = True
         self.finished = False
@@ -106,6 +121,8 @@ class ReplSession:
             "delete": self._delete,
             "parse": self._parse,
             "recognize": self._recognize,
+            "engine": self._engine,
+            "lexer": self._lexer,
             "show": self._show,
             "summary": self._summary,
             "fraction": self._fraction,
@@ -136,17 +153,60 @@ class ReplSession:
         return ["(no such rule)"]
 
     def _parse(self, text: str) -> List[str]:
-        result = self.ipg.parse(text)
-        if not result.accepted:
-            return ["rejected"]
-        lines = [f"accepted ({len(result.trees)} parse"
-                 f"{'s' if len(result.trees) != 1 else ''})"]
+        outcome = self.language.parse(text)
+        if not outcome.accepted:
+            return self._rejection(outcome)
+        if not outcome.trees_built:
+            return [f"accepted (engine {outcome.engine} builds no trees)"]
+        lines = [f"accepted ({len(outcome.trees)} parse"
+                 f"{'s' if len(outcome.trees) != 1 else ''})"]
         if self.print_trees:
-            lines.extend(f"  {bracketed(tree)}" for tree in result.trees)
+            lines.extend(f"  {bracketed(tree)}" for tree in outcome.trees)
         return lines
 
     def _recognize(self, text: str) -> List[str]:
-        return ["accepted" if self.ipg.recognize(text) else "rejected"]
+        outcome = self.language.recognize(text)
+        if outcome.accepted:
+            return ["accepted"]
+        return self._rejection(outcome)
+
+    @staticmethod
+    def _rejection(outcome) -> List[str]:
+        lines = ["rejected"]
+        diagnostic = outcome.diagnostic
+        if diagnostic is not None and (
+            diagnostic.expected or diagnostic.kind != "syntax"
+        ):
+            lines.append(f"  {diagnostic.describe()}")
+        return lines
+
+    def _engine(self, text: str) -> List[str]:
+        if not text:
+            current = self.language.default_engine
+            summaries = engine_descriptions()
+            return [
+                f"{'*' if name == current else ' '} {name:10s} {summaries[name]}"
+                for name in engines()
+            ]
+        if text not in engines():
+            return [
+                f"unknown engine {text!r} — known: {', '.join(engines())}"
+            ]
+        self.language.use_engine(text)
+        return [f"engine set to {text}"]
+
+    def _lexer(self, text: str) -> List[str]:
+        if not text:
+            return [f"lexer: {self.language.tokenizer.describe()}"]
+        if text == "whitespace":
+            self.language.use_tokenizer(WhitespaceTokenizer())
+        elif text == "scanner":
+            self.language.use_tokenizer(
+                ScannerTokenizer.from_grammar(self.language.grammar)
+            )
+        else:
+            return ["usage: lexer [whitespace|scanner]"]
+        return [f"lexer: {self.language.tokenizer.describe()}"]
 
     def _show(self, _argument: str) -> List[str]:
         listing = self.ipg.grammar.pretty()

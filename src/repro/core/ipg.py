@@ -1,5 +1,4 @@
-"""IPG — the public facade over lazy generation, incremental modification,
-garbage collection, and parallel LR parsing.
+"""IPG — the classic facade, now a thin wrapper over :class:`repro.api.Language`.
 
 This is the object a downstream user holds.  A typical interactive
 language-definition session (the use case of section 1)::
@@ -20,22 +19,29 @@ language-definition session (the use case of section 1)::
 Parsing is Tomita-style parallel LR over LR(0) tables, so *any* (finitely
 ambiguous) context-free grammar works; ambiguous sentences come back with
 several trees.
+
+The heavy lifting — generator, compiled control, engines — lives in the
+wrapped :class:`~repro.api.language.Language` (``ipg.language``), which is
+also where new code should start: it adds real lexing, per-call engine
+selection, and structured rejection diagnostics.  ``IPG`` keeps the
+historical token-stream API: ``parse`` takes whitespace-separated terminal
+names or explicit token sequences and returns the raw
+:class:`~repro.runtime.parallel.ParseResult`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
 
-from ..grammar.builders import GrammarBuilder, grammar_from_text
-from ..grammar.grammar import Grammar, GrammarError
+from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule
-from ..grammar.symbols import NonTerminal, Terminal
-from ..lr.compiled import CompiledControl
-from ..runtime.gss import GSSParser
-from ..runtime.parallel import ParseResult, PoolParser
+from ..grammar.symbols import Terminal
+from ..runtime.errors import ParseError
+from ..runtime.parallel import ParseResult
 from ..runtime.trace import Trace
-from .incremental import IncrementalGenerator
-from .metrics import graph_summary, table_fraction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api.language import Language
 
 TokenInput = Union[str, Iterable[Union[str, Terminal]]]
 RuleInput = Union[Rule, str]
@@ -50,29 +56,49 @@ class IPG:
         gc: bool = True,
         max_sweep_steps: int = 1_000_000,
     ) -> None:
-        self.grammar = grammar
-        self.generator = IncrementalGenerator(grammar, gc=gc)
-        # The compiled control plane: ACTION results memoized into shared
-        # tuples, invalidated precisely through the grammar's observer
-        # chain (the generator subscribed first, so MODIFY marks states
-        # before the cache flush inspects them).  All parsing runtimes of
-        # this IPG run through it.
-        self.control = CompiledControl(self.generator.control, grammar)
-        self._pool = PoolParser(
-            self.control, grammar, max_sweep_steps=max_sweep_steps
+        # Imported here, not at module top: repro.api builds on repro.core
+        # (generator, compiled control), so the facade must not create an
+        # import cycle just to wrap it.
+        from ..api.language import Language
+
+        self.language = Language(
+            grammar, gc=gc, max_sweep_steps=max_sweep_steps
         )
-        self._gss = GSSParser(self.control)
 
     # -- constructors ------------------------------------------------------
 
     @classmethod
     def from_text(cls, text: str, **kwargs) -> "IPG":
         """Build from the BNF notation of the paper's figures."""
+        from ..grammar.builders import grammar_from_text
+
         return cls(grammar_from_text(text), **kwargs)
 
     @classmethod
     def from_rules(cls, rules: Iterable[Rule], **kwargs) -> "IPG":
         return cls(Grammar(rules), **kwargs)
+
+    # -- the shared infrastructure (owned by the Language) ---------------
+
+    @property
+    def grammar(self) -> Grammar:
+        return self.language.grammar
+
+    @property
+    def generator(self):
+        return self.language.generator
+
+    @property
+    def control(self):
+        return self.language.control
+
+    @property
+    def _pool(self):
+        return self.language.engine("compiled").pool
+
+    @property
+    def _gss(self):
+        return self.language.engine("gss").gss
 
     # -- parsing ---------------------------------------------------------
 
@@ -130,18 +156,29 @@ class IPG:
         return self.generator.graph
 
     def summary(self) -> Dict[str, int]:
-        data = graph_summary(self.generator.graph)
-        data.update(self.control.stats.snapshot())
-        return data
+        return self.language.summary()
 
     def table_fraction(self) -> float:
         """How much of the full parse table has been generated (§5.2)."""
-        return table_fraction(self.generator.graph, self.grammar)
+        return self.language.table_fraction()
 
     # -- coercion helpers --------------------------------------------------
 
     def coerce_tokens(self, tokens: TokenInput) -> List[Terminal]:
+        """Terminal objects from a token string or sequence.
+
+        A string is whitespace-split into terminal names.  An empty (or
+        blank) string is rejected: at this layer it is almost always an
+        accidental missing argument, not the empty sentence — pass an
+        explicit empty sequence (``[]``) to parse the empty sentence, or
+        use :meth:`Language.parse`, whose tokenizer makes "" unambiguous.
+        """
         if isinstance(tokens, str):
+            if not tokens.strip():
+                raise ParseError(
+                    "empty input: pass an explicit empty token sequence "
+                    "([]) to parse the empty sentence"
+                )
             parts: Iterable[Union[str, Terminal]] = tokens.split()
         else:
             parts = tokens
@@ -156,25 +193,7 @@ class IPG:
         return result
 
     def coerce_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> Rule:
-        if isinstance(rule, Rule):
-            return rule
-        if not isinstance(rule, str) or "::=" not in rule:
-            raise GrammarError(f"expected a Rule or 'A ::= body' text, got {rule!r}")
-        lhs_text, rhs_text = rule.split("::=", 1)
-        lhs_name = lhs_text.strip()
-        if not lhs_name:
-            raise GrammarError(f"missing left-hand side in {rule!r}")
-        known = {nt.name for nt in self.grammar.nonterminals}
-        known.add(lhs_name)
-        known.update(sorts)
-        body: List[Union[Terminal, NonTerminal]] = []
-        for part in rhs_text.split():
-            if part == "ε":
-                continue
-            body.append(
-                NonTerminal(part) if part in known else Terminal(part)
-            )
-        return Rule(NonTerminal(lhs_name), body)
+        return self.language.coerce_rule(rule, sorts)
 
     def __repr__(self) -> str:
         s = self.summary()

@@ -114,28 +114,69 @@ class GrammarBuilder:
         return Rule(NonTerminal(lhs), body, label=label)
 
 
+def split_rule_text(line: str) -> Tuple[str, List[str]]:
+    """Split ``"A ::= body"`` into the left-hand-side name and body parts.
+
+    ``ε`` denotes the empty right-hand side and is only legal as the
+    *entire* body: ``A ::= ε`` is an epsilon rule, but ``A ::= a ε b`` is
+    a :class:`GrammarError` — silently dropping a mid-body ε would accept
+    a rule the author never wrote.
+    """
+    if "::=" not in line:
+        raise GrammarError(f"expected 'A ::= body', got {line!r}")
+    lhs_text, rhs_text = line.split("::=", 1)
+    lhs = lhs_text.strip()
+    if not lhs:
+        raise GrammarError(f"missing left-hand side in {line!r}")
+    parts = rhs_text.split()
+    if parts == ["ε"]:
+        return lhs, []
+    if "ε" in parts:
+        raise GrammarError(
+            f"ε denotes the empty right-hand side and cannot appear "
+            f"inside a body: {line!r}"
+        )
+    return lhs, parts
+
+
+def rule_from_text(
+    text: str,
+    known_nonterminals: Iterable[str] = (),
+) -> Rule:
+    """Parse one ``"A ::= body"`` line against a set of known sort names.
+
+    A body name is a non-terminal iff it is in ``known_nonterminals`` or
+    it is the rule's own left-hand side; everything else is a terminal.
+    This is the coercion the IPG/Language ``add_rule``/``delete_rule``
+    text forms use.
+    """
+    if not isinstance(text, str):
+        raise GrammarError(f"expected a Rule or 'A ::= body' text, got {text!r}")
+    lhs_name, parts = split_rule_text(text.strip())
+    known = set(known_nonterminals)
+    known.add(lhs_name)
+    body: List[Symbol] = [
+        NonTerminal(part) if part in known else Terminal(part) for part in parts
+    ]
+    return Rule(NonTerminal(lhs_name), body)
+
+
 def grammar_from_text(text: str, sorts: Iterable[str] = ()) -> Grammar:
     """Parse the paper's ``A ::= x y z`` notation into a Grammar.
 
     One rule per line; blank lines and ``#`` comments ignored; an empty
-    right-hand side (or the word ``ε``) denotes an epsilon rule.  Names
-    that occur as some left-hand side are non-terminals; pass ``sorts`` to
-    force additional names to be non-terminals even though no rule in
-    ``text`` defines them (forward references, snapshot round-trips).
+    right-hand side (or the word ``ε``, standing alone) denotes an epsilon
+    rule.  Names that occur as some left-hand side are non-terminals; pass
+    ``sorts`` to force additional names to be non-terminals even though no
+    rule in ``text`` defines them (forward references, snapshot
+    round-trips).
     """
     sketches: List[Tuple[str, List[str]]] = []
     for raw_line in text.splitlines():
         line = raw_line.split("#", 1)[0].strip()
         if not line:
             continue
-        if "::=" not in line:
-            raise GrammarError(f"expected 'A ::= body', got {line!r}")
-        lhs_text, rhs_text = line.split("::=", 1)
-        lhs = lhs_text.strip()
-        if not lhs:
-            raise GrammarError(f"missing left-hand side in {line!r}")
-        parts = [p for p in rhs_text.split() if p != "ε"]
-        sketches.append((lhs, parts))
+        sketches.append(split_rule_text(line))
 
     builder = GrammarBuilder()
     builder.sort(*sorts)

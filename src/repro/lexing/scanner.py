@@ -118,6 +118,10 @@ class Scanner:
     def sorts(self) -> Tuple[str, ...]:
         return tuple(self._priority)
 
+    @property
+    def layout_sorts(self) -> Tuple[str, ...]:
+        return tuple(self._layout)
+
     # -- scanning --------------------------------------------------------
 
     def scan(self, text: str) -> List[Lexeme]:

@@ -69,26 +69,63 @@ class ParseStats:
         return f"ParseStats({self.snapshot()})"
 
 
+class ParseFailure:
+    """Where (and in which configurations) a rejected parse died.
+
+    ``token_index`` indexes the *input* token the pool could not act on;
+    an index equal to the input length means the pool died on the
+    end-marker (unexpected end of input).  ``stacks`` are the parser
+    stacks alive at the *start* of the fatal sweep — replaying their
+    (lookahead-independent) LR(0) reduce chains visits every state the
+    sweep could reach, whose shift terminals are exactly the viable
+    continuations a diagnostic should report.  ``states`` are the death
+    sites themselves (states whose ACTION row was empty on ``symbol``).
+    """
+
+    __slots__ = ("token_index", "symbol", "stacks", "states")
+
+    def __init__(
+        self,
+        token_index: int,
+        symbol: Terminal,
+        stacks: Tuple = (),
+        states: Tuple = (),
+    ) -> None:
+        self.token_index = token_index
+        self.symbol = symbol
+        self.stacks = stacks
+        self.states = states
+
+    def __repr__(self) -> str:
+        return (
+            f"ParseFailure(token_index={self.token_index}, "
+            f"symbol={self.symbol!s}, stacks={len(self.stacks)})"
+        )
+
+
 class ParseResult:
     """Outcome of a parallel parse.
 
     ``trees`` holds one root per *distinct* accepted derivation; an
     unambiguous sentence yields exactly one, an ambiguous one several.
     ``accepted`` is the paper's return value: at least one simple parser
-    accepted.
+    accepted.  On rejection, ``failure`` records where the pool died
+    (:class:`ParseFailure`); it is ``None`` for accepted inputs.
     """
 
-    __slots__ = ("accepted", "trees", "stats")
+    __slots__ = ("accepted", "trees", "stats", "failure")
 
     def __init__(
         self,
         accepted: bool,
         trees: Tuple[TreeNode, ...],
         stats: ParseStats,
+        failure: Optional[ParseFailure] = None,
     ) -> None:
         self.accepted = accepted
         self.trees = trees
         self.stats = stats
+        self.failure = failure
 
     @property
     def is_ambiguous(self) -> bool:
@@ -152,6 +189,10 @@ class PoolParser:
 
     def recognize(self, tokens: Iterable[Terminal]) -> bool:
         return self._run(tokens, build_trees=False, trace=None).accepted
+
+    def recognize_result(self, tokens: Iterable[Terminal]) -> ParseResult:
+        """Recognition that keeps the full result (stats and failure)."""
+        return self._run(tokens, build_trees=False, trace=None)
 
     def parse(
         self,
@@ -235,11 +276,23 @@ class PoolParser:
         n_duplicates = 0
         n_sweeps = 0
         max_live = 1
+        # States whose ACTION row came back empty during the current
+        # general sweep.  Only the last sweep's list survives the run; if
+        # the pool dies it is exactly the set of death sites a diagnostic
+        # reads the expected terminals off.  Allocated lazily: the happy
+        # path never touches it.
+        dead_states: Optional[List[Any]] = None
+        # The stacks alive at the start of the current sweep, for the
+        # failure record.  Stacks are immutable cons cells, so keeping
+        # references is O(live parsers) per symbol and shares everything.
+        sweep_stacks: List[StackCell] = [start_parser.stack]
 
         while next_sweep and position < sentence_length:
             symbol = sentence[position]
             position += 1
             n_sweeps += 1
+            dead_states = None
+            sweep_stacks = [p.stack for p in next_sweep]
 
             # ACTION result carried from the stretch into the general
             # sweep on a bail, so controls without a step cache don't
@@ -256,6 +309,10 @@ class PoolParser:
             # moment a conflict, an error, or a suspected cycle appears.
             if fast_mode and len(next_sweep) == 1:
                 stack = next_sweep[0].stack
+                # Config at the start of the sweep currently being
+                # processed (one store per shift): the failure record
+                # must see the pre-reduce-chain stack, not the bail point.
+                stretch_start = stack
                 outcome = 0  # 0 = bail to the general machinery
                 reduces_here = 0
                 while True:
@@ -302,6 +359,7 @@ class PoolParser:
                         position += 1
                         n_sweeps += 1
                         reduces_here = 0
+                        stretch_start = stack
                         continue
                     if kind == STEP_REDUCE:
                         rule = step[1]
@@ -362,6 +420,7 @@ class PoolParser:
                     next_sweep = []
                     continue
                 next_sweep = [_Parser(stack)]
+                sweep_stacks = [stretch_start]
                 # bail: fall through; the general sweep below re-reads
                 # ACTION for this symbol (its call is the one counted, and
                 # the direct probe above was already credited as a hit).
@@ -409,6 +468,15 @@ class PoolParser:
                 else:
                     actions = control_action(state, symbol)
                 n_action_calls += 1
+                if not actions:
+                    # The paper's error action: this parser dies here.  The
+                    # state is remembered so a rejection can report what
+                    # *would* have been accepted instead.
+                    if dead_states is None:
+                        dead_states = []
+                    if state not in dead_states:
+                        dead_states.append(state)
+                    continue
                 if len(actions) > 1:
                     n_forks += len(actions) - 1
 
@@ -486,7 +554,17 @@ class PoolParser:
         stats.max_live_parsers = max_live
         if fast_hits and credit_hits is not None:
             credit_hits(fast_hits)
-        return ParseResult(accepted, tuple(accepted_trees), stats)
+        failure: Optional[ParseFailure] = None
+        if not accepted:
+            # position - 1 indexes the symbol of the final sweep; if that
+            # symbol is the end-marker the index equals the input length.
+            failure = ParseFailure(
+                position - 1,
+                symbol,
+                tuple(sweep_stacks),
+                tuple(dead_states or ()),
+            )
+        return ParseResult(accepted, tuple(accepted_trees), stats, failure)
 
     @staticmethod
     def _legacy_signature(stack: StackCell, build_trees: bool) -> Tuple:

@@ -1,6 +1,6 @@
 """The LRU result cache of the parse service.
 
-Keys are ``(session, grammar_version, mode, tokens)`` tuples.  Because the
+Keys are ``(session, grammar_version, mode, tokens, text)`` tuples.  Because the
 grammar version participates in the key, a MODIFY invalidates every cached
 parse *implicitly* — a stale entry can never be returned, only linger.  The
 workspace additionally subscribes to each session's grammar and calls
@@ -17,8 +17,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Set, Tuple
 
-#: Cache key: (session name, grammar version, mode, token names).
-CacheKey = Tuple[str, int, str, Tuple[str, ...]]
+#: Cache key: (session name, grammar version, mode[:engine], token names,
+#: raw source text — None for token-list inputs).  The text participates
+#: because rejection payloads carry line/column/offset diagnostics that
+#: depend on the exact spelling, not just the token names.
+CacheKey = Tuple[str, int, str, Tuple[str, ...], Optional[str]]
 
 
 class CacheStats:

@@ -140,9 +140,25 @@ class Dispatcher:
 
     # -- parsing -----------------------------------------------------------
 
+    @staticmethod
+    def _engine_of(request: Dict[str, Any]) -> Optional[str]:
+        """The validated ``engine`` field, or None for the session default."""
+        engine = request.get("engine")
+        if engine is None:
+            return None
+        from ..api import engines
+
+        if engine not in engines():
+            raise ProtocolError(
+                f"unknown engine {engine!r} — known: {', '.join(engines())}"
+            )
+        return engine
+
     def _parse(self, request: Dict[str, Any]) -> Dict[str, Any]:
         name = require(request, "session")
-        payload, cached = self.workspace.parse(name, require(request, "tokens"))
+        payload, cached = self.workspace.parse(
+            name, require(request, "tokens"), engine=self._engine_of(request)
+        )
         response = dict(payload)
         response["trees"] = list(payload["trees"])
         response["tree_count"] = len(payload["trees"])
@@ -152,7 +168,9 @@ class Dispatcher:
 
     def _recognize(self, request: Dict[str, Any]) -> Dict[str, Any]:
         name = require(request, "session")
-        payload, cached = self.workspace.recognize(name, require(request, "tokens"))
+        payload, cached = self.workspace.recognize(
+            name, require(request, "tokens"), engine=self._engine_of(request)
+        )
         response = dict(payload)
         response["cache"] = cached
         response["version"] = self.workspace.get(name).version
@@ -163,19 +181,21 @@ class Dispatcher:
         inputs = require(request, "inputs")
         if not isinstance(inputs, (list, tuple)):
             raise ProtocolError("'batch-parse' needs a list in the 'inputs' field")
+        engine = self._engine_of(request)
         results = []
         hits = 0
         for tokens in inputs:
-            payload, cached = self.workspace.parse(name, tokens)
+            payload, cached = self.workspace.parse(name, tokens, engine=engine)
             hits += cached
-            results.append(
-                {
-                    "tokens": tokens,
-                    "accepted": payload["accepted"],
-                    "tree_count": len(payload["trees"]),
-                    "cache": cached,
-                }
-            )
+            result = {
+                "tokens": tokens,
+                "accepted": payload["accepted"],
+                "tree_count": len(payload["trees"]),
+                "cache": cached,
+            }
+            if "diagnostics" in payload:
+                result["diagnostics"] = payload["diagnostics"]
+            results.append(result)
         return {
             "results": results,
             "cache_hits": hits,
@@ -247,8 +267,11 @@ class Dispatcher:
                 "sorts": sorted(session.sorts),
                 "fast_path": session.has_fast_path,
             }
+        from ..api import engines
+
         return {
             "protocol": PROTOCOL_VERSION,
             "commands": list(COMMANDS),
+            "engines": list(engines()),
             "sessions": list(self.workspace.names()),
         }

@@ -18,7 +18,11 @@ import json
 from typing import Any, Dict, Iterator, Optional
 
 #: Version of the request/response protocol, reported by ``info``.
-PROTOCOL_VERSION = 1
+#: Version 2: parse/recognize accept an optional ``engine`` field
+#: (validated against the :mod:`repro.api` registry), rejected parses
+#: carry a structured ``diagnostics`` object, and parse-shaped responses
+#: name the ``engine`` that served them.
+PROTOCOL_VERSION = 2
 
 #: Commands the dispatcher understands (documented in README.md).
 COMMANDS = (

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..api.language import LexedInput
 from ..core.ipg import IPG, TokenInput
 from ..grammar.builders import grammar_from_text
 from ..grammar.grammar import Grammar, GrammarError
@@ -26,6 +27,10 @@ from ..runtime.forest import bracketed
 from ..runtime.lr_parse import SimpleLRParser
 from .cache import CacheKey, ResultCache
 from .protocol import ServiceError, SessionNotFound
+
+#: ``engine`` value payloads report when the deterministic SLR fast path
+#: (snapshot restore of a conflict-free grammar) answered the request.
+FAST_PATH_ENGINE = "slr-fast-path"
 
 #: Callback invoked (with the session) after every grammar modification.
 ModifyListener = Callable[["ParseSession"], None]
@@ -50,6 +55,9 @@ class ParseSession:
                 else Grammar()
             )
         self.ipg = IPG(grammar)
+        #: the unified front door (tokenizer + engine registry); the IPG
+        #: facade and this Language share one generator and control plane
+        self.language = self.ipg.language
         self.fast_table: Optional[ParseTable] = None
         self._fast_parser: Optional[SimpleLRParser] = None
         self._table_cache: Optional[Tuple[int, Optional[ParseTable]]] = None
@@ -62,6 +70,7 @@ class ParseSession:
         """Detach from the grammar's observer list."""
         self._unsubscribe()
         self._listeners.clear()
+        self.language.close()
 
     def on_modify(self, listener: ModifyListener) -> None:
         self._listeners.append(listener)
@@ -151,36 +160,55 @@ class ParseSession:
 
     # -- parsing (JSON-able payloads) --------------------------------------
 
-    def parse_payload(self, tokens: TokenInput) -> Dict[str, Any]:
-        """``{"accepted", "trees"}`` for ``tokens`` — the cacheable value."""
-        return self._parse_terminals(self.ipg.coerce_tokens(tokens))
+    def parse_payload(
+        self, tokens: TokenInput, engine: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """The cacheable ``{"accepted", "trees", "engine", ...}`` value.
 
-    def _parse_terminals(self, terminals: List[Terminal]) -> Dict[str, Any]:
-        if self._fast_parser is not None:
+        Built from a :class:`~repro.api.ParseOutcome`: rejected inputs
+        carry a ``diagnostics`` object (token index, line/column when the
+        input was raw text, and the expected terminal set).
+        """
+        return self._parse_lexed(self.language.lex(tokens), engine)
+
+    def _parse_lexed(
+        self, lexed: "LexedInput", engine: Optional[str] = None
+    ) -> Dict[str, Any]:
+        if engine is None and self._fast_parser is not None:
             try:
-                result = self._fast_parser.parse(terminals)
+                result = self._fast_parser.parse(list(lexed.terminals))
                 tree = result.tree
                 return {
                     "accepted": True,
                     "trees": [bracketed(tree)] if tree is not None else [],
+                    "engine": FAST_PATH_ENGINE,
                 }
             except AmbiguousInputError:
                 pass  # defensive: fall through to the forking parser
             except ParseError:
-                return {"accepted": False, "trees": []}
-        result = self.ipg.parse(terminals)
-        return {
-            "accepted": result.accepted,
-            "trees": sorted(bracketed(tree) for tree in result.trees),
-        }
+                pass  # rejected: the outcome path derives the diagnostics
+        return self.language.parse_lexed(lexed, engine=engine).to_payload()
 
-    def recognize_payload(self, tokens: TokenInput) -> Dict[str, Any]:
-        return self._recognize_terminals(self.ipg.coerce_tokens(tokens))
+    def recognize_payload(
+        self, tokens: TokenInput, engine: Optional[str] = None
+    ) -> Dict[str, Any]:
+        return self._recognize_lexed(self.language.lex(tokens), engine)
 
-    def _recognize_terminals(self, terminals: List[Terminal]) -> Dict[str, Any]:
-        if self._fast_parser is not None:
-            return {"accepted": self._fast_parser.recognize(terminals)}
-        return {"accepted": self.ipg.recognize(terminals)}
+    def _recognize_lexed(
+        self, lexed: "LexedInput", engine: Optional[str] = None
+    ) -> Dict[str, Any]:
+        if engine is None and self._fast_parser is not None:
+            if self._fast_parser.recognize(list(lexed.terminals)):
+                return {"accepted": True, "engine": FAST_PATH_ENGINE}
+            # Rejected: re-derive through the outcome path so the payload
+            # carries diagnostics (failure is the cold path by design).
+        outcome = self.language.parse_lexed(
+            lexed, engine=engine, build_trees=False
+        )
+        payload = outcome.to_payload()
+        payload.pop("trees", None)
+        payload.pop("trees_built", None)
+        return payload
 
     def summary(self) -> Dict[str, int]:
         return self.ipg.summary()
@@ -277,34 +305,56 @@ class Workspace:
     # -- cached parsing ----------------------------------------------------
 
     def _cached(
-        self, name: str, mode: str, tokens: TokenInput
+        self,
+        name: str,
+        mode: str,
+        tokens: TokenInput,
+        engine: Optional[str] = None,
     ) -> Tuple[Dict[str, Any], bool]:
         session = self.get(name)
-        terminals = session.ipg.coerce_tokens(tokens)
+        lexed = session.language.lex(tokens)
+        # The engine participates in the key: payloads differ across
+        # engines (tree availability, reported engine name), so a cached
+        # answer for one engine must never serve another.  So does the
+        # raw source text: two inputs whose tokens merely match by name
+        # ("true\nor" vs "true or", or a token list) produce different
+        # line/column/offset diagnostics, and a cached rejection must
+        # never serve another spelling's positions.
         key: CacheKey = (
             name,
             session.version,
-            mode,
-            tuple(t.name for t in terminals),
+            mode if engine is None else f"{mode}:{engine}",
+            tuple(t.name for t in lexed.terminals),
+            lexed.text,
         )
         hit, value = self.cache.get(key)
         if hit:
             return value, True
         payload = (
-            session._parse_terminals(terminals)
+            session._parse_lexed(lexed, engine)
             if mode == "parse"
-            else session._recognize_terminals(terminals)
+            else session._recognize_lexed(lexed, engine)
         )
         self.cache.put(key, payload)
         return payload, False
 
-    def parse(self, name: str, tokens: TokenInput) -> Tuple[Dict[str, Any], bool]:
+    def parse(
+        self,
+        name: str,
+        tokens: TokenInput,
+        engine: Optional[str] = None,
+    ) -> Tuple[Dict[str, Any], bool]:
         """``(payload, was_cached)`` for a tree-building parse."""
-        return self._cached(name, "parse", tokens)
+        return self._cached(name, "parse", tokens, engine)
 
-    def recognize(self, name: str, tokens: TokenInput) -> Tuple[Dict[str, Any], bool]:
+    def recognize(
+        self,
+        name: str,
+        tokens: TokenInput,
+        engine: Optional[str] = None,
+    ) -> Tuple[Dict[str, Any], bool]:
         """``(payload, was_cached)`` for accept/reject recognition."""
-        return self._cached(name, "recognize", tokens)
+        return self._cached(name, "recognize", tokens, engine)
 
     def __repr__(self) -> str:
         return f"Workspace({len(self)} sessions, cache={self.cache!r})"

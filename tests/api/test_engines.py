@@ -1,0 +1,167 @@
+"""The engine registry and the cross-engine differential suite.
+
+Every registered engine must agree on acceptance over one shared corpus —
+including after incremental edits — and the tree-building engines must
+agree on the exact derivations.  This is the contract that lets callers
+treat ``engine="..."`` as a pure performance knob.
+"""
+
+import pytest
+
+from repro.api import Language, create_engine, engine_descriptions, engines
+from tests.conftest import AMBIGUOUS_EXPR, BOOLEANS, EPSILON, EXPR
+
+ALL_ENGINES = ("lazy", "compiled", "dense", "gss", "earley")
+
+#: engines whose ``parse`` builds derivation trees
+TREE_ENGINES = ("lazy", "compiled", "dense", "gss")
+
+#: (grammar text, accepted sentences, rejected sentences)
+CORPUS = [
+    (
+        BOOLEANS,
+        ["true", "true or false", "true and false or true"],
+        ["or", "true and", "banana", "true true"],
+    ),
+    (
+        EXPR,
+        ["n", "n + n * n", "( n + n ) * n"],
+        ["n +", "( n", "+ n", "n n"],
+    ),
+    (
+        AMBIGUOUS_EXPR,
+        ["n", "n + n", "n + n + n + n"],
+        ["+", "n n", "n + + n"],
+    ),
+    (
+        EPSILON,
+        ["b", "a b", "b c", "a b c"],
+        ["a", "c b", "a a b"],
+    ),
+]
+
+
+class TestRegistry:
+    def test_five_engines_registered(self):
+        assert engines() == ALL_ENGINES
+
+    def test_descriptions_cover_every_engine(self):
+        described = engine_descriptions()
+        for name in engines():
+            assert described[name]
+
+    def test_unknown_engine_rejected(self):
+        lang = Language.from_text(BOOLEANS)
+        with pytest.raises(ValueError, match="unknown engine"):
+            create_engine("yacc++", lang)
+        with pytest.raises(ValueError, match="unknown engine"):
+            lang.parse("true", engine="yacc++")
+
+    def test_engine_instances_are_cached(self):
+        lang = Language.from_text(BOOLEANS)
+        assert lang.engine("gss") is lang.engine("gss")
+        assert lang.engine() is lang.engine("compiled")
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("grammar_text,accepted,rejected", CORPUS)
+    def test_acceptance_agrees_across_registry(
+        self, grammar_text, accepted, rejected
+    ):
+        lang = Language.from_text(grammar_text)
+        for sentence in accepted:
+            verdicts = {
+                name: lang.recognize(sentence, engine=name).accepted
+                for name in engines()
+            }
+            assert all(verdicts.values()), (sentence, verdicts)
+        for sentence in rejected:
+            verdicts = {
+                name: lang.recognize(sentence, engine=name).accepted
+                for name in engines()
+            }
+            assert not any(verdicts.values()), (sentence, verdicts)
+
+    @pytest.mark.parametrize("grammar_text,accepted,rejected", CORPUS)
+    def test_trees_agree_across_tree_engines(
+        self, grammar_text, accepted, rejected
+    ):
+        lang = Language.from_text(grammar_text)
+        for sentence in accepted:
+            brackets = {
+                name: lang.parse(sentence, engine=name).brackets()
+                for name in TREE_ENGINES
+            }
+            reference = brackets[TREE_ENGINES[0]]
+            assert reference, sentence
+            assert all(b == reference for b in brackets.values()), (
+                sentence,
+                brackets,
+            )
+
+    def test_agreement_survives_interleaved_edits(self):
+        lang = Language.from_text(BOOLEANS)
+        script = [
+            ("add", "B ::= B xor B", "true xor false", True),
+            ("add", "B ::= not B", "not true xor not false", True),
+            ("delete", "B ::= B xor B", "true xor false", False),
+            ("add", "B ::= maybe", "not maybe or true", True),
+            ("delete", "B ::= not B", "not true", False),
+        ]
+        for action, rule, sentence, should_accept in script:
+            if action == "add":
+                assert lang.add_rule(rule)
+            else:
+                assert lang.delete_rule(rule)
+            for name in engines():
+                outcome = lang.recognize(sentence, engine=name)
+                assert outcome.accepted is should_accept, (
+                    name,
+                    sentence,
+                    outcome,
+                )
+
+    def test_ambiguity_counts_agree(self):
+        lang = Language.from_text(AMBIGUOUS_EXPR)
+        # Catalan numbers: 1, 2, 5 derivations.
+        for sentence, count in [("n + n", 1), ("n + n + n", 2),
+                                ("n + n + n + n", 5)]:
+            for name in TREE_ENGINES:
+                assert lang.parse(sentence, engine=name).ambiguity == count
+
+
+class TestEngineBehaviour:
+    def test_earley_reports_trees_not_built(self):
+        lang = Language.from_text(BOOLEANS)
+        outcome = lang.parse("true", engine="earley")
+        assert outcome.accepted
+        assert outcome.trees == ()
+        assert outcome.trees_built is False
+
+    def test_dense_engine_rebuilds_after_edit(self):
+        lang = Language.from_text(BOOLEANS)
+        assert lang.recognize("true", engine="dense").accepted
+        dense = lang.engine("dense")
+        assert dense._pool is not None
+        lang.add_rule("B ::= maybe")
+        assert dense._pool is None  # invalidated by MODIFY
+        assert lang.recognize("maybe or true", engine="dense").accepted
+
+    def test_lazy_and_compiled_share_one_graph(self):
+        lang = Language.from_text(BOOLEANS)
+        lang.recognize("true or false", engine="lazy")
+        states_after_lazy = len(lang.graph)
+        lang.recognize("true or false", engine="compiled")
+        assert len(lang.graph) == states_after_lazy
+
+    def test_prepare_builds_dense_table_up_front(self):
+        lang = Language.from_text(EXPR)
+        dense = lang.engine("dense")
+        assert dense._pool is None
+        dense.prepare()
+        assert dense._pool is not None
+
+    def test_explicit_token_sequences_accepted(self, toks):
+        lang = Language.from_text(BOOLEANS)
+        for name in engines():
+            assert lang.recognize(toks("true and false"), engine=name).accepted

@@ -1,0 +1,101 @@
+"""The tokenizer protocol: whitespace, SDF scanner, grammar-literal scanner."""
+
+import pytest
+
+from repro.api import ScannerTokenizer, ScanError, WhitespaceTokenizer
+from repro.grammar.builders import grammar_from_text
+from repro.sdf.corpus import EXAM_SDF, EXP_SDF
+from repro.sdf.parser import parse_sdf
+from tests.conftest import EXPR
+
+
+class TestWhitespaceTokenizer:
+    def test_offsets(self):
+        lexemes = WhitespaceTokenizer().tokenize("true  and\nfalse")
+        assert [(l.text, l.position) for l in lexemes] == [
+            ("true", 0),
+            ("and", 6),
+            ("false", 10),
+        ]
+
+    def test_terminals(self):
+        tokenizer = WhitespaceTokenizer()
+        assert [t.name for t in tokenizer.terminals("a b a")] == ["a", "b", "a"]
+
+    def test_empty_and_blank_text(self):
+        tokenizer = WhitespaceTokenizer()
+        assert tokenizer.tokenize("") == []
+        assert tokenizer.tokenize("  \t\n ") == []
+
+
+class TestSdfScannerTokenizer:
+    def test_lexical_sorts_and_literals(self):
+        tokenizer = ScannerTokenizer.from_sdf(parse_sdf(EXAM_SDF))
+        names = [t.name for t in tokenizer.terminals("exam Algebra")]
+        assert names == ["exam", "WORD"]  # keyword reserved against WORD
+
+    def test_positions_survive_layout(self):
+        tokenizer = ScannerTokenizer.from_sdf(parse_sdf(EXP_SDF))
+        lexemes = tokenizer.tokenize("true  and false")
+        assert [l.position for l in lexemes] == [0, 6, 10]
+
+    def test_definition_without_layout_gets_implicit_whitespace(self):
+        tokenizer = ScannerTokenizer.from_sdf(parse_sdf(EXP_SDF))
+        assert [t.name for t in tokenizer.terminals("true and\nfalse")] == [
+            "true",
+            "and",
+            "false",
+        ]
+
+    def test_scan_error_carries_position(self):
+        tokenizer = ScannerTokenizer.from_sdf(parse_sdf(EXP_SDF))
+        with pytest.raises(ScanError) as info:
+            tokenizer.tokenize("true # false")
+        assert info.value.position == 5
+
+
+class TestGrammarLiteralScanner:
+    def test_punctuation_needs_no_blanks(self):
+        grammar = grammar_from_text(EXPR)
+        tokenizer = ScannerTokenizer.from_grammar(grammar)
+        assert [t.name for t in tokenizer.terminals("(n+n)*n")] == [
+            "(", "n", "+", "n", ")", "*", "n",
+        ]
+
+    def test_longest_match_wins(self):
+        grammar = grammar_from_text(
+            "A ::= if\nA ::= iffy\nSTART ::= A"
+        )
+        tokenizer = ScannerTokenizer.from_grammar(grammar)
+        assert [t.name for t in tokenizer.terminals("iffy")] == ["iffy"]
+        assert [t.name for t in tokenizer.terminals("if")] == ["if"]
+
+    def test_follows_grammar_edits(self):
+        grammar = grammar_from_text(EXPR)
+        tokenizer = ScannerTokenizer.from_grammar(grammar)
+        with pytest.raises(ScanError):
+            tokenizer.tokenize("n?n")
+        rule = _rule("F ::= n ? n", grammar)
+        grammar.add_rule(rule)
+        assert [t.name for t in tokenizer.terminals("n?n")] == ["n", "?", "n"]
+        grammar.delete_rule(rule)
+        with pytest.raises(ScanError):
+            tokenizer.tokenize("n?n")
+
+    def test_detach_stops_following(self):
+        grammar = grammar_from_text(EXPR)
+        tokenizer = ScannerTokenizer.from_grammar(grammar)
+        tokenizer.close()
+        _add_terminal(grammar, "?")
+        with pytest.raises(ScanError):
+            tokenizer.tokenize("n?n")
+
+
+def _rule(text, grammar):
+    from repro.grammar.builders import rule_from_text
+
+    return rule_from_text(text, {nt.name for nt in grammar.nonterminals})
+
+
+def _add_terminal(grammar, mark):
+    grammar.add_rule(_rule(f"F ::= n {mark} n", grammar))

@@ -38,12 +38,24 @@ class TestParsing:
         with pytest.raises(TypeError):
             ipg.parse([42])  # type: ignore[list-item]
 
+    def test_empty_string_input_rejected(self, ipg):
+        # "" / blank input is almost always a missing argument, not the
+        # empty sentence; both string forms must raise, the explicit
+        # empty sequence must keep meaning the empty sentence.
+        from repro.runtime.errors import ParseError
+
+        with pytest.raises(ParseError, match="empty input"):
+            ipg.parse("")
+        with pytest.raises(ParseError, match="empty input"):
+            ipg.recognize("   \t ")
+        assert not ipg.recognize([])  # booleans has no empty sentence
+
     def test_recognize(self, ipg):
         assert ipg.recognize("true and true")
         assert not ipg.recognize("true and")
 
     def test_recognize_gss_agrees(self, ipg):
-        for sentence in ("true", "true or false", "or", ""):
+        for sentence in ("true", "true or false", "or", []):
             assert ipg.recognize(sentence) == ipg.recognize_gss(sentence)
 
     def test_trace_support(self, ipg):
@@ -90,7 +102,13 @@ class TestEditing:
 
     def test_epsilon_rule_text(self, ipg):
         ipg.add_rule("B ::= ε")
-        assert ipg.recognize("")
+        assert ipg.recognize([])
+
+    def test_epsilon_must_be_whole_body(self, ipg):
+        with pytest.raises(GrammarError):
+            ipg.add_rule("B ::= true ε false")
+        with pytest.raises(GrammarError):
+            ipg.add_rule("B ::= ε ε")
 
 
 class TestIntrospection:

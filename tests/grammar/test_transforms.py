@@ -9,7 +9,9 @@ from repro.core.ipg import IPG
 
 
 def _accepts(grammar: Grammar, sentence: str) -> bool:
-    return IPG(grammar.copy()).recognize(sentence)
+    # Split here: IPG.coerce_tokens rejects blank *strings* outright, and
+    # several of these languages legitimately contain the empty sentence.
+    return IPG(grammar.copy()).recognize(sentence.split())
 
 
 class TestPlus:

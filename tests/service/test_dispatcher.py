@@ -161,6 +161,85 @@ class TestCaching:
         assert booleans_dispatcher.handle(request2)["cache"] is False
 
 
+class TestDiagnosticsAndEngines:
+    """Protocol v2: structured diagnostics and per-call engine selection."""
+
+    def test_rejected_parse_carries_diagnostics(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "true or"}
+        )
+        assert response["accepted"] is False
+        diagnostics = response["diagnostics"]
+        assert diagnostics["line"] == 1
+        assert diagnostics["column"] == 8
+        assert diagnostics["token_index"] == 2
+        assert set(diagnostics["expected"]) == {"true", "false"}
+
+    def test_accepted_parse_has_no_diagnostics(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "true"}
+        )
+        assert "diagnostics" not in response
+        assert response["engine"] == "compiled"
+
+    def test_recognize_diagnostics_track_edits(self, booleans_dispatcher):
+        request = {"cmd": "recognize", "session": "s1", "tokens": "true or"}
+        before = booleans_dispatcher.handle(request)
+        assert set(before["diagnostics"]["expected"]) == {"true", "false"}
+        booleans_dispatcher.handle(
+            {"cmd": "add-rule", "session": "s1", "rule": "B ::= not B"}
+        )
+        after = booleans_dispatcher.handle(request)
+        assert set(after["diagnostics"]["expected"]) == {"true", "false", "not"}
+
+    def test_engine_selection_per_call(self, booleans_dispatcher):
+        for engine in ("lazy", "dense", "gss", "earley"):
+            response = booleans_dispatcher.handle(
+                {"cmd": "recognize", "session": "s1", "tokens": "true or false",
+                 "engine": engine}
+            )
+            assert response["accepted"] is True, engine
+            assert response["engine"] == engine
+
+    def test_unknown_engine_is_an_error(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "true",
+             "engine": "warp-drive"}
+        )
+        assert "unknown engine" in response["error"]
+
+    def test_diagnostics_not_served_across_spellings(self, booleans_dispatcher):
+        # Same token names, different source text: the cached rejection's
+        # line/column must not leak onto the other spelling.
+        multiline = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "true\nor or"}
+        )
+        assert multiline["diagnostics"]["line"] == 2
+        one_line = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": "true or or"}
+        )
+        assert one_line["cache"] is False
+        assert one_line["diagnostics"]["line"] == 1
+        assert one_line["diagnostics"]["column"] == 9
+
+    def test_engine_results_cached_separately(self, booleans_dispatcher):
+        default = {"cmd": "parse", "session": "s1", "tokens": "true"}
+        earley = {**default, "engine": "earley"}
+        booleans_dispatcher.handle(default)
+        first = booleans_dispatcher.handle(earley)
+        assert first["cache"] is False      # not served the default's entry
+        assert booleans_dispatcher.handle(earley)["cache"] is True
+
+    def test_batch_parse_with_engine_and_diagnostics(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "batch-parse", "session": "s1",
+             "inputs": ["true", "or"], "engine": "dense"}
+        )
+        good, bad = response["results"]
+        assert good["accepted"] and not bad["accepted"]
+        assert set(bad["diagnostics"]["expected"]) == {"true", "false"}
+
+
 class TestBatchParse:
     def test_batch_reports_per_input_and_aggregate(self, booleans_dispatcher):
         response = booleans_dispatcher.handle(
@@ -195,8 +274,9 @@ class TestIntrospection:
 
     def test_info(self, booleans_dispatcher):
         server = booleans_dispatcher.handle({"cmd": "info"})
-        assert server["protocol"] == 1
+        assert server["protocol"] == 2
         assert "parse" in server["commands"]
+        assert "compiled" in server["engines"]
         assert server["sessions"] == ["s1"]
         session = booleans_dispatcher.handle({"cmd": "info", "session": "s1"})
         assert "B ::= true" in session["grammar"]

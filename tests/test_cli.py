@@ -127,6 +127,87 @@ class TestSession:
     def test_delete_missing_reported(self):
         assert run_session(["delete B ::= x"]) == ["(no such rule)"]
 
+    def test_rejection_prints_expected_set(self):
+        output = run_session(
+            [
+                "add B ::= true",
+                "add B ::= false",
+                "add START ::= B",
+                "parse true true",
+            ]
+        )
+        assert output[-2] == "rejected"
+        assert "expected:" in output[-1] and "$" in output[-1]
+
+
+class TestEngineCommand:
+    def test_listing_marks_the_default(self):
+        output = run_session(["engine"])
+        assert any(line.startswith("* compiled") for line in output)
+        assert sum(line.startswith("*") for line in output) == 1
+
+    def test_switching_engines(self):
+        output = run_session(
+            [
+                "add B ::= x",
+                "add START ::= B",
+                "engine earley",
+                "parse x",
+                "recognize y",
+            ]
+        )
+        assert "engine set to earley" in output
+        assert any("builds no trees" in line for line in output)
+        assert output[-2] == "rejected"
+
+    def test_unknown_engine_reported(self):
+        output = run_session(["engine warp"])
+        assert "unknown engine" in output[0]
+
+
+class TestLexerCommand:
+    def test_show_current(self):
+        output = run_session(["lexer"])
+        assert output[0].startswith("lexer: whitespace")
+
+    def test_scanner_lexes_punctuation_without_blanks(self):
+        output = run_session(
+            [
+                "sort E T F",
+                "add E ::= E + T",
+                "add E ::= T",
+                "add T ::= T * F",
+                "add T ::= F",
+                "add F ::= n",
+                "add F ::= ( E )",
+                "add START ::= E",
+                "lexer scanner",
+                "recognize (n+n)*n",
+            ]
+        )
+        assert output[-1] == "accepted"
+
+    def test_scanner_follows_live_edits(self):
+        output = run_session(
+            [
+                "add B ::= x",
+                "add START ::= B",
+                "lexer scanner",
+                "recognize x",
+                "add B ::= B y B",
+                "recognize xyx",
+                "lexer whitespace",
+                "recognize x",
+            ]
+        )
+        verdicts = [l for l in output if l in ("accepted", "rejected")]
+        assert verdicts == ["accepted", "accepted", "accepted"]
+
+    def test_usage_message(self):
+        assert run_session(["lexer klingon"]) == [
+            "usage: lexer [whitespace|scanner]"
+        ]
+
 
 class TestProcessEntryPoint:
     def test_python_dash_m_repro(self):
