@@ -20,11 +20,10 @@ Two claims to quantify:
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.lazy import LazyControl, LazyGenerator
+from repro.core.lazy import LazyGenerator
 from repro.core.metrics import ControlProbe
-from repro.lr.generator import ConventionalGenerator, GraphControl
+from repro.lr.generator import ConventionalGenerator
 from repro.runtime.parallel import PoolParser
 
 

@@ -17,13 +17,12 @@ Measured here on the SDF grammar:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.lr.generator import ConventionalGenerator
 from repro.lr.graph import ItemSetGraph
 from repro.lr.lalr import lalr_table
 from repro.lr.slr import slr_table
-from repro.lr.table import TableControl, lr0_table, resolve_conflicts
+from repro.lr.table import TableControl, resolve_conflicts
 from repro.runtime.lr_parse import SimpleLRParser
 from repro.runtime.parallel import PoolParser
 

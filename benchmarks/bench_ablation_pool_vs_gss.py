@@ -17,7 +17,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workloads import ambiguous_expression_grammar, ambiguous_sentence
-from repro.grammar.builders import grammar_from_text
 from repro.lr.generator import ConventionalGenerator
 from repro.runtime.gss import GSSParser
 from repro.runtime.parallel import PoolParser

@@ -15,7 +15,6 @@ Two measurements:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.workloads import ambiguous_expression_grammar, ambiguous_sentence
 from repro.core.ipg import IPG

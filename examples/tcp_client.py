@@ -1,0 +1,79 @@
+"""A minimal socket client for the concurrent parse service.
+
+Start the server::
+
+    PYTHONPATH=src python -m repro serve --tcp 127.0.0.1:7654 --workers 4
+
+then drive it::
+
+    PYTHONPATH=src python examples/tcp_client.py --port 7654
+
+The wire protocol is the same newline-delimited JSON served on stdin
+(protocol v2), so anything that can open a socket is a client.  Requests
+may be pipelined: responses always come back in request order on one
+connection, so this client writes its whole script first and then reads
+one response line per request.
+
+With no ``--requests FILE`` a small demo script runs: open a session,
+parse twice (the second answer comes from the result cache or is
+coalesced with the first), edit the grammar, parse again.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+from typing import List
+
+DEMO = [
+    {"cmd": "open", "session": "demo",
+     "grammar": "START ::= B\nB ::= true\nB ::= false\nB ::= B or B"},
+    {"cmd": "parse", "session": "demo", "tokens": "true or false"},
+    {"cmd": "parse", "session": "demo", "tokens": "true or false"},
+    {"cmd": "add-rule", "session": "demo", "rule": "B ::= maybe"},
+    {"cmd": "parse", "session": "demo", "tokens": "maybe or true"},
+    {"cmd": "metrics"},
+]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--requests", metavar="FILE",
+        help="newline-delimited JSON requests to send instead of the demo "
+        "script ('-' for stdin)",
+    )
+    options = parser.parse_args(argv)
+
+    if options.requests is None:
+        lines = [json.dumps(request) for request in DEMO]
+    elif options.requests == "-":
+        lines = [line.strip() for line in sys.stdin if line.strip()]
+    else:
+        with open(options.requests) as handle:
+            lines = [line.strip() for line in handle if line.strip()]
+
+    with socket.create_connection((options.host, options.port), timeout=30) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        # Pipeline: write everything, then read one response per request.
+        for line in lines:
+            stream.write(line + "\n")
+        stream.flush()
+        sock.shutdown(socket.SHUT_WR)  # tell the server we are done sending
+        errors = 0
+        for _ in lines:
+            response_line = stream.readline()
+            if not response_line:
+                print("error: server closed before answering", file=sys.stderr)
+                return 1
+            print(response_line.rstrip("\n"))
+            errors += "error" in json.loads(response_line)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,8 +28,9 @@ over this class.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..grammar.builders import grammar_from_text, rule_from_text
 from ..grammar.grammar import Grammar
@@ -80,7 +81,21 @@ class LexedInput:
 
 
 class Language:
-    """A grammar + a tokenizer + the engine registry, live and editable."""
+    """A grammar + a tokenizer + the engine registry, live and editable.
+
+    Threading contract (audited for the sharded parse service): a
+    ``Language`` is **single-writer** — all parses and grammar edits must
+    come from one thread at a time (the service guarantees this by
+    pinning each session to one shard).  The one structure that crosses
+    that line is the engine map: :meth:`engine` lazily instantiates
+    engines while :meth:`_on_modify` (fired from ``Grammar.subscribe``
+    during an edit) iterates it to invalidate them, so both run under
+    ``_engines_lock`` — without it an edit concurrent with a first-use
+    ``create_engine`` on another thread could miss the new engine's
+    invalidation and leave it serving tables from the pre-edit grammar.
+    Everything else (graph, control plane, tokenizer) is intentionally
+    lock-free under the single-writer rule.
+    """
 
     def __init__(
         self,
@@ -110,6 +125,7 @@ class Language:
         # the cache flush inspects them (see repro.lr.compiled).
         self.control = CompiledControl(self.generator.control, self.grammar)
         self._engines: Dict[str, Engine] = {}
+        self._engines_lock = threading.Lock()
         #: the parsed SDF module when built via :meth:`from_sdf`
         self.definition = None
         # Subscribed last: engines are invalidated after the generator and
@@ -203,11 +219,12 @@ class Language:
     def engine(self, name: Optional[str] = None) -> Engine:
         """The (cached) engine instance for ``name``."""
         key = name if name is not None else self.default_engine
-        instance = self._engines.get(key)
-        if instance is None:
-            instance = create_engine(key, self)
-            self._engines[key] = instance
-        return instance
+        with self._engines_lock:
+            instance = self._engines.get(key)
+            if instance is None:
+                instance = create_engine(key, self)
+                self._engines[key] = instance
+            return instance
 
     def use_engine(self, name: str) -> Engine:
         """Make ``name`` the default engine (validating it exists)."""
@@ -416,8 +433,9 @@ class Language:
 
     def _on_modify(self, grammar: Grammar, rule: Rule, added: bool) -> None:
         del grammar, rule, added
-        for instance in self._engines.values():
-            instance.invalidate()
+        with self._engines_lock:
+            for instance in self._engines.values():
+                instance.invalidate()
 
     def close(self) -> None:
         """Detach from the grammar's observer chain."""

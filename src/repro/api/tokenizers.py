@@ -25,7 +25,7 @@ Three implementations cover the repo's scenarios:
 from __future__ import annotations
 
 import re
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, List, Optional
 
 from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule

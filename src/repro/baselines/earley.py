@@ -19,12 +19,11 @@ paper describes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from ..grammar.analysis import GrammarAnalysis
 from ..grammar.grammar import Grammar
-from ..grammar.rules import Rule
-from ..grammar.symbols import END, NonTerminal, Symbol, Terminal
+from ..grammar.symbols import END, NonTerminal, Terminal
 from ..lr.items import Item
 
 

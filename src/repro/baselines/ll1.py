@@ -13,7 +13,7 @@ IPG handles it unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..grammar.analysis import GrammarAnalysis
 from ..grammar.grammar import Grammar

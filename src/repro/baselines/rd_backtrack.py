@@ -21,7 +21,7 @@ Faithfully to that description, this parser:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..grammar.analysis import GrammarAnalysis
 from ..grammar.grammar import Grammar

@@ -28,12 +28,11 @@ adapters mirror the paper's three systems:
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.incremental import IncrementalGenerator
 from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule
-from ..grammar.symbols import Terminal
 from ..lr.generator import ConventionalGenerator
 from ..lr.lalr import lalr_table
 from ..lr.table import TableControl, resolve_conflicts

@@ -21,7 +21,6 @@ from ..grammar.symbols import Terminal
 from ..lr.generator import ConventionalGenerator
 from ..lr.lalr import lalr_table
 from ..lr.table import TableControl, resolve_conflicts
-from ..runtime.errors import ParseError
 from ..runtime.lr_parse import SimpleLRParser
 from ..runtime.parallel import PoolParser
 from .harness import PHASES, ProtocolResult

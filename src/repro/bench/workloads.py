@@ -14,13 +14,13 @@ sanity checks).
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..grammar.builders import grammar_from_text
 from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule
 from ..grammar.symbols import NonTerminal, Terminal
-from ..sdf.corpus import TOKEN_COUNTS, corpus_tokens, modification_rule, sdf_grammar
+from ..sdf.corpus import corpus_tokens, modification_rule, sdf_grammar
 
 TokenStream = List[Terminal]
 

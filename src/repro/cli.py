@@ -23,7 +23,11 @@ Besides the REPL there are two service subcommands (see
 ``python -m repro serve``
     Answer line-delimited JSON requests on stdin (one response per
     request on stdout, each with ``time`` and — for parses — ``cache``
-    fields).
+    fields).  With ``--tcp HOST:PORT`` or ``--unix PATH`` the same
+    protocol is served concurrently over a socket by the sharded
+    scheduler (``--workers N`` worker shards; sessions are partitioned
+    across them), with bounded backpressure and graceful SIGTERM drain
+    (see :mod:`repro.service.net`).
 
 ``python -m repro batch [file...]``
     Run the same requests non-interactively from files (or stdin),
@@ -253,7 +257,11 @@ _USAGE = """usage: python -m repro [subcommand]
 
 subcommands:
   (none) | repl     the interactive grammar-definition REPL
-  serve             answer line-delimited JSON requests on stdin
+  serve             answer line-delimited JSON requests on stdin, or —
+                    with --tcp HOST:PORT / --unix PATH — over a socket
+                    via the sharded concurrent scheduler (--workers N,
+                    --mode thread|process, --queue-depth, --batch,
+                    --ready-file; see README "Serving")
   batch [file...]   run JSON requests from files (or stdin) and print
                     responses plus a throughput/cache summary on stderr
   help              this message"""
@@ -276,10 +284,134 @@ def _repl_main() -> int:
     return 0
 
 
-def _serve_main() -> int:
-    from .service.server import serve
+def _serve_main(args: List[str]) -> int:
+    import argparse
 
-    return serve(sys.stdin, sys.stdout)
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve the line-delimited JSON parse protocol: on stdin by "
+            "default, or concurrently over TCP/UNIX sockets with session "
+            "sharding, request coalescing, bounded backpressure, and "
+            "graceful SIGTERM drain."
+        ),
+    )
+    parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="listen on a TCP address (PORT 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--unix", metavar="PATH", help="listen on a UNIX-domain socket"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker shards; sessions are partitioned across them "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        help="shard flavour: 'process' gives true CPU parallelism, "
+        "'thread' shares one in-process workspace "
+        "(default: process when --workers > 1, else thread)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        metavar="N",
+        help="per-shard queue bound; beyond it requests are answered "
+        "with an 'overloaded' error (default: 256)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max requests a shard drains and coalesces at once "
+        "(default: 16)",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="LRU result-cache entries (per shard in process mode; "
+        "default: 1024)",
+    )
+    parser.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        help="write the bound address to PATH once listening "
+        "(for scripts driving --tcp HOST:0)",
+    )
+    options = parser.parse_args(args)
+
+    if options.tcp and options.unix:
+        parser.error("--tcp and --unix are mutually exclusive")
+    if options.workers < 1:
+        parser.error("--workers must be at least 1")
+    if options.queue_depth < 1 or options.batch < 1:
+        parser.error("--queue-depth and --batch must be at least 1")
+    if options.cache_capacity < 1:
+        parser.error("--cache-capacity must be at least 1")
+    networked = bool(options.tcp or options.unix)
+    if not networked:
+        # Everything scheduler- or socket-shaped needs a socket transport;
+        # silently ignoring these flags would fake configured behaviour.
+        for flag, default in (
+            ("workers", 1),
+            ("mode", None),
+            ("queue_depth", 256),
+            ("batch", 16),
+            ("ready_file", None),
+        ):
+            if getattr(options, flag) != default:
+                parser.error(
+                    f"--{flag.replace('_', '-')} needs --tcp or --unix "
+                    f"(the stdin loop is single-threaded by design)"
+                )
+        from .service.dispatcher import Dispatcher
+        from .service.server import serve
+
+        return serve(
+            sys.stdin,
+            sys.stdout,
+            Dispatcher(cache_capacity=options.cache_capacity),
+        )
+
+    host: Optional[str] = None
+    port: Optional[int] = None
+    if options.tcp:
+        address, _, port_text = options.tcp.rpartition(":")
+        if not address or not port_text.isdigit():
+            parser.error(f"--tcp wants HOST:PORT, got {options.tcp!r}")
+        host, port = address, int(port_text)
+
+    from .service.net import run_server
+    from .service.scheduler import Scheduler
+
+    mode = options.mode
+    if mode is None:
+        mode = "process" if options.workers > 1 else "thread"
+    scheduler = Scheduler(
+        workers=options.workers,
+        mode=mode,
+        max_depth=options.queue_depth,
+        max_batch=options.batch,
+        cache_capacity=options.cache_capacity,
+    )
+    return run_server(
+        scheduler,
+        host=host,
+        port=port,
+        unix_path=options.unix,
+        ready_file=options.ready_file,
+    )
 
 
 def _batch_main(paths: List[str]) -> int:
@@ -315,7 +447,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _repl_main()
         command, rest = args[0], args[1:]
         if command == "serve":
-            return _serve_main()
+            return _serve_main(rest)
         if command == "batch":
             return _batch_main(rest)
         if command in ("help", "-h", "--help"):

@@ -21,10 +21,10 @@ The paper's compromise, implemented here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from ..lr.graph import ItemSetGraph
-from ..lr.states import ACCEPT, ItemSet, StateType
+from ..lr.states import ItemSet, StateType
 
 
 class GCStats:

@@ -12,7 +12,10 @@ Two consumers:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import math
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import NonTerminal, Terminal
@@ -70,41 +73,89 @@ class ControlProbe:
 
 
 class LatencyStats:
-    """Per-key call counters and cumulative wall time.
+    """Per-key call counters, cumulative wall time, and tail latency.
 
     The parse service records one ``(command, seconds)`` sample per request
     it dispatches; ``snapshot`` renders the aggregate the ``metrics``
     protocol command reports.  Keys are arbitrary strings, so the same
     class can aggregate per-command, per-session, or per-phase timings.
+
+    With ``window > 0`` the last ``window`` samples per key are kept and
+    ``snapshot`` additionally reports ``p50``/``p99`` over that sliding
+    window — what the sharded scheduler publishes per shard.  All
+    operations are guarded by a lock: the scheduler's shards record into
+    shared instances from their worker threads while ``metrics`` requests
+    snapshot them from another.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, window: int = 0) -> None:
+        self._window = window
         self._counts: Dict[str, int] = {}
         self._seconds: Dict[str, float] = {}
+        self._samples: Dict[str, Deque[float]] = {}
+        self._lock = threading.Lock()
 
     def record(self, key: str, seconds: float) -> None:
-        self._counts[key] = self._counts.get(key, 0) + 1
-        self._seconds[key] = self._seconds.get(key, 0.0) + seconds
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._seconds[key] = self._seconds.get(key, 0.0) + seconds
+            if self._window:
+                samples = self._samples.get(key)
+                if samples is None:
+                    samples = self._samples[key] = deque(maxlen=self._window)
+                samples.append(seconds)
 
     @property
     def total_count(self) -> int:
-        return sum(self._counts.values())
+        with self._lock:
+            return sum(self._counts.values())
 
     @property
     def total_seconds(self) -> float:
-        return sum(self._seconds.values())
+        with self._lock:
+            return sum(self._seconds.values())
+
+    def percentiles(
+        self, key: str, points: Tuple[float, ...] = (0.5, 0.99)
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p99": ...}`` over the key's sample window.
+
+        Empty when the key has no samples (or the window is disabled).
+        Uses the nearest-rank method — adequate for operational tail
+        latency, and exact at the window boundaries.
+        """
+        with self._lock:
+            ordered = sorted(self._samples.get(key, ()))
+        if not ordered:
+            return {}
+        report = {}
+        for point in points:
+            # Nearest-rank: the ceil keeps the estimate on the high side
+            # (round() would bias p50 low on even window sizes).
+            rank = min(
+                len(ordered) - 1,
+                max(0, math.ceil(point * len(ordered)) - 1),
+            )
+            report[f"p{int(point * 100)}"] = round(ordered[rank], 6)
+        return report
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """``key -> {count, seconds, mean}`` for every recorded key."""
+        """``key -> {count, seconds, mean[, p50, p99]}`` per recorded key."""
+        with self._lock:
+            keys = sorted(self._counts)
+            counts = dict(self._counts)
+            seconds_by_key = dict(self._seconds)
         report: Dict[str, Dict[str, float]] = {}
-        for key in sorted(self._counts):
-            count = self._counts[key]
-            seconds = self._seconds[key]
-            report[key] = {
+        for key in keys:
+            count = counts[key]
+            seconds = seconds_by_key[key]
+            entry = {
                 "count": count,
                 "seconds": round(seconds, 6),
                 "mean": round(seconds / count, 6) if count else 0.0,
             }
+            entry.update(self.percentiles(key))
+            report[key] = entry
         return report
 
     def __repr__(self) -> str:

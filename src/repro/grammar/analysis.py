@@ -17,7 +17,7 @@ stale data to the incremental generator's test harness.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from .grammar import Grammar
 from .rules import Rule

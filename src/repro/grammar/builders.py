@@ -29,7 +29,7 @@ notation the paper uses in its figures::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .grammar import Grammar, GrammarError
 from .rules import Rule

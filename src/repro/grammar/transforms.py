@@ -22,7 +22,7 @@ iterator-heavy grammars (like SDF's own) stay small.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 from .grammar import Grammar
 from .rules import Rule

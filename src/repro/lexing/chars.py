@@ -12,7 +12,7 @@ scanners deal with (SUN-era 8-bit text, minus control characters).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Tuple
+from typing import FrozenSet, Iterable
 
 #: The character universe for complement classes.
 ALPHABET: FrozenSet[str] = frozenset(

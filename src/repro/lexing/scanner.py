@@ -17,7 +17,7 @@ affect (section 6's MODIFY, transposed to scanning).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .dfa import LazyDFA
 from .nfa import NFA

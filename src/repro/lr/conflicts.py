@@ -9,7 +9,7 @@ table, so conflicts must be detectable and reportable.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 from ..grammar.symbols import Terminal
 from .actions import Action, Reduce, Shift

@@ -17,7 +17,7 @@ numbering of the paper's Fig. 4.1 — which the test suite checks.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule

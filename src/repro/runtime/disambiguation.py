@@ -25,11 +25,10 @@ a :class:`~repro.runtime.parallel.ParseResult`'s trees.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..grammar.rules import Rule
-from ..grammar.symbols import NonTerminal
-from .forest import Leaf, ParseNode, TreeNode
+from .forest import ParseNode, TreeNode
 
 
 class DisambiguationFilter:

@@ -15,7 +15,7 @@ single subtree it is.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..grammar.rules import Rule
 from ..grammar.symbols import Symbol, Terminal

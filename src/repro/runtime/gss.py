@@ -20,7 +20,7 @@ missed.  It exists for two purposes:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from ..grammar.symbols import END, Terminal
 from ..lr.actions import Accept, Reduce, Shift

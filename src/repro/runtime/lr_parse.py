@@ -13,7 +13,7 @@ constructed a parse tree but did not print it") and can record a
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence
 
 from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule

@@ -25,7 +25,7 @@ Deviations from the paper's listing, each deliberate and documented:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import END, Terminal

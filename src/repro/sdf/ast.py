@@ -13,8 +13,8 @@ in :mod:`repro.sdf.parser` (text → AST) and :mod:`repro.sdf.normalize`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 # ---------------------------------------------------------------------------
 # lexical syntax
@@ -179,7 +179,7 @@ class PrioDef:
 
     def __str__(self) -> str:
         sep = f" {self.direction} " if self.direction else ""
-        return sep.join(str(l) for l in self.lists)
+        return sep.join(str(part) for part in self.lists)
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ Two further artifacts of the protocol live here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule

@@ -19,7 +19,7 @@ Lexeme classes, as in the appendix:
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import List
 
 from ..grammar.symbols import Terminal
 from .tokens import KEYWORDS, PUNCTUATION, SdfSyntaxError, Token, TokenKind

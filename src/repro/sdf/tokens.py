@@ -15,7 +15,7 @@ context-free SDF grammar sees:
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..grammar.symbols import Terminal
 

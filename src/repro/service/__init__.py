@@ -18,6 +18,13 @@ snapshots for warm restarts.
 ``service.snapshot``      session <-> JSON persistence (grammar text plus a
                           deterministic-table fast path when conflict-free)
 ``service.server``        the stdio serve loop and batch runner
+``service.scheduler``     :class:`Scheduler` — session-sharded worker pool
+                          (thread or process shards) with request
+                          coalescing, bounded backpressure, per-shard
+                          p50/p99 metrics and graceful drain
+``service.net``           asyncio TCP/UNIX front end over the scheduler
+                          (pipelined connections, ordered responses,
+                          SIGTERM drain)
 ========================  ====================================================
 
 Quickstart::
@@ -41,7 +48,9 @@ from .protocol import (
     encode,
     iter_requests,
 )
-from .server import run_batch, serve
+from .net import BackgroundServer, ParseServer, run_server
+from .scheduler import Scheduler, merge_global, plan_batch
+from .server import decode_line, run_batch, serve
 from .snapshot import (
     SESSION_FORMAT_VERSION,
     load_session,
@@ -52,20 +61,27 @@ from .snapshot import (
 from .workspace import ParseSession, Workspace
 
 __all__ = [
+    "BackgroundServer",
     "CacheStats",
     "Dispatcher",
+    "ParseServer",
     "ParseSession",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ResultCache",
     "SESSION_FORMAT_VERSION",
+    "Scheduler",
     "ServiceError",
     "SessionNotFound",
     "Workspace",
+    "decode_line",
     "encode",
     "iter_requests",
     "load_session",
+    "merge_global",
+    "plan_batch",
     "run_batch",
+    "run_server",
     "save_session",
     "serve",
     "session_from_dict",

@@ -14,6 +14,7 @@ re-serialization work.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Set, Tuple
 
@@ -57,7 +58,15 @@ class CacheStats:
 
 
 class ResultCache:
-    """A bounded LRU mapping cache keys to response payloads."""
+    """A bounded LRU mapping cache keys to response payloads.
+
+    Thread-safe: under the sharded scheduler, sessions on different worker
+    threads share one cache, and cross-session operations (``close``,
+    ``metrics``) touch it from yet another thread.  Every operation that
+    reads or mutates the entry map runs under one re-entrant lock — the
+    critical sections are dict operations, far cheaper than the parses
+    being cached, so a single lock is not a throughput concern.
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
@@ -67,55 +76,78 @@ class ResultCache:
         #: session name -> its live keys, so a grammar edit invalidates in
         #: O(that session's entries) instead of scanning the whole cache.
         self._by_session: Dict[str, Set[CacheKey]] = {}
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def get(self, key: CacheKey) -> Tuple[bool, Optional[Any]]:
         """``(found, value)``; a hit refreshes the entry's recency."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return True, self._entries[key]
-        self.stats.misses += 1
-        return False, None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return True, self._entries[key]
+            self.stats.misses += 1
+            return False, None
 
     def put(self, key: CacheKey, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        self._by_session.setdefault(key[0], set()).add(key)
-        while len(self._entries) > self.capacity:
-            evicted, _ = self._entries.popitem(last=False)
-            self._discard_index(evicted)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._by_session.setdefault(key[0], set()).add(key)
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self._discard_index(evicted)
+                self.stats.evictions += 1
 
     def invalidate(self, session: str) -> int:
         """Drop every entry belonging to ``session``; returns the count."""
-        stale = self._by_session.pop(session, None)
-        if not stale:
-            return 0
-        for key in stale:
-            del self._entries[key]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = self._by_session.pop(session, None)
+            if not stale:
+                return 0
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> int:
-        count = len(self._entries)
-        self._entries.clear()
-        self._by_session.clear()
-        self.stats.invalidations += count
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._by_session.clear()
+            self.stats.invalidations += count
+            return count
 
     def _discard_index(self, key: CacheKey) -> None:
+        # Always called with the lock held (put's eviction sweep).
         keys = self._by_session.get(key[0])
         if keys is not None:
             keys.discard(key)
             if not keys:
                 del self._by_session[key[0]]
 
+    def check_consistency(self) -> None:
+        """Assert the session index exactly covers the entry map.
+
+        A torn update (the bug class the lock exists to prevent) leaves
+        the two structures disagreeing; the concurrency regression tests
+        call this after hammering the cache from many threads.
+        """
+        with self._lock:
+            indexed = {key for keys in self._by_session.values() for key in keys}
+            if indexed != set(self._entries):
+                raise AssertionError(
+                    f"cache index out of sync: {len(indexed)} indexed keys "
+                    f"vs {len(self._entries)} entries"
+                )
+
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:
         return (

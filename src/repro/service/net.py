@@ -1,0 +1,484 @@
+"""The asyncio TCP/UNIX-socket front end of the parse service.
+
+Same wire format as the stdio loop — newline-delimited JSON, protocol
+v2 — served concurrently: the event loop owns all sockets, every decoded
+request is submitted to a :class:`~repro.service.scheduler.Scheduler`
+(which shards sessions across worker threads or processes), and a
+per-connection writer task emits responses **in request order**, so a
+client may pipeline any number of requests on one connection and still
+correlate responses by position, exactly as over stdin.
+
+Flow control is layered: the scheduler's bounded shard queues answer
+``overloaded`` errors when a shard falls behind (the client sees the
+error instead of unbounded buffering), and the writer applies normal
+asyncio transport backpressure (``await drain()``) toward slow readers.
+
+Shutdown is graceful by default: SIGTERM/SIGINT stop the listener, let
+every connection finish writing the responses for requests it has already
+read, drain the scheduler's queues, and only then exit — a supervisor's
+``kill -TERM`` loses no accepted work.  :class:`BackgroundServer` runs
+the same server on a daemon thread for tests and embedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import stat
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Set
+
+from .protocol import encode
+from .scheduler import Scheduler
+from .server import decode_line
+
+__all__ = ["ParseServer", "BackgroundServer", "run_server"]
+
+#: Per-line read limit.  asyncio's default (64 KiB) is smaller than a
+#: legitimate ``restore`` request embedding a snapshot payload (which
+#: carries a fully expanded parse table); the stdio loop has no such
+#: bound, and the socket transport must accept the same protocol.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Per-connection in-flight response bound.  A client that pipelines
+#: without reading parks the writer in ``drain()``; without this bound
+#: the reader would keep buffering futures (and instant ``overloaded``
+#: answers) without limit, so the shard queues alone would not bound
+#: server memory.  At the limit the reader stops reading, which pushes
+#: the backpressure onto the client's TCP window.
+MAX_PIPELINED = 512
+
+
+class ParseServer:
+    """One listening socket in front of a scheduler.
+
+    Exactly one of ``(host, port)`` or ``unix_path`` selects the address
+    family.  ``start`` binds, :meth:`shutdown` drains; the server object
+    is single-use.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        if (unix_path is None) == (host is None or port is None):
+            raise ValueError("pass either host+port or unix_path")
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.drain_timeout = drain_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set["_Connection"] = set()
+        self._draining = False
+        self.requests_served = 0
+        self.connections_served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.unix_path is not None:
+            self._remove_stale_socket()
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self.unix_path, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                host=self.host,
+                port=self.port,
+                limit=MAX_LINE_BYTES,
+            )
+            # Port 0 means "pick one": report what the OS chose.
+            sockets = self._server.sockets or ()
+            for listener in sockets:
+                if listener.family in (socket.AF_INET, socket.AF_INET6):
+                    self.port = listener.getsockname()[1]
+                    break
+
+    def _remove_stale_socket(self) -> None:
+        """Unlink a leftover socket file so supervisor restarts can bind.
+
+        Only socket files are removed — a regular file at the path is
+        somebody else's data and stays put (the bind then fails loudly).
+        """
+        try:
+            if stat.S_ISSOCK(os.stat(self.unix_path).st_mode):
+                os.unlink(self.unix_path)
+        except FileNotFoundError:
+            pass
+
+    @property
+    def address(self) -> str:
+        if self.unix_path is not None:
+            return f"unix:{self.unix_path}"
+        return f"{self.host}:{self.port}"
+
+    async def shutdown(self) -> None:
+        """Stop accepting, flush every connection, drain the scheduler."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Stop the readers; writers finish everything already submitted.
+        for connection in list(self._connections):
+            connection.stop_reading()
+        if self._connections:
+            waiters = [
+                asyncio.ensure_future(c.finished())
+                for c in list(self._connections)
+            ]
+            _done, stuck = await asyncio.wait(
+                waiters, timeout=self.drain_timeout
+            )
+            if stuck:
+                # A peer that stopped reading can park its writer in
+                # drain() forever; after the grace period the drain
+                # contract (exit, don't hang the supervisor) wins.
+                for waiter in stuck:
+                    waiter.cancel()
+                for connection in list(self._connections):
+                    connection.abort()
+        # Shard queues are already empty of our requests (every submitted
+        # future resolved before the writers exited), but close() also
+        # stops intake and joins workers/children.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.scheduler.close
+        )
+        if self.unix_path is not None:
+            self._remove_stale_socket()
+
+    async def serve_until_stopped(
+        self, stop: Optional[asyncio.Event] = None
+    ) -> None:
+        """Install signal handlers, serve until stopped, then drain."""
+        if stop is None:
+            stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: List[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix event loop: rely on KeyboardInterrupt
+        try:
+            await stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.shutdown()
+
+    # -- connections -------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining:
+            writer.close()
+            return
+        connection = _Connection(self, reader, writer)
+        self._connections.add(connection)
+        self.connections_served += 1
+        try:
+            await connection.run()
+        finally:
+            self._connections.discard(connection)
+
+
+class _Connection:
+    """One client: a reader coroutine feeding a FIFO writer coroutine."""
+
+    def __init__(
+        self,
+        server: ParseServer,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        #: futures in request order; ``None`` is the end-of-stream sentinel
+        self.pending: "asyncio.Queue[Optional[asyncio.Future]]" = asyncio.Queue()
+        #: in-flight bound: the reader takes a slot per request, the
+        #: writer gives it back once the response left (or was dropped)
+        self._slots = asyncio.Semaphore(MAX_PIPELINED)
+        self._reader_task: Optional[asyncio.Task] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._done = asyncio.Event()
+
+    async def run(self) -> None:
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._writer_task = asyncio.ensure_future(self._write_loop())
+        try:
+            await asyncio.gather(self._reader_task, self._writer_task)
+        except asyncio.CancelledError:  # pragma: no cover — loop teardown
+            pass
+        finally:
+            self._done.set()
+
+    def stop_reading(self) -> None:
+        """Drain trigger: stop accepting new requests from this client."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+
+    def abort(self) -> None:
+        """Hard stop: a writer stuck on a non-reading peer past the drain
+        grace period is cancelled and the transport torn down."""
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+        try:
+            self.writer.transport.abort()
+        except Exception:  # pragma: no cover — already-dead transport
+            pass
+        self._done.set()
+
+    async def finished(self) -> None:
+        await self._done.wait()
+
+    async def _enqueue(self, make_future) -> None:
+        """Take a pipeline slot, then materialize and queue the future.
+
+        The factory runs strictly after the slot is acquired: the slot
+        wait is the read loop's only cancellation point per request, so a
+        drain can never cancel *between* submitting work to the scheduler
+        and queueing its response — accepted work always gets answered.
+        """
+        await self._slots.acquire()
+        self.pending.put_nowait(make_future())
+
+    @staticmethod
+    def _failed(
+        loop: asyncio.AbstractEventLoop, message: str
+    ) -> "asyncio.Future":
+        future: asyncio.Future = loop.create_future()
+        future.set_result({"error": message, "time": 0.0})
+        return future
+
+    def _submit(self, request) -> "asyncio.Future":
+        self.server.requests_served += 1
+        return asyncio.ensure_future(
+            asyncio.wrap_future(self.server.scheduler.submit(request))
+        )
+
+    async def _read_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await self.reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # A line beyond even MAX_LINE_BYTES.  Line boundaries
+                    # cannot be resynchronized after an overrun, so answer
+                    # the error and stop reading from this client.
+                    message = f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    await self._enqueue(
+                        lambda: self._failed(loop, message)
+                    )
+                    break
+                if not line:
+                    break  # client closed its write side
+                requests, error = decode_line(line.decode("utf-8", "replace"))
+                if error is not None:
+                    await self._enqueue(
+                        lambda error=error: self._failed(loop, error)
+                    )
+                    continue
+                for request in requests:
+                    await self._enqueue(
+                        lambda request=request: self._submit(request)
+                    )
+        except asyncio.CancelledError:
+            pass  # shutdown: keep everything already queued
+        finally:
+            # put_nowait: the queue is unbounded, and an await here could
+            # swallow a second cancellation delivered during teardown.
+            self.pending.put_nowait(None)
+
+    async def _write_loop(self) -> None:
+        try:
+            while True:
+                future = await self.pending.get()
+                if future is None:
+                    break
+                response = await future
+                self._slots.release()
+                self.writer.write((encode(response) + "\n").encode("utf-8"))
+                await self.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            # Client went away mid-write: keep consuming futures so the
+            # scheduler's results are collected, but write nothing.
+            while True:
+                future = await self.pending.get()
+                if future is None:
+                    break
+                future.cancel()
+                self._slots.release()
+        finally:
+            try:
+                self.writer.close()
+            except Exception:  # pragma: no cover — already-dead transport
+                pass
+
+
+# -- entry points ----------------------------------------------------------
+
+
+def _announce(server: ParseServer, ready_file: Optional[str]) -> None:
+    print(
+        f"repro service listening on {server.address} "
+        f"({server.scheduler!r})",
+        file=sys.stderr,
+        flush=True,
+    )
+    if ready_file:
+        # Written atomically last: watchers that see the file can connect.
+        with open(ready_file, "w") as handle:
+            handle.write(server.address + "\n")
+
+
+def run_server(
+    scheduler: Scheduler,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+    ready_file: Optional[str] = None,
+) -> int:
+    """Blocking entry point: serve until SIGTERM/SIGINT, drain, return 0."""
+
+    async def main() -> Dict[str, Any]:
+        server = ParseServer(
+            scheduler, host=host, port=port, unix_path=unix_path
+        )
+        await server.start()
+        _announce(server, ready_file)
+        await server.serve_until_stopped()
+        return {
+            "requests": server.requests_served,
+            "connections": server.connections_served,
+        }
+
+    try:
+        summary = asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover — non-Unix fallback
+        scheduler.close()
+        summary = {"requests": -1, "connections": -1}
+    print(
+        f"repro service drained cleanly: {summary['requests']} requests "
+        f"over {summary['connections']} connections",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
+
+
+class BackgroundServer:
+    """A ParseServer on a daemon thread — for tests and embedding.
+
+    ::
+
+        with BackgroundServer(Scheduler(workers=2)) as server:
+            sock = socket.create_connection(("127.0.0.1", server.port))
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) performs the same graceful
+    drain as SIGTERM on the CLI server.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        host: str = "127.0.0.1",
+        unix_path: Optional[str] = None,
+    ) -> None:
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.server = ParseServer(
+            self.scheduler,
+            host=None if unix_path else host,
+            port=None if unix_path else 0,
+            unix_path=unix_path,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True
+        )
+        self._startup_error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._stop = asyncio.Event()
+
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as error:
+                # Recorded for start() to re-raise on the caller's thread;
+                # raising here would only trip pytest's unhandled-thread-
+                # exception hook.
+                self._startup_error = error
+                self._ready.set()
+                return
+            self._ready.set()
+            assert self._stop is not None
+            await self._stop.wait()
+            await self.server.shutdown()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            )
+        return self
+
+    @property
+    def host(self) -> Optional[str]:
+        return self.server.host
+
+    @property
+    def port(self) -> Optional[int]:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            stop_event = self._stop
+
+            def trigger() -> None:
+                stop_event.set()
+
+            try:
+                self._loop.call_soon_threadsafe(trigger)
+            except RuntimeError:  # pragma: no cover — loop already closed
+                pass
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,708 @@
+"""Shard-aware concurrent scheduling for the parse service.
+
+The PR 1 service answered one request at a time.  This module is the
+concurrency layer between any transport (stdin, TCP, tests) and the
+dispatcher: a :class:`Scheduler` partitions sessions across a pool of
+worker *shards*, so that each session's grammar, item-set graph, compiled
+tables and caches stay **single-writer** — the locking audited into
+:mod:`repro.service.workspace` only covers the shared registry and result
+cache, everything session-internal stays lock-free by ownership.
+
+Two shard flavours share one parent-side worker loop:
+
+``mode="thread"``
+    Every shard executes batches inline against one shared
+    :class:`~repro.service.dispatcher.Dispatcher`.  Cheap (no IPC), fully
+    shared state — but the GIL serializes the actual parse work, so this
+    mode buys *concurrency* (no head-of-line blocking across sessions),
+    not CPU parallelism.
+
+``mode="process"``
+    Every shard owns a child process running the existing stdio serve
+    loop (``python -m repro serve``) and speaks the line-delimited JSON
+    protocol over its pipes — the transport-independent core reused a
+    third time.  Parse work is pure-Python CPU, so this is the mode that
+    scales with cores; cross-shard commands (``sessions``/``metrics``/
+    ``info``) are broadcast to every shard and merged.
+
+Independently of the flavour, every shard applies:
+
+* **batching** — the worker drains up to ``max_batch`` queued requests
+  at once and serves them as one unit;
+* **coalescing** — inside a batch, ``parse``/``recognize`` requests for
+  the same ``(session, engine, tokens)`` with no intervening grammar
+  modification execute once; duplicates get a copy of the answer marked
+  ``"coalesced": true`` (their grammar version is necessarily identical:
+  the shard is the session's only writer);
+* **bounded backpressure** — a full shard queue answers immediately with
+  an ``overloaded`` error instead of growing without bound;
+* **metrics** — queue depth, batch sizes, and p50/p99 latency per shard
+  via :class:`~repro.core.metrics.LatencyStats`;
+* **graceful drain** — :meth:`Scheduler.close` stops intake, serves
+  everything already queued, then joins workers and children.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import zlib
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..core.metrics import LatencyStats
+from .dispatcher import Dispatcher
+from .protocol import encode
+
+__all__ = [
+    "GLOBAL_COMMANDS",
+    "MUTATING_COMMANDS",
+    "Scheduler",
+    "merge_global",
+    "plan_batch",
+]
+
+#: Commands that modify a session's grammar or registry entry — they end
+#: every coalescing run for their session (the grammar version moves).
+MUTATING_COMMANDS = frozenset(
+    {"open", "close", "add-rule", "delete-rule", "restore"}
+)
+
+#: Commands eligible for within-batch coalescing.
+COALESCIBLE_COMMANDS = frozenset({"parse", "recognize"})
+
+#: Commands addressing the whole workspace rather than one session; in
+#: process mode these are broadcast to every shard and merged.
+GLOBAL_COMMANDS = frozenset({"sessions", "metrics", "info"})
+
+Request = Dict[str, Any]
+Response = Dict[str, Any]
+
+#: Routing verdict for requests whose owning session cannot be named.
+_UNROUTABLE = object()
+
+
+def _error_response(request: Any, message: str, **extra: Any) -> Response:
+    """An error response shaped like the dispatcher's (cmd/session echoed)."""
+    response: Response = {"error": message}
+    if isinstance(request, dict):
+        if isinstance(request.get("cmd"), str):
+            response["cmd"] = request["cmd"]
+        if "session" in request:
+            response["session"] = request["session"]
+    response.update(extra)
+    response["time"] = 0.0
+    return response
+
+
+def _resolved(request: Any, message: str, **extra: Any) -> "Future[Response]":
+    future: "Future[Response]" = Future()
+    future.set_result(_error_response(request, message, **extra))
+    return future
+
+
+def _token_key(tokens: Any) -> Optional[Tuple[str, Any]]:
+    """A hashable identity for a request's ``tokens`` field, or None.
+
+    Only exact spellings coalesce: raw text and a token list that merely
+    lex to the same terminals produce different rejection diagnostics, so
+    they must not share an answer (same rule as the result-cache key).
+    """
+    if isinstance(tokens, str):
+        return ("text", tokens)
+    if isinstance(tokens, list) and all(isinstance(t, str) for t in tokens):
+        return ("list", tuple(tokens))
+    return None
+
+
+def plan_batch(
+    requests: List[Request],
+) -> Tuple[List[Request], List[Tuple[str, int]]]:
+    """Coalescing plan for one drained batch.
+
+    Returns ``(execute, placements)``: the deduplicated requests to run,
+    and for each input request either ``("run", i)`` (it is ``execute[i]``)
+    or ``("copy", i)`` (answer with a copy of ``execute[i]``'s response).
+
+    A ``parse``/``recognize`` duplicates an earlier one when session,
+    command, engine and token spelling all match **and** no grammar
+    modification for that session sits between them — a mutation ends the
+    session's coalescing runs, an unroutable mutation (no session) ends
+    all of them.  Order is preserved: ``execute`` keeps the first
+    occurrence of every run in arrival order.
+    """
+    execute: List[Request] = []
+    placements: List[Tuple[str, int]] = []
+    live: Dict[Tuple[Any, ...], int] = {}
+    for request in requests:
+        cmd = request.get("cmd") if isinstance(request, dict) else None
+        session = request.get("session") if isinstance(request, dict) else None
+        key: Optional[Tuple[Any, ...]] = None
+        if cmd in COALESCIBLE_COMMANDS:
+            tokens = _token_key(request.get("tokens"))
+            if tokens is not None:
+                key = (session, cmd, request.get("engine"), tokens)
+        elif cmd in MUTATING_COMMANDS or not isinstance(cmd, str):
+            if isinstance(session, str):
+                live = {k: v for k, v in live.items() if k[0] != session}
+            else:
+                live.clear()
+        if key is not None:
+            hit = live.get(key)
+            if hit is not None:
+                placements.append(("copy", hit))
+                continue
+            live[key] = len(execute)
+        placements.append(("run", len(execute)))
+        execute.append(request)
+    return execute, placements
+
+
+# -- executors -------------------------------------------------------------
+
+
+class InlineExecutor:
+    """Thread-mode shard body: batches run on the shared dispatcher."""
+
+    def __init__(self, dispatcher: Dispatcher) -> None:
+        self.dispatcher = dispatcher
+
+    def run(self, requests: List[Request]) -> List[Response]:
+        return [self.dispatcher.handle(request) for request in requests]
+
+    def close(self) -> None:
+        pass
+
+    def terminate(self) -> None:
+        pass
+
+
+class ProcessExecutor:
+    """Process-mode shard body: a ``repro serve`` child over its pipes.
+
+    The child is the unmodified stdio serve loop — one JSON request line
+    in, one response line out — so the shard protocol *is* the service
+    protocol and needs no second serializer.  Requests are written and
+    read strictly one at a time: a shard is sequential by design (that is
+    what makes its sessions single-writer), so pipelining into the child
+    would buy nothing and risk pipe-buffer deadlock on huge responses.
+    """
+
+    def __init__(self, cache_capacity: int = 1024) -> None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src_dir = os.path.dirname(package_root)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir if not existing else src_dir + os.pathsep + existing
+        )
+        self._process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--cache-capacity",
+                str(cache_capacity),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+
+    @property
+    def pid(self) -> int:
+        return self._process.pid
+
+    def run(self, requests: List[Request]) -> List[Response]:
+        stdin, stdout = self._process.stdin, self._process.stdout
+        assert stdin is not None and stdout is not None
+        responses: List[Response] = []
+        for request in requests:
+            stdin.write(encode(request) + "\n")
+            stdin.flush()
+            line = stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"shard child (pid {self._process.pid}) exited with "
+                    f"code {self._process.poll()}"
+                )
+            responses.append(json.loads(line))
+        return responses
+
+    def close(self) -> None:
+        try:
+            if self._process.stdin is not None:
+                self._process.stdin.close()
+            self._process.wait(timeout=10)
+        except (OSError, subprocess.TimeoutExpired):
+            self.terminate()
+
+    def terminate(self) -> None:
+        if self._process.poll() is None:
+            self._process.kill()
+            self._process.wait(timeout=10)
+
+
+# -- shards ----------------------------------------------------------------
+
+
+class Shard:
+    """One worker: a bounded queue, a batching loop, and its executor."""
+
+    def __init__(
+        self,
+        index: int,
+        executor: Any,
+        max_depth: int = 256,
+        max_batch: int = 16,
+        stats_window: int = 512,
+    ) -> None:
+        if max_depth < 1 or max_batch < 1:
+            raise ValueError("max_depth and max_batch must be positive")
+        self.index = index
+        self.executor = executor
+        self.max_depth = max_depth
+        self.max_batch = max_batch
+        self.latency = LatencyStats(window=stats_window)
+        self.submitted = 0
+        self.completed = 0
+        self.coalesced = 0
+        self.overloaded = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+        self._failure: Optional[str] = None
+        self._items: Deque[Tuple[Any, "Future[Response]", float]] = deque()
+        self._ready = threading.Condition(threading.Lock())
+        self._accepting = True
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{index}", daemon=True
+        )
+        self._thread.start()
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(self, request: Any) -> "Future[Response]":
+        with self._ready:
+            if not self._accepting:
+                return _resolved(
+                    request,
+                    f"shutting down: shard {self.index} no longer accepts "
+                    f"requests",
+                    overloaded=True,
+                )
+            if len(self._items) >= self.max_depth:
+                self.overloaded += 1
+                return _resolved(
+                    request,
+                    f"overloaded: shard {self.index} queue is at its depth "
+                    f"limit ({self.max_depth})",
+                    overloaded=True,
+                )
+            future: "Future[Response]" = Future()
+            self._items.append((request, future, time.perf_counter()))
+            self.submitted += 1
+            self._ready.notify()
+            return future
+
+    def queue_depth(self) -> int:
+        with self._ready:
+            return len(self._items)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop intake; the worker drains the queue and then exits."""
+        with self._ready:
+            self._accepting = False
+            self._ready.notify()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def kill(self) -> None:
+        """Last resort for a wedged executor (e.g. a hung child process)."""
+        self.executor.terminate()
+
+    # -- the worker loop ---------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._ready:
+                while not self._items and self._accepting:
+                    self._ready.wait()
+                if not self._items:
+                    break  # closed and drained
+                batch = [
+                    self._items.popleft()
+                    for _ in range(min(len(self._items), self.max_batch))
+                ]
+            self._serve(batch)
+        self.executor.close()
+
+    def _serve(
+        self, batch: List[Tuple[Any, "Future[Response]", float]]
+    ) -> None:
+        execute, placements = plan_batch([item[0] for item in batch])
+        responses: Optional[List[Response]] = None
+        if self._failure is None:
+            try:
+                responses = self.executor.run(execute)
+            except Exception as error:  # noqa: BLE001 — worker boundary
+                self._failure = f"{type(error).__name__}: {error}"
+        self.batches += 1
+        self.batched_requests += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        finished = time.perf_counter()
+        for (request, future, enqueued), (kind, position) in zip(
+            batch, placements
+        ):
+            if responses is None:
+                response = _error_response(
+                    request, f"shard {self.index} failed: {self._failure}"
+                )
+            else:
+                response = responses[position]
+                if kind == "copy":
+                    response = dict(response)
+                    response["coalesced"] = True
+                    self.coalesced += 1
+            cmd = request.get("cmd") if isinstance(request, dict) else None
+            self.latency.record(
+                cmd if isinstance(cmd, str) else "<invalid>",
+                finished - enqueued,
+            )
+            self.completed += 1
+            # The future may have been cancelled while queued (a TCP
+            # client that disconnected mid-pipeline); setting a result
+            # then raises InvalidStateError, and letting that escape
+            # would kill this worker thread for every other client.
+            if not future.cancelled():
+                try:
+                    future.set_result(response)
+                except Exception:  # noqa: BLE001 — cancel/set race
+                    pass
+
+    # -- introspection -----------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "queue_depth": self.queue_depth(),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "coalesced": self.coalesced,
+            "overloaded": self.overloaded,
+            "batches": self.batches,
+            "mean_batch": (
+                round(self.batched_requests / self.batches, 3)
+                if self.batches
+                else 0.0
+            ),
+            "largest_batch": self.largest_batch,
+            "failure": self._failure,
+            "latency": self.latency.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard({self.index}, depth={self.queue_depth()}, "
+            f"completed={self.completed})"
+        )
+
+
+# -- merging broadcast responses (process mode) ----------------------------
+
+
+def _merge_cache_stats(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    merged = {
+        key: sum(part.get(key, 0) for part in parts)
+        for key in ("hits", "misses", "evictions", "invalidations")
+    }
+    lookups = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = round(merged["hits"] / lookups, 4) if lookups else 0.0
+    return merged
+
+
+def _merge_latency(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    merged: Dict[str, Dict[str, float]] = {}
+    for part in parts:
+        for key, entry in part.items():
+            slot = merged.setdefault(key, {"count": 0, "seconds": 0.0})
+            slot["count"] += entry.get("count", 0)
+            slot["seconds"] += entry.get("seconds", 0.0)
+    for slot in merged.values():
+        slot["seconds"] = round(slot["seconds"], 6)
+        slot["mean"] = (
+            round(slot["seconds"] / slot["count"], 6) if slot["count"] else 0.0
+        )
+    return merged
+
+
+def merge_global(request: Any, parts: List[Response]) -> Response:
+    """One response for a global command broadcast to every shard."""
+    for part in parts:
+        if "error" in part:
+            return part
+    cmd = request.get("cmd") if isinstance(request, dict) else None
+    elapsed = round(max(part.get("time", 0.0) for part in parts), 6)
+    if cmd == "sessions":
+        merged_names: set = set()
+        for part in parts:
+            merged_names.update(part.get("sessions", ()))
+        return {"cmd": "sessions", "sessions": sorted(merged_names), "time": elapsed}
+    if cmd == "info":
+        merged = dict(parts[0])
+        names = set()
+        for part in parts:
+            names.update(part.get("sessions", ()))
+        merged["sessions"] = sorted(names)
+        merged["time"] = elapsed
+        return merged
+    if cmd == "metrics":
+        action_keys = sorted(
+            {key for part in parts for key in part.get("action_cache", {})}
+        )
+        return {
+            "cmd": "metrics",
+            "sessions": sum(part.get("sessions", 0) for part in parts),
+            "cache": _merge_cache_stats([part.get("cache", {}) for part in parts]),
+            "cache_entries": sum(part.get("cache_entries", 0) for part in parts),
+            "action_cache": {
+                key: sum(part.get("action_cache", {}).get(key, 0) for part in parts)
+                for key in action_keys
+            },
+            "requests": _merge_latency([part.get("requests", {}) for part in parts]),
+            "time": elapsed,
+        }
+    return dict(parts[0])
+
+
+# -- the scheduler ---------------------------------------------------------
+
+
+class Scheduler:
+    """Routes requests to session-owning shards; the transport-facing API.
+
+    Implements the same ``handle(request) -> response`` contract as
+    :class:`~repro.service.dispatcher.Dispatcher` (so ``serve``/
+    ``run_batch`` accept either), plus a non-blocking ``submit`` returning
+    a :class:`concurrent.futures.Future` for async transports.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        mode: Optional[str] = None,
+        max_depth: int = 256,
+        max_batch: int = 16,
+        cache_capacity: int = 1024,
+        dispatcher: Optional[Dispatcher] = None,
+        stats_window: int = 512,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if max_depth < 1 or max_batch < 1:
+            # Validated before any executor exists: raising after the
+            # process-mode spawns would leak live children.
+            raise ValueError("max_depth and max_batch must be positive")
+        self.mode = mode if mode is not None else "thread"
+        if self.mode not in ("thread", "process"):
+            raise ValueError(f"unknown scheduler mode {self.mode!r}")
+        self.dispatcher: Optional[Dispatcher] = None
+        if self.mode == "thread":
+            self.dispatcher = (
+                dispatcher
+                if dispatcher is not None
+                else Dispatcher(cache_capacity=cache_capacity)
+            )
+            executors: List[Any] = [
+                InlineExecutor(self.dispatcher) for _ in range(workers)
+            ]
+        else:
+            if dispatcher is not None:
+                raise ValueError(
+                    "process mode builds a dispatcher per child; "
+                    "an injected dispatcher would be silently unused"
+                )
+            executors = []
+            try:
+                for _ in range(workers):
+                    executors.append(
+                        ProcessExecutor(cache_capacity=cache_capacity)
+                    )
+            except BaseException:
+                # A failed spawn (EAGAIN/ENOMEM) must not leak the
+                # children already started — nothing would ever reach
+                # them once __init__ raises.
+                for executor in executors:
+                    try:
+                        executor.terminate()
+                    except Exception:  # noqa: BLE001 — best-effort cleanup
+                        pass
+                raise
+        self.shards = [
+            Shard(index, executor, max_depth, max_batch, stats_window)
+            for index, executor in enumerate(executors)
+        ]
+        self._closed = False
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def workspace(self):
+        """The shared workspace (thread mode only; None for process mode)."""
+        return self.dispatcher.workspace if self.dispatcher is not None else None
+
+    def shard_of(self, session: str) -> int:
+        """Stable session -> shard assignment (CRC32, not the salted hash)."""
+        return zlib.crc32(session.encode("utf-8")) % len(self.shards)
+
+    @staticmethod
+    def _routing_session(request: Any) -> Any:
+        """The session that must own ``request``, None, or _UNROUTABLE."""
+        if not isinstance(request, dict):
+            return None
+        session = request.get("session")
+        if isinstance(session, str):
+            return session
+        if request.get("cmd") == "restore":
+            payload = request.get("snapshot")
+            if isinstance(payload, dict) and isinstance(
+                payload.get("session"), str
+            ):
+                return payload["session"]
+            return _UNROUTABLE
+        return None
+
+    def submit(self, request: Any) -> "Future[Response]":
+        """Enqueue one request; the future resolves to its response."""
+        cmd = request.get("cmd") if isinstance(request, dict) else None
+        session = self._routing_session(request)
+        if session is _UNROUTABLE:
+            return _resolved(
+                request,
+                "'restore' under a sharded scheduler needs a 'session' "
+                "field (or a snapshot payload naming one) to route by",
+            )
+        if isinstance(session, str):
+            return self.shards[self.shard_of(session)].submit(request)
+        if (
+            cmd in GLOBAL_COMMANDS
+            and self.mode == "process"
+            and len(self.shards) > 1
+        ):
+            future = self._broadcast(request)
+        else:
+            future = self.shards[0].submit(request)
+        if cmd == "metrics":
+            return self._with_scheduler_metrics(request, future)
+        return future
+
+    def handle(self, request: Any) -> Response:
+        """Blocking dispatch — the Dispatcher-compatible entry point."""
+        return self.submit(request).result()
+
+    def _broadcast(self, request: Request) -> "Future[Response]":
+        futures = [shard.submit(dict(request)) for shard in self.shards]
+        result: "Future[Response]" = Future()
+        lock = threading.Lock()
+        remaining = {"count": len(futures)}
+
+        def finish(_future: "Future[Response]") -> None:
+            with lock:
+                remaining["count"] -= 1
+                if remaining["count"]:
+                    return
+            try:
+                merged = merge_global(request, [f.result() for f in futures])
+            except BaseException as error:  # noqa: BLE001 — CancelledError
+                merged = _error_response(
+                    request, f"{type(error).__name__}: {error}"
+                )
+            if not result.cancelled():
+                try:
+                    result.set_result(merged)
+                except Exception:  # noqa: BLE001 — cancel/set race
+                    pass
+
+        for future in futures:
+            future.add_done_callback(finish)
+        return result
+
+    def _with_scheduler_metrics(
+        self, request: Request, future: "Future[Response]"
+    ) -> "Future[Response]":
+        """Attach per-shard scheduler metrics to a global metrics response."""
+        if isinstance(request, dict) and "session" in request:
+            return future
+        wrapped: "Future[Response]" = Future()
+
+        def enrich(done: "Future[Response]") -> None:
+            try:
+                response = dict(done.result())
+            except BaseException as error:  # noqa: BLE001 — CancelledError
+                response = _error_response(
+                    request, f"{type(error).__name__}: {error}"
+                )
+            if "error" not in response:
+                response["scheduler"] = self.metrics()
+            if not wrapped.cancelled():
+                try:
+                    wrapped.set_result(response)
+                except Exception:  # noqa: BLE001 — cancel/set race
+                    pass
+
+        future.add_done_callback(enrich)
+        return wrapped
+
+    # -- introspection -----------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "workers": len(self.shards),
+            "queue_depth": sum(s.queue_depth() for s in self.shards),
+            "coalesced": sum(s.coalesced for s in self.shards),
+            "overloaded": sum(s.overloaded for s in self.shards),
+            "shards": [shard.metrics() for shard in self.shards],
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful drain: stop intake, serve the queues, join everything.
+
+        A shard that fails to drain within ``timeout`` (a wedged child
+        process) is killed; its queued requests resolve with shard-failure
+        errors rather than hanging their clients forever.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+        for shard in self.shards:
+            if not shard.join(timeout):
+                shard.kill()
+                shard.join(timeout)
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler({len(self.shards)} {self.mode} shard"
+            f"{'s' if len(self.shards) != 1 else ''})"
+        )

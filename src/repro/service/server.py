@@ -4,9 +4,15 @@
 file-like object, decodes the request(s) on each line, and writes one
 response line per request, flushing after every write so a driving process
 (editor, test harness, ``echo | python -m repro serve``) sees answers
-immediately.  A TCP or HTTP front end would wrap the same
-:class:`~repro.service.dispatcher.Dispatcher`; none is included because
-the container has no network story, but the seam is this module.
+immediately.
+
+The ``dispatcher`` argument accepts anything with the
+``handle(request) -> response`` contract — the single-threaded
+:class:`~repro.service.dispatcher.Dispatcher` or the sharded
+:class:`~repro.service.scheduler.Scheduler`.  The TCP front end
+(:mod:`repro.service.net`) and the process-shard children reuse the same
+core and the same :func:`decode_line` framing, so stdin, TCP, pipes and
+tests all speak one protocol.
 """
 
 from __future__ import annotations
@@ -17,8 +23,13 @@ from .dispatcher import Dispatcher
 from .protocol import ProtocolError, encode, iter_requests
 
 
-def _decode_line(line: str) -> Tuple[List[Dict[str, Any]], Optional[str]]:
-    """``(requests, error)`` for one physical input line."""
+def decode_line(line: str) -> Tuple[List[Dict[str, Any]], Optional[str]]:
+    """``(requests, error)`` for one physical input line.
+
+    Blank lines and ``#`` comments decode to no requests; bad JSON decodes
+    to an error string the caller reports as an error response.  Shared by
+    the stdio loop, the batch runner, and the TCP front end.
+    """
     stripped = line.strip()
     if not stripped or stripped.startswith("#"):
         return [], None
@@ -31,13 +42,13 @@ def _decode_line(line: str) -> Tuple[List[Dict[str, Any]], Optional[str]]:
 def serve(
     input_stream: IO[str],
     output_stream: IO[str],
-    dispatcher: Optional[Dispatcher] = None,
+    dispatcher: Optional[Any] = None,
 ) -> int:
     """Answer requests from ``input_stream`` until EOF; returns 0."""
     dispatcher = dispatcher if dispatcher is not None else Dispatcher()
     try:
         for line in input_stream:
-            requests, error = _decode_line(line)
+            requests, error = decode_line(line)
             if error is not None:
                 output_stream.write(encode({"error": error, "time": 0.0}) + "\n")
                 output_stream.flush()
@@ -55,7 +66,7 @@ def serve(
 
 def run_batch(
     lines: Iterable[str],
-    dispatcher: Optional[Dispatcher] = None,
+    dispatcher: Optional[Any] = None,
 ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
     """Serve every request in ``lines``; returns (responses, summary).
 
@@ -67,7 +78,7 @@ def run_batch(
     responses: List[Dict[str, Any]] = []
     errors = 0
     for line in lines:
-        requests, error = _decode_line(line)
+        requests, error = decode_line(line)
         if error is not None:
             responses.append({"error": error, "time": 0.0})
             errors += 1
@@ -77,6 +88,9 @@ def run_batch(
             responses.append(response)
             errors += "error" in response
     total_time = sum(r.get("time", 0.0) for r in responses)
+    # A process-mode Scheduler has no parent-side workspace; its cache
+    # stats live in the shard children (ask via the metrics command).
+    workspace = getattr(dispatcher, "workspace", None)
     summary = {
         "requests": len(responses),
         "errors": errors,
@@ -84,6 +98,8 @@ def run_batch(
         "requests_per_second": (
             round(len(responses) / total_time, 1) if total_time else 0.0
         ),
-        "cache": dispatcher.workspace.cache.stats.snapshot(),
+        "cache": (
+            workspace.cache.stats.snapshot() if workspace is not None else {}
+        ),
     }
     return responses, summary

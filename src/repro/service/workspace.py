@@ -12,6 +12,7 @@ results and drops its fast path.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..api.language import LexedInput
@@ -19,7 +20,6 @@ from ..core.ipg import IPG, TokenInput
 from ..grammar.builders import grammar_from_text
 from ..grammar.grammar import Grammar, GrammarError
 from ..grammar.rules import Rule
-from ..grammar.symbols import Terminal
 from ..lr.slr import slr_table
 from ..lr.table import ParseTable, TableControl
 from ..runtime.errors import AmbiguousInputError, ParseError
@@ -221,10 +221,21 @@ class ParseSession:
 
 
 class Workspace:
-    """The registry of sessions plus the shared result cache."""
+    """The registry of sessions plus the shared result cache.
+
+    The registry dict is guarded by a re-entrant lock: under the sharded
+    scheduler, each *session* is only ever driven by its owning shard
+    (single-writer — parse/edit calls on a session need no lock), but
+    registry operations (``open``/``close``/``sessions``/``metrics``)
+    cross shards and would otherwise race with each other and with the
+    per-request ``get`` lookups.  Session-internal state stays lock-free
+    by shard ownership; only the shared structures (this registry and the
+    :class:`ResultCache`) take locks.
+    """
 
     def __init__(self, cache_capacity: int = 1024) -> None:
         self._sessions: Dict[str, ParseSession] = {}
+        self._lock = threading.RLock()
         self.cache = ResultCache(cache_capacity)
 
     # -- registry ----------------------------------------------------------
@@ -236,41 +247,49 @@ class Workspace:
         sorts: Iterable[str] = (),
         force: bool = False,
     ) -> ParseSession:
-        if name in self._sessions and not force:
-            raise ServiceError(
-                f"session {name!r} is already open (pass force to replace it)"
-            )
+        # Fast-fail duplicate check, then build OUTSIDE the lock: a large
+        # grammar takes real time to build, and holding the registry lock
+        # through it would stall every other shard's get() lookups.  A
+        # losing racer (same name opened concurrently) is caught again by
+        # adopt's locked check-and-insert.
+        with self._lock:
+            if name in self._sessions and not force:
+                raise ServiceError(
+                    f"session {name!r} is already open (pass force to replace it)"
+                )
         session = ParseSession(name, grammar_text, sorts)
-        self.adopt(session, force=force)
-        return session
+        return self.adopt(session, force=force)
 
     def adopt(self, session: ParseSession, force: bool = False) -> ParseSession:
         """Register an externally built session (e.g. a snapshot restore)."""
-        if self._sessions.get(session.name) is session:
-            # Idempotent re-adoption: closing-and-re-adding the same object
-            # would detach its own grammar subscription for good.
+        with self._lock:
+            if self._sessions.get(session.name) is session:
+                # Idempotent re-adoption: closing-and-re-adding the same
+                # object would detach its own grammar subscription for good.
+                return session
+            if session.name in self._sessions:
+                if not force:
+                    raise ServiceError(
+                        f"session {session.name!r} is already open "
+                        f"(pass force to replace it)"
+                    )
+                self.close(session.name)
+            session.on_modify(self._invalidate)
+            self._sessions[session.name] = session
             return session
-        if session.name in self._sessions:
-            if not force:
-                raise ServiceError(
-                    f"session {session.name!r} is already open "
-                    f"(pass force to replace it)"
-                )
-            self.close(session.name)
-        session.on_modify(self._invalidate)
-        self._sessions[session.name] = session
-        return session
 
     def get(self, name: str) -> ParseSession:
-        try:
-            return self._sessions[name]
-        except KeyError:
-            raise SessionNotFound(
-                f"no open session named {name!r} — 'open' it first"
-            ) from None
+        with self._lock:
+            try:
+                return self._sessions[name]
+            except KeyError:
+                raise SessionNotFound(
+                    f"no open session named {name!r} — 'open' it first"
+                ) from None
 
     def close(self, name: str) -> bool:
-        session = self._sessions.pop(name, None)
+        with self._lock:
+            session = self._sessions.pop(name, None)
         if session is None:
             return False
         session.close()
@@ -278,13 +297,16 @@ class Workspace:
         return True
 
     def names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._sessions))
+        with self._lock:
+            return tuple(sorted(self._sessions))
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._sessions
+        with self._lock:
+            return name in self._sessions
 
     def _invalidate(self, session: ParseSession) -> None:
         self.cache.invalidate(session.name)
@@ -296,8 +318,10 @@ class Workspace:
         edit shows up as a flush with a small eviction count (only the
         states MODIFY touched).
         """
+        with self._lock:
+            sessions = list(self._sessions.values())
         total: Dict[str, int] = {}
-        for session in self._sessions.values():
+        for session in sessions:
             for key, value in session.ipg.control.stats.snapshot().items():
                 total[key] = total.get(key, 0) + value
         return total

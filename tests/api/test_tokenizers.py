@@ -12,7 +12,7 @@ from tests.conftest import EXPR
 class TestWhitespaceTokenizer:
     def test_offsets(self):
         lexemes = WhitespaceTokenizer().tokenize("true  and\nfalse")
-        assert [(l.text, l.position) for l in lexemes] == [
+        assert [(lex.text, lex.position) for lex in lexemes] == [
             ("true", 0),
             ("and", 6),
             ("false", 10),
@@ -37,7 +37,7 @@ class TestSdfScannerTokenizer:
     def test_positions_survive_layout(self):
         tokenizer = ScannerTokenizer.from_sdf(parse_sdf(EXP_SDF))
         lexemes = tokenizer.tokenize("true  and false")
-        assert [l.position for l in lexemes] == [0, 6, 10]
+        assert [lex.position for lex in lexemes] == [0, 6, 10]
 
     def test_definition_without_layout_gets_implicit_whitespace(self):
         tokenizer = ScannerTokenizer.from_sdf(parse_sdf(EXP_SDF))

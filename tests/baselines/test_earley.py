@@ -1,6 +1,5 @@
 """Earley's algorithm: recognition, epsilon handling, adaptability."""
 
-import pytest
 
 from repro.baselines.earley import EarleyItem, EarleyParser
 from repro.grammar.builders import grammar_from_text

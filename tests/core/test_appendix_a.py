@@ -11,7 +11,6 @@ import pytest
 from repro.core.incremental import IncrementalGenerator
 from repro.core.lazy import LazyGenerator
 from repro.core.metrics import AppendixAViolation, ControlProbe
-from repro.grammar.builders import grammar_from_text
 from repro.grammar.rules import Rule
 from repro.grammar.symbols import NonTerminal, Terminal
 from repro.lr.generator import GotoOnNonCompleteState

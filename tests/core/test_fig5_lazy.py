@@ -8,7 +8,7 @@ accept path expanded but the 'or'/'false' regions untouched.
 
 import pytest
 
-from repro.core.lazy import LazyControl, LazyGenerator
+from repro.core.lazy import LazyGenerator
 from repro.grammar.symbols import NonTerminal, Terminal
 from repro.runtime.parallel import PoolParser
 

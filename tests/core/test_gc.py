@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.gc import GarbageCollector
 from repro.core.incremental import IncrementalGenerator
 from repro.grammar.rules import Rule
 from repro.grammar.symbols import NonTerminal, Terminal
@@ -75,7 +74,6 @@ class TestReexpansionAndRefcounts:
         generator = IncrementalGenerator(booleans, gc=True)
         parser = PoolParser(generator.control, booleans)
         assert parser.parse(toks("true and true or false")).accepted
-        before = len(generator.graph)
         generator.add_rule(Rule(B, [B, Terminal("xor"), B]))
         assert parser.parse(toks("true xor true")).accepted
         # ...they are reclaimed once the re-expansions release them, or
@@ -101,7 +99,7 @@ class TestMarkAndSweep:
     def test_sweep_keeps_dirty_histories_alive(self, warm):
         generator, _parser = warm
         generator.add_rule(Rule(B, [Terminal("unknown")]))
-        removed = generator.collector.collect_cycles()
+        generator.collector.collect_cycles()
         # 1, 2, 3 are reachable through the dirty start state's history
         states = {s.uid for s in generator.graph.states()}
         assert {1, 2, 3} <= states

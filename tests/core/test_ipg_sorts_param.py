@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.ipg import IPG
-from repro.grammar.symbols import NonTerminal, Terminal
+from repro.grammar.symbols import Terminal
 
 
 @pytest.fixture()

@@ -87,3 +87,51 @@ class TestLatencyStats:
         from repro.core.metrics import LatencyStats
 
         assert LatencyStats().snapshot() == {}
+
+    def test_no_percentiles_without_a_window(self):
+        from repro.core.metrics import LatencyStats
+
+        stats = LatencyStats()
+        stats.record("parse", 0.1)
+        assert "p50" not in stats.snapshot()["parse"]
+        assert stats.percentiles("parse") == {}
+
+    def test_windowed_percentiles(self):
+        from repro.core.metrics import LatencyStats
+
+        stats = LatencyStats(window=256)
+        for value in range(1, 101):  # 0.01 .. 1.00
+            stats.record("parse", value / 100.0)
+        report = stats.snapshot()["parse"]
+        assert abs(report["p50"] - 0.50) < 0.02
+        assert abs(report["p99"] - 0.99) < 0.02
+
+    def test_window_slides(self):
+        from repro.core.metrics import LatencyStats
+
+        stats = LatencyStats(window=10)
+        for _ in range(50):
+            stats.record("parse", 1.0)
+        for _ in range(10):
+            stats.record("parse", 2.0)  # the window now holds only these
+        assert stats.percentiles("parse")["p50"] == 2.0
+        assert stats.snapshot()["parse"]["count"] == 60
+
+    def test_concurrent_recording_is_consistent(self):
+        import threading
+
+        from repro.core.metrics import LatencyStats
+
+        stats = LatencyStats(window=64)
+
+        def worker():
+            for _ in range(2000):
+                stats.record("parse", 0.001)
+                stats.snapshot()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert stats.total_count == 8000

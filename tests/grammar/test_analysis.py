@@ -1,6 +1,5 @@
 """FIRST / FOLLOW / nullable / reachability / usefulness analyses."""
 
-import pytest
 
 from repro.grammar.analysis import GrammarAnalysis
 from repro.grammar.builders import grammar_from_text

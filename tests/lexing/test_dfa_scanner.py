@@ -5,7 +5,7 @@ import pytest
 from repro.lexing.chars import parse_char_class
 from repro.lexing.dfa import LazyDFA
 from repro.lexing.nfa import NFA
-from repro.lexing.regex import Star, Sym, literal, plus
+from repro.lexing.regex import Sym, literal, plus
 from repro.lexing.scanner import Lexeme, ScanError, Scanner
 
 
@@ -67,7 +67,7 @@ class TestScanning:
     def test_layout_skipped(self):
         scanner = basic_scanner()
         lexemes = scanner.scan("if   abc 42")
-        assert [(l.sort, l.text) for l in lexemes] == [
+        assert [(lex.sort, lex.text) for lex in lexemes] == [
             ("IF", "if"),
             ("ID", "abc"),
             ("NUM", "42"),
@@ -76,7 +76,7 @@ class TestScanning:
     def test_positions_recorded(self):
         scanner = basic_scanner()
         lexemes = scanner.scan("ab 12")
-        assert [l.position for l in lexemes] == [0, 3]
+        assert [lex.position for lex in lexemes] == [0, 3]
 
     def test_scan_error_on_unknown_character(self):
         scanner = basic_scanner()
@@ -92,7 +92,7 @@ class TestScanning:
         # must rewind to the last accepting point, not die mid-token
         scanner = basic_scanner()
         lexemes = scanner.scan("abc1x")
-        assert [(l.sort, l.text) for l in lexemes] == [
+        assert [(lex.sort, lex.text) for lex in lexemes] == [
             ("ID", "abc"),
             ("NUM", "1"),
             ("ID", "x"),
@@ -113,7 +113,7 @@ class TestIncrementalModification:
         # only affects the (re-derived) start state
         scanner.add_token("ARROW", literal("->"))
         lexemes = scanner.scan("abc ->")
-        assert [(l.sort, l.text) for l in lexemes] == [
+        assert [(lex.sort, lex.text) for lex in lexemes] == [
             ("ID", "abc"),
             ("ARROW", "->"),
         ]

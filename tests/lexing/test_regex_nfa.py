@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lexing.chars import CharSet, parse_char_class
+from repro.lexing.chars import parse_char_class
 from repro.lexing.nfa import NFA
 from repro.lexing.regex import (
     Alt,

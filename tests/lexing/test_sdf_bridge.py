@@ -35,7 +35,7 @@ class TestEquivalenceWithBootstrapLexer:
         scanner = scanner_from_sdf(sdf_definition())
         lexemes = scanner.scan(CORPUS[name])
         hand = tokenize(CORPUS[name])
-        assert [isg_terminal(l) for l in lexemes] == [
+        assert [isg_terminal(lex) for lex in lexemes] == [
             t.terminal().name for t in hand
         ]
 

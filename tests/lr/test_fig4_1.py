@@ -19,7 +19,6 @@ state     kernel                                             transitions
 
 import pytest
 
-from repro.grammar.builders import grammar_from_text
 from repro.grammar.rules import Rule
 from repro.grammar.symbols import END, NonTerminal, Terminal
 from repro.lr.generator import ConventionalGenerator

@@ -7,7 +7,7 @@ from repro.grammar.rules import Rule
 from repro.grammar.symbols import END, NonTerminal, Terminal
 from repro.lr.graph import ItemSetGraph
 from repro.lr.items import Item
-from repro.lr.states import ACCEPT, StateType
+from repro.lr.states import ACCEPT
 
 
 class TestClosure:

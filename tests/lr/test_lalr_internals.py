@@ -3,7 +3,7 @@
 import pytest
 
 from repro.grammar.builders import grammar_from_text
-from repro.grammar.symbols import END, NonTerminal, Terminal
+from repro.grammar.symbols import END, Terminal
 from repro.lr.graph import ItemSetGraph
 from repro.lr.items import Item
 from repro.lr.lalr import compute_lalr_lookaheads

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.grammar.builders import grammar_from_text
-from repro.grammar.symbols import END, NonTerminal, Terminal
+from repro.grammar.symbols import NonTerminal, Terminal
 from repro.lr.generator import ConventionalGenerator
 from repro.lr.lalr import lalr_table
 from repro.lr.slr import slr_table
@@ -172,7 +172,7 @@ class TestConflictResolution:
 class TestDeterministicParserErrors:
     def test_multiple_actions_raise_ambiguous(self, booleans):
         generator = ConventionalGenerator(booleans)
-        control = generator.generate()
+        generator.generate()
         table = lr0_table(generator.graph)
         parser = SimpleLRParser(TableControl(table), booleans)
         with pytest.raises(AmbiguousInputError):

@@ -11,7 +11,7 @@ descent).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from hypothesis import strategies as st
 

@@ -33,7 +33,7 @@ def test_roundtrip_with_separators(words, picks):
     chosen = [words[i % len(words)] for i in picks]
     text = " ".join(chosen)
     lexemes = scanner.scan(text)
-    assert [l.text for l in lexemes] == chosen
+    assert [lex.text for lex in lexemes] == chosen
 
 
 @settings(max_examples=60, deadline=None)
@@ -92,11 +92,10 @@ def test_lexemes_tile_the_input(words, text):
     except ScanError:
         assume(False)
         return
-    rebuilt = list(text)
     for lexeme in lexemes:
         assert text[lexeme.position : lexeme.position + len(lexeme.text)] == (
             lexeme.text
         )
     # non-layout lexemes never overlap and appear in order
-    positions = [l.position for l in lexemes]
+    positions = [lex.position for lex in lexemes]
     assert positions == sorted(positions)

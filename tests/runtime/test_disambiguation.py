@@ -9,7 +9,6 @@ from repro.grammar.symbols import NonTerminal, Terminal
 from repro.runtime.disambiguation import DisambiguationFilter
 from repro.runtime.forest import bracketed
 
-from ..conftest import toks
 
 E = NonTerminal("E")
 PLUS = Rule(E, [E, Terminal("+"), E])

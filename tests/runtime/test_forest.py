@@ -6,8 +6,6 @@ from repro.grammar.rules import Rule
 from repro.grammar.symbols import NonTerminal, Terminal
 from repro.runtime.forest import (
     Forest,
-    Leaf,
-    ParseNode,
     bracketed,
     depth,
     node_count,

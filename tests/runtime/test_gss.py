@@ -1,6 +1,5 @@
 """The GSS GLR recognizer: agreement with the pool parser, merging."""
 
-import pytest
 
 from repro.grammar.builders import grammar_from_text
 from repro.lr.generator import ConventionalGenerator

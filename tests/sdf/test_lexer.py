@@ -3,7 +3,7 @@
 import pytest
 
 from repro.grammar.symbols import Terminal
-from repro.sdf.lexer import SdfLexer, terminal_stream, tokenize
+from repro.sdf.lexer import terminal_stream, tokenize
 from repro.sdf.tokens import SdfSyntaxError, TokenKind
 
 

@@ -8,7 +8,6 @@ from repro.sdf.ast import (
     CfSepIter,
     CfSort,
     LexCharClass,
-    LexLiteral,
     LexSortRef,
 )
 from repro.sdf.parser import parse_sdf

@@ -1,0 +1,379 @@
+"""The sharded scheduler: routing, coalescing, backpressure, drain."""
+
+import threading
+
+import pytest
+
+from repro.service import Dispatcher, Scheduler, merge_global, plan_batch
+
+GRAMMAR = "START ::= B\nB ::= true\nB ::= false\nB ::= B or B"
+
+
+def open_request(name):
+    return {"cmd": "open", "session": name, "grammar": GRAMMAR}
+
+
+def parse_request(name, tokens="true or false"):
+    return {"cmd": "parse", "session": name, "tokens": tokens}
+
+
+class RecordingStub:
+    """A dispatcher stand-in whose handle() can be paused by a test."""
+
+    def __init__(self):
+        self.calls = []
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.block_next = False
+
+    def handle(self, request):
+        self.calls.append(request)
+        if self.block_next:
+            self.block_next = False
+            self.started.set()
+            assert self.release.wait(timeout=30)
+        return {"ok": True, "cmd": request.get("cmd"), "time": 0.0}
+
+
+class TestPlanBatch:
+    def test_identical_parses_coalesce(self):
+        requests = [parse_request("a"), parse_request("a"), parse_request("a")]
+        execute, placements = plan_batch(requests)
+        assert len(execute) == 1
+        assert placements == [("run", 0), ("copy", 0), ("copy", 0)]
+
+    def test_different_tokens_do_not_coalesce(self):
+        execute, placements = plan_batch(
+            [parse_request("a", "true"), parse_request("a", "false")]
+        )
+        assert len(execute) == 2
+        assert [kind for kind, _ in placements] == ["run", "run"]
+
+    def test_engine_participates_in_the_key(self):
+        base = parse_request("a")
+        with_engine = dict(parse_request("a"), engine="gss")
+        execute, placements = plan_batch([base, with_engine, dict(base)])
+        assert len(execute) == 2
+        assert placements == [("run", 0), ("run", 1), ("copy", 0)]
+
+    def test_text_and_token_list_never_share_an_answer(self):
+        as_text = parse_request("a", "true or false")
+        as_list = {
+            "cmd": "parse",
+            "session": "a",
+            "tokens": ["true", "or", "false"],
+        }
+        execute, _ = plan_batch([as_text, as_list])
+        assert len(execute) == 2
+
+    def test_edit_breaks_the_run_for_its_session_only(self):
+        requests = [
+            parse_request("a"),
+            parse_request("b"),
+            {"cmd": "add-rule", "session": "a", "rule": "B ::= maybe"},
+            parse_request("a"),  # must re-run: the grammar moved
+            parse_request("b"),  # may still coalesce: b was untouched
+        ]
+        execute, placements = plan_batch(requests)
+        assert placements == [
+            ("run", 0),
+            ("run", 1),
+            ("run", 2),
+            ("run", 3),
+            ("copy", 1),
+        ]
+        assert len(execute) == 4
+
+    def test_unroutable_mutation_breaks_every_run(self):
+        requests = [
+            parse_request("a"),
+            {"cmd": "restore", "path": "/tmp/x"},  # no session named
+            parse_request("a"),
+        ]
+        execute, placements = plan_batch(requests)
+        assert [kind for kind, _ in placements] == ["run", "run", "run"]
+        assert len(execute) == 3
+
+    def test_recognize_and_parse_do_not_mix(self):
+        execute, _ = plan_batch(
+            [
+                parse_request("a"),
+                {"cmd": "recognize", "session": "a", "tokens": "true or false"},
+            ]
+        )
+        assert len(execute) == 2
+
+
+class TestRouting:
+    def test_shard_assignment_is_stable_and_in_range(self):
+        with Scheduler(workers=3) as scheduler:
+            for name in ("alpha", "beta", "gamma", "s000", "s001"):
+                shard = scheduler.shard_of(name)
+                assert 0 <= shard < 3
+                assert scheduler.shard_of(name) == shard
+
+    def test_session_requests_land_on_one_shard(self):
+        with Scheduler(workers=4) as scheduler:
+            scheduler.handle(open_request("pinned"))
+            for _ in range(5):
+                assert scheduler.handle(parse_request("pinned"))["accepted"]
+            owner = scheduler.shards[scheduler.shard_of("pinned")]
+            assert owner.completed == 6
+            others = [
+                shard.completed
+                for shard in scheduler.shards
+                if shard is not owner
+            ]
+            assert sum(others) == 0
+
+    def test_restore_routes_by_snapshot_payload_name(self):
+        with Scheduler(workers=4) as scheduler:
+            scheduler.handle(open_request("donor"))
+            snapshot = scheduler.handle(
+                {"cmd": "snapshot", "session": "donor"}
+            )["snapshot"]
+            response = scheduler.handle({"cmd": "restore", "snapshot": snapshot, "force": True})
+            assert response["restored"] == "donor"
+            owner = scheduler.shards[scheduler.shard_of("donor")]
+            assert owner.completed == 3
+
+    def test_unroutable_restore_is_refused(self):
+        with Scheduler(workers=2) as scheduler:
+            response = scheduler.handle({"cmd": "restore", "path": "/tmp/nope"})
+            assert "needs a 'session'" in response["error"]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Scheduler(workers=0)
+
+    def test_unknown_mode_is_refused(self):
+        with pytest.raises(ValueError):
+            Scheduler(mode="fibers")
+
+    def test_bad_bounds_are_refused_before_any_spawn(self, monkeypatch):
+        from repro.service import scheduler as scheduler_module
+
+        def forbidden(*_args, **_kwargs):
+            raise AssertionError("spawned a child before validating bounds")
+
+        monkeypatch.setattr(scheduler_module, "ProcessExecutor", forbidden)
+        for kwargs in ({"max_depth": 0}, {"max_batch": 0}):
+            with pytest.raises(ValueError):
+                Scheduler(workers=2, mode="process", **kwargs)
+
+
+class TestBackpressure:
+    def test_full_queue_answers_overloaded(self):
+        stub = RecordingStub()
+        stub.block_next = True
+        scheduler = Scheduler(
+            workers=1, dispatcher=stub, max_depth=2, max_batch=1
+        )
+        try:
+            blocked = scheduler.submit(parse_request("a"))
+            assert stub.started.wait(timeout=30)  # worker is busy with it
+            queued = [scheduler.submit(parse_request("a")) for _ in range(2)]
+            rejected = scheduler.submit(parse_request("a"))
+            response = rejected.result(timeout=30)
+            assert response["overloaded"] is True
+            assert "overloaded" in response["error"]
+            assert response["session"] == "a"
+            stub.release.set()
+            assert blocked.result(timeout=30)["ok"]
+            for future in queued:
+                assert "error" not in future.result(timeout=30)
+            assert scheduler.metrics()["overloaded"] == 1
+        finally:
+            stub.release.set()
+            scheduler.close()
+
+    def test_submit_after_close_reports_shutdown(self):
+        scheduler = Scheduler(workers=1)
+        scheduler.close()
+        response = scheduler.submit(parse_request("a")).result(timeout=30)
+        assert "shutting down" in response["error"]
+
+
+class TestCoalescingIntegration:
+    def test_queued_duplicates_execute_once(self):
+        stub = RecordingStub()
+        stub.block_next = True
+        scheduler = Scheduler(
+            workers=1, dispatcher=stub, max_depth=64, max_batch=16
+        )
+        try:
+            first = scheduler.submit({"cmd": "info"})
+            assert stub.started.wait(timeout=30)
+            # These four queue up behind the blocker and drain as one batch.
+            futures = [scheduler.submit(parse_request("a")) for _ in range(3)]
+            futures.append(scheduler.submit(parse_request("b")))
+            stub.release.set()
+            responses = [future.result(timeout=30) for future in futures]
+            assert first.result(timeout=30)["ok"]
+            copies = [r for r in responses if r.get("coalesced")]
+            assert len(copies) == 2  # a's duplicates; b ran on its own
+            parse_calls = [
+                call for call in stub.calls if call.get("cmd") == "parse"
+            ]
+            assert len(parse_calls) == 2  # one per distinct (session, tokens)
+            metrics = scheduler.metrics()
+            assert metrics["coalesced"] == 2
+            shard = metrics["shards"][0]
+            assert shard["largest_batch"] >= 4
+            assert shard["latency"]["parse"]["count"] == 4
+            assert "p50" in shard["latency"]["parse"]
+        finally:
+            stub.release.set()
+            scheduler.close()
+
+
+class TestDrainAndMetrics:
+    def test_close_serves_everything_already_queued(self):
+        stub = RecordingStub()
+        stub.block_next = True
+        scheduler = Scheduler(
+            workers=1, dispatcher=stub, max_depth=64, max_batch=4
+        )
+        blocked = scheduler.submit({"cmd": "info"})
+        assert stub.started.wait(timeout=30)
+        queued = [scheduler.submit(parse_request("a", f"t{i}")) for i in range(5)]
+        closer = threading.Thread(target=scheduler.close)
+        closer.start()
+        stub.release.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        assert blocked.result(timeout=1)["ok"]
+        for future in queued:
+            assert "error" not in future.result(timeout=1)
+
+    def test_global_metrics_carries_scheduler_section(self):
+        with Scheduler(workers=2) as scheduler:
+            scheduler.handle(open_request("m"))
+            scheduler.handle(parse_request("m"))
+            response = scheduler.handle({"cmd": "metrics"})
+            section = response["scheduler"]
+            assert section["mode"] == "thread"
+            assert section["workers"] == 2
+            assert len(section["shards"]) == 2
+            # open + parse + the metrics request itself
+            assert sum(s["completed"] for s in section["shards"]) == 3
+
+    def test_dispatcher_compatible_with_serve_loop(self):
+        import io
+        import json
+
+        from repro.service import serve
+
+        output = io.StringIO()
+        with Scheduler(workers=2) as scheduler:
+            serve(
+                io.StringIO(
+                    json.dumps(open_request("x"))
+                    + "\n"
+                    + json.dumps(parse_request("x"))
+                    + "\n"
+                ),
+                output,
+                scheduler,
+            )
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert responses[0]["opened"] == "x"
+        assert responses[1]["accepted"] is True
+
+
+class TestMergeGlobal:
+    def test_sessions_union(self):
+        merged = merge_global(
+            {"cmd": "sessions"},
+            [
+                {"cmd": "sessions", "sessions": ["a", "c"], "time": 0.1},
+                {"cmd": "sessions", "sessions": ["b"], "time": 0.2},
+            ],
+        )
+        assert merged["sessions"] == ["a", "b", "c"]
+        assert merged["time"] == 0.2
+
+    def test_metrics_sums(self):
+        part = {
+            "cmd": "metrics",
+            "sessions": 1,
+            "cache": {"hits": 2, "misses": 2, "evictions": 0, "invalidations": 1},
+            "cache_entries": 2,
+            "action_cache": {"action_cache_hits": 5},
+            "requests": {"parse": {"count": 2, "seconds": 0.4, "mean": 0.2}},
+            "time": 0.01,
+        }
+        merged = merge_global({"cmd": "metrics"}, [part, part])
+        assert merged["sessions"] == 2
+        assert merged["cache"]["hits"] == 4
+        assert merged["cache"]["hit_rate"] == 0.5
+        assert merged["action_cache"]["action_cache_hits"] == 10
+        assert merged["requests"]["parse"] == {
+            "count": 4,
+            "seconds": 0.8,
+            "mean": 0.2,
+        }
+
+    def test_error_part_wins(self):
+        merged = merge_global(
+            {"cmd": "sessions"},
+            [{"cmd": "sessions", "sessions": ["a"], "time": 0.0},
+             {"error": "shard 1 failed", "time": 0.0}],
+        )
+        assert merged["error"] == "shard 1 failed"
+
+
+class TestProcessMode:
+    """Each shard is a ``repro serve`` child; slower, so kept minimal."""
+
+    def test_end_to_end_with_broadcast_merge(self):
+        with Scheduler(workers=2, mode="process") as scheduler:
+            # "s1" and "zz" hash to different shards (asserted, not hoped).
+            assert scheduler.shard_of("s1") != scheduler.shard_of("zz")
+            assert scheduler.handle(open_request("s1"))["opened"] == "s1"
+            assert scheduler.handle(open_request("zz"))["opened"] == "zz"
+            assert scheduler.handle(parse_request("s1"))["accepted"]
+            assert scheduler.handle(parse_request("zz"))["accepted"]
+            listed = scheduler.handle({"cmd": "sessions"})
+            assert listed["sessions"] == ["s1", "zz"]
+            metrics = scheduler.handle({"cmd": "metrics"})
+            assert metrics["sessions"] == 2
+            assert metrics["scheduler"]["mode"] == "process"
+
+    def test_dead_child_reports_shard_failure_and_isolates_it(self):
+        scheduler = Scheduler(workers=2, mode="process")
+        try:
+            assert scheduler.handle(open_request("s1"))["opened"] == "s1"
+            assert scheduler.handle(open_request("zz"))["opened"] == "zz"
+            victim = scheduler.shards[scheduler.shard_of("s1")]
+            victim.executor.terminate()
+            failed = scheduler.handle(parse_request("s1"))
+            assert "failed" in failed["error"]
+            # The other shard keeps serving.
+            assert scheduler.handle(parse_request("zz"))["accepted"]
+        finally:
+            scheduler.close()
+
+    def test_injected_dispatcher_is_refused(self):
+        with pytest.raises(ValueError):
+            Scheduler(workers=2, mode="process", dispatcher=Dispatcher())
+
+    def test_failed_spawn_terminates_already_started_children(self, monkeypatch):
+        from repro.service import scheduler as scheduler_module
+
+        spawned = []
+        real = scheduler_module.ProcessExecutor
+
+        class FlakyExecutor:
+            def __new__(cls, cache_capacity=1024):
+                if len(spawned) == 1:
+                    raise OSError("spawn failed")
+                executor = real(cache_capacity=cache_capacity)
+                spawned.append(executor)
+                return executor
+
+        monkeypatch.setattr(scheduler_module, "ProcessExecutor", FlakyExecutor)
+        with pytest.raises(OSError):
+            Scheduler(workers=2, mode="process")
+        assert len(spawned) == 1
+        assert spawned[0]._process.poll() is not None  # child reaped

@@ -83,7 +83,7 @@ class TestProcessEntryPoints:
             timeout=60,
         )
         assert completed.returncode == 0
-        responses = [json.loads(l) for l in completed.stdout.splitlines()]
+        responses = [json.loads(line) for line in completed.stdout.splitlines()]
         assert responses[1]["accepted"] is True
         assert [r.get("cache") for r in responses[1:]] == [False, True]
 

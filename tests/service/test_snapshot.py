@@ -188,7 +188,7 @@ class TestVersionContinuity:
     def test_corrupted_snapshot_table_surfaces_as_protocol_error(self):
         d = Dispatcher()
         d.handle({"cmd": "open", "session": "det", "grammar": EXPR})
-        snap = d.handle({"cmd": "snapshot", "session": "det"})["snapshot"]
+        d.handle({"cmd": "snapshot", "session": "det"})
         d.handle({"cmd": "open", "session": "amb", "grammar": AMBIGUOUS})
         bad = d.handle({"cmd": "snapshot", "session": "amb"})["snapshot"]
         # Graft the ambiguous grammar's (conflicted) table... there is none,

@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import pytest
 
 from repro.cli import ReplSession, run_session
 
@@ -55,7 +54,7 @@ class TestSession:
                 "recognize unknown",
             ]
         )
-        verdicts = [l for l in output if l in ("accepted", "rejected")]
+        verdicts = [line for line in output if line in ("accepted", "rejected")]
         assert verdicts == ["rejected", "accepted", "rejected"]
 
     def test_sort_declaration_for_forward_reference(self):
@@ -200,7 +199,7 @@ class TestLexerCommand:
                 "recognize x",
             ]
         )
-        verdicts = [l for l in output if l in ("accepted", "rejected")]
+        verdicts = [line for line in output if line in ("accepted", "rejected")]
         assert verdicts == ["accepted", "accepted", "accepted"]
 
     def test_usage_message(self):

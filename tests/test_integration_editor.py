@@ -16,7 +16,7 @@ parsing component."*  This test drives the full loop:
 import pytest
 
 from repro.core.ipg import IPG
-from repro.grammar.symbols import NonTerminal, Terminal
+from repro.grammar.symbols import Terminal
 from repro.lexing import literal, scanner_from_sdf
 from repro.runtime.forest import bracketed
 from repro.sdf import normalize_with_metadata, parse_sdf, rule_for_function
