@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Render a markdown delta table between two BENCH_*.json reports.
+
+CI uses this to make the bench trajectory visible per commit: the
+previous successful main run's artifact (fetched by
+``benchmarks/fetch_prev_bench.sh``) is compared against the current
+run's report, and the table lands in the job summary.
+
+    python benchmarks/bench_trend.py prev/BENCH_x.json BENCH_x.json \\
+        --label "parse hotpath"
+
+Missing or unreadable *previous* data is not an error — the tool prints a
+note and exits 0, so the very first run (and artifact-expiry gaps) never
+fail the job.  A missing *current* report is an error: the bench that was
+supposed to produce it did not run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, Tuple
+
+#: Leaves whose deltas are noise, not signal (workload-shape constants).
+SKIP_KEYS = {"repeats", "time", "position", "edit_size", "converged_at", "tokens"}
+
+
+def numeric_leaves(data: Any, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Every ``dotted.path -> number`` in a nested JSON structure."""
+    if isinstance(data, dict):
+        for key, value in sorted(data.items()):
+            if key in SKIP_KEYS:
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from numeric_leaves(value, path)
+    elif isinstance(data, bool):
+        return
+    elif isinstance(data, (int, float)):
+        yield prefix, float(data)
+
+
+def delta_table(
+    previous: Dict[str, Any], current: Dict[str, Any], label: str
+) -> str:
+    """A GitHub-flavoured markdown table of shared numeric leaves."""
+    old = dict(numeric_leaves(previous))
+    new = dict(numeric_leaves(current))
+    shared = [path for path in new if path in old]
+    lines = [
+        f"### Bench trend: {label}",
+        "",
+        "| metric | previous (main) | current | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    rows = 0
+    for path in shared:
+        before, after = old[path], new[path]
+        if before == 0:
+            delta = "n/a" if after else "0%"
+        else:
+            delta = f"{(after - before) / before * 100:+.1f}%"
+        lines.append(f"| `{path}` | {before:,.4g} | {after:,.4g} | {delta} |")
+        rows += 1
+    appeared = sorted(set(new) - set(old))
+    for path in appeared:
+        lines.append(f"| `{path}` | — | {new[path]:,.4g} | new |")
+    if not rows and not appeared:
+        lines.append("| _no comparable metrics_ | | | |")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", type=Path, help="last main run's report")
+    parser.add_argument("current", type=Path, help="this run's report")
+    parser.add_argument(
+        "--label", default=None, help="heading label (default: file name)"
+    )
+    args = parser.parse_args(argv)
+
+    label = args.label if args.label is not None else args.current.name
+    if not args.current.exists():
+        print(f"error: current report {args.current} is missing", file=sys.stderr)
+        return 1
+    current = json.loads(args.current.read_text())
+    if not args.previous.exists():
+        print(f"### Bench trend: {label}\n\n_no previous main-run artifact "
+              f"to compare against (first run, or artifact expired)_")
+        return 0
+    try:
+        previous = json.loads(args.previous.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"### Bench trend: {label}\n\n_previous report unreadable: "
+              f"{error}_")
+        return 0
+    print(delta_table(previous, current, label))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # `... | head` should not stack-trace
+        raise SystemExit(0)

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Download one artifact from the last successful CI run on main.
+#
+#   fetch_prev_bench.sh <artifact-name> <dest-dir>
+#
+# Used by the bench-trend CI steps: the artifact's BENCH_*.json lands in
+# <dest-dir> for benchmarks/bench_trend.py to diff against the current
+# run.  Every "nothing to fetch" condition (first run on a repo, no
+# successful main run yet, artifact expired) exits 0 with a note — the
+# trend step must never fail a build over missing history.  Requires
+# GH_TOKEN (the workflow passes the built-in github.token).
+set -uo pipefail
+
+artifact_name="${1:?usage: fetch_prev_bench.sh <artifact-name> <dest-dir>}"
+dest="${2:?usage: fetch_prev_bench.sh <artifact-name> <dest-dir>}"
+repo="${GITHUB_REPOSITORY:-}"
+
+if [ -z "$repo" ]; then
+  echo "GITHUB_REPOSITORY unset — not running in CI, nothing to fetch"
+  exit 0
+fi
+
+run_id=$(gh api \
+  "repos/$repo/actions/workflows/ci.yml/runs?branch=main&status=success&per_page=1" \
+  --jq '.workflow_runs[0].id' 2>/dev/null)
+if [ -z "${run_id:-}" ] || [ "$run_id" = "null" ]; then
+  echo "no successful main CI run to compare against"
+  exit 0
+fi
+
+artifact_id=$(gh api "repos/$repo/actions/runs/$run_id/artifacts" \
+  --jq ".artifacts[] | select(.name == \"$artifact_name\" and .expired == false) | .id" \
+  2>/dev/null | head -n 1)
+if [ -z "${artifact_id:-}" ]; then
+  echo "run $run_id has no (unexpired) artifact named '$artifact_name'"
+  exit 0
+fi
+
+mkdir -p "$dest"
+if ! gh api "repos/$repo/actions/artifacts/$artifact_id/zip" \
+    > "$dest/$artifact_name.zip" 2>/dev/null; then
+  echo "download of artifact $artifact_id failed — skipping trend"
+  exit 0
+fi
+unzip -o -q -d "$dest" "$dest/$artifact_name.zip" || exit 0
+echo "fetched '$artifact_name' from main run $run_id into $dest"

@@ -27,6 +27,7 @@ from .engines import (
     expected_terminals,
     register_engine,
 )
+from ..runtime.incremental import Edit
 from .language import DEFAULT_ENGINE, Language, LexedInput
 from .tokenizers import (
     ScanError,
@@ -39,6 +40,7 @@ __all__ = [
     "Language",
     "LexedInput",
     "DEFAULT_ENGINE",
+    "Edit",
     "ParseOutcome",
     "Diagnostic",
     "Engine",

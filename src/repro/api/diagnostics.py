@@ -114,6 +114,9 @@ class ParseOutcome:
         "lexemes",
         "stats",
         "trees_built",
+        "terminals",
+        "incremental",
+        "reuse",
     )
 
     def __init__(
@@ -126,6 +129,9 @@ class ParseOutcome:
         lexemes: Tuple[Lexeme, ...] = (),
         stats: Optional[Dict[str, int]] = None,
         trees_built: bool = True,
+        terminals: Tuple[Terminal, ...] = (),
+        incremental: Optional[Any] = None,
+        reuse: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.accepted = accepted
         self.trees = trees
@@ -137,6 +143,13 @@ class ParseOutcome:
         #: False for recognition-only calls and tree-less engines: their
         #: empty ``trees`` means "not built", not "zero derivations".
         self.trees_built = trees_built
+        #: the parsed terminal sequence — what ``Language.reparse`` splices
+        self.terminals = terminals
+        #: opaque checkpoint handle (set by checkpointed/incremental
+        #: parses); feeding it back via ``Language.reparse`` reuses work
+        self.incremental = incremental
+        #: reuse accounting of an incremental call (``None`` otherwise)
+        self.reuse = reuse
 
     # -- convenience views -------------------------------------------------
 
@@ -174,6 +187,8 @@ class ParseOutcome:
             payload["trees_built"] = False
         if self.diagnostic is not None:
             payload["diagnostics"] = self.diagnostic.to_payload()
+        if self.reuse is not None:
+            payload["reuse"] = dict(self.reuse)
         return payload
 
     def __repr__(self) -> str:

@@ -25,6 +25,7 @@ died in, which is where the diagnostics layer gets its *expected set*.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..baselines.earley import EarleyParser
@@ -32,6 +33,7 @@ from ..grammar.symbols import END, Terminal
 from ..lr.actions import Accept, Reduce, Shift
 from ..lr.table import TableControl, lr0_table
 from ..runtime.gss import GSSParser
+from ..runtime.incremental import Edit, IncrementalOutcome, IncrementalParser
 from ..runtime.parallel import ParseFailure, ParseResult, PoolParser
 from ..runtime.forest import TreeNode
 from ..runtime.stacks import StackCell
@@ -54,9 +56,13 @@ class EngineReport:
     ``failure`` is ``None`` on acceptance; otherwise
     ``(token_index, expected_terminal_names)`` with the index counting
     input tokens (== input length when the input ended too early).
+    ``incremental`` carries the opaque checkpoint handle when the call
+    went through the incremental layer (``parse_incremental``/
+    ``reparse``), and ``reuse`` its reuse accounting — both ``None`` on
+    ordinary parses.
     """
 
-    __slots__ = ("accepted", "trees", "stats", "failure")
+    __slots__ = ("accepted", "trees", "stats", "failure", "incremental", "reuse")
 
     def __init__(
         self,
@@ -64,11 +70,15 @@ class EngineReport:
         trees: Tuple[TreeNode, ...] = (),
         stats: Optional[Dict[str, int]] = None,
         failure: Optional[Tuple[int, Tuple[str, ...]]] = None,
+        incremental: Optional[Any] = None,
+        reuse: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.accepted = accepted
         self.trees = trees
         self.stats = stats
         self.failure = failure
+        self.incremental = incremental
+        self.reuse = reuse
 
     def __repr__(self) -> str:
         return f"EngineReport(accepted={self.accepted}, trees={len(self.trees)})"
@@ -166,6 +176,10 @@ class Engine:
     #: whether ``parse`` builds derivation trees (Earley and GSS-recognition
     #: do not; their ``parse`` reports acceptance only)
     provides_trees = True
+    #: whether ``reparse`` actually reuses checkpoints; engines that leave
+    #: this False still answer ``reparse`` correctly (full re-parse of the
+    #: spliced input — the correct-by-construction fallback)
+    supports_reparse = False
 
     def __init__(self, language: Any) -> None:
         self.language = language
@@ -177,6 +191,33 @@ class Engine:
 
     def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
         raise NotImplementedError
+
+    def parse_incremental(
+        self, terminals: Sequence[Terminal], build_trees: bool = True
+    ) -> EngineReport:
+        """A parse whose report carries a checkpoint handle for ``reparse``.
+
+        The default (non-incremental engines) is an ordinary parse with no
+        handle — a later ``reparse`` against it simply re-parses in full.
+        """
+        return self.parse(terminals) if build_trees else self.recognize(terminals)
+
+    def reparse(
+        self,
+        base: Optional[Any],
+        edit: Edit,
+        spliced: Sequence[Terminal],
+        build_trees: bool = True,
+    ) -> EngineReport:
+        """Parse ``spliced`` (= the edited input), reusing ``base`` if able.
+
+        ``base`` is the ``incremental`` handle of a previous report from
+        this engine (or ``None``).  The default implementation is the
+        correct-by-construction fallback: a full parse of the spliced
+        token sequence, ignoring the handle.
+        """
+        del base, edit
+        return self.parse(spliced) if build_trees else self.recognize(spliced)
 
     def invalidate(self) -> None:
         """Called after every grammar modification (MODIFY)."""
@@ -240,13 +281,108 @@ def create_engine(name: str, language: Any) -> Engine:
     return cls(language)
 
 
+class _CheckpointMixin:
+    """Incremental re-parsing for pool-backed engines.
+
+    Lazily builds one :class:`IncrementalParser` over the engine's own
+    control (so checkpoints see exactly the automaton the engine parses
+    with) and wires its outcomes through the report protocol.  The parser
+    subscribes to the grammar, so a MODIFY between parse and reparse
+    invalidates every outstanding checkpoint; ``invalidate`` additionally
+    drops the parser itself (closing its subscription), which keeps
+    engines whose control is rebuilt on edits — the dense table — honest.
+    """
+
+    supports_reparse = True
+    #: True for engines whose control object is rebuilt on a grammar edit
+    #: (the dense table): their checkpoint parser must be discarded with
+    #: the control it indexes.  Graph-backed engines keep one parser for
+    #: the language's lifetime; its epoch (bumped via ``Grammar.subscribe``)
+    #: already invalidates outstanding checkpoints.
+    _control_rebuilt_on_modify = False
+
+    def __init__(self, language: Any) -> None:
+        super().__init__(language)
+        self._incremental: Optional[IncrementalParser] = None
+        # Same audit as Language._engines_lock: ``invalidate`` fires from
+        # Grammar.subscribe during an edit while another thread's first
+        # checkpointed parse constructs the parser — without the lock the
+        # racers could each subscribe a parser and leak one observer.
+        self._incremental_lock = threading.Lock()
+
+    def _incremental_parser(self) -> IncrementalParser:
+        with self._incremental_lock:
+            if self._incremental is None:
+                self._incremental = IncrementalParser(
+                    self.pool.control,
+                    self.language.grammar,
+                    max_sweep_steps=self.language.max_sweep_steps,
+                )
+            return self._incremental
+
+    def _incremental_report(self, outcome: IncrementalOutcome) -> EngineReport:
+        result = outcome.result
+        failure = None
+        if not result.accepted and result.failure is not None:
+            control = self._incremental_parser().control
+            failure = (
+                result.failure.token_index,
+                self._expected(control, result.failure),
+            )
+        return EngineReport(
+            result.accepted,
+            result.trees,
+            result.stats.snapshot(),
+            failure,
+            incremental=outcome,
+            reuse=dict(outcome.reuse),
+        )
+
+    def parse_incremental(
+        self, terminals: Sequence[Terminal], build_trees: bool = True
+    ) -> EngineReport:
+        outcome = self._incremental_parser().parse(
+            tuple(terminals), build_trees=build_trees
+        )
+        return self._incremental_report(outcome)
+
+    def reparse(
+        self,
+        base: Optional[Any],
+        edit: Edit,
+        spliced: Sequence[Terminal],
+        build_trees: bool = True,
+    ) -> EngineReport:
+        parser = self._incremental_parser()
+        if isinstance(base, IncrementalOutcome):
+            outcome = parser.reparse(
+                base, edit, build_trees=build_trees, spliced=spliced
+            )
+        else:
+            outcome = parser.parse(tuple(spliced), build_trees=build_trees)
+            outcome.reuse["fallback"] = "no-checkpoint"
+        return self._incremental_report(outcome)
+
+    def invalidate(self) -> None:
+        if self._control_rebuilt_on_modify:
+            self.close_incremental()
+        super().invalidate()
+
+    def close_incremental(self) -> None:
+        """Release the checkpoint parser's grammar subscription."""
+        with self._incremental_lock:
+            if self._incremental is not None:
+                self._incremental.close()
+                self._incremental = None
+
+
 # ---------------------------------------------------------------------------
 # The five registered engines.
 # ---------------------------------------------------------------------------
 
 
 @register_engine
-class LazyEngine(Engine):
+class LazyEngine(_CheckpointMixin, Engine):
     """The paper's system as presented: lazy generation + parallel parsing.
 
     Runs the pool parser directly over the lazy/incremental graph control
@@ -276,7 +412,7 @@ class LazyEngine(Engine):
 
 
 @register_engine
-class CompiledEngine(Engine):
+class CompiledEngine(_CheckpointMixin, Engine):
     """Lazy + incremental generation behind the compiled control plane.
 
     The default engine: ACTION results are memoized into shared tuples
@@ -305,7 +441,7 @@ class CompiledEngine(Engine):
 
 
 @register_engine
-class DenseTableEngine(Engine):
+class DenseTableEngine(_CheckpointMixin, Engine):
     """Conventional generation into a dense integer LR(0) table.
 
     The PG/Yacc deployment shape: the whole automaton is generated up
@@ -317,6 +453,7 @@ class DenseTableEngine(Engine):
 
     name = "dense"
     summary = "full LR(0) generation into a frozen dense integer table"
+    _control_rebuilt_on_modify = True
 
     def __init__(self, language: Any) -> None:
         super().__init__(language)
@@ -357,6 +494,7 @@ class DenseTableEngine(Engine):
 
     def invalidate(self) -> None:
         self._pool = None
+        super().invalidate()  # drop checkpoints tied to the discarded table
 
     def prepare(self) -> None:
         self._parser()

@@ -239,6 +239,7 @@ class Language:
         tokens: TokenInput,
         engine: Optional[str] = None,
         trace: Optional[Trace] = None,
+        checkpoint: bool = False,
     ) -> ParseOutcome:
         """Parse raw text (or a token sequence); always returns an outcome.
 
@@ -249,26 +250,100 @@ class Language:
         ``trace`` records the parser's moves and is honored by every
         pool-backed engine (lazy/compiled/dense/gss); the Earley engine
         has no LR moves to record and leaves the trace empty.
+
+        With ``checkpoint=True`` (and an engine that supports re-parsing)
+        the outcome carries per-token-boundary checkpoints, and a later
+        :meth:`reparse` against it resumes instead of starting over.
+        ``trace`` and ``checkpoint`` are mutually exclusive.
         """
-        return self._run(tokens, engine, build_trees=True, trace=trace)
+        return self._run(
+            tokens, engine, build_trees=True, trace=trace, checkpoint=checkpoint
+        )
 
     def recognize(
         self,
         tokens: TokenInput,
         engine: Optional[str] = None,
+        checkpoint: bool = False,
     ) -> ParseOutcome:
         """Accept/reject without building trees (same outcome shape)."""
-        return self._run(tokens, engine, build_trees=False, trace=None)
+        return self._run(
+            tokens, engine, build_trees=False, trace=None, checkpoint=checkpoint
+        )
+
+    def reparse(
+        self,
+        prev: ParseOutcome,
+        start: int,
+        end: int,
+        replacement: TokenInput = (),
+        engine: Optional[str] = None,
+    ) -> ParseOutcome:
+        """Re-parse ``prev``'s input after splicing ``replacement`` over
+        ``tokens[start:end]`` — reusing the previous run where possible.
+
+        Exactly equivalent to parsing the spliced token sequence from
+        scratch (trees, ambiguity, diagnostics); when ``prev`` carries a
+        checkpoint handle (``parse(..., checkpoint=True)`` or an earlier
+        ``reparse``) and the grammar has not changed since, the engine
+        resumes from the last checkpoint before the edit instead of
+        re-running the prefix.  Engines without incremental support — and
+        any invalidated checkpoint — fall back to a full re-parse;
+        ``outcome.reuse`` reports which path was taken.
+
+        The edit is in *token* coordinates over ``prev.terminals``.  The
+        result is a token-level outcome: diagnostics carry token indices
+        and expected sets, but no line/column (there is no single source
+        text for a spliced input).
+        """
+        from ..runtime.errors import ParseError
+        from ..runtime.incremental import Edit
+
+        started = time.perf_counter()
+        if engine is not None:
+            # Explicit names are validated (unknown ones raise, exactly
+            # as in ``parse``); only the *inherited* engine falls back —
+            # prev.engine can be a non-registry label like the service's
+            # SLR fast path.
+            engine_name = engine
+        elif prev.engine in engines():
+            engine_name = prev.engine
+        else:
+            engine_name = self.default_engine
+        selected = self.engine(engine_name)
+        replacement_lexed = self.lex(replacement)
+        base_terminals = prev.terminals
+        if not 0 <= start <= end <= len(base_terminals):
+            raise ParseError(
+                f"edit range [{start}:{end}] does not fit the "
+                f"{len(base_terminals)}-token previous input"
+            )
+        edit = Edit(start, end, replacement_lexed.terminals)
+        spliced = edit.apply(base_terminals)
+        build_trees = prev.trees_built
+        handle = prev.incremental if engine is None or engine == prev.engine else None
+        if selected.supports_reparse:
+            report = selected.reparse(handle, edit, spliced, build_trees)
+        else:
+            report = selected.reparse(None, edit, spliced, build_trees)
+            report.reuse = {"fallback": "engine-without-reparse"}
+        lexed = LexedInput(None, (), spliced)
+        return self._outcome_from_report(
+            lexed, report, selected, build_trees, started
+        )
 
     def parse_lexed(
         self,
         lexed: LexedInput,
         engine: Optional[str] = None,
         build_trees: bool = True,
+        checkpoint: bool = False,
     ) -> ParseOutcome:
         """Parse an already tokenized input (the service's cache path)."""
         started = time.perf_counter()
-        return self._outcome(lexed, self.engine(engine), build_trees, started)
+        return self._outcome(
+            lexed, self.engine(engine), build_trees, started, checkpoint
+        )
 
     def _run(
         self,
@@ -276,8 +351,16 @@ class Language:
         engine_name: Optional[str],
         build_trees: bool,
         trace: Optional[Trace],
+        checkpoint: bool = False,
     ) -> ParseOutcome:
         started = time.perf_counter()
+        if trace is not None and checkpoint:
+            # The checkpointing runner records frontiers, not move events;
+            # silently dropping either request would lie to the caller.
+            raise ValueError(
+                "trace and checkpoint are mutually exclusive — tracing "
+                "runs through the pool parser, which records no checkpoints"
+            )
         selected = self.engine(engine_name)
         try:
             lexed = self.lex(tokens)
@@ -295,7 +378,7 @@ class Language:
                 return self._outcome_from_report(
                     lexed, report, selected, build_trees, started
                 )
-        return self._outcome(lexed, selected, build_trees, started)
+        return self._outcome(lexed, selected, build_trees, started, checkpoint)
 
     def _outcome(
         self,
@@ -303,12 +386,18 @@ class Language:
         selected: Engine,
         build_trees: bool,
         started: float,
+        checkpoint: bool = False,
     ) -> ParseOutcome:
-        report = (
-            selected.parse(lexed.terminals)
-            if build_trees
-            else selected.recognize(lexed.terminals)
-        )
+        if checkpoint:
+            report = selected.parse_incremental(
+                lexed.terminals, build_trees=build_trees
+            )
+        else:
+            report = (
+                selected.parse(lexed.terminals)
+                if build_trees
+                else selected.recognize(lexed.terminals)
+            )
         return self._outcome_from_report(
             lexed, report, selected, build_trees, started
         )
@@ -333,6 +422,9 @@ class Language:
             lexemes=lexed.lexemes,
             stats=report.stats,
             trees_built=build_trees and selected.provides_trees,
+            terminals=lexed.terminals,
+            incremental=getattr(report, "incremental", None),
+            reuse=getattr(report, "reuse", None),
         )
 
     # -- diagnostics -------------------------------------------------------
@@ -440,6 +532,13 @@ class Language:
     def close(self) -> None:
         """Detach from the grammar's observer chain."""
         self._unsubscribe()
+        with self._engines_lock:
+            # Engines may hold grammar subscriptions of their own (the
+            # incremental checkpoint layer); release them.
+            for instance in self._engines.values():
+                release = getattr(instance, "close_incremental", None)
+                if release is not None:
+                    release()
         close = getattr(self.tokenizer, "close", None)
         if close is not None:
             close()

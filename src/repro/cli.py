@@ -43,6 +43,8 @@ Commands
 ``delete A ::= x``        DELETE-RULE
 ``parse tok tok ...``     parse a sentence; prints every tree
 ``recognize tok ...``     accept/reject only
+``edit i j tok ...``      splice-edit the last input (replace tokens
+                          ``[i:j]``) and *incrementally* re-parse it
 ``engine [name]``         show the engine registry / pick the engine
 ``lexer [kind]``          show or switch the tokenizer
                           (``whitespace`` or ``scanner``)
@@ -82,6 +84,8 @@ _HELP = """commands:
   delete <rule>     e.g.  delete E ::= E + T     (DELETE-RULE)
   parse <tokens>    parse and print every tree
   recognize <toks>  accept/reject only
+  edit <i> <j> [tokens]  replace tokens [i:j] of the last input and
+                    re-parse incrementally from its checkpoints
   engine [name]     show the engine registry / pick the parse engine
   lexer [kind]      show or switch the tokenizer (whitespace|scanner)
   show              print the grammar
@@ -101,6 +105,9 @@ class ReplSession:
         self.declared_sorts: set = set()
         self.print_trees = True
         self.finished = False
+        #: the last parse/recognize outcome — the base the ``edit``
+        #: command splices and incrementally re-parses
+        self.last_outcome = None
 
     # -- the dispatcher -----------------------------------------------------
 
@@ -125,6 +132,7 @@ class ReplSession:
             "delete": self._delete,
             "parse": self._parse,
             "recognize": self._recognize,
+            "edit": self._edit,
             "engine": self._engine,
             "lexer": self._lexer,
             "show": self._show,
@@ -157,7 +165,10 @@ class ReplSession:
         return ["(no such rule)"]
 
     def _parse(self, text: str) -> List[str]:
-        outcome = self.language.parse(text)
+        # Checkpointed so a follow-up ``edit`` can resume instead of
+        # re-parsing (engines without reparse support just parse).
+        outcome = self.language.parse(text, checkpoint=True)
+        self.last_outcome = outcome
         if not outcome.accepted:
             return self._rejection(outcome)
         if not outcome.trees_built:
@@ -169,10 +180,43 @@ class ReplSession:
         return lines
 
     def _recognize(self, text: str) -> List[str]:
-        outcome = self.language.recognize(text)
+        outcome = self.language.recognize(text, checkpoint=True)
+        self.last_outcome = outcome
         if outcome.accepted:
             return ["accepted"]
         return self._rejection(outcome)
+
+    def _edit(self, text: str) -> List[str]:
+        if self.last_outcome is None:
+            return ["nothing to edit — parse or recognize an input first"]
+        parts = text.split()
+        if len(parts) < 2 or not parts[0].isdigit() or not parts[1].isdigit():
+            return ["usage: edit <start> <end> [replacement tokens...]"]
+        start, end = int(parts[0]), int(parts[1])
+        replacement = " ".join(parts[2:])
+        outcome = self.language.reparse(self.last_outcome, start, end, replacement)
+        self.last_outcome = outcome
+        reuse = outcome.reuse or {}
+        if reuse.get("fallback"):
+            detail = f"full re-parse ({reuse['fallback']})"
+        else:
+            parsed = reuse.get("parsed_tokens")
+            total = reuse.get("total_tokens")
+            detail = f"re-parsed {parsed} of {total} tokens"
+            if reuse.get("converged_at") is not None:
+                detail += f", converged at token {reuse['converged_at']}"
+        lines = [f"edited [{start}:{end}] -> {replacement!r} ({detail})"]
+        if not outcome.accepted:
+            return lines + self._rejection(outcome)
+        if not outcome.trees_built:
+            return lines + ["accepted"]
+        lines.append(
+            f"accepted ({len(outcome.trees)} parse"
+            f"{'s' if len(outcome.trees) != 1 else ''})"
+        )
+        if self.print_trees:
+            lines.extend(f"  {bracketed(tree)}" for tree in outcome.trees)
+        return lines
 
     @staticmethod
     def _rejection(outcome) -> List[str]:

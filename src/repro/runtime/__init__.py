@@ -20,6 +20,7 @@ from .forest import (
     tokens_of,
 )
 from .gss import GSSNode, GSSParser
+from .incremental import Edit, IncrementalOutcome, IncrementalParser, splice
 from .lr_parse import DetParseResult, SimpleLRParser, recover_start_trees
 from .parallel import ParseResult, ParseStats, PoolParser
 from .stacks import StackCell, shared_cells
@@ -29,9 +30,12 @@ __all__ = [
     "AmbiguousInputError",
     "DetParseResult",
     "DisambiguationFilter",
+    "Edit",
     "Forest",
     "GSSNode",
     "GSSParser",
+    "IncrementalOutcome",
+    "IncrementalParser",
     "Leaf",
     "ParseError",
     "ParseNode",
@@ -50,5 +54,6 @@ __all__ = [
     "pretty",
     "recover_start_trees",
     "shared_cells",
+    "splice",
     "tokens_of",
 ]

@@ -427,6 +427,15 @@ class PoolParser:
 
             this_sweep, next_sweep = next_sweep, []
 
+            # NOTE: the general sweep below is mirrored (minus the fast
+            # stretch, tracing, and legacy signatures) by
+            # IncrementalParser._sweep in repro/runtime/incremental.py —
+            # a semantic change here (seen-set seeding, budget/depth
+            # guards, dead-state recording, duplicate elision) must be
+            # applied there too, or reparse diverges from parse.
+            # tests/property/test_incremental_reparse.py pins the
+            # equivalence differentially.
+
             # Configurations already alive in this sweep; used to drop
             # exact duplicates produced by converging forks.  A stack cell
             # *is* its signature (incrementally hashed at push time), so

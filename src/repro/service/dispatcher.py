@@ -90,6 +90,7 @@ class Dispatcher:
             "add-rule": self._add_rule,
             "delete-rule": self._delete_rule,
             "parse": self._parse,
+            "edit-parse": self._edit_parse,
             "recognize": self._recognize,
             "batch-parse": self._batch_parse,
             "snapshot": self._snapshot,
@@ -157,11 +158,58 @@ class Dispatcher:
     def _parse(self, request: Dict[str, Any]) -> Dict[str, Any]:
         name = require(request, "session")
         payload, cached = self.workspace.parse(
-            name, require(request, "tokens"), engine=self._engine_of(request)
+            name,
+            require(request, "tokens"),
+            engine=self._engine_of(request),
+            checkpoint=bool(request.get("checkpoint", False)),
         )
+        return self._parse_response(name, payload, cached)
+
+    def _edit_parse(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Incremental re-parse of a retained result after a splice edit."""
+        name = require(request, "session")
+        base = require(request, "base")
+        edit = require(request, "edit")
+        if not isinstance(base, str):
+            raise ProtocolError(
+                "'edit-parse' wants a result id string in the 'base' field"
+            )
+        if not isinstance(edit, dict):
+            raise ProtocolError(
+                "'edit-parse' wants an object in the 'edit' field: "
+                '{"start": N, "end": N, "replacement": "tok tok ..."}'
+            )
+        start = edit.get("start")
+        end = edit.get("end")
+        if not isinstance(start, int) or not isinstance(end, int):
+            raise ProtocolError(
+                "'edit-parse' needs integer 'start' and 'end' in the edit"
+            )
+        replacement = edit.get("replacement", "")
+        if not isinstance(replacement, (str, list)):
+            raise ProtocolError(
+                "'edit-parse' wants the edit 'replacement' as a string or "
+                "a list of token names"
+            )
+        payload, cached = self.workspace.edit_parse(
+            name,
+            base,
+            start,
+            end,
+            replacement,
+            engine=self._engine_of(request),
+        )
+        return self._parse_response(name, payload, cached)
+
+    def _parse_response(
+        self, name: str, payload: Dict[str, Any], cached: bool
+    ) -> Dict[str, Any]:
         response = dict(payload)
-        response["trees"] = list(payload["trees"])
-        response["tree_count"] = len(payload["trees"])
+        if "trees" in payload:
+            # Absent for recognition-mode results (checkpointed recognize
+            # and edit-parse over a recognition base).
+            response["trees"] = list(payload["trees"])
+            response["tree_count"] = len(payload["trees"])
         response["cache"] = cached
         response["version"] = self.workspace.get(name).version
         return response
@@ -169,7 +217,10 @@ class Dispatcher:
     def _recognize(self, request: Dict[str, Any]) -> Dict[str, Any]:
         name = require(request, "session")
         payload, cached = self.workspace.recognize(
-            name, require(request, "tokens"), engine=self._engine_of(request)
+            name,
+            require(request, "tokens"),
+            engine=self._engine_of(request),
+            checkpoint=bool(request.get("checkpoint", False)),
         )
         response = dict(payload)
         response["cache"] = cached

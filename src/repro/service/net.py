@@ -35,7 +35,7 @@ from .protocol import encode
 from .scheduler import Scheduler
 from .server import decode_line
 
-__all__ = ["ParseServer", "BackgroundServer", "run_server"]
+__all__ = ["ParseServer", "BackgroundServer", "run_server", "write_ready_file"]
 
 #: Per-line read limit.  asyncio's default (64 KiB) is smaller than a
 #: legitimate ``restore`` request embedding a snapshot payload (which
@@ -335,6 +335,25 @@ class _Connection:
 # -- entry points ----------------------------------------------------------
 
 
+def write_ready_file(path: str, address: str) -> None:
+    """Publish ``address`` at ``path`` atomically.
+
+    Watchers poll for the file's *existence* and connect the moment it
+    appears, so the contract is: if the file exists, the socket is
+    already listening and the content is the complete address.  A plain
+    ``open(path, "w")`` breaks that — the file exists (empty, then
+    partial) before the write lands, and a fast watcher reads a truncated
+    address.  Writing to a temp file and ``os.replace``-ing it in makes
+    the publish a single atomic rename.
+    """
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w") as handle:
+        handle.write(address + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
 def _announce(server: ParseServer, ready_file: Optional[str]) -> None:
     print(
         f"repro service listening on {server.address} "
@@ -343,9 +362,10 @@ def _announce(server: ParseServer, ready_file: Optional[str]) -> None:
         flush=True,
     )
     if ready_file:
-        # Written atomically last: watchers that see the file can connect.
-        with open(ready_file, "w") as handle:
-            handle.write(server.address + "\n")
+        # Only reached after ParseServer.start() returned, i.e. after the
+        # listening socket is bound — and published atomically, so the
+        # file's existence alone certifies a connectable address.
+        write_ready_file(ready_file, server.address)
 
 
 def run_server(

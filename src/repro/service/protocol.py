@@ -22,7 +22,12 @@ from typing import Any, Dict, Iterator, Optional
 #: (validated against the :mod:`repro.api` registry), rejected parses
 #: carry a structured ``diagnostics`` object, and parse-shaped responses
 #: name the ``engine`` that served them.
-PROTOCOL_VERSION = 2
+#: Version 3: ``parse`` accepts ``"checkpoint": true`` (the response
+#: gains a ``result`` id naming the retained incremental checkpoint) and
+#: the ``edit-parse`` command re-parses a previous result after a splice
+#: edit, reusing its checkpoints (response carries ``result`` and
+#: ``reuse``).
+PROTOCOL_VERSION = 3
 
 #: Commands the dispatcher understands (documented in README.md).
 COMMANDS = (
@@ -31,6 +36,7 @@ COMMANDS = (
     "add-rule",
     "delete-rule",
     "parse",
+    "edit-parse",
     "recognize",
     "batch-parse",
     "snapshot",

@@ -146,7 +146,16 @@ def plan_batch(
         if cmd in COALESCIBLE_COMMANDS:
             tokens = _token_key(request.get("tokens"))
             if tokens is not None:
-                key = (session, cmd, request.get("engine"), tokens)
+                # ``checkpoint`` participates: a checkpointed parse's
+                # response carries a ``result`` id (and retains session
+                # state) that a plain parse's copy would lack.
+                key = (
+                    session,
+                    cmd,
+                    request.get("engine"),
+                    bool(request.get("checkpoint", False)),
+                    tokens,
+                )
         elif cmd in MUTATING_COMMANDS or not isinstance(cmd, str):
             if isinstance(session, str):
                 live = {k: v for k, v in live.items() if k[0] != session}

@@ -12,7 +12,10 @@ results and drops its fast path.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..api.language import LexedInput
@@ -34,6 +37,12 @@ FAST_PATH_ENGINE = "slr-fast-path"
 
 #: Callback invoked (with the session) after every grammar modification.
 ModifyListener = Callable[["ParseSession"], None]
+
+#: Checkpointed results retained per session for ``edit-parse``.  Each
+#: entry pins an :class:`~repro.runtime.incremental.IncrementalOutcome`
+#: (stack frontiers + forest), so the bound is a memory bound; sessions
+#: are shard-pinned, so the store needs no lock.
+CHECKPOINT_CAPACITY = 16
 
 
 class ParseSession:
@@ -62,6 +71,13 @@ class ParseSession:
         self._fast_parser: Optional[SimpleLRParser] = None
         self._table_cache: Optional[Tuple[int, Optional[ParseTable]]] = None
         self._listeners: List[ModifyListener] = []
+        #: result id -> (checkpoint-carrying ParseOutcome, response
+        #: payload); the store behind ``parse {"checkpoint": true}`` and
+        #: ``edit-parse`` — session-local, so shards serve edits without
+        #: any cross-shard state.
+        self.results: "OrderedDict[str, Tuple[Any, Dict[str, Any]]]" = (
+            OrderedDict()
+        )
         self._unsubscribe = self.ipg.grammar.subscribe(self._on_modify)
 
     # -- lifecycle ---------------------------------------------------------
@@ -76,10 +92,12 @@ class ParseSession:
         self._listeners.append(listener)
 
     def _on_modify(self, _grammar: Grammar, _rule: Rule, _added: bool) -> None:
-        # Any MODIFY outdates both the deterministic fast path and (via the
-        # registered listeners) every cached result for this session.
+        # Any MODIFY outdates the deterministic fast path, the retained
+        # incremental checkpoints, and (via the registered listeners)
+        # every cached result for this session.
         self.fast_table = None
         self._fast_parser = None
+        self.results.clear()
         for listener in list(self._listeners):
             listener(self)
 
@@ -209,6 +227,132 @@ class ParseSession:
         payload.pop("trees", None)
         payload.pop("trees_built", None)
         return payload
+
+    # -- incremental re-parsing (checkpoint store) -------------------------
+
+    def _result_id(self, *parts: Any) -> str:
+        """Deterministic id for a (version-chained) parse result.
+
+        Ids are pure functions of the session state and request, so a
+        repeated request maps to the same id (and the same retained
+        checkpoint), and an ``edit-parse`` id chains
+        ``(version, base id, edit)`` — the lineage of the checkpoints it
+        reuses.
+        """
+        blob = json.dumps(parts, sort_keys=True, default=str)
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+    def _retain(
+        self, result_id: str, outcome: Any, payload: Dict[str, Any]
+    ) -> None:
+        self.results[result_id] = (outcome, payload)
+        self.results.move_to_end(result_id)
+        while len(self.results) > CHECKPOINT_CAPACITY:
+            self.results.popitem(last=False)
+
+    def checkpoint_parse(
+        self,
+        tokens: TokenInput,
+        engine: Optional[str] = None,
+        mode: str = "parse",
+    ) -> Tuple[Dict[str, Any], bool]:
+        """A parse/recognize that retains checkpoints for ``edit-parse``.
+
+        Returns ``(payload, was_cached)``; the payload's ``result`` field
+        is the id ``edit-parse`` requests pass as ``base``.  Bypasses the
+        SLR fast path and the shared result cache: the retained
+        checkpoint-carrying outcome *is* the cache here, and a hit must
+        hand back an entry that still owns live checkpoints.  In
+        ``"recognize"`` mode checkpoints carry pure state frontiers, the
+        regime where an edit re-converges a token or two past the damage.
+        """
+        lexed = self.language.lex(tokens)
+        result_id = self._result_id(
+            mode,
+            self.version,
+            engine or "",
+            [t.name for t in lexed.terminals],
+            lexed.text,
+        )
+        held = self.results.get(result_id)
+        if held is not None:
+            self.results.move_to_end(result_id)
+            return held[1], True
+        outcome = self.language.parse_lexed(
+            lexed,
+            engine=engine,
+            build_trees=mode == "parse",
+            checkpoint=True,
+        )
+        payload = self._result_payload(outcome, result_id, mode)
+        self._retain(result_id, outcome, payload)
+        return payload, False
+
+    @staticmethod
+    def _result_payload(
+        outcome: Any, result_id: str, mode: str
+    ) -> Dict[str, Any]:
+        """The retained response payload (tree-less in recognition mode,
+        matching the plain ``recognize`` payload shape)."""
+        payload = outcome.to_payload()
+        if mode == "recognize":
+            payload.pop("trees", None)
+            payload.pop("trees_built", None)
+        payload["result"] = result_id
+        return payload
+
+    def edit_parse(
+        self,
+        base: str,
+        start: int,
+        end: int,
+        replacement: TokenInput = (),
+        engine: Optional[str] = None,
+    ) -> Tuple[Dict[str, Any], bool]:
+        """Re-parse retained result ``base`` after a splice edit.
+
+        The new result is retained under an id chaining
+        ``(session version, base id, edit)``, so chains of edits keep
+        resuming from checkpoints, and a repeated identical edit request
+        is a cache hit.  An unknown ``base`` (never parsed with
+        ``checkpoint``, evicted, or dropped by a grammar edit) is a
+        :class:`ServiceError` telling the client to re-establish one.
+        """
+        held = self.results.get(base)
+        if held is None:
+            raise ServiceError(
+                f"unknown result {base!r} in session {self.name!r} — "
+                f"checkpoints are dropped by grammar edits and LRU "
+                f"pressure; re-parse with \"checkpoint\": true"
+            )
+        replacement_names = (
+            replacement
+            if isinstance(replacement, str)
+            else [getattr(t, "name", str(t)) for t in replacement]
+        )
+        result_id = self._result_id(
+            "edit",
+            self.version,
+            engine or "",
+            base,
+            start,
+            end,
+            replacement_names,
+        )
+        cached = self.results.get(result_id)
+        if cached is not None:
+            self.results.move_to_end(result_id)
+            return cached[1], True
+        outcome = self.language.reparse(
+            held[0], start, end, replacement, engine=engine
+        )
+        # The edit inherits the base's mode; a recognition-mode base
+        # ("trees" absent from its payload) yields tree-less responses.
+        mode = "parse" if "trees" in held[1] else "recognize"
+        payload = self._result_payload(outcome, result_id, mode)
+        payload["base"] = base
+        self._retain(result_id, outcome, payload)
+        return payload, False
 
     def summary(self) -> Dict[str, int]:
         return self.ipg.summary()
@@ -367,17 +511,50 @@ class Workspace:
         name: str,
         tokens: TokenInput,
         engine: Optional[str] = None,
+        checkpoint: bool = False,
     ) -> Tuple[Dict[str, Any], bool]:
-        """``(payload, was_cached)`` for a tree-building parse."""
+        """``(payload, was_cached)`` for a tree-building parse.
+
+        With ``checkpoint=True`` the parse goes through the session's
+        checkpoint store instead of the shared LRU (the retained
+        incremental outcome is the cacheable thing), and the payload
+        carries the ``result`` id for ``edit-parse``.
+        """
+        if checkpoint:
+            return self.get(name).checkpoint_parse(tokens, engine, mode="parse")
         return self._cached(name, "parse", tokens, engine)
+
+    def edit_parse(
+        self,
+        name: str,
+        base: str,
+        start: int,
+        end: int,
+        replacement: TokenInput = (),
+        engine: Optional[str] = None,
+    ) -> Tuple[Dict[str, Any], bool]:
+        """``(payload, was_cached)`` for an incremental edit re-parse."""
+        return self.get(name).edit_parse(
+            base, start, end, replacement, engine=engine
+        )
 
     def recognize(
         self,
         name: str,
         tokens: TokenInput,
         engine: Optional[str] = None,
+        checkpoint: bool = False,
     ) -> Tuple[Dict[str, Any], bool]:
-        """``(payload, was_cached)`` for accept/reject recognition."""
+        """``(payload, was_cached)`` for accept/reject recognition.
+
+        ``checkpoint=True`` retains state-frontier checkpoints for
+        ``edit-parse`` — the regime where edits re-converge a token or
+        two past the damage.
+        """
+        if checkpoint:
+            return self.get(name).checkpoint_parse(
+                tokens, engine, mode="recognize"
+            )
         return self._cached(name, "recognize", tokens, engine)
 
     def __repr__(self) -> str:

@@ -1,0 +1,152 @@
+"""``Language.reparse`` and the Engine reparse protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Language, engines
+from repro.runtime.errors import ParseError
+
+GRAMMAR = """
+    E ::= a
+    E ::= b
+    E ::= E + a
+    E ::= E + b
+    START ::= E
+"""
+
+
+@pytest.fixture()
+def language():
+    return Language.from_text(GRAMMAR)
+
+
+class TestCheckpointedParse:
+    def test_checkpoint_carries_handle_and_reuse(self, language):
+        outcome = language.parse("a + a", checkpoint=True)
+        assert outcome.accepted
+        assert outcome.incremental is not None
+        assert outcome.reuse["total_tokens"] == 3
+        assert outcome.terminals and outcome.terminals[0].name == "a"
+
+    def test_plain_parse_has_no_handle(self, language):
+        outcome = language.parse("a + a")
+        assert outcome.incremental is None
+        assert outcome.reuse is None
+
+    def test_unsupported_engine_checkpoint_degrades_gracefully(self, language):
+        outcome = language.parse("a + a", engine="earley", checkpoint=True)
+        assert outcome.accepted
+        assert outcome.incremental is None
+
+    def test_trace_and_checkpoint_are_mutually_exclusive(self, language):
+        from repro.runtime.trace import Trace
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            language.parse("a + a", trace=Trace(), checkpoint=True)
+
+
+class TestReparse:
+    def test_equivalent_to_scratch_parse(self, language):
+        base = language.parse("a + a + b", checkpoint=True)
+        edited = language.reparse(base, 2, 3, "b")
+        scratch = language.parse("a + b + b")
+        assert edited.accepted and scratch.accepted
+        assert edited.brackets() == scratch.brackets()
+        assert edited.engine == scratch.engine
+        assert edited.reuse["reused_prefix"] == 2
+
+    def test_replacement_accepts_string_and_sequences(self, language):
+        base = language.parse("a + a", checkpoint=True)
+        by_text = language.reparse(base, 2, 3, "b")
+        rebase = language.parse("a + a", checkpoint=True)
+        by_list = language.reparse(rebase, 2, 3, ["b"])
+        assert by_text.accepted and by_list.accepted
+        assert by_text.brackets() == by_list.brackets()
+
+    def test_deletion_and_insertion(self, language):
+        base = language.parse("a + a + b", checkpoint=True)
+        deleted = language.reparse(base, 1, 3)
+        assert deleted.accepted
+        assert [t.name for t in deleted.terminals] == ["a", "+", "b"]
+        inserted = language.reparse(deleted, 3, 3, "+ a")
+        assert inserted.accepted
+        assert [t.name for t in inserted.terminals] == ["a", "+", "b", "+", "a"]
+
+    def test_unknown_explicit_engine_raises(self, language):
+        base = language.parse("a + a", checkpoint=True)
+        with pytest.raises(ValueError, match="unknown engine"):
+            language.reparse(base, 2, 3, "b", engine="comipled")
+
+    def test_out_of_range_edit_raises(self, language):
+        base = language.parse("a + a", checkpoint=True)
+        with pytest.raises(ParseError):
+            language.reparse(base, 0, 99)
+        with pytest.raises(ParseError):
+            language.reparse(base, 4, 2)
+
+    def test_rejection_diagnostics_match_scratch(self, language):
+        base = language.parse("a + a", checkpoint=True)
+        edited = language.reparse(base, 1, 2, "b")  # "a b a" is invalid
+        scratch = language.parse(["a", "b", "a"])
+        assert not edited.accepted and not scratch.accepted
+        left = edited.diagnostic.to_payload()
+        right = scratch.diagnostic.to_payload()
+        assert left["token_index"] == right["token_index"]
+        assert left["expected"] == right["expected"]
+
+    def test_reuse_survives_payload_round_trip(self, language):
+        base = language.parse("a + a", checkpoint=True)
+        edited = language.reparse(base, 2, 3, "b")
+        payload = edited.to_payload()
+        assert payload["reuse"]["reused_prefix"] == 2
+
+    def test_plain_outcome_falls_back(self, language):
+        """A base without checkpoints still re-parses correctly."""
+        base = language.parse("a + a")
+        edited = language.reparse(base, 2, 3, "b")
+        assert edited.accepted
+        assert edited.reuse["fallback"] == "no-checkpoint"
+
+    def test_engine_override_does_not_reuse_foreign_checkpoints(self, language):
+        base = language.parse("a + a", checkpoint=True)
+        edited = language.reparse(base, 2, 3, "b", engine="lazy")
+        scratch = language.parse("a + b", engine="lazy")
+        assert edited.engine == "lazy"
+        assert edited.brackets() == scratch.brackets()
+        assert edited.reuse["fallback"] == "no-checkpoint"
+
+    def test_recognition_base_reparses_in_recognition_mode(self, language):
+        base = language.recognize("a + a + b", checkpoint=True)
+        edited = language.reparse(base, 2, 3, "b")
+        assert edited.accepted
+        assert not edited.trees_built
+
+    def test_grammar_edit_between_parses_falls_back(self, language):
+        base = language.parse("a + a", checkpoint=True)
+        language.add_rule("E ::= E + c")
+        edited = language.reparse(base, 2, 3, "c")
+        scratch = language.parse("a + c")
+        assert edited.accepted and scratch.accepted
+        assert edited.reuse["fallback"] == "grammar-modified"
+
+    @pytest.mark.parametrize("name", list(engines()))
+    def test_every_engine_answers_reparse(self, language, name):
+        base = language.parse("a + a + b", checkpoint=True, engine=name)
+        edited = language.reparse(base, 2, 3, "b")
+        scratch = language.parse("a + b + b", engine=name)
+        assert edited.accepted == scratch.accepted is True
+        assert edited.brackets() == scratch.brackets()
+
+
+class TestDenseEngineInvalidation:
+    def test_dense_checkpoints_die_with_the_table(self, language):
+        base = language.parse("a + a", checkpoint=True, engine="dense")
+        assert base.accepted
+        language.add_rule("E ::= E + c")
+        edited = language.reparse(base, 2, 3, "c")
+        scratch = language.parse("a + c", engine="dense")
+        assert edited.accepted and scratch.accepted
+        # The dense control was rebuilt: the old checkpoint is unusable
+        # (whatever the reason string, reuse must not have happened).
+        assert edited.reuse["fallback"] is not None

@@ -274,7 +274,7 @@ class TestIntrospection:
 
     def test_info(self, booleans_dispatcher):
         server = booleans_dispatcher.handle({"cmd": "info"})
-        assert server["protocol"] == 2
+        assert server["protocol"] == 3
         assert "parse" in server["commands"]
         assert "compiled" in server["engines"]
         assert server["sessions"] == ["s1"]

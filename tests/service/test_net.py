@@ -348,3 +348,68 @@ class TestSigtermSubprocess:
             if process.poll() is None:
                 process.kill()
                 process.communicate(timeout=30)
+
+
+class TestReadyFile:
+    """--ready-file publishes a connectable address, atomically.
+
+    Regression (PR 5): the ready file used to be created with a plain
+    ``open(path, "w")`` — it *existed* (empty, then partially written)
+    before the address landed, so a watcher acting on existence could
+    read a truncated address and race the listening socket.  The file is
+    now written to a temp name and ``os.replace``d in, so its existence
+    alone certifies a complete address and a bound socket.
+    """
+
+    def test_write_ready_file_is_atomic_and_complete(self, tmp_path):
+        from repro.service.net import write_ready_file
+
+        path = tmp_path / "ready"
+        write_ready_file(str(path), "127.0.0.1:4242")
+        assert path.read_text() == "127.0.0.1:4242\n"
+        # No temp debris, and an overwrite replaces the content whole.
+        write_ready_file(str(path), "127.0.0.1:4243")
+        assert path.read_text() == "127.0.0.1:4243\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["ready"]
+
+    def test_existence_implies_connectable(self, tmp_path):
+        """The instant the file exists, its content must be a complete
+        address whose socket accepts connections (no [ -s ] grace)."""
+        ready = tmp_path / "ready"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--tcp",
+                "127.0.0.1:0",
+                "--ready-file",
+                str(ready),
+            ],
+            env=env,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 60
+            while time.time() < deadline and not ready.exists():
+                time.sleep(0.005)
+            assert ready.exists(), "server never wrote the ready file"
+            # Read immediately on first sight of existence: the content
+            # must already be the full address, and the port must accept.
+            address = ready.read_text()
+            assert address.endswith("\n")
+            host, port_text = address.strip().rsplit(":", 1)
+            assert port_text.isdigit() and int(port_text) > 0
+            sock = socket.create_connection((host, int(port_text)), timeout=30)
+            stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+            responses = exchange(stream, OPEN, PARSE)
+            assert responses[1]["accepted"] is True
+            sock.close()
+        finally:
+            process.terminate()
+            process.communicate(timeout=60)

@@ -56,6 +56,23 @@ class TestPlanBatch:
         assert len(execute) == 2
         assert placements == [("run", 0), ("run", 1), ("copy", 0)]
 
+    def test_checkpoint_participates_in_the_key(self):
+        """A checkpointed parse must never be answered with a plain
+        parse's copy: the copy would lack the ``result`` id and the
+        session would retain no checkpoint for a later edit-parse."""
+        plain = parse_request("a")
+        checkpointed = dict(parse_request("a"), checkpoint=True)
+        execute, placements = plan_batch(
+            [plain, checkpointed, dict(checkpointed), dict(plain)]
+        )
+        assert len(execute) == 2
+        assert placements == [
+            ("run", 0),
+            ("run", 1),
+            ("copy", 1),
+            ("copy", 0),
+        ]
+
     def test_text_and_token_list_never_share_an_answer(self):
         as_text = parse_request("a", "true or false")
         as_list = {

@@ -221,3 +221,50 @@ class TestProcessEntryPoint:
         assert completed.returncode == 0
         assert "accepted" in completed.stdout
         assert "bye" in completed.stdout
+
+
+class TestEditCommand:
+    GRAMMAR = [
+        "add E ::= a",
+        "add E ::= b",
+        "add E ::= E + a",
+        "add E ::= E + b",
+        "add START ::= E",
+    ]
+
+    def test_edit_reparses_incrementally(self):
+        out = run_session(self.GRAMMAR + ["parse a + a + a", "edit 2 3 b"])
+        assert "edited [2:3] -> 'b' (re-parsed 3 of 5 tokens)" in out
+        assert "  START(E(E(E(a) + b) + a))" in out
+
+    def test_edit_after_recognize(self):
+        out = run_session(self.GRAMMAR + ["recognize a + a", "edit 2 3 b"])
+        assert out[-1] == "accepted"
+
+    def test_edit_converges_without_reparsing_the_suffix(self):
+        out = run_session(self.GRAMMAR + ["recognize a + a + b + a", "edit 0 0"])
+        assert any("converged at token 0" in line for line in out)
+
+    def test_edit_chain_uses_previous_result(self):
+        out = run_session(
+            self.GRAMMAR + ["parse a + a", "edit 2 3 b", "edit 0 1 b"]
+        )
+        assert "  START(E(E(b) + b))" in out
+
+    def test_edit_without_a_previous_parse(self):
+        assert run_session(["edit 0 0"]) == [
+            "nothing to edit — parse or recognize an input first"
+        ]
+
+    def test_edit_usage_errors(self):
+        out = run_session(self.GRAMMAR + ["parse a", "edit x y", "edit 1"])
+        assert out.count("usage: edit <start> <end> [replacement tokens...]") == 2
+
+    def test_edit_out_of_range_reported(self):
+        out = run_session(self.GRAMMAR + ["parse a", "edit 0 9 b"])
+        assert any(line.startswith("error: edit range") for line in out)
+
+    def test_rejecting_edit_prints_diagnostic(self):
+        out = run_session(self.GRAMMAR + ["parse a + a", "edit 1 2 b"])
+        assert "rejected" in out
+        assert any("expected" in line for line in out)
