@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Telemetry overhead benchmark: the cost of repro.obs on the parse path.
+
+Times the same warm recognition workload with telemetry stripped (call
+sites monkeypatched to no-ops), disabled (the shipped default: counters
+on, spans off) and enabled (process-wide tracing), and writes
+``BENCH_obs_overhead.json`` at the repo root — including the §5.2
+laziness numbers (states materialized vs the full table):
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+CI gate mode — fails when the disabled path costs more than the floor
+file's ``obs_overhead.max_disabled_overhead`` fraction (default 2%):
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \\
+        --floor benchmarks/hotpath_floor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    from repro.bench.obs_overhead import (
+        check_overhead,
+        measure_obs_overhead,
+        render_obs_overhead,
+    )
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.obs_overhead import (
+        check_overhead,
+        measure_obs_overhead,
+        render_obs_overhead,
+    )
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_obs_overhead.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--rounds", type=int, default=7, help="interleaved timing rounds"
+    )
+    parser.add_argument(
+        "--inner", type=int, default=5, help="recognitions timed per sample"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-output", action="store_true", help="skip writing the JSON file"
+    )
+    parser.add_argument(
+        "--floor",
+        type=Path,
+        default=None,
+        help="floor JSON holding the obs_overhead gate (exit 1 on breach)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure_obs_overhead(rounds=args.rounds, inner=args.inner)
+    print(render_obs_overhead(report))
+
+    if not args.no_output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if args.floor is not None:
+        floor = json.loads(args.floor.read_text())
+        problems = check_overhead(report, floor)
+        if problems:
+            print("overhead gate: FAIL")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("overhead gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,6 +71,32 @@ def delta_table(
     return "\n".join(lines)
 
 
+def laziness_footer(current: Dict[str, Any]) -> str:
+    """The §5.2 headline when the report carries a ``laziness`` section.
+
+    Reports produced by ``bench_obs_overhead.py`` (and anything else that
+    samples the obs registry's lazy-generation gauges) record how much of
+    the full LR table was ever materialized — the paper's measure of what
+    laziness saves.  Empty string when the section is absent.
+    """
+    laziness = current.get("laziness")
+    if not isinstance(laziness, dict):
+        return ""
+    materialized = laziness.get("states_materialized")
+    full = laziness.get("full_table_states")
+    if not isinstance(materialized, (int, float)) or not isinstance(
+        full, (int, float)
+    ):
+        return ""
+    fraction = laziness.get("table_fraction")
+    if not isinstance(fraction, (int, float)):
+        fraction = materialized / full if full else 0.0
+    return (
+        f"\n**Laziness (§5.2):** {materialized:,.0f} of {full:,.0f} LR "
+        f"states materialized — {fraction:.1%} of the full table."
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("previous", type=Path, help="last main run's report")
@@ -85,17 +111,18 @@ def main(argv=None) -> int:
         print(f"error: current report {args.current} is missing", file=sys.stderr)
         return 1
     current = json.loads(args.current.read_text())
+    footer = laziness_footer(current)
     if not args.previous.exists():
         print(f"### Bench trend: {label}\n\n_no previous main-run artifact "
-              f"to compare against (first run, or artifact expired)_")
+              f"to compare against (first run, or artifact expired)_" + footer)
         return 0
     try:
         previous = json.loads(args.previous.read_text())
     except (OSError, json.JSONDecodeError) as error:
         print(f"### Bench trend: {label}\n\n_previous report unreadable: "
-              f"{error}_")
+              f"{error}_" + footer)
         return 0
-    print(delta_table(previous, current, label))
+    print(delta_table(previous, current, label) + footer)
     return 0
 
 

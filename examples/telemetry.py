@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Telemetry: spans, the metrics registry, and the Prometheus exporter.
+
+Drives the observability layer end to end at the library level:
+
+1. trace a parse and print its span tree (tokenize/engine timings);
+2. watch the laziness gauges (§5.2) move as the table grows on demand;
+3. catch a slow request with the slow log;
+4. render the whole registry in Prometheus text exposition format.
+
+Run:  PYTHONPATH=src python examples/telemetry.py
+"""
+
+from repro import obs
+from repro.api import Language
+
+BOOLEANS = """
+    B ::= true
+    B ::= false
+    B ::= B or B
+    B ::= B and B
+    START ::= B
+"""
+
+
+def main() -> None:
+    language = Language.from_text(BOOLEANS)
+
+    # --- 1. span trees: where did the time go? -------------------------
+    obs.set_tracing(True)
+    outcome = language.parse("true and false or true")
+    print("accepted:", outcome.accepted)
+    tree = obs.recent_spans(limit=1)[0]
+    print(obs.render_span_tree(tree))
+
+    # --- 2. the §5.2 laziness metrics move as the table grows ----------
+    # (the service exports these as the repro.lazy.* gauges)
+    from repro.core.metrics import table_fraction
+
+    fresh = Language.from_text(BOOLEANS)
+
+    def fraction() -> float:
+        return table_fraction(fresh.generator.graph, fresh.grammar)
+
+    fresh.parse("true and true")
+    print(f"\ntable fraction after one sentence: {fraction():.0%}")
+    fresh.parse("true or true or false and true")
+    print(f"after a second sentence:           {fraction():.0%}")
+
+    # --- 3. the slow log: span trees for outliers only -----------------
+    obs.set_tracing(False)
+    lines = []
+    obs.set_slow_sink(lines.append)
+    obs.set_slow_threshold(0.0)  # 0 ms: everything counts as slow
+    language.parse("false or false")
+    obs.set_slow_threshold(None)
+    obs.set_slow_sink(None)
+    print("\nslow log caught:")
+    print(lines[0])
+
+    # --- 4. the registry in Prometheus text exposition format ----------
+    snapshot = obs.REGISTRY.snapshot()
+    text = obs.render_prometheus(snapshot)
+    wanted = ("repro_generator_states", "repro_parse_accepted", "repro_compiled")
+    print("scrape excerpt:")
+    for line in text.splitlines():
+        if line.startswith(wanted) or any(
+            line.startswith(f"# TYPE {name}") for name in wanted
+        ):
+            print(" ", line)
+    print(f"  ... ({len(snapshot)} series total)")
+
+
+if __name__ == "__main__":
+    main()

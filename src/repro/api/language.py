@@ -30,8 +30,10 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from .. import obs
 from ..grammar.builders import grammar_from_text, rule_from_text
 from ..grammar.grammar import Grammar
 from ..grammar.rules import Rule
@@ -52,6 +54,129 @@ DEFAULT_ENGINE = "compiled"
 
 TokenInput = Union[str, Iterable[Union[str, Terminal]]]
 RuleInput = Union[Rule, str]
+
+# -- telemetry (repro.obs) -------------------------------------------------
+#
+# Instruments are created once at import and cached in plain module
+# globals, so the per-parse cost is a handful of lock-guarded integer
+# increments — cheap enough to stay on unconditionally (the spans, which
+# do allocate, are off unless tracing is enabled).  Live Language
+# instances register in a WeakSet; a snapshot-time collector sums their
+# generator and compiled-control stats under the dotted catalog names.
+
+_LIVE_LANGUAGES: "weakref.WeakSet[Language]" = weakref.WeakSet()
+
+_PARSE_SECONDS = obs.histogram("repro.parse.seconds")
+_PARSE_ACCEPTED = obs.counter("repro.parse.accepted")
+_PARSE_REJECTED = obs.counter("repro.parse.rejected")
+_LEX_TOKENS = obs.counter("repro.lexer.tokens")
+_LEX_ERRORS = obs.counter("repro.lexer.errors")
+
+#: ParseStats keys mirrored as global engine-work counters.
+_ENGINE_STAT_KEYS = (
+    "sweeps",
+    "action_calls",
+    "shifts",
+    "reduces",
+    "forks",
+    "duplicates_dropped",
+)
+_ENGINE_COUNTERS = tuple(
+    (key, obs.counter("repro.engine." + key)) for key in _ENGINE_STAT_KEYS
+)
+
+# Small label-value caches so the hot path never rebuilds label tuples;
+# benign races just create the same instrument twice (the registry
+# deduplicates by key).
+_REQUEST_COUNTERS: Dict[str, obs.Counter] = {}
+_REUSE_COUNTERS: Dict[Tuple[str, str], obs.Counter] = {}
+_MODIFY_COUNTERS: Dict[str, obs.Counter] = {}
+
+
+def _requests_counter(engine: str) -> obs.Counter:
+    counter = _REQUEST_COUNTERS.get(engine)
+    if counter is None:
+        counter = _REQUEST_COUNTERS[engine] = obs.counter(
+            "repro.parse.requests", engine=engine
+        )
+    return counter
+
+
+def _reuse_counter(outcome: str, reason: str) -> obs.Counter:
+    counter = _REUSE_COUNTERS.get((outcome, reason))
+    if counter is None:
+        counter = _REUSE_COUNTERS[(outcome, reason)] = obs.counter(
+            "repro.incremental.reparse", outcome=outcome, reason=reason
+        )
+    return counter
+
+
+def _modify_counter(op: str) -> obs.Counter:
+    counter = _MODIFY_COUNTERS.get(op)
+    if counter is None:
+        counter = _MODIFY_COUNTERS[op] = obs.counter(
+            "repro.generator.modify", op=op
+        )
+    return counter
+
+
+def _record_parse(outcome: "ParseOutcome", reparsed: bool = False) -> None:
+    """Fold one finished parse into the global registry.
+
+    ``reparsed`` marks outcomes of :meth:`Language.reparse` — only those
+    feed the incremental reuse counters (a *fresh* checkpointed parse
+    also carries a ``reuse`` dict, but resumed nothing).
+    """
+    _requests_counter(outcome.engine).inc()
+    (_PARSE_ACCEPTED if outcome.accepted else _PARSE_REJECTED).inc()
+    _PARSE_SECONDS.observe(outcome.elapsed)
+    stats = outcome.stats
+    if stats:
+        for key, counter in _ENGINE_COUNTERS:
+            value = stats.get(key)
+            if value:
+                counter.inc(value)
+    if reparsed and outcome.reuse is not None:
+        fallback = outcome.reuse.get("fallback")
+        if fallback:
+            _reuse_counter("fallback", str(fallback)).inc()
+        else:
+            _reuse_counter("resumed", "none").inc()
+
+
+def _collect_language_stats():
+    """Snapshot-time collector: sum stats over live Language instances.
+
+    Exported counters are sums over *live* languages — long-lived holders
+    (service sessions) dominate; a language garbage-collected mid-flight
+    takes its contribution with it.
+    """
+    graph_totals = {"expansions": 0, "states_created": 0, "states_removed": 0,
+                    "closure_items": 0}
+    states = complete = 0
+    compiled_totals: Dict[str, int] = {}
+    for language in list(_LIVE_LANGUAGES):
+        graph = language.generator.graph
+        snapshot = graph.stats.snapshot()
+        for key in graph_totals:
+            graph_totals[key] += snapshot.get(key, 0)
+        for state in graph.states():
+            states += 1
+            complete += state.is_complete
+        for key, value in language.control.stats.snapshot().items():
+            if isinstance(value, (int, float)) and key != "hit_rate":
+                compiled_totals[key] = compiled_totals.get(key, 0) + value
+    for key, value in graph_totals.items():
+        yield ("repro.generator." + key, None, "counter", value)
+    yield ("repro.generator.states", None, "gauge", states)
+    yield ("repro.generator.states_complete", None, "gauge", complete)
+    for key, value in compiled_totals.items():
+        # action_cache_hits -> repro.compiled.action_cache.hits
+        dotted = key.replace("action_cache_", "action_cache.", 1)
+        yield ("repro.compiled." + dotted, None, "counter", value)
+
+
+obs.register_collector(_collect_language_stats)
 
 
 class LexedInput:
@@ -131,6 +256,7 @@ class Language:
         # Subscribed last: engines are invalidated after the generator and
         # the compiled cache have already settled the graph.
         self._unsubscribe = self.grammar.subscribe(self._on_modify)
+        _LIVE_LANGUAGES.add(self)
 
     # -- constructors ------------------------------------------------------
 
@@ -184,10 +310,14 @@ class Language:
         :class:`Lexeme` s; they are taken as given (no scanning).
         """
         if isinstance(tokens, str):
-            lexemes = tuple(self.tokenizer.tokenize(tokens))
-            terminals = tuple(
-                self.tokenizer.terminal_of(lexeme) for lexeme in lexemes
-            )
+            with obs.span("tokenize") as sp:
+                lexemes = tuple(self.tokenizer.tokenize(tokens))
+                terminals = tuple(
+                    self.tokenizer.terminal_of(lexeme) for lexeme in lexemes
+                )
+                if sp.recording:
+                    sp.set(tokens=len(terminals), chars=len(tokens))
+            _LEX_TOKENS.inc(len(terminals))
             return LexedInput(tokens, lexemes, terminals)
         lexemes_list: List[Lexeme] = []
         terminals_list: List[Terminal] = []
@@ -322,14 +452,17 @@ class Language:
         spliced = edit.apply(base_terminals)
         build_trees = prev.trees_built
         handle = prev.incremental if engine is None or engine == prev.engine else None
-        if selected.supports_reparse:
-            report = selected.reparse(handle, edit, spliced, build_trees)
-        else:
-            report = selected.reparse(None, edit, spliced, build_trees)
-            report.reuse = {"fallback": "engine-without-reparse"}
+        with obs.span("reparse", engine=engine_name) as sp:
+            if selected.supports_reparse:
+                report = selected.reparse(handle, edit, spliced, build_trees)
+            else:
+                report = selected.reparse(None, edit, spliced, build_trees)
+                report.reuse = {"fallback": "engine-without-reparse"}
+            if sp.recording and report.reuse is not None:
+                sp.set(**{k: v for k, v in report.reuse.items() if v is not None})
         lexed = LexedInput(None, (), spliced)
         return self._outcome_from_report(
-            lexed, report, selected, build_trees, started
+            lexed, report, selected, build_trees, started, reparsed=True
         )
 
     def parse_lexed(
@@ -341,9 +474,10 @@ class Language:
     ) -> ParseOutcome:
         """Parse an already tokenized input (the service's cache path)."""
         started = time.perf_counter()
-        return self._outcome(
-            lexed, self.engine(engine), build_trees, started, checkpoint
-        )
+        with obs.span("parse", tokens=len(lexed)):
+            return self._outcome(
+                lexed, self.engine(engine), build_trees, started, checkpoint
+            )
 
     def _run(
         self,
@@ -362,23 +496,25 @@ class Language:
                 "runs through the pool parser, which records no checkpoints"
             )
         selected = self.engine(engine_name)
-        try:
-            lexed = self.lex(tokens)
-        except ScanError as error:
-            return self._scan_failure(
-                tokens if isinstance(tokens, str) else "", error, selected, started
-            )
-        if trace is not None:
-            # Tracing is a pool-parser feature; route through the
-            # engine's pool when it has one.
-            pool = getattr(selected, "pool", None)
-            if pool is not None:
-                result = pool.parse(lexed.terminals, trace=trace)
-                report = selected._report(result, pool.control)
-                return self._outcome_from_report(
-                    lexed, report, selected, build_trees, started
+        with obs.span("parse"):
+            try:
+                lexed = self.lex(tokens)
+            except ScanError as error:
+                return self._scan_failure(
+                    tokens if isinstance(tokens, str) else "", error, selected, started
                 )
-        return self._outcome(lexed, selected, build_trees, started, checkpoint)
+            if trace is not None:
+                # Tracing is a pool-parser feature; route through the
+                # engine's pool when it has one.
+                pool = getattr(selected, "pool", None)
+                if pool is not None:
+                    with obs.span("engine", engine=selected.name):
+                        result = pool.parse(lexed.terminals, trace=trace)
+                    report = selected._report(result, pool.control)
+                    return self._outcome_from_report(
+                        lexed, report, selected, build_trees, started
+                    )
+            return self._outcome(lexed, selected, build_trees, started, checkpoint)
 
     def _outcome(
         self,
@@ -388,16 +524,29 @@ class Language:
         started: float,
         checkpoint: bool = False,
     ) -> ParseOutcome:
-        if checkpoint:
-            report = selected.parse_incremental(
-                lexed.terminals, build_trees=build_trees
-            )
-        else:
-            report = (
-                selected.parse(lexed.terminals)
-                if build_trees
-                else selected.recognize(lexed.terminals)
-            )
+        sp = obs.span("engine", engine=selected.name)
+        with sp:
+            if sp.recording:
+                graph_stats = self.generator.graph.stats
+                expansions_before = graph_stats.expansions
+            if checkpoint:
+                report = selected.parse_incremental(
+                    lexed.terminals, build_trees=build_trees
+                )
+            else:
+                report = (
+                    selected.parse(lexed.terminals)
+                    if build_trees
+                    else selected.recognize(lexed.terminals)
+                )
+            if sp.recording:
+                sp.set(lazy_expansions=graph_stats.expansions - expansions_before)
+                if report.stats:
+                    sp.set(**{
+                        key: report.stats[key]
+                        for key in ("shifts", "reduces", "forks", "sweeps")
+                        if key in report.stats
+                    })
         return self._outcome_from_report(
             lexed, report, selected, build_trees, started
         )
@@ -409,11 +558,12 @@ class Language:
         selected: Engine,
         build_trees: bool,
         started: float,
+        reparsed: bool = False,
     ) -> ParseOutcome:
         diagnostic = None
         if not report.accepted:
             diagnostic = self._diagnose(lexed, report.failure)
-        return ParseOutcome(
+        outcome = ParseOutcome(
             accepted=report.accepted,
             trees=report.trees,
             engine=selected.name,
@@ -426,6 +576,8 @@ class Language:
             incremental=getattr(report, "incremental", None),
             reuse=getattr(report, "reuse", None),
         )
+        _record_parse(outcome, reparsed=reparsed)
+        return outcome
 
     # -- diagnostics -------------------------------------------------------
 
@@ -475,6 +627,7 @@ class Language:
         selected: Engine,
         started: float,
     ) -> ParseOutcome:
+        _LEX_ERRORS.inc()
         line, column = line_and_column(text, error.position)
         diagnostic = Diagnostic(
             str(error).splitlines()[0],
@@ -513,12 +666,20 @@ class Language:
     def add_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> bool:
         """ADD-RULE; accepts a Rule or ``"A ::= b c"`` text."""
         self.sorts.update(sorts)
-        return self.generator.add_rule(self.coerce_rule(rule))
+        with obs.span("modify", op="add"):
+            applied = self.generator.add_rule(self.coerce_rule(rule))
+        if applied:
+            _modify_counter("add").inc()
+        return applied
 
     def delete_rule(self, rule: RuleInput, sorts: Iterable[str] = ()) -> bool:
         """DELETE-RULE; accepts a Rule or ``"A ::= b c"`` text."""
         self.sorts.update(sorts)
-        return self.generator.delete_rule(self.coerce_rule(rule))
+        with obs.span("modify", op="delete"):
+            applied = self.generator.delete_rule(self.coerce_rule(rule))
+        if applied:
+            _modify_counter("delete").inc()
+        return applied
 
     def collect_garbage(self, force_sweep: bool = False) -> int:
         return self.generator.collect_garbage(force_sweep=force_sweep)

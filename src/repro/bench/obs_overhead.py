@@ -1,0 +1,237 @@
+"""Telemetry overhead: the cost of :mod:`repro.obs` on the parse path.
+
+The observability layer promises that *disabled* tracing is nearly free:
+``obs.span`` returns a shared no-op handle and the always-on counters are
+a handful of cached lock-guarded increments.  This benchmark prices that
+promise by timing the same warm recognition workload through
+:class:`~repro.api.Language` under three tiers:
+
+* ``stripped`` — the telemetry call sites monkeypatched to no-ops: the
+  parse path with no observability at all (the reference cost);
+* ``disabled`` — the shipped default: counters on, spans off;
+* ``enabled`` — process-wide tracing on (spans allocate and publish).
+
+Tiers run interleaved (every tier once per round, best round kept) so
+machine noise lands on all of them alike, and the CI gate fails when the
+``disabled`` tier falls more than the configured fraction (default 2%)
+below ``stripped``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from ..api import Language
+from ..core.metrics import full_table_states, states_materialized
+from .workloads import booleans_workload
+
+OVERHEAD_TIERS = ("stripped", "disabled", "enabled")
+
+#: default CI gate: the disabled path may cost at most this fraction of
+#: the stripped path's throughput (overridden by the floor file's
+#: ``obs_overhead.max_disabled_overhead``)
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+class _NullCM:
+    """Stand-in for ``obs.NULL_SPAN`` with zero bookkeeping."""
+
+    __slots__ = ()
+
+    recording = False
+
+    def __enter__(self) -> "_NullCM":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        pass
+
+    def set(self, **_attributes: Any) -> None:
+        pass
+
+
+_NULL_CM = _NullCM()
+
+
+class _ObsStub:
+    """Replaces ``repro.api.language.obs`` in the stripped tier."""
+
+    @staticmethod
+    def span(_name: str, **_attributes: Any) -> _NullCM:
+        return _NULL_CM
+
+    @staticmethod
+    def annotate(**_attributes: Any) -> None:
+        pass
+
+
+class _NoopInstrument:
+    __slots__ = ()
+
+    def inc(self, _amount: int = 1) -> None:
+        pass
+
+    def observe(self, _value: float) -> None:
+        pass
+
+
+def _strip_language_telemetry():
+    """Patch the language module's telemetry seams; returns the restorer."""
+    from ..api import language as module
+
+    saved = (module.obs, module._record_parse, module._LEX_TOKENS, module._LEX_ERRORS)
+    noop = _NoopInstrument()
+    module.obs = _ObsStub()
+    module._record_parse = lambda outcome, reparsed=False: None
+    module._LEX_TOKENS = noop
+    module._LEX_ERRORS = noop
+
+    def restore() -> None:
+        (module.obs, module._record_parse,
+         module._LEX_TOKENS, module._LEX_ERRORS) = saved
+
+    return restore
+
+
+def measure_obs_overhead(
+    rounds: int = 7, inner: int = 5, input_name: str = "small"
+) -> Dict[str, Any]:
+    """Tokens/sec per telemetry tier plus the §5.2 laziness numbers.
+
+    Returns a JSON-able dict::
+
+        {"benchmark": "obs_overhead", "tokens_per_sec": {tier: t/s},
+         "overhead": {"disabled_vs_stripped": f, "enabled_vs_stripped": f},
+         "laziness": {"states_materialized": n, "full_table_states": m,
+                      "table_fraction": f}}
+
+    ``inner`` recognitions are timed together per sample so a single
+    sample is long enough for the clock; the best round per tier wins.
+    """
+    from .. import obs
+
+    workload = booleans_workload()
+    tokens = workload.inputs[input_name]
+    language = Language(workload.fresh_grammar())
+    if not language.recognize(tokens).accepted:  # warm-up: lazy expansion
+        raise ValueError(f"obs-overhead workload input {input_name!r} rejected")
+
+    def run() -> None:
+        for _ in range(inner):
+            language.recognize(tokens)
+
+    def timed() -> float:
+        started = time.perf_counter()
+        run()
+        return time.perf_counter() - started
+
+    def stripped_sample() -> float:
+        restore = _strip_language_telemetry()
+        try:
+            return timed()
+        finally:
+            restore()
+
+    def enabled_sample() -> float:
+        obs.set_tracing(True)
+        try:
+            return timed()
+        finally:
+            obs.set_tracing(False)
+
+    samplers = {
+        "stripped": stripped_sample,
+        "disabled": timed,
+        "enabled": enabled_sample,
+    }
+    best: Dict[str, float] = {tier: float("inf") for tier in OVERHEAD_TIERS}
+    for _ in range(rounds):
+        for tier in OVERHEAD_TIERS:
+            elapsed = samplers[tier]()
+            if elapsed < best[tier]:
+                best[tier] = elapsed
+    token_count = len(tokens) * inner
+    rates = {
+        tier: round(token_count / seconds, 1) if seconds > 0 else float("inf")
+        for tier, seconds in best.items()
+    }
+    materialized = states_materialized(language.generator.graph)
+    full = full_table_states(language.grammar)
+    return {
+        "benchmark": "obs_overhead",
+        "unit": "tokens/sec (best of warm interleaved rounds, recognition)",
+        "workload": workload.name,
+        "input": input_name,
+        "tokens": len(tokens),
+        "rounds": rounds,
+        "inner": inner,
+        "tokens_per_sec": rates,
+        "overhead": {
+            "disabled_vs_stripped": _overhead(rates, "disabled"),
+            "enabled_vs_stripped": _overhead(rates, "enabled"),
+        },
+        "laziness": {
+            "states_materialized": materialized,
+            "full_table_states": full,
+            "table_fraction": round(materialized / full, 4) if full else 0.0,
+        },
+    }
+
+
+def _overhead(rates: Dict[str, float], tier: str) -> float:
+    """Fractional slowdown of ``tier`` relative to ``stripped`` (>= 0)."""
+    stripped = rates.get("stripped")
+    measured = rates.get(tier)
+    if not stripped or not measured:
+        return 0.0
+    return round(max(0.0, 1.0 - measured / stripped), 4)
+
+
+def render_obs_overhead(report: Dict[str, Any]) -> str:
+    """ASCII rendering of a :func:`measure_obs_overhead` report."""
+    rates = report["tokens_per_sec"]
+    lines = [
+        f"workload: {report['workload']}/{report['input']} "
+        f"({report['tokens']} tokens, best of {report['rounds']} rounds)"
+    ]
+    for tier in OVERHEAD_TIERS:
+        note = ""
+        if tier != "stripped":
+            overhead = report["overhead"][f"{tier}_vs_stripped"]
+            note = f"  ({overhead:.2%} overhead vs stripped)"
+        lines.append(f"  {tier:9s} {rates.get(tier, 0.0):>12,.0f} tokens/sec{note}")
+    laziness = report["laziness"]
+    lines.append(
+        f"  laziness: {laziness['states_materialized']} of "
+        f"{laziness['full_table_states']} states materialized "
+        f"({laziness['table_fraction']:.1%} of the full table, §5.2)"
+    )
+    return "\n".join(lines)
+
+
+def check_overhead(report: Dict[str, Any], floor: Dict[str, Any]) -> List[str]:
+    """Gate the disabled tier against the floor file; failure strings.
+
+    Reads ``floor["obs_overhead"]["max_disabled_overhead"]`` (fraction,
+    default :data:`MAX_DISABLED_OVERHEAD`): the disabled-telemetry path
+    must keep at least ``1 - max`` of the stripped path's throughput.
+    """
+    limit = floor.get("obs_overhead", {}).get(
+        "max_disabled_overhead", MAX_DISABLED_OVERHEAD
+    )
+    problems: List[str] = []
+    rates = report.get("tokens_per_sec", {})
+    stripped = rates.get("stripped")
+    disabled = rates.get("disabled")
+    if not stripped or not disabled:
+        problems.append("stripped/disabled tiers missing from the report")
+        return problems
+    overhead = 1.0 - disabled / stripped
+    if overhead > limit:
+        problems.append(
+            f"disabled-telemetry path is {overhead:.2%} slower than the "
+            f"stripped path (gate allows {limit:.2%}): "
+            f"{disabled:,.0f} vs {stripped:,.0f} tokens/sec"
+        )
+    return problems

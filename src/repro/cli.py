@@ -34,6 +34,13 @@ Besides the REPL there are two service subcommands (see
     printing responses to stdout and a throughput/cache summary to
     stderr.
 
+``python -m repro obs [file...]``
+    Drive JSON requests (from files, ``-`` for stdin, or a built-in
+    demo workload) through a thread-mode scheduler and print the
+    unified :mod:`repro.obs` metrics registry as Prometheus text or
+    JSON (``--format``), optionally with recent span trees
+    (``--spans N``) and a slow-request log (``--slow-ms``).
+
 Commands
 --------
 
@@ -43,6 +50,9 @@ Commands
 ``delete A ::= x``        DELETE-RULE
 ``parse tok tok ...``     parse a sentence; prints every tree
 ``recognize tok ...``     accept/reject only
+``trace tok tok ...``     parse and print every LR move (Fig. 4.2),
+                          each with the token position it consumed and
+                          its line/column in the input
 ``edit i j tok ...``      splice-edit the last input (replace tokens
                           ``[i:j]``) and *incrementally* re-parse it
 ``engine [name]``         show the engine registry / pick the engine
@@ -84,6 +94,8 @@ _HELP = """commands:
   delete <rule>     e.g.  delete E ::= E + T     (DELETE-RULE)
   parse <tokens>    parse and print every tree
   recognize <toks>  accept/reject only
+  trace <tokens>    parse and print every LR move with the token
+                    position (and line/column) it consumed
   edit <i> <j> [tokens]  replace tokens [i:j] of the last input and
                     re-parse incrementally from its checkpoints
   engine [name]     show the engine registry / pick the parse engine
@@ -132,6 +144,7 @@ class ReplSession:
             "delete": self._delete,
             "parse": self._parse,
             "recognize": self._recognize,
+            "trace": self._trace,
             "edit": self._edit,
             "engine": self._engine,
             "lexer": self._lexer,
@@ -217,6 +230,62 @@ class ReplSession:
         if self.print_trees:
             lines.extend(f"  {bracketed(tree)}" for tree in outcome.trees)
         return lines
+
+    def _trace(self, text: str) -> List[str]:
+        if not text:
+            return ["usage: trace <tokens>"]
+        from .runtime.trace import Trace
+
+        trace = Trace()
+        # No checkpoint: tracing routes through the pool parser, which
+        # records moves instead of resumable frontiers (they are mutually
+        # exclusive in the API) — so ``edit`` keeps its previous base.
+        outcome = self.language.parse(text, trace=trace)
+        verdict = "accepted" if outcome.accepted else "rejected"
+        lines = [
+            f"{verdict} — {len(trace)} move"
+            f"{'s' if len(trace) != 1 else ''} (engine {outcome.engine})"
+        ]
+        diagnostic = outcome.diagnostic
+        if diagnostic is not None and (
+            diagnostic.expected or diagnostic.kind != "syntax"
+        ):
+            lines.append(f"  {diagnostic.describe()}")
+        lexemes: tuple = ()
+        source = None
+        if diagnostic is None or diagnostic.kind != "lexical":
+            lexed = self.language.lex(text)
+            lexemes, source = lexed.lexemes, lexed.text
+        lines.extend(
+            "  " + self._describe_move(event, lexemes, source)
+            for event in trace.events
+        )
+        if not trace.events and outcome.accepted:
+            lines.append(f"  (engine {outcome.engine} records no LR moves)")
+        return lines
+
+    @staticmethod
+    def _describe_move(event, lexemes, source: Optional[str]) -> str:
+        """One trace event, with the consumed token's position/line/col."""
+        data = event.to_dict()
+        parts = [f"{data['kind']:<6}", f"state={data['state']}"]
+        if "symbol" in data:
+            parts.append(f"on={data['symbol']}")
+        if "rule" in data:
+            parts.append(f"rule=({data['rule']})")
+        if "target" in data:
+            parts.append(f"-> {data['target']}")
+        position = data.get("position")
+        if position is not None and 0 <= position < len(lexemes):
+            lexeme = lexemes[position]
+            where = f"token {position} {lexeme.text!r}"
+            if source is not None:
+                from .api.diagnostics import line_and_column
+
+                line, column = line_and_column(source, lexeme.position)
+                where += f" at line {line}, column {column}"
+            parts.append(f"[{where}]")
+        return " ".join(parts)
 
     @staticmethod
     def _rejection(outcome) -> List[str]:
@@ -308,6 +377,10 @@ subcommands:
                     --ready-file; see README "Serving")
   batch [file...]   run JSON requests from files (or stdin) and print
                     responses plus a throughput/cache summary on stderr
+  obs [file...]     drive JSON requests (or a built-in demo workload)
+                    through a thread-mode scheduler and print the obs
+                    metrics registry (--format prometheus|json,
+                    --spans N, --slow-ms MS)
   help              this message"""
 
 
@@ -393,6 +466,13 @@ def _serve_main(args: List[str]) -> int:
         help="write the bound address to PATH once listening "
         "(for scripts driving --tcp HOST:0)",
     )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="log requests slower than MS milliseconds to stderr as "
+        "indented span trees (same knob as REPRO_OBS_SLOW_MS)",
+    )
     options = parser.parse_args(args)
 
     if options.tcp and options.unix:
@@ -403,6 +483,12 @@ def _serve_main(args: List[str]) -> int:
         parser.error("--queue-depth and --batch must be at least 1")
     if options.cache_capacity < 1:
         parser.error("--cache-capacity must be at least 1")
+    if options.slow_ms is not None:
+        if options.slow_ms < 0:
+            parser.error("--slow-ms must be non-negative")
+        from . import obs
+
+        obs.set_slow_threshold(options.slow_ms)
     networked = bool(options.tcp or options.unix)
     if not networked:
         # Everything scheduler- or socket-shaped needs a socket transport;
@@ -483,6 +569,175 @@ def _batch_main(paths: List[str]) -> int:
     return 1 if summary["errors"] else 0
 
 
+#: the grammar and requests ``repro obs`` runs when given no input files —
+#: a little of everything so every metric family has data: lazy expansion
+#: (open), parsing (accept + reject + cache hit), checkpointed parse and
+#: an incremental edit-parse, and a traced request for the span ring.
+_OBS_DEMO_GRAMMAR = (
+    "START ::= B\n"
+    "B ::= true\n"
+    "B ::= false\n"
+    "B ::= B and B\n"
+    "B ::= B or B\n"
+    "B ::= ( B )"
+)
+
+
+def _obs_demo_requests() -> List[dict]:
+    session = "obs-demo"
+    return [
+        {"cmd": "open", "session": session, "grammar": _OBS_DEMO_GRAMMAR},
+        {"cmd": "parse", "session": session, "tokens": "true and false"},
+        {"cmd": "parse", "session": session, "tokens": "true and false"},
+        {"cmd": "parse", "session": session, "tokens": "true and and"},
+        {"cmd": "recognize", "session": session, "tokens": "false or true"},
+        {
+            "cmd": "parse",
+            "session": session,
+            "tokens": "true or false and true",
+            "checkpoint": True,
+            "trace": True,
+        },
+    ]
+
+
+def _obs_main(args: List[str]) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description=(
+            "Drive JSON requests (files, '-' for stdin, or a built-in "
+            "demo workload) through a thread-mode scheduler and print "
+            "the unified telemetry registry: Prometheus text or JSON, "
+            "optionally with recent span trees."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="file",
+        help="request files ('-' reads stdin); none runs the demo workload",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="export format (default: prometheus)",
+    )
+    parser.add_argument(
+        "--spans",
+        type=int,
+        default=0,
+        metavar="N",
+        help="include the N most recent span trees (implies tracing the "
+        "driven requests)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="thread-mode shards to drive (default: 2, so per-shard "
+        "latency series appear)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="log requests slower than MS milliseconds to stderr as "
+        "indented span trees (same knob as REPRO_OBS_SLOW_MS)",
+    )
+    options = parser.parse_args(args)
+    if options.workers < 1:
+        parser.error("--workers must be at least 1")
+    if options.spans < 0:
+        parser.error("--spans must be non-negative")
+    if options.slow_ms is not None and options.slow_ms < 0:
+        parser.error("--slow-ms must be non-negative")
+
+    from . import obs
+    from .service.protocol import ProtocolError, iter_requests
+    from .service.scheduler import Scheduler
+
+    if options.slow_ms is not None:
+        obs.set_slow_threshold(options.slow_ms)
+
+    if options.paths:
+        requests: List[dict] = []
+        for path in options.paths:
+            try:
+                text = (
+                    sys.stdin.read()
+                    if path == "-"
+                    else open(path).read()
+                )
+            except OSError as error:
+                print(f"error: cannot read {path!r}: {error}", file=sys.stderr)
+                return 2
+            try:
+                requests.extend(iter_requests(text))
+            except ProtocolError as error:
+                print(f"error: {path}: {error}", file=sys.stderr)
+                return 2
+    else:
+        requests = _obs_demo_requests()
+    if options.spans:
+        for request in requests:
+            request.setdefault("trace", True)
+
+    # Thread mode: one shared workspace, and the export carries both the
+    # dispatcher-side series and this scheduler's per-shard histograms.
+    scheduler = Scheduler(workers=options.workers, mode="thread")
+    errors = 0
+    try:
+        checkpoint_id = None
+        for request in requests:
+            response = scheduler.handle(request)
+            if "error" in response:
+                errors += 1
+                print(f"error: {response['error']}", file=sys.stderr)
+            elif "result" in response:
+                checkpoint_id = (request.get("session"), response["result"])
+        if not options.paths and checkpoint_id is not None:
+            # Demo mode: splice-edit the checkpointed parse so the
+            # incremental reuse counters have data too.
+            session, result = checkpoint_id
+            follow_up = {
+                "cmd": "edit-parse",
+                "session": session,
+                "base": result,
+                "edit": {"start": 2, "end": 3, "replacement": "true"},
+            }
+            if options.spans:
+                follow_up["trace"] = True
+            response = scheduler.handle(follow_up)
+            if "error" in response:
+                errors += 1
+                print(f"error: {response['error']}", file=sys.stderr)
+        export = {"cmd": "metrics-export", "format": options.format}
+        if options.spans:
+            export["spans"] = options.spans
+        exported = scheduler.handle(export)
+    finally:
+        scheduler.close()
+    if "error" in exported:
+        print(f"error: {exported['error']}", file=sys.stderr)
+        return 1
+    if options.format == "prometheus":
+        print(exported["text"], end="")
+        if options.spans:
+            for tree in exported.get("spans", ()):
+                print(obs.render_span_tree(tree), file=sys.stderr)
+    else:
+        payload = {"metrics": exported["metrics"]}
+        if options.spans:
+            payload["spans"] = exported.get("spans", [])
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 1 if errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """The ``python -m repro`` / ``repro`` entry point."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -494,6 +749,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _serve_main(rest)
         if command == "batch":
             return _batch_main(rest)
+        if command == "obs":
+            return _obs_main(rest)
         if command in ("help", "-h", "--help"):
             print(_USAGE)
             return 0

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import threading
+import weakref
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
@@ -165,20 +166,54 @@ class LatencyStats:
         )
 
 
+# The full-table state count per (grammar, revision): building the
+# reference graph is a complete conventional generation, far too costly
+# to re-run for every `metrics` request.  Keyed weakly on the Grammar
+# (ItemSetGraph never subscribes, so the throwaway build has no side
+# effects on the live grammar) and invalidated by revision, which every
+# successful MODIFY bumps.
+_REFERENCE_SIZES: "weakref.WeakKeyDictionary[Grammar, Tuple[int, int]]" = (
+    weakref.WeakKeyDictionary()
+)
+_REFERENCE_LOCK = threading.Lock()
+
+
+def full_table_states(grammar: Grammar) -> int:
+    """States in the conventional (fully expanded) table, memoized.
+
+    The memo holds one ``(revision, count)`` pair per live grammar; a
+    grammar edit invalidates it by bumping ``revision``.
+    """
+    revision = grammar.revision
+    with _REFERENCE_LOCK:
+        cached = _REFERENCE_SIZES.get(grammar)
+    if cached is not None and cached[0] == revision:
+        return cached[1]
+    reference = ItemSetGraph(grammar)
+    reference.expand_all()
+    total = len(reference)
+    with _REFERENCE_LOCK:
+        _REFERENCE_SIZES[grammar] = (revision, total)
+    return total
+
+
+def states_materialized(lazy_graph: ItemSetGraph) -> int:
+    """Completed (fully expanded) states in a lazy graph — the §5.2 numerator."""
+    return sum(1 for s in lazy_graph.states() if s.is_complete)
+
+
 def table_fraction(lazy_graph: ItemSetGraph, grammar: Optional[Grammar] = None) -> float:
     """Completed lazy states / states of the *full* parse table.
 
     The §5.2 measurement: after lazily parsing some input, how much of the
-    conventional table was actually generated?  The full table is built
-    fresh here (it is the denominator, not part of the system under test).
+    conventional table was actually generated?  The full-table denominator
+    (not part of the system under test) is memoized per grammar version —
+    see :func:`full_table_states`.
     """
-    reference = ItemSetGraph(grammar if grammar is not None else lazy_graph.grammar)
-    reference.expand_all()
-    total = len(reference)
+    total = full_table_states(grammar if grammar is not None else lazy_graph.grammar)
     if total == 0:
         return 0.0
-    expanded = sum(1 for s in lazy_graph.states() if s.is_complete)
-    return expanded / total
+    return states_materialized(lazy_graph) / total
 
 
 def graph_summary(graph: ItemSetGraph) -> Dict[str, int]:

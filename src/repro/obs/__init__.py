@@ -1,0 +1,83 @@
+"""``repro.obs`` — the unified telemetry layer (zero dependencies).
+
+One subsystem replaces the scattered probes the repo grew organically:
+
+* **Spans** (:mod:`~repro.obs.spans`): hierarchical, monotonic-timed
+  regions — tokenize → table generation → engine run → service dispatch
+  — recorded into a bounded per-process ring buffer.  Off by default;
+  a disabled :func:`span` call is one function call returning a shared
+  no-op handle.
+* **Registry** (:mod:`~repro.obs.registry`): counters, gauges, and
+  histograms under stable dotted names, plus weakly-referenced
+  snapshot-time collectors that absorb the existing stat islands
+  (``CompiledStats``, ``CacheStats``, ``GraphStats``, ``LatencyStats``)
+  without touching their hot paths.
+* **Exporters** (:mod:`~repro.obs.export`): Prometheus text format and
+  JSON, behind the ``metrics-export`` service command and the
+  ``repro obs`` CLI.
+* **Slow-request log** (:mod:`~repro.obs.slowlog`): threshold-triggered
+  span-tree dumps (``REPRO_OBS_SLOW_MS`` / ``--slow-ms``).
+
+The metric name catalog lives in README.md ("Observability").
+"""
+
+from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .export import prometheus_name, render_json, render_prometheus
+from .slowlog import (
+    render_span_tree,
+    set_slow_sink,
+    set_slow_threshold,
+    slow_threshold,
+)
+from .spans import (
+    NULL_SPAN,
+    Span,
+    annotate,
+    clear_spans,
+    current_span,
+    recent_spans,
+    set_ring_capacity,
+    set_tracing,
+    span,
+    trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "NULL_SPAN",
+    "span",
+    "trace",
+    "annotate",
+    "current_span",
+    "set_tracing",
+    "tracing_enabled",
+    "recent_spans",
+    "clear_spans",
+    "set_ring_capacity",
+    "render_prometheus",
+    "render_json",
+    "prometheus_name",
+    "render_span_tree",
+    "set_slow_threshold",
+    "slow_threshold",
+    "set_slow_sink",
+]
+
+#: The process-global registry every layer feeds.
+REGISTRY = MetricsRegistry()
+
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram
+register_collector = REGISTRY.register_collector
+register_object_collector = REGISTRY.register_object_collector

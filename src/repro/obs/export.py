@@ -1,0 +1,91 @@
+"""Exporters: registry snapshots as Prometheus text format or JSON.
+
+The snapshot dict produced by :meth:`MetricsRegistry.snapshot` (and by
+:meth:`MetricsRegistry.merge`) is already the JSON surface; this module
+adds the Prometheus text exposition rendering used by the
+``metrics-export`` service command and the ``repro obs`` CLI:
+
+    # TYPE repro_result_cache_hits counter
+    repro_result_cache_hits 12
+    # TYPE repro_shard_request_seconds histogram
+    repro_shard_request_seconds_bucket{shard="0",le="0.005"} 3
+    ...
+
+Dotted metric names map to underscores (``repro.result_cache.hits`` →
+``repro_result_cache_hits``); label values are escaped per the
+exposition-format rules.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict
+
+__all__ = ["prometheus_name", "render_prometheus", "render_json"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(dotted: str) -> str:
+    """A valid Prometheus metric name for a dotted registry name."""
+    name = _NAME_OK.sub("_", dotted.replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: Any) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _label_block(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return "0"
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """One snapshot in Prometheus text exposition format."""
+    typed_seen: Dict[str, str] = {}
+    lines = []
+    for key in sorted(snapshot):
+        entry = snapshot[key]
+        name = prometheus_name(entry.get("name", key))
+        kind = entry.get("type", "gauge")
+        labels = entry.get("labels") or {}
+        if typed_seen.get(name) != kind:
+            lines.append(f"# TYPE {name} {kind}")
+            typed_seen[name] = kind
+        if kind == "histogram":
+            cumulative = 0
+            for le, count in entry.get("buckets", []):
+                cumulative += count
+                block = _label_block(labels, f'le="{_format_value(float(le))}"')
+                lines.append(f"{name}_bucket{block} {cumulative}")
+            cumulative += entry.get("inf", 0)
+            block = _label_block(labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{block} {cumulative}")
+            lines.append(f"{name}_sum{_label_block(labels)} {entry.get('sum', 0.0)}")
+            lines.append(f"{name}_count{_label_block(labels)} {entry.get('count', 0)}")
+        else:
+            lines.append(f"{name}{_label_block(labels)} {_format_value(entry.get('value', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(snapshot: Dict[str, Dict[str, Any]], indent: int = 2) -> str:
+    """The snapshot as stable, human-diffable JSON text."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)

@@ -1,0 +1,98 @@
+"""The slow-request log: threshold-triggered span-tree dumps.
+
+When a root span finishes slower than the configured threshold, its tree
+is rendered (one line per span, indented, milliseconds and attributes)
+and written to the sink — stderr by default.  Configure with
+``REPRO_OBS_SLOW_MS`` in the environment, ``--slow-ms`` on the ``repro
+serve`` / ``repro obs`` CLIs, or :func:`set_slow_threshold` from code.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from . import spans
+
+__all__ = [
+    "set_slow_threshold",
+    "slow_threshold",
+    "set_slow_sink",
+    "render_span_tree",
+    "maybe_log",
+]
+
+
+def _env_threshold() -> Optional[float]:
+    raw = os.environ.get("REPRO_OBS_SLOW_MS")
+    if raw is None:
+        return None
+    try:
+        return max(0.0, float(raw)) / 1000.0
+    except ValueError:
+        return None
+
+
+_LOCK = threading.Lock()
+_THRESHOLD: Optional[float] = _env_threshold()  # seconds, None = disabled
+_SINK: Optional[Callable[[str], None]] = None
+
+if _THRESHOLD is not None:
+    # The log dumps span trees, so an env-configured threshold must turn
+    # span recording on (set_slow_threshold does the same from code).
+    spans._set_slow_active(True)
+
+
+def set_slow_threshold(milliseconds: Optional[float]) -> None:
+    """Dump any root span slower than this; ``None`` disables the log."""
+    global _THRESHOLD
+    with _LOCK:
+        _THRESHOLD = None if milliseconds is None else max(0.0, milliseconds) / 1000.0
+        spans._set_slow_active(_THRESHOLD is not None)
+
+
+def slow_threshold() -> Optional[float]:
+    """The active threshold in seconds, or ``None``."""
+    return _THRESHOLD
+
+
+def set_slow_sink(sink: Optional[Callable[[str], None]]) -> None:
+    """Route dumps somewhere other than stderr (``None`` restores it)."""
+    global _SINK
+    with _LOCK:
+        _SINK = sink
+
+
+def render_span_tree(tree: Dict[str, Any], indent: int = 0) -> str:
+    """A span tree dict as indented text, one span per line."""
+    pad = "  " * indent
+    duration_ms = tree.get("duration", 0.0) * 1000.0
+    line = f"{pad}{tree.get('name', '?')} {duration_ms:.3f}ms"
+    attributes = tree.get("attributes")
+    if attributes:
+        rendered = " ".join(f"{k}={attributes[k]!r}" for k in sorted(attributes))
+        line += f" [{rendered}]"
+    lines = [line]
+    for child in tree.get("children", ()):
+        lines.append(render_span_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def maybe_log(root: Any) -> None:
+    """Called by the span layer for every finished root span."""
+    threshold = _THRESHOLD
+    if threshold is None or root.duration < threshold:
+        return
+    tree = root.to_dict()
+    text = (
+        f"[repro.obs] slow request: {root.name!r} took "
+        f"{root.duration * 1000:.1f}ms (threshold {threshold * 1000:.1f}ms)\n"
+        f"{render_span_tree(tree)}\n"
+    )
+    sink = _SINK
+    if sink is not None:
+        sink(text)
+    else:
+        sys.stderr.write(text)

@@ -139,7 +139,13 @@ class SimpleLRParser:
                 stack = stack.push(action.target, leaf)
                 if trace is not None:
                     trace.record(
-                        TraceEvent("shift", state, symbol=symbol, target=action.target)
+                        TraceEvent(
+                            "shift",
+                            state,
+                            symbol=symbol,
+                            target=action.target,
+                            position=position,
+                        )
                     )
                 position += 1
                 symbol = sentence[position]
@@ -151,12 +157,14 @@ class SimpleLRParser:
                 stack = below.push(goto_state, node)
                 if trace is not None:
                     trace.record(
-                        TraceEvent("reduce", state, rule=rule, target=goto_state)
+                        TraceEvent(
+                            "reduce", state, rule=rule, target=goto_state, position=position
+                        )
                     )
             else:
                 assert isinstance(action, Accept)
                 if trace is not None:
-                    trace.record(TraceEvent("accept", state))
+                    trace.record(TraceEvent("accept", state, position=position))
                 tree = self._final_tree(stack, forest) if forest else None
                 return DetParseResult(True, tree, consumed=position)
 

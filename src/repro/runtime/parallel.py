@@ -510,7 +510,11 @@ class PoolParser:
                         if tracing:
                             trace.record(
                                 TraceEvent(
-                                    "shift", state, symbol=symbol, target=action.target
+                                    "shift",
+                                    state,
+                                    symbol=symbol,
+                                    target=action.target,
+                                    position=position - 1,
                                 )
                             )
                     elif isinstance(action, Reduce):
@@ -533,7 +537,11 @@ class PoolParser:
                         if tracing:
                             trace.record(
                                 TraceEvent(
-                                    "reduce", state, rule=rule, target=goto_state
+                                    "reduce",
+                                    state,
+                                    rule=rule,
+                                    target=goto_state,
+                                    position=position - 1,
                                 )
                             )
                     else:
@@ -541,7 +549,9 @@ class PoolParser:
                         accepted = True
                         stats.accepting_parsers += 1
                         if tracing:
-                            trace.record(TraceEvent("accept", state))
+                            trace.record(
+                                TraceEvent("accept", state, position=position - 1)
+                            )
                         if forest is not None and self.grammar is not None:
                             from .lr_parse import recover_start_trees
 

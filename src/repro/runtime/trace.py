@@ -8,7 +8,7 @@ examples can print it.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..grammar.rules import Rule
 from ..grammar.symbols import Terminal
@@ -17,7 +17,7 @@ from ..grammar.symbols import Terminal
 class TraceEvent:
     """One parser move."""
 
-    __slots__ = ("kind", "state", "symbol", "rule", "target", "parser_id")
+    __slots__ = ("kind", "state", "symbol", "rule", "target", "parser_id", "position")
 
     def __init__(
         self,
@@ -27,6 +27,7 @@ class TraceEvent:
         rule: Optional[Rule] = None,
         target: Any = None,
         parser_id: int = 0,
+        position: Optional[int] = None,
     ) -> None:
         self.kind = kind  # "shift" | "reduce" | "goto" | "accept" | "die" | "fork"
         self.state = state
@@ -34,6 +35,25 @@ class TraceEvent:
         self.rule = rule
         self.target = target
         self.parser_id = parser_id
+        #: index of the input token the move consumed/looked at, if known
+        self.position = position
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The event as JSON-able data (states by uid, symbols by name)."""
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "state": _state_id(self.state),
+            "parser_id": self.parser_id,
+        }
+        if self.symbol is not None:
+            payload["symbol"] = str(self.symbol)
+        if self.rule is not None:
+            payload["rule"] = str(self.rule)
+        if self.target is not None:
+            payload["target"] = _state_id(self.target)
+        if self.position is not None:
+            payload["position"] = self.position
+        return payload
 
     def __repr__(self) -> str:
         core = f"{self.kind} state={_state_id(self.state)}"

@@ -13,7 +13,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Optional
 
-from ..core.metrics import LatencyStats
+from .. import obs
+from ..core.metrics import LatencyStats, full_table_states, states_materialized
 from ..grammar.grammar import GrammarError
 from ..runtime.errors import ParseError
 from .protocol import (
@@ -33,6 +34,22 @@ from .workspace import Workspace
 
 Handler = Callable[[Dict[str, Any]], Dict[str, Any]]
 
+#: Export formats the ``metrics-export`` command understands.
+EXPORT_FORMATS = ("prometheus", "json")
+
+_REQUEST_SECONDS = obs.histogram("repro.service.request.seconds")
+_ERRORS = obs.counter("repro.service.errors")
+_REQUEST_COUNTERS: Dict[str, obs.Counter] = {}
+
+
+def _request_counter(cmd: str) -> obs.Counter:
+    counter = _REQUEST_COUNTERS.get(cmd)
+    if counter is None:
+        counter = _REQUEST_COUNTERS[cmd] = obs.counter(
+            "repro.service.requests", cmd=cmd
+        )
+    return counter
+
 
 class Dispatcher:
     """Serves the protocol of :mod:`repro.service.protocol` over a workspace."""
@@ -51,22 +68,24 @@ class Dispatcher:
     # -- the entry point ---------------------------------------------------
 
     def handle(self, request: Any) -> Dict[str, Any]:
-        """Serve one request; always returns a response with ``time``."""
+        """Serve one request; always returns a response with ``time``.
+
+        A request carrying ``"trace": true`` is served inside a forced
+        root span; the finished span tree rides back in the response's
+        ``trace`` field (its duration is necessarily within ``time``,
+        which also covers the bookkeeping around the span).
+        """
         started = self._clock()
         cmd = request.get("cmd") if isinstance(request, dict) else None
+        root = None
         try:
-            if not isinstance(request, dict):
-                raise ProtocolError(
-                    f"requests must be JSON objects, got {type(request).__name__}"
-                )
-            if not isinstance(cmd, str):
-                raise ProtocolError("request is missing the 'cmd' field")
-            handler = self._handler_map.get(cmd)
-            if handler is None:
-                raise ProtocolError(
-                    f"unknown command {cmd!r} — known: {', '.join(COMMANDS)}"
-                )
-            response = handler(request)
+            if isinstance(request, dict) and request.get("trace"):
+                with obs.trace(
+                    "request", cmd=cmd if isinstance(cmd, str) else "?"
+                ) as root:
+                    response = self._dispatch(request, cmd)
+            else:
+                response = self._dispatch(request, cmd)
         except (ServiceError, GrammarError, ParseError, OSError) as error:
             response = {"error": str(error)}
         except Exception as error:  # noqa: BLE001 — server boundary
@@ -74,14 +93,35 @@ class Dispatcher:
             # must never take down the loop and every other session's
             # state; unexpected types are named so bugs stay diagnosable.
             response = {"error": f"{type(error).__name__}: {error}"}
+        if root is not None:
+            response["trace"] = root.to_dict()
         if cmd is not None:
             response.setdefault("cmd", cmd)
         if isinstance(request, dict) and "session" in request:
             response.setdefault("session", request["session"])
         elapsed = self._clock() - started
         response["time"] = round(elapsed, 6)
-        self.stats.record(cmd if isinstance(cmd, str) else "<invalid>", elapsed)
+        key = cmd if isinstance(cmd, str) else "<invalid>"
+        self.stats.record(key, elapsed)
+        _request_counter(key).inc()
+        _REQUEST_SECONDS.observe(elapsed)
+        if "error" in response:
+            _ERRORS.inc()
         return response
+
+    def _dispatch(self, request: Any, cmd: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict):
+            raise ProtocolError(
+                f"requests must be JSON objects, got {type(request).__name__}"
+            )
+        if not isinstance(cmd, str):
+            raise ProtocolError("request is missing the 'cmd' field")
+        handler = self._handler_map.get(cmd)
+        if handler is None:
+            raise ProtocolError(
+                f"unknown command {cmd!r} — known: {', '.join(COMMANDS)}"
+            )
+        return handler(request)
 
     def _handlers(self) -> Dict[str, Handler]:
         return {
@@ -96,6 +136,7 @@ class Dispatcher:
             "snapshot": self._snapshot,
             "restore": self._restore,
             "metrics": self._metrics,
+            "metrics-export": self._metrics_export,
             "info": self._info,
             "sessions": self._sessions,
         }
@@ -204,6 +245,7 @@ class Dispatcher:
     def _parse_response(
         self, name: str, payload: Dict[str, Any], cached: bool
     ) -> Dict[str, Any]:
+        obs.annotate(cache=cached)
         response = dict(payload)
         if "trees" in payload:
             # Absent for recognition-mode results (checkpointed recognize
@@ -222,6 +264,7 @@ class Dispatcher:
             engine=self._engine_of(request),
             checkpoint=bool(request.get("checkpoint", False)),
         )
+        obs.annotate(cache=cached)
         response = dict(payload)
         response["cache"] = cached
         response["version"] = self.workspace.get(name).version
@@ -307,6 +350,54 @@ class Dispatcher:
             "action_cache": self.workspace.action_cache_summary(),
             "requests": self.stats.snapshot(),
         }
+
+    def _record_laziness(self) -> None:
+        """Publish the §5.2 laziness measurement over the open sessions.
+
+        Computed only at export time (never per parse); the full-table
+        denominator is memoized per grammar version, so repeated scrapes
+        cost one graph walk per session.
+        """
+        materialized = full = 0
+        for name in self.workspace.names():
+            try:
+                session = self.workspace.get(name)
+            except ServiceError:  # closed between names() and get()
+                continue
+            language = session.language
+            materialized += states_materialized(language.generator.graph)
+            full += full_table_states(language.grammar)
+        obs.gauge("repro.lazy.states_materialized").set(materialized)
+        obs.gauge("repro.lazy.full_table_states").set(full)
+        obs.gauge("repro.lazy.table_fraction").set(
+            round(materialized / full, 4) if full else 0.0
+        )
+
+    def _metrics_export(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The unified telemetry surface: Prometheus text or JSON.
+
+        Global by design — the registry is per process.  Under a
+        process-mode scheduler this handler runs in every child; the
+        parent merges the JSON snapshots (see
+        :mod:`repro.service.scheduler`).
+        """
+        fmt = request.get("format", "prometheus")
+        if fmt not in EXPORT_FORMATS:
+            raise ProtocolError(
+                f"unknown metrics-export format {fmt!r} — known: "
+                f"{', '.join(EXPORT_FORMATS)}"
+            )
+        self._record_laziness()
+        snapshot = obs.REGISTRY.snapshot()
+        response: Dict[str, Any] = {"format": fmt}
+        if fmt == "prometheus":
+            response["text"] = obs.render_prometheus(snapshot)
+        else:
+            response["metrics"] = snapshot
+        spans = request.get("spans")
+        if isinstance(spans, int) and not isinstance(spans, bool) and spans > 0:
+            response["spans"] = obs.recent_spans(spans)
+        return response
 
     def _info(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if "session" in request:

@@ -27,7 +27,14 @@ from typing import Any, Dict, Iterator, Optional
 #: the ``edit-parse`` command re-parses a previous result after a splice
 #: edit, reusing its checkpoints (response carries ``result`` and
 #: ``reuse``).
-PROTOCOL_VERSION = 3
+#: Version 4 (v3-compatible): the ``metrics-export`` command emits the
+#: unified :mod:`repro.obs` registry as Prometheus text
+#: (``"format": "prometheus"``, the default) or JSON
+#: (``"format": "json"``, optionally with ``"spans": N`` recent span
+#: trees), and any request may set ``"trace": true`` to receive its
+#: span tree in a ``trace`` response field alongside the Korp-style
+#: ``time``.
+PROTOCOL_VERSION = 4
 
 #: Commands the dispatcher understands (documented in README.md).
 COMMANDS = (
@@ -42,6 +49,7 @@ COMMANDS = (
     "snapshot",
     "restore",
     "metrics",
+    "metrics-export",
     "info",
     "sessions",
 )

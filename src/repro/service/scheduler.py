@@ -55,6 +55,7 @@ from collections import deque
 from concurrent.futures import Future
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..core.metrics import LatencyStats
 from .dispatcher import Dispatcher
 from .protocol import encode
@@ -78,7 +79,7 @@ COALESCIBLE_COMMANDS = frozenset({"parse", "recognize"})
 
 #: Commands addressing the whole workspace rather than one session; in
 #: process mode these are broadcast to every shard and merged.
-GLOBAL_COMMANDS = frozenset({"sessions", "metrics", "info"})
+GLOBAL_COMMANDS = frozenset({"sessions", "metrics", "metrics-export", "info"})
 
 Request = Dict[str, Any]
 Response = Dict[str, Any]
@@ -149,11 +150,15 @@ def plan_batch(
                 # ``checkpoint`` participates: a checkpointed parse's
                 # response carries a ``result`` id (and retains session
                 # state) that a plain parse's copy would lack.
+                # ``trace`` participates too: a traced request must get
+                # its own span tree, not a copy of an untraced answer
+                # (and vice versa).
                 key = (
                     session,
                     cmd,
                     request.get("engine"),
                     bool(request.get("checkpoint", False)),
+                    bool(request.get("trace", False)),
                     tokens,
                 )
         elif cmd in MUTATING_COMMANDS or not isinstance(cmd, str):
@@ -287,6 +292,15 @@ class Shard:
         self.batches = 0
         self.batched_requests = 0
         self.largest_batch = 0
+        # Per-shard latency histograms in the obs registry.  Recorded in
+        # the parent process for both modes (the queue lives here), so a
+        # process-mode parent still owns the shard latency surface.
+        self._obs_wait = obs.histogram(
+            "repro.shard.queue_wait.seconds", shard=str(index)
+        )
+        self._obs_request = obs.histogram(
+            "repro.shard.request.seconds", shard=str(index)
+        )
         self._failure: Optional[str] = None
         self._items: Deque[Tuple[Any, "Future[Response]", float]] = deque()
         self._ready = threading.Condition(threading.Lock())
@@ -361,6 +375,7 @@ class Shard:
         self, batch: List[Tuple[Any, "Future[Response]", float]]
     ) -> None:
         execute, placements = plan_batch([item[0] for item in batch])
+        started = time.perf_counter()
         responses: Optional[List[Response]] = None
         if self._failure is None:
             try:
@@ -374,6 +389,7 @@ class Shard:
         for (request, future, enqueued), (kind, position) in zip(
             batch, placements
         ):
+            queue_wait = max(0.0, started - enqueued)
             if responses is None:
                 response = _error_response(
                     request, f"shard {self.index} failed: {self._failure}"
@@ -384,11 +400,14 @@ class Shard:
                     response = dict(response)
                     response["coalesced"] = True
                     self.coalesced += 1
+            response = self._annotate_trace(response, kind, queue_wait)
             cmd = request.get("cmd") if isinstance(request, dict) else None
             self.latency.record(
                 cmd if isinstance(cmd, str) else "<invalid>",
                 finished - enqueued,
             )
+            self._obs_wait.observe(queue_wait)
+            self._obs_request.observe(finished - enqueued)
             self.completed += 1
             # The future may have been cancelled while queued (a TCP
             # client that disconnected mid-pipeline); setting a result
@@ -399,6 +418,33 @@ class Shard:
                     future.set_result(response)
                 except Exception:  # noqa: BLE001 — cancel/set race
                     pass
+
+    def _annotate_trace(
+        self, response: Response, kind: str, queue_wait: float
+    ) -> Response:
+        """Stamp shard context onto a traced response's span tree.
+
+        The dispatcher's root span cannot see the queue (it starts after
+        the dequeue), so the shard adds what only it knows: its index,
+        the queue wait, and whether the answer was coalesced.  The trace
+        dict is copied first — a coalesced copy must not mutate the tree
+        shared with the original response.
+        """
+        if not isinstance(response, dict):
+            return response
+        tree = response.get("trace")
+        if not isinstance(tree, dict):
+            return response
+        tree = dict(tree)
+        attributes = dict(tree.get("attributes", ()))
+        attributes["shard"] = self.index
+        attributes["queue_wait"] = round(queue_wait, 6)
+        if kind == "copy":
+            attributes["coalesced"] = True
+        tree["attributes"] = attributes
+        response = dict(response)
+        response["trace"] = tree
+        return response
 
     # -- introspection -----------------------------------------------------
 
@@ -475,6 +521,24 @@ def merge_global(request: Any, parts: List[Response]) -> Response:
             names.update(part.get("sessions", ()))
         merged["sessions"] = sorted(names)
         merged["time"] = elapsed
+        return merged
+    if cmd == "metrics-export":
+        # Children answered in JSON regardless of the requested format
+        # (the parent re-renders); keep the per-shard snapshots so
+        # callers can audit that the merge preserved the totals.
+        shard_snapshots = [part.get("metrics", {}) for part in parts]
+        merged = {
+            "cmd": "metrics-export",
+            "format": "json",
+            "metrics": obs.MetricsRegistry.merge(shard_snapshots),
+            "shards": shard_snapshots,
+            "time": elapsed,
+        }
+        spans: List[Any] = []
+        for part in parts:
+            spans.extend(part.get("spans", ()))
+        if spans:
+            merged["spans"] = spans
         return merged
     if cmd == "metrics":
         action_keys = sorted(
@@ -563,6 +627,20 @@ class Scheduler:
             for index, executor in enumerate(executors)
         ]
         self._closed = False
+        # Shard work counters for the obs registry, polled at snapshot
+        # time and weakly bound — a dropped scheduler stops reporting.
+        obs.register_object_collector(self, Scheduler._collect_metrics)
+
+    @staticmethod
+    def _collect_metrics(self: "Scheduler"):
+        for shard in self.shards:
+            labels = {"shard": str(shard.index)}
+            yield ("repro.shard.submitted", labels, "counter", shard.submitted)
+            yield ("repro.shard.completed", labels, "counter", shard.completed)
+            yield ("repro.shard.coalesced", labels, "counter", shard.coalesced)
+            yield ("repro.shard.overloaded", labels, "counter", shard.overloaded)
+            yield ("repro.shard.batches", labels, "counter", shard.batches)
+            yield ("repro.shard.queue_depth", labels, "gauge", shard.queue_depth())
 
     # -- routing -----------------------------------------------------------
 
@@ -604,6 +682,15 @@ class Scheduler:
             )
         if isinstance(session, str):
             return self.shards[self.shard_of(session)].submit(request)
+        if cmd == "metrics-export" and self.mode == "process":
+            # Children hold the session registries; ask every one for a
+            # JSON snapshot (whatever format the caller wants — the
+            # parent renders), merge, then fold in the parent's own
+            # registry (shard queues/latency live here).
+            inner = dict(request)
+            inner["format"] = "json"
+            inner.pop("trace", None)
+            return self._finish_metrics_export(request, self._broadcast(inner))
         if (
             cmd in GLOBAL_COMMANDS
             and self.mode == "process"
@@ -646,6 +733,62 @@ class Scheduler:
         for future in futures:
             future.add_done_callback(finish)
         return result
+
+    def _finish_metrics_export(
+        self, request: Request, future: "Future[Response]"
+    ) -> "Future[Response]":
+        """Parent-side half of a process-mode ``metrics-export``.
+
+        Folds the parent registry (shard latency histograms, scheduler
+        counters) into the merged child snapshots, recomputes the global
+        laziness ratio (child fractions must not be summed), and renders
+        the caller's requested format.
+        """
+        wrapped: "Future[Response]" = Future()
+
+        def finish(done: "Future[Response]") -> None:
+            try:
+                response = dict(done.result())
+            except BaseException as error:  # noqa: BLE001 — CancelledError
+                response = _error_response(
+                    request, f"{type(error).__name__}: {error}"
+                )
+            if "error" not in response:
+                parent = obs.REGISTRY.snapshot()
+                merged = obs.MetricsRegistry.merge(
+                    [response.get("metrics", {}), parent]
+                )
+                fraction = merged.get("repro.lazy.table_fraction")
+                if fraction is not None:
+                    total = merged.get("repro.lazy.full_table_states", {}).get(
+                        "value", 0
+                    )
+                    done_states = merged.get(
+                        "repro.lazy.states_materialized", {}
+                    ).get("value", 0)
+                    fraction["value"] = (
+                        round(done_states / total, 4) if total else 0.0
+                    )
+                response["parent"] = parent
+                response["metrics"] = merged
+                fmt = request.get("format", "prometheus")
+                response["format"] = fmt
+                if fmt == "prometheus":
+                    response["text"] = obs.render_prometheus(merged)
+                    # The text is the product; the raw snapshots would
+                    # triple the payload for a scrape that ignores them.
+                    response.pop("metrics", None)
+                    response.pop("shards", None)
+                    response.pop("parent", None)
+            response.setdefault("cmd", "metrics-export")
+            if not wrapped.cancelled():
+                try:
+                    wrapped.set_result(response)
+                except Exception:  # noqa: BLE001 — cancel/set race
+                    pass
+
+        future.add_done_callback(finish)
+        return wrapped
 
     def _with_scheduler_metrics(
         self, request: Request, future: "Future[Response]"

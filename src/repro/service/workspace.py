@@ -18,6 +18,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from .. import obs
 from ..api.language import LexedInput
 from ..core.ipg import IPG, TokenInput
 from ..grammar.builders import grammar_from_text
@@ -381,6 +382,19 @@ class Workspace:
         self._sessions: Dict[str, ParseSession] = {}
         self._lock = threading.RLock()
         self.cache = ResultCache(cache_capacity)
+        # Surface the shared result-cache counters and the session count
+        # through the obs registry.  The registration is weak: a
+        # workspace dropped by its dispatcher stops being polled, so
+        # short-lived workspaces (tests, `repro batch`) cannot leak.
+        obs.register_object_collector(self, Workspace._collect_metrics)
+
+    @staticmethod
+    def _collect_metrics(self: "Workspace"):
+        for key, value in self.cache.stats.snapshot().items():
+            if key != "hit_rate":
+                yield ("repro.result_cache." + key, None, "counter", value)
+        yield ("repro.result_cache.entries", None, "gauge", len(self.cache))
+        yield ("repro.workspace.sessions", None, "gauge", len(self))
 
     # -- registry ----------------------------------------------------------
 

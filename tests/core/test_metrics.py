@@ -2,8 +2,16 @@
 
 import pytest
 
+from repro.core import metrics as metrics_module
 from repro.core.lazy import LazyGenerator
-from repro.core.metrics import ControlProbe, graph_summary, table_fraction
+from repro.core.metrics import (
+    ControlProbe,
+    full_table_states,
+    graph_summary,
+    table_fraction,
+)
+from repro.grammar.rules import Rule
+from repro.grammar.symbols import NonTerminal, Terminal
 from repro.runtime.parallel import PoolParser
 
 from ..conftest import toks
@@ -26,6 +34,59 @@ class TestTableFraction:
         generator = LazyGenerator(booleans)
         generator.force()
         assert table_fraction(generator.graph, booleans) == 1.0
+
+
+class TestFullTableMemoization:
+    @pytest.fixture()
+    def count_builds(self, monkeypatch):
+        """Count reference-graph constructions behind full_table_states."""
+        builds = []
+        real_graph = metrics_module.ItemSetGraph
+
+        class CountingGraph(real_graph):
+            def __init__(self, grammar):
+                builds.append(grammar)
+                super().__init__(grammar)
+
+        monkeypatch.setattr(metrics_module, "ItemSetGraph", CountingGraph)
+        return builds
+
+    def test_repeat_queries_build_the_reference_graph_once(
+        self, booleans, count_builds
+    ):
+        first = full_table_states(booleans)
+        assert len(count_builds) == 1
+        assert full_table_states(booleans) == first
+        assert full_table_states(booleans) == first
+        assert len(count_builds) == 1  # memo hit: no rebuild
+
+    def test_revision_bump_invalidates_the_memo(self, booleans, count_builds):
+        before = full_table_states(booleans)
+        assert len(count_builds) == 1
+        booleans.add_rule(Rule(NonTerminal("B"), [Terminal("maybe")]))
+        after = full_table_states(booleans)
+        assert len(count_builds) == 2  # edit forced a rebuild
+        assert after != before
+        assert full_table_states(booleans) == after
+        assert len(count_builds) == 2
+
+    def test_memo_is_per_grammar_instance(self, count_builds):
+        from repro.grammar.builders import grammar_from_text
+
+        from ..conftest import BOOLEANS
+
+        first = grammar_from_text(BOOLEANS)
+        second = grammar_from_text(BOOLEANS)
+        assert full_table_states(first) == full_table_states(second)
+        assert len(count_builds) == 2  # one reference build per instance
+
+    def test_table_fraction_reuses_the_memo(self, booleans, count_builds):
+        generator = LazyGenerator(booleans)
+        parser = PoolParser(generator.control(), booleans)
+        parser.parse(toks("true and true"))
+        for _ in range(3):
+            table_fraction(generator.graph, booleans)
+        assert len(count_builds) == 1
 
 
 class TestGraphSummary:

@@ -1,0 +1,87 @@
+"""Exporters: Prometheus text exposition format and JSON rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import prometheus_name, render_json, render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro.parse.requests", engine="compiled").inc(4)
+    registry.gauge("repro.lazy.table_fraction").set(0.6)
+    histogram = registry.histogram("repro.shard.request.seconds",
+                                   buckets=(0.01, 0.1), shard="0")
+    histogram.observe(0.005)
+    histogram.observe(0.05)
+    histogram.observe(5.0)
+    return registry
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("repro.result_cache.hits") == "repro_result_cache_hits"
+
+    def test_invalid_characters_are_sanitized(self):
+        assert prometheus_name("a-b c") == "a_b_c"
+
+    def test_leading_digit_is_prefixed(self):
+        assert prometheus_name("2fast") == "_2fast"
+
+
+class TestRenderPrometheus:
+    def test_type_lines_and_values(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert "# TYPE repro_parse_requests counter" in text
+        assert 'repro_parse_requests{engine="compiled"} 4\n' in text
+        assert "# TYPE repro_lazy_table_fraction gauge" in text
+        assert "repro_lazy_table_fraction 0.6" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert 'repro_shard_request_seconds_bucket{shard="0",le="0.01"} 1' in text
+        assert 'repro_shard_request_seconds_bucket{shard="0",le="0.1"} 2' in text
+        assert 'repro_shard_request_seconds_bucket{shard="0",le="+Inf"} 3' in text
+        assert 'repro_shard_request_seconds_count{shard="0"} 3' in text
+        assert 'repro_shard_request_seconds_sum{shard="0"} 5.055' in text
+
+    def test_type_line_emitted_once_per_series_family(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", cmd="parse").inc()
+        registry.counter("reqs", cmd="open").inc()
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# TYPE reqs counter") == 1
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("m", why='say "hi"\nagain').inc()
+        text = render_prometheus(registry.snapshot())
+        assert r'why="say \"hi\"\nagain"' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+    def test_output_is_newline_terminated_with_type_first(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        for family in ("repro_parse_requests", "repro_lazy_table_fraction",
+                       "repro_shard_request_seconds"):
+            first = next(i for i, line in enumerate(lines) if family in line)
+            assert lines[first].startswith(f"# TYPE {family} ")
+
+
+class TestRenderJson:
+    def test_round_trips_through_json(self):
+        snapshot = _sample_registry().snapshot()
+        decoded = json.loads(render_json(snapshot))
+        assert decoded == json.loads(json.dumps(snapshot))
+        assert decoded['repro.parse.requests{engine="compiled"}']["value"] == 4
+
+    def test_keys_are_sorted(self):
+        text = render_json(_sample_registry().snapshot())
+        keys = [line.strip().split(":")[0] for line in text.splitlines()
+                if line.startswith('  "')]
+        assert keys == sorted(keys)

@@ -1,0 +1,180 @@
+"""Spans: the no-op disabled path, tracing, nesting, the ring, the slow log."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracing():
+    """Every test leaves tracing, the ring and the slow log as it found them."""
+    was_tracing = obs.tracing_enabled()
+    yield
+    obs.set_tracing(was_tracing)
+    obs.set_slow_threshold(None)
+    obs.set_slow_sink(None)
+    obs.clear_spans()
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_handle(self):
+        obs.set_tracing(False)
+        handle = obs.span("parse", tokens=3)
+        assert handle is NULL_SPAN
+        assert handle.recording is False
+        # identical object every call — nothing allocates
+        assert obs.span("other") is handle
+
+    def test_null_span_is_inert(self):
+        with obs.span("parse") as sp:
+            sp.set(tokens=1)  # swallowed
+        assert NULL_SPAN.attributes == {}
+        assert obs.recent_spans() == []
+
+    def test_annotate_without_open_span_is_noop(self):
+        obs.annotate(cache=True)  # must not raise
+        assert obs.current_span() is NULL_SPAN
+
+
+class TestRecording:
+    def test_nesting_builds_a_tree_and_publishes_the_root(self):
+        obs.set_tracing(True)
+        obs.clear_spans()
+        with obs.span("request", cmd="parse") as root:
+            with obs.span("tokenize") as inner:
+                inner.set(tokens=3)
+            with obs.span("engine", engine="compiled"):
+                pass
+        assert root.recording is True
+        assert [child.name for child in root.children] == ["tokenize", "engine"]
+        assert root.children[0].attributes == {"tokens": 3}
+        published = obs.recent_spans()
+        assert len(published) == 1
+        tree = published[0]
+        assert tree["name"] == "request"
+        assert tree["attributes"] == {"cmd": "parse"}
+        assert [c["name"] for c in tree["children"]] == ["tokenize", "engine"]
+
+    def test_durations_are_monotonic_and_nested(self):
+        obs.set_tracing(True)
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_annotate_targets_the_innermost_open_span(self):
+        obs.set_tracing(True)
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                obs.annotate(cache=True)
+        assert inner.attributes == {"cache": True}
+        assert "cache" not in outer.attributes
+
+    def test_to_dict_omits_empty_fields(self):
+        obs.set_tracing(True)
+        with obs.span("bare") as sp:
+            pass
+        tree = sp.to_dict()
+        assert tree["name"] == "bare"
+        assert "attributes" not in tree
+        assert "children" not in tree
+
+
+class TestForcedTracing:
+    def test_trace_records_while_global_switch_is_off(self):
+        obs.set_tracing(False)
+        obs.clear_spans()
+        with obs.trace("request", cmd="parse") as root:
+            with obs.span("child"):
+                pass
+        assert [c.name for c in root.children] == ["child"]
+        assert len(obs.recent_spans()) == 1
+        # and the switch is still off afterwards
+        assert obs.span("after") is NULL_SPAN
+
+    def test_trace_is_per_thread(self):
+        obs.set_tracing(False)
+        seen = {}
+
+        def other_thread():
+            seen["handle"] = obs.span("elsewhere")
+
+        with obs.trace("request"):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen["handle"] is NULL_SPAN
+
+
+class TestRing:
+    def test_ring_is_bounded_and_keeps_the_newest(self):
+        obs.set_tracing(True)
+        obs.clear_spans()
+        obs.set_ring_capacity(4)
+        try:
+            for index in range(10):
+                with obs.span("root", index=index):
+                    pass
+            kept = obs.recent_spans()
+            assert len(kept) == 4
+            assert [t["attributes"]["index"] for t in kept] == [6, 7, 8, 9]
+            assert len(obs.recent_spans(limit=2)) == 2
+        finally:
+            obs.set_ring_capacity(256)
+
+    def test_only_roots_are_published(self):
+        obs.set_tracing(True)
+        obs.clear_spans()
+        with obs.span("root"):
+            with obs.span("child"):
+                pass
+        assert [t["name"] for t in obs.recent_spans()] == ["root"]
+
+
+class TestSlowLog:
+    def test_threshold_activates_recording_and_logs(self):
+        obs.set_tracing(False)
+        captured = []
+        obs.set_slow_sink(captured.append)
+        obs.set_slow_threshold(0.0)  # everything is "slow"
+        with obs.span("request") as sp:
+            with obs.span("engine", engine="lazy"):
+                pass
+        assert sp.recording is True
+        assert len(captured) == 1
+        assert "slow request" in captured[0]
+        assert "engine" in captured[0]
+
+    def test_disabling_the_threshold_restores_the_null_path(self):
+        obs.set_slow_threshold(5.0)
+        assert obs.span("on").recording is True
+        obs.set_slow_threshold(None)
+        assert obs.span("off") is NULL_SPAN
+
+    def test_fast_requests_are_not_logged(self):
+        captured = []
+        obs.set_slow_sink(captured.append)
+        obs.set_slow_threshold(60_000.0)  # one minute: nothing qualifies
+        with obs.span("request"):
+            pass
+        assert captured == []
+
+    def test_render_span_tree_indents_children(self):
+        text = obs.render_span_tree(
+            {
+                "name": "request",
+                "duration": 0.002,
+                "children": [
+                    {"name": "parse", "duration": 0.001, "attributes": {"tokens": 3}}
+                ],
+            }
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("request 2.000ms")
+        assert lines[1].startswith("  parse 1.000ms")
+        assert "tokens=3" in lines[1]

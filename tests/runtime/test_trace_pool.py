@@ -69,3 +69,49 @@ class TestTraceApi:
         trace = Trace()
         pool.parse(toks("true"), trace=trace)
         assert len(trace.render().splitlines()) == len(trace)
+
+
+class TestEventSerialization:
+    def test_to_dict_is_jsonable_and_keyed_by_kind(self, pool):
+        import json
+
+        trace = Trace()
+        pool.parse(toks("true and false"), trace=trace)
+        payloads = [event.to_dict() for event in trace.events]
+        json.dumps(payloads)  # states by uid, symbols/rules by str
+        for payload in payloads:
+            assert isinstance(payload["state"], int)
+            assert payload["kind"] in {
+                "shift", "reduce", "goto", "accept", "die", "fork",
+            }
+            assert "parser_id" in payload
+
+    def test_optional_fields_are_omitted_not_null(self):
+        payload = TraceEvent("die", state=3).to_dict()
+        assert payload == {"kind": "die", "state": 3, "parser_id": 0}
+
+    def test_shift_events_carry_the_token_position(self, pool):
+        trace = Trace()
+        pool.parse(toks("true and false"), trace=trace)
+        shifts = [e for e in trace.events if e.kind == "shift"]
+        assert [e.position for e in shifts] == [0, 1, 2]
+        assert [str(e.symbol) for e in shifts] == ["true", "and", "false"]
+
+    def test_positions_round_trip_through_to_dict(self, pool):
+        trace = Trace()
+        pool.parse(toks("true or false"), trace=trace)
+        for event in trace.events:
+            payload = event.to_dict()
+            assert payload.get("position") == event.position
+            if event.position is not None:
+                # end-of-input moves sit on the $ marker at index 3
+                assert 0 <= event.position <= 3
+
+    def test_rule_and_target_serialize_as_text_and_uid(self, pool):
+        trace = Trace()
+        pool.parse(toks("true"), trace=trace)
+        reduces = [e for e in trace.events if e.kind == "reduce"]
+        assert reduces
+        payload = reduces[0].to_dict()
+        assert payload["rule"] == "B ::= true"
+        assert isinstance(payload["target"], int)

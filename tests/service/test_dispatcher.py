@@ -274,8 +274,9 @@ class TestIntrospection:
 
     def test_info(self, booleans_dispatcher):
         server = booleans_dispatcher.handle({"cmd": "info"})
-        assert server["protocol"] == 3
+        assert server["protocol"] == 4
         assert "parse" in server["commands"]
+        assert "metrics-export" in server["commands"]
         assert "compiled" in server["engines"]
         assert server["sessions"] == ["s1"]
         session = booleans_dispatcher.handle({"cmd": "info", "session": "s1"})

@@ -1,10 +1,12 @@
 """The interactive REPL, driven through scripted sessions."""
 
+import json
 import subprocess
 import sys
 
+import pytest
 
-from repro.cli import ReplSession, run_session
+from repro.cli import ReplSession, main, run_session
 
 
 class TestSession:
@@ -268,3 +270,85 @@ class TestEditCommand:
         out = run_session(self.GRAMMAR + ["parse a + a", "edit 1 2 b"])
         assert "rejected" in out
         assert any("expected" in line for line in out)
+
+
+class TestTraceCommand:
+    GRAMMAR = [
+        "sort B",  # B is used before its rules exist
+        "add START ::= B",
+        "add B ::= true",
+        "add B ::= false",
+        "add B ::= B or B",
+    ]
+
+    def test_accepted_trace_lists_moves_with_positions(self):
+        out = run_session(self.GRAMMAR + ["trace true or false"])
+        assert any(
+            line.startswith("accepted — ") and "(engine compiled)" in line
+            for line in out
+        )
+        shifts = [line for line in out if line.strip().startswith("shift")]
+        assert shifts
+        assert "token 0 'true' at line 1, column 1" in shifts[0]
+        assert any("rule=(B ::= true)" in line for line in out)
+        assert any(line.strip().startswith("accept") for line in out)
+
+    def test_rejected_trace_keeps_the_diagnostic(self):
+        out = run_session(self.GRAMMAR + ["trace true or or"])
+        assert any(line.startswith("rejected — ") for line in out)
+        assert any("expected" in line for line in out)
+
+    def test_usage_without_tokens(self):
+        assert run_session(["trace"]) == ["usage: trace <tokens>"]
+
+    def test_engine_without_lr_moves_says_so(self):
+        out = run_session(self.GRAMMAR + ["engine earley", "trace true"])
+        assert any("records no LR moves" in line for line in out)
+
+    def test_trace_does_not_disturb_the_edit_base(self):
+        out = run_session(
+            self.GRAMMAR
+            + ["parse true or false", "trace false", "edit 0 1 false"]
+        )
+        assert any(line.startswith("edited [0:1]") for line in out)
+
+
+class TestObsCommand:
+    @pytest.fixture(autouse=True)
+    def _restore_slowlog(self):
+        yield
+        from repro import obs
+
+        obs.set_slow_threshold(None)
+
+    def test_demo_prints_a_prometheus_catalog(self, capsys):
+        assert main(["obs"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_lazy_table_fraction gauge" in out
+        assert "repro_service_requests" in out
+        assert 'repro_incremental_reparse{outcome="resumed"' in out
+
+    def test_json_format_with_spans(self, capsys):
+        assert main(["obs", "--format", "json", "--spans", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" in payload and "spans" in payload
+        assert payload["metrics"]["repro.lazy.table_fraction"]["value"] > 0
+        assert any(tree["name"] == "request" for tree in payload["spans"])
+
+    def test_spans_render_to_stderr_in_prometheus_mode(self, capsys):
+        assert main(["obs", "--spans", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "request" in captured.err
+        assert "# TYPE" not in captured.err
+
+    def test_negative_slow_ms_is_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["obs", "--slow-ms", "-1"])
+        assert "--slow-ms must be non-negative" in capsys.readouterr().err
+
+
+class TestServeFlagValidation:
+    def test_negative_slow_ms_is_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--slow-ms", "-0.5"])
+        assert "--slow-ms must be non-negative" in capsys.readouterr().err
