@@ -1,0 +1,323 @@
+"""Fault-tolerance bench: sustained traffic while a shard dies every second.
+
+A supervised process-mode :class:`~repro.service.Scheduler` serves
+concurrent client threads that mix mutations (``add-rule``) with parses,
+while a chaos thread arms the ``kill-child`` fault point once per
+``--kill-interval`` — so roughly one shard child is murdered per second
+for the whole run.  Clients retry transient ``shard-restarting`` answers
+with jittered backoff (:func:`repro.service.retry.call_with_retries`),
+exactly like the shipped TCP client.
+
+The report answers two questions:
+
+* **Availability under fire** — what fraction of client requests still
+  succeeded after retries, and how long did recoveries take (restart
+  count, per-request latency percentiles)?
+* **Durability** — after the dust settles, does every session's replayed
+  grammar sit at the exact version its client last saw acknowledged?
+  Any mismatch is *lost acknowledged state* and fails the floor
+  unconditionally.
+
+``--floor benchmarks/faults_floor.json`` turns the run into a CI gate:
+zero acknowledged loss (always), a minimum post-retry success rate, and
+a minimum kill count (so a too-short run cannot trivially pass).
+
+Standalone (writes ``BENCH_service_faults.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_service_faults.py
+    PYTHONPATH=src python benchmarks/bench_service_faults.py \\
+        --floor benchmarks/faults_floor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+try:
+    from repro.service import Scheduler, faults
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.service import Scheduler, faults
+
+from repro.service.retry import call_with_retries, is_retryable
+
+GRAMMAR = "START ::= B\nB ::= true\nB ::= false\nB ::= B or B"
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service_faults.json"
+
+DURATION_S = 8.0
+KILL_INTERVAL_S = 1.0
+WORKERS = 2
+CLIENTS = 4
+SESSIONS_PER_CLIENT = 2
+
+
+def percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def run_chaos(
+    duration_s: float = DURATION_S,
+    kill_interval_s: float = KILL_INTERVAL_S,
+    workers: int = WORKERS,
+    clients: int = CLIENTS,
+) -> Dict[str, Any]:
+    """Drive retrying clients through a kill-storm; returns a result dict."""
+    scheduler = Scheduler(
+        workers=workers,
+        mode="process",
+        max_depth=4096,
+        backoff_ms=10,
+        max_backoff_ms=250,
+        max_restarts=100_000,  # the bench measures recovery, not the breaker
+        compact_threshold=8,
+    )
+    stop = threading.Event()
+    acknowledged: Dict[str, int] = {}
+    requests_by_client = [0] * clients
+    failures_by_client = [0] * clients
+    retried_by_client = [0] * clients
+    latencies_by_client: List[List[float]] = [[] for _ in range(clients)]
+    kills = 0
+    try:
+        warmup = scheduler.handle({"cmd": "info"})
+        if "error" in warmup:
+            raise RuntimeError(f"scheduler warm-up failed: {warmup['error']}")
+        sessions = [
+            [f"c{index}s{slot}" for slot in range(SESSIONS_PER_CLIENT)]
+            for index in range(clients)
+        ]
+        for index in range(clients):
+            for name in sessions[index]:
+                response = call_with_retries(
+                    scheduler.handle,
+                    {"cmd": "open", "session": name, "grammar": GRAMMAR},
+                    retries=10,
+                )
+                if "error" in response:
+                    raise RuntimeError(f"open failed: {response}")
+                acknowledged[name] = response["version"]
+
+        def drive(index: int) -> None:
+            step = 0
+            while not stop.is_set():
+                name = sessions[index][step % SESSIONS_PER_CLIENT]
+                if step % 3 == 0:
+                    request = {
+                        "cmd": "add-rule",
+                        "session": name,
+                        "rule": f"B ::= w{index}x{step}",
+                    }
+                else:
+                    request = {
+                        "cmd": "parse",
+                        "session": name,
+                        "tokens": "true or false",
+                    }
+                started = time.perf_counter()
+                response = scheduler.handle(request)
+                if is_retryable(response):
+                    retried_by_client[index] += 1
+                    response = call_with_retries(
+                        scheduler.handle, request, retries=12, base_ms=10
+                    )
+                latencies_by_client[index].append(time.perf_counter() - started)
+                requests_by_client[index] += 1
+                if "error" in response:
+                    failures_by_client[index] += 1
+                elif request["cmd"] == "add-rule":
+                    acknowledged[name] = response["version"]
+                step += 1
+
+        def murder() -> None:
+            nonlocal kills
+            while not stop.wait(kill_interval_s):
+                faults.arm("kill-child", times=1)
+                kills += 1
+
+        threads = [
+            threading.Thread(target=drive, args=(index,)) for index in range(clients)
+        ]
+        chaos = threading.Thread(target=murder)
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        chaos.start()
+        time.sleep(duration_s)
+        stop.set()
+        chaos.join()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        faults.reset()  # a still-armed kill must not hit verification
+
+        # Let every shard finish any in-flight recovery before auditing.
+        deadline = time.monotonic() + 30
+        for shard in scheduler.shards:
+            while shard.state != "ok" and time.monotonic() < deadline:
+                time.sleep(0.02)
+
+        # Durability audit: the replayed state must sit at the exact
+        # version each client last saw acknowledged.
+        lost: List[str] = []
+        for name, version in sorted(acknowledged.items()):
+            response = call_with_retries(
+                scheduler.handle, {"cmd": "metrics", "session": name}, retries=10
+            )
+            if response.get("version") != version:
+                lost.append(
+                    f"{name}: acknowledged v{version}, replayed "
+                    f"{response.get('version', response.get('error'))}"
+                )
+        health = scheduler.handle({"cmd": "health"})
+        latencies = [value for chunk in latencies_by_client for value in chunk]
+        total = sum(requests_by_client)
+        failures = sum(failures_by_client)
+        return {
+            "duration_seconds": round(elapsed, 3),
+            "workers": workers,
+            "clients": clients,
+            "sessions": len(acknowledged),
+            "kills": kills,
+            "restarts": health["restarts"],
+            "healthy_after": health["healthy"],
+            "requests": total,
+            "retried": sum(retried_by_client),
+            "failures_after_retries": failures,
+            "success_rate": (total - failures) / total if total else 0.0,
+            "requests_per_second": total / elapsed if elapsed else 0.0,
+            "latency_p50_ms": round(percentile(latencies, 0.50) * 1000, 2),
+            "latency_p99_ms": round(percentile(latencies, 0.99) * 1000, 2),
+            "lost_acknowledged": lost,
+            "compactions": sum(
+                entry["journal"]["compactions"] for entry in health["shards"]
+            ),
+        }
+    finally:
+        faults.reset()
+        scheduler.close()
+
+
+def check_floor(floor_path: str, result: Dict[str, Any]) -> List[str]:
+    """Violation messages (empty = the gate passes)."""
+    with open(floor_path) as handle:
+        floor = json.load(handle)
+    failures: List[str] = []
+    if result["lost_acknowledged"]:
+        for item in result["lost_acknowledged"]:
+            failures.append(f"acknowledged state lost: {item}")
+    if not result["healthy_after"]:
+        failures.append("scheduler not healthy after the kill-storm")
+    if result["kills"] < floor.get("min_kills", 1):
+        failures.append(
+            f"only {result['kills']} kill(s) injected — run too short to "
+            f"mean anything (need >= {floor.get('min_kills', 1)})"
+        )
+    minimum_rate = floor.get("min_success_rate", 0.9)
+    if result["success_rate"] < minimum_rate:
+        failures.append(
+            f"post-retry success rate {result['success_rate']:.3f} below "
+            f"floor {minimum_rate}"
+        )
+    minimum_rps = floor.get("min_requests_per_second", 0.0)
+    if result["requests_per_second"] < minimum_rps:
+        failures.append(
+            f"{result['requests_per_second']:.1f} req/s under chaos below "
+            f"absolute floor {minimum_rps} (3x-slack sanity net)"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration", type=float, default=DURATION_S, metavar="SECONDS",
+        help=f"kill-storm length (default: {DURATION_S:g}s)",
+    )
+    parser.add_argument(
+        "--kill-interval", type=float, default=KILL_INTERVAL_S, metavar="SECONDS",
+        help=f"seconds between shard kills (default: {KILL_INTERVAL_S:g})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=WORKERS, metavar="N",
+        help=f"process shards (default: {WORKERS})",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=CLIENTS, metavar="N",
+        help=f"concurrent client threads (default: {CLIENTS})",
+    )
+    parser.add_argument(
+        "--floor", metavar="PATH",
+        help="enforce the committed floor file; non-zero exit on violation",
+    )
+    parser.add_argument(
+        "--no-output", action="store_true",
+        help=f"do not write {OUTPUT_PATH.name}",
+    )
+    options = parser.parse_args(argv)
+
+    print(
+        f"chaos bench — {options.clients} retrying clients vs "
+        f"{options.workers} process shards, one kill per "
+        f"{options.kill_interval:g}s for {options.duration:g}s "
+        f"({os.cpu_count()} cores)"
+    )
+    result = run_chaos(
+        duration_s=options.duration,
+        kill_interval_s=options.kill_interval,
+        workers=options.workers,
+        clients=options.clients,
+    )
+    report: Dict[str, Any] = {
+        "bench": "service_faults",
+        "cpu_count": os.cpu_count(),
+        "chaos": {
+            key: round(value, 4) if isinstance(value, float) else value
+            for key, value in result.items()
+        },
+    }
+    print(
+        f"  {result['requests']} requests in {result['duration_seconds']}s "
+        f"({result['requests_per_second']:.1f} req/s)   kills "
+        f"{result['kills']}   restarts {result['restarts']}"
+    )
+    print(
+        f"  success rate {result['success_rate']:.1%}   latency p50 "
+        f"{result['latency_p50_ms']}ms p99 {result['latency_p99_ms']}ms   "
+        f"compactions {result['compactions']}"
+    )
+    print(
+        f"  acknowledged-state audit: "
+        f"{'CLEAN' if not result['lost_acknowledged'] else result['lost_acknowledged']}"
+    )
+
+    status = 0
+    if options.floor:
+        failures = check_floor(options.floor, result)
+        report["floor"] = {"path": options.floor, "failures": failures}
+        if failures:
+            status = 1
+            for failure in failures:
+                print(f"FLOOR VIOLATION: {failure}", file=sys.stderr)
+        else:
+            print(f"floor check passed ({options.floor})")
+
+    if not options.no_output:
+        OUTPUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {OUTPUT_PATH}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,7 @@ except ImportError:  # standalone invocation without PYTHONPATH=src
     from repro.service import Dispatcher, Scheduler
 
 from repro.bench.workloads import service_requests
+from repro.service.retry import call_with_retries, is_retryable
 
 try:
     import pytest
@@ -150,10 +151,18 @@ def run_concurrent(
         if "error" in warmup:
             raise RuntimeError(f"scheduler warm-up failed: {warmup['error']}")
         errors_by_client = [0] * len(slices)
+        retried_by_client = [0] * len(slices)
 
         def drive(client_index: int, chunk: List[Dict[str, Any]]) -> None:
             for request in chunk:
+                # Real clients retry transient conditions (overloaded,
+                # shard-restarting) with jittered backoff; the bench
+                # clients do the same so a momentary queue spike is
+                # back-pressure, not a counted failure.
                 response = scheduler.handle(request)
+                if is_retryable(response):
+                    retried_by_client[client_index] += 1
+                    response = call_with_retries(scheduler.handle, request)
                 errors_by_client[client_index] += "error" in response
 
         threads = [
@@ -175,6 +184,7 @@ def run_concurrent(
             "clients": len(slices),
             "requests": total,
             "errors": sum(errors_by_client),
+            "retried": sum(retried_by_client),
             "seconds": elapsed,
             "requests_per_second": total / elapsed if elapsed else 0.0,
             "cache_hit_rate": cache.get("hit_rate", 0.0),

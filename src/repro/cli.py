@@ -467,6 +467,39 @@ def _serve_main(args: List[str]) -> int:
         "(for scripts driving --tcp HOST:0)",
     )
     parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        help="default per-request wall-clock budget; requests that "
+        "exceed it answer with a 'deadline-exceeded' error "
+        "(requests may override via their 'deadline_ms' field)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="K",
+        help="process-shard circuit breaker: more than K restarts "
+        "inside --restart-window marks the shard degraded "
+        "(default: 5)",
+    )
+    parser.add_argument(
+        "--restart-window",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="sliding window the circuit breaker counts restarts over "
+        "(default: 60)",
+    )
+    parser.add_argument(
+        "--backoff-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="base delay of the jittered exponential backoff between "
+        "shard restarts (default: 50)",
+    )
+    parser.add_argument(
         "--slow-ms",
         type=float,
         metavar="MS",
@@ -483,6 +516,14 @@ def _serve_main(args: List[str]) -> int:
         parser.error("--queue-depth and --batch must be at least 1")
     if options.cache_capacity < 1:
         parser.error("--cache-capacity must be at least 1")
+    if options.deadline_ms is not None and options.deadline_ms <= 0:
+        parser.error("--deadline-ms must be positive")
+    if options.max_restarts < 1:
+        parser.error("--max-restarts must be at least 1")
+    if options.restart_window <= 0:
+        parser.error("--restart-window must be positive")
+    if options.backoff_ms < 0:
+        parser.error("--backoff-ms must be non-negative")
     if options.slow_ms is not None:
         if options.slow_ms < 0:
             parser.error("--slow-ms must be non-negative")
@@ -511,7 +552,10 @@ def _serve_main(args: List[str]) -> int:
         return serve(
             sys.stdin,
             sys.stdout,
-            Dispatcher(cache_capacity=options.cache_capacity),
+            Dispatcher(
+                cache_capacity=options.cache_capacity,
+                default_deadline_ms=options.deadline_ms,
+            ),
         )
 
     host: Optional[str] = None
@@ -534,6 +578,10 @@ def _serve_main(args: List[str]) -> int:
         max_depth=options.queue_depth,
         max_batch=options.batch,
         cache_capacity=options.cache_capacity,
+        deadline_ms=options.deadline_ms,
+        max_restarts=options.max_restarts,
+        restart_window=options.restart_window,
+        backoff_ms=options.backoff_ms,
     )
     return run_server(
         scheduler,

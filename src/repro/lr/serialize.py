@@ -16,6 +16,7 @@ what those generators are fast at.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, List, Tuple
 
 from ..grammar.builders import grammar_from_text
@@ -182,9 +183,28 @@ def grammar_from_dict(payload: Dict[str, Any]) -> Grammar:
 
 
 def save_payload(payload: Dict[str, Any], path: str) -> None:
-    """Write any JSON-able payload (table, grammar, session) to ``path``."""
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=None, sort_keys=True)
+    """Write any JSON-able payload (table, grammar, session) to ``path``.
+
+    Crash-safe: the payload is written to a sibling temp file, fsynced,
+    and renamed into place.  A snapshot a supervisor replays after a
+    crash must never be observable half-written — with ``os.replace``
+    the path either still holds the previous complete payload or the new
+    complete one, and the fsync orders the data before the rename so a
+    power cut cannot leave a named-but-empty file.
+    """
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=None, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_payload(path: str) -> Dict[str, Any]:
@@ -204,8 +224,7 @@ def loads(text: str) -> ParseTable:
 
 
 def save_table(table: ParseTable, path: str) -> None:
-    with open(path, "w") as handle:
-        handle.write(dumps(table))
+    save_payload(table_to_dict(table), path)
 
 
 def load_table(path: str) -> ParseTable:

@@ -44,3 +44,24 @@ class SweepLimitExceeded(ParseError):
     The budget turns the restriction into a loud diagnostic instead of a
     hang.
     """
+
+
+class DeadlineExceeded(Exception):
+    """A cooperative request deadline expired mid-parse.
+
+    Deliberately *not* a :class:`ParseError`: a timeout says nothing about
+    whether the input is a sentence, so nothing that converts rejections
+    into diagnostics (or ``False``) may swallow it.  The service layer
+    turns it into a structured ``deadline-exceeded`` error response
+    carrying the partial progress (``tokens_consumed``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        deadline_ms: Optional[float] = None,
+        tokens_consumed: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.tokens_consumed = tokens_consumed

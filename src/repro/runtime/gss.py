@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from ..grammar.symbols import END, Terminal
 from ..lr.actions import Accept, Reduce, Shift
+from .deadline import CHECK_MASK, active_deadline
 from .errors import SweepLimitExceeded
 
 
@@ -68,10 +69,13 @@ class GSSParser:
         nodes_created += 1
         frontier: Dict[Any, GSSNode] = {_key(start_node.state): start_node}
         accepted = False
+        deadline = active_deadline()
 
         for position, symbol in enumerate(sentence):
             if not frontier:
                 break
+            if deadline is not None and deadline.expired():
+                raise deadline.exceed(position)
 
             worklist: List[GSSNode] = list(frontier.values())
             processed: Set[int] = set()
@@ -89,6 +93,12 @@ class GSSParser:
                         position=position,
                         symbol=symbol,
                     )
+                if (
+                    deadline is not None
+                    and (steps & CHECK_MASK) == 0
+                    and deadline.expired()
+                ):
+                    raise deadline.exceed(position)
                 processed.add(id(node))
 
                 for action in self.control.action(node.state, symbol):

@@ -63,6 +63,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import END, Terminal
 from ..lr.actions import Reduce, Shift
+from .deadline import CHECK_MASK, active_deadline
 from .errors import SweepLimitExceeded
 from .forest import Forest, TreeNode
 from .lr_parse import recover_start_trees
@@ -476,6 +477,9 @@ class IncrementalParser:
         accepting: List[StackCell] = []
         stats.sweeps += 1
         steps = 0
+        deadline = active_deadline()
+        if deadline is not None and deadline.expired():
+            raise deadline.exceed(position)
         while this_sweep:
             stack = this_sweep.pop()
             steps += 1
@@ -487,6 +491,12 @@ class IncrementalParser:
                     position=position,
                     symbol=symbol,
                 )
+            if (
+                deadline is not None
+                and (steps & CHECK_MASK) == 0
+                and deadline.expired()
+            ):
+                raise deadline.exceed(position)
             if stack.depth > max_depth:
                 raise SweepLimitExceeded(
                     f"parse stack exceeded depth {max_depth} at position "

@@ -32,6 +32,7 @@ from ..grammar.symbols import END, Terminal
 from ..lr.actions import Accept, Reduce, Shift
 from ..lr.compiled import STEP_REDUCE, STEP_SHIFT, encode_step
 from ..lr.states import ItemSet
+from .deadline import CHECK_MASK, active_deadline
 from .errors import SweepLimitExceeded
 from .forest import Forest, TreeNode
 from .stacks import StackCell
@@ -245,6 +246,10 @@ class PoolParser:
         sentence_length = len(sentence)
         legacy = self.legacy_signatures
         tracing = trace is not None
+        # Cooperative request deadline (service layer).  Read once: the
+        # scope installed by the dispatcher outlives the whole run, and a
+        # single local makes the per-step poll a None check.
+        deadline = active_deadline()
         # The deterministic stretch (below) bails back to the general pool
         # machinery after this many reduces on one symbol: a cyclic
         # grammar loops without net stack growth, and only the general
@@ -291,6 +296,8 @@ class PoolParser:
             symbol = sentence[position]
             position += 1
             n_sweeps += 1
+            if deadline is not None and deadline.expired():
+                raise deadline.exceed(position - 1)
             dead_states = None
             sweep_stacks = [p.stack for p in next_sweep]
 
@@ -358,6 +365,12 @@ class PoolParser:
                         symbol = sentence[position]
                         position += 1
                         n_sweeps += 1
+                        if (
+                            deadline is not None
+                            and (position & CHECK_MASK) == 0
+                            and deadline.expired()
+                        ):
+                            raise deadline.exceed(position - 1)
                         reduces_here = 0
                         stretch_start = stack
                         continue
@@ -461,6 +474,12 @@ class PoolParser:
                         position=position - 1,
                         symbol=symbol,
                     )
+                if (
+                    deadline is not None
+                    and (steps & CHECK_MASK) == 0
+                    and deadline.expired()
+                ):
+                    raise deadline.exceed(position - 1)
                 stack = parser.stack
                 state = stack.state
                 if stack.depth > max_depth:

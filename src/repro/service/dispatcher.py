@@ -16,7 +16,8 @@ from typing import Any, Callable, Dict, Optional
 from .. import obs
 from ..core.metrics import LatencyStats, full_table_states, states_materialized
 from ..grammar.grammar import GrammarError
-from ..runtime.errors import ParseError
+from ..runtime.deadline import deadline_scope
+from ..runtime.errors import DeadlineExceeded, ParseError
 from .protocol import (
     COMMANDS,
     PROTOCOL_VERSION,
@@ -59,9 +60,11 @@ class Dispatcher:
         workspace: Optional[Workspace] = None,
         cache_capacity: int = 1024,
         clock: Callable[[], float] = time.perf_counter,
+        default_deadline_ms: Optional[float] = None,
     ) -> None:
         self.workspace = workspace if workspace is not None else Workspace(cache_capacity)
         self.stats = LatencyStats()
+        self.default_deadline_ms = default_deadline_ms
         self._clock = clock
         self._handler_map = self._handlers()
 
@@ -79,13 +82,25 @@ class Dispatcher:
         cmd = request.get("cmd") if isinstance(request, dict) else None
         root = None
         try:
-            if isinstance(request, dict) and request.get("trace"):
-                with obs.trace(
-                    "request", cmd=cmd if isinstance(cmd, str) else "?"
-                ) as root:
+            deadline_ms = self._deadline_of(request)
+            with deadline_scope(deadline_ms):
+                if isinstance(request, dict) and request.get("trace"):
+                    with obs.trace(
+                        "request", cmd=cmd if isinstance(cmd, str) else "?"
+                    ) as root:
+                        response = self._dispatch(request, cmd)
+                else:
                     response = self._dispatch(request, cmd)
-            else:
-                response = self._dispatch(request, cmd)
+        except DeadlineExceeded as error:
+            # Caught before the broad handlers so a deadline can never be
+            # misreported as an ordinary parse failure: the input was not
+            # rejected, the budget ran out.
+            response = {"error": "deadline-exceeded", "detail": str(error)}
+            if error.deadline_ms is not None:
+                response["deadline_ms"] = error.deadline_ms
+            if error.tokens_consumed is not None:
+                response["tokens_consumed"] = error.tokens_consumed
+            obs.counter("repro.service.deadline_exceeded").inc()
         except (ServiceError, GrammarError, ParseError, OSError) as error:
             response = {"error": str(error)}
         except Exception as error:  # noqa: BLE001 — server boundary
@@ -108,6 +123,25 @@ class Dispatcher:
         if "error" in response:
             _ERRORS.inc()
         return response
+
+    def _deadline_of(self, request: Any) -> Optional[float]:
+        """The effective wall-clock budget: request field or server default."""
+        if not isinstance(request, dict) or "deadline_ms" not in request:
+            return self.default_deadline_ms
+        value = request["deadline_ms"]
+        if value is None:
+            # Explicit null opts out of the server default.
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(
+                f"'deadline_ms' must be a number of milliseconds, got "
+                f"{type(value).__name__}"
+            )
+        if value <= 0:
+            raise ProtocolError(
+                f"'deadline_ms' must be positive, got {value}"
+            )
+        return float(value)
 
     def _dispatch(self, request: Any, cmd: Any) -> Dict[str, Any]:
         if not isinstance(request, dict):
@@ -139,6 +173,8 @@ class Dispatcher:
             "metrics-export": self._metrics_export,
             "info": self._info,
             "sessions": self._sessions,
+            "health": self._health,
+            "ready": self._ready,
         }
 
     # -- session lifecycle -------------------------------------------------
@@ -398,6 +434,23 @@ class Dispatcher:
         if isinstance(spans, int) and not isinstance(spans, bool) and spans > 0:
             response["spans"] = obs.recent_spans(spans)
         return response
+
+    def _health(self, _request: Dict[str, Any]) -> Dict[str, Any]:
+        """Single-process liveness: reaching this handler *is* the check.
+
+        Under a supervising scheduler the command is answered parent-side
+        with per-shard detail; this handler is the answer a standalone
+        dispatcher (or one process-shard child) gives, so the parent's
+        ``shards`` array and a child's probe use the same verb.
+        """
+        return {
+            "healthy": True,
+            "mode": "inline",
+            "sessions": len(self.workspace),
+        }
+
+    def _ready(self, _request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ready": True, "mode": "inline"}
 
     def _info(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if "session" in request:

@@ -31,6 +31,7 @@ import sys
 import threading
 from typing import Any, Dict, List, Optional, Set
 
+from . import faults
 from .protocol import encode
 from .scheduler import Scheduler
 from .server import decode_line
@@ -67,6 +68,7 @@ class ParseServer:
         port: Optional[int] = None,
         unix_path: Optional[str] = None,
         drain_timeout: float = 30.0,
+        max_line_bytes: Optional[int] = None,
     ) -> None:
         if (unix_path is None) == (host is None or port is None):
             raise ValueError("pass either host+port or unix_path")
@@ -75,6 +77,11 @@ class ParseServer:
         self.port = port
         self.unix_path = unix_path
         self.drain_timeout = drain_timeout
+        self.max_line_bytes = (
+            max_line_bytes if max_line_bytes is not None else MAX_LINE_BYTES
+        )
+        if self.max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be positive")
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set["_Connection"] = set()
         self._draining = False
@@ -87,14 +94,16 @@ class ParseServer:
         if self.unix_path is not None:
             self._remove_stale_socket()
             self._server = await asyncio.start_unix_server(
-                self._on_connection, path=self.unix_path, limit=MAX_LINE_BYTES
+                self._on_connection,
+                path=self.unix_path,
+                limit=self.max_line_bytes,
             )
         else:
             self._server = await asyncio.start_server(
                 self._on_connection,
                 host=self.host,
                 port=self.port,
-                limit=MAX_LINE_BYTES,
+                limit=self.max_line_bytes,
             )
             # Port 0 means "pick one": report what the OS chose.
             sockets = self._server.sockets or ()
@@ -279,10 +288,14 @@ class _Connection:
                 except (ConnectionError, asyncio.IncompleteReadError):
                     break
                 except ValueError:
-                    # A line beyond even MAX_LINE_BYTES.  Line boundaries
-                    # cannot be resynchronized after an overrun, so answer
-                    # the error and stop reading from this client.
-                    message = f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    # A line beyond even the configured limit.  Line
+                    # boundaries cannot be resynchronized after an
+                    # overrun, so answer the error and stop reading from
+                    # this client.
+                    message = (
+                        f"request line exceeds "
+                        f"{self.server.max_line_bytes} bytes"
+                    )
                     await self._enqueue(
                         lambda: self._failed(loop, message)
                     )
@@ -296,6 +309,12 @@ class _Connection:
                     )
                     continue
                 for request in requests:
+                    if faults.fire("drop-connection"):
+                        # Chaos: the client vanishes right after its
+                        # request was decoded — the abort path every
+                        # mid-pipeline disconnect takes.
+                        self.writer.transport.abort()
+                        return
                     await self._enqueue(
                         lambda request=request: self._submit(request)
                     )
@@ -314,7 +333,13 @@ class _Connection:
                     break
                 response = await future
                 self._slots.release()
-                self.writer.write((encode(response) + "\n").encode("utf-8"))
+                data = (encode(response) + "\n").encode("utf-8")
+                if faults.fire("corrupt-frame"):
+                    # Chaos: a torn write — half a frame, no newline.
+                    # The *client* must cope (and the server must not
+                    # crash); subsequent frames glue onto the fragment.
+                    data = data[: max(1, len(data) // 2)]
+                self.writer.write(data)
                 await self.writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             # Client went away mid-write: keep consuming futures so the
@@ -421,6 +446,7 @@ class BackgroundServer:
         scheduler: Optional[Scheduler] = None,
         host: str = "127.0.0.1",
         unix_path: Optional[str] = None,
+        max_line_bytes: Optional[int] = None,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.server = ParseServer(
@@ -428,6 +454,7 @@ class BackgroundServer:
             host=None if unix_path else host,
             port=None if unix_path else 0,
             unix_path=unix_path,
+            max_line_bytes=max_line_bytes,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -436,10 +463,26 @@ class BackgroundServer:
             target=self._run, name="repro-net-server", daemon=True
         )
         self._startup_error: Optional[BaseException] = None
+        #: Unhandled event-loop exceptions (task died without anyone
+        #: awaiting it).  Always empty in a healthy server — the
+        #: malformed-input tests assert exactly that.
+        self.loop_errors: List[str] = []
+
+    def _on_loop_exception(
+        self, loop: asyncio.AbstractEventLoop, context: Dict[str, Any]
+    ) -> None:
+        error = context.get("exception")
+        self.loop_errors.append(
+            f"{type(error).__name__}: {error}"
+            if error is not None
+            else str(context.get("message", "unknown loop error"))
+        )
+        loop.default_exception_handler(context)
 
     def _run(self) -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
+        loop.set_exception_handler(self._on_loop_exception)
         self._loop = loop
         self._stop = asyncio.Event()
 
@@ -463,13 +506,22 @@ class BackgroundServer:
         finally:
             loop.close()
 
-    def start(self) -> "BackgroundServer":
+    def start(self, timeout: float = 30.0) -> "BackgroundServer":
         self._thread.start()
-        self._ready.wait(timeout=30)
+        if not self._ready.wait(timeout=timeout):
+            # The server thread never signalled readiness — a wedged bind
+            # or an event loop that could not start.  Returning anyway
+            # would hand the caller a server object with no address whose
+            # first connect fails with something far less diagnosable.
+            raise RuntimeError(
+                f"server failed to start listening within {timeout:g}s "
+                f"(thread {'alive' if self._thread.is_alive() else 'dead'}, "
+                f"scheduler: {self.scheduler!r})"
+            )
         if self._startup_error is not None:
             raise RuntimeError(
                 f"server failed to start: {self._startup_error}"
-            )
+            ) from self._startup_error
         return self
 
     @property

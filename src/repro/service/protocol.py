@@ -34,7 +34,15 @@ from typing import Any, Dict, Iterator, Optional
 #: trees), and any request may set ``"trace": true`` to receive its
 #: span tree in a ``trace`` response field alongside the Korp-style
 #: ``time``.
-PROTOCOL_VERSION = 4
+#: Version 5 (v4-compatible): any request may set ``"deadline_ms": N``
+#: (a per-request wall-clock budget; exceeding it answers
+#: ``{"error": "deadline-exceeded", "deadline_ms": N,
+#: "tokens_consumed": M}``), the ``health`` and ``ready`` commands
+#: report per-shard liveness/supervision state, and a supervised
+#: scheduler answers requests to a crashed or tripped shard with the
+#: retryable ``{"error": "shard-restarting", "retry_after_ms": N}`` and
+#: terminal ``{"error": "shard-degraded"}`` shapes.
+PROTOCOL_VERSION = 5
 
 #: Commands the dispatcher understands (documented in README.md).
 COMMANDS = (
@@ -52,6 +60,8 @@ COMMANDS = (
     "metrics-export",
     "info",
     "sessions",
+    "health",
+    "ready",
 )
 
 

@@ -1,0 +1,77 @@
+"""Client-side retry policy for transient service errors.
+
+The supervised scheduler answers with *retryable* shapes — ``overloaded``
+(a shard queue at its bound) and ``shard-restarting`` (the supervisor is
+respawning a crashed shard, with a ``retry_after_ms`` hint) — under the
+contract that the client re-sends: journal replay reproduces only
+acknowledged mutations, so re-sending an unacknowledged request is safe
+by construction.  This module is the matching client half, used by the
+bench harnesses and the chaos suite; the standalone example client
+(``examples/tcp_client.py``) carries its own copy so it keeps working
+without the package on ``sys.path``.
+
+``shard-degraded`` is deliberately not retryable: the circuit breaker
+tripped because retries were *not* going to help.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["is_retryable", "call_with_retries"]
+
+#: Error strings that mean "same request, try again shortly".
+RETRYABLE_ERRORS = frozenset({"shard-restarting"})
+
+
+def is_retryable(response: Any) -> bool:
+    if not isinstance(response, dict):
+        return False
+    error = response.get("error")
+    if not isinstance(error, str):
+        return False
+    return error in RETRYABLE_ERRORS or response.get("overloaded") is True
+
+
+def backoff_ms(
+    response: Any,
+    attempt: int,
+    base_ms: float = 25.0,
+    max_ms: float = 2_000.0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Delay before re-sending: the server's hint plus jittered exponential."""
+    hint = 0.0
+    if isinstance(response, dict):
+        value = response.get("retry_after_ms")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            hint = float(value)
+    ceiling = min(max_ms, base_ms * (2.0**attempt))
+    jitter = (rng.random() if rng is not None else random.random()) * ceiling
+    return hint + jitter
+
+
+def call_with_retries(
+    handle: Callable[[Dict[str, Any]], Dict[str, Any]],
+    request: Dict[str, Any],
+    retries: int = 6,
+    base_ms: float = 25.0,
+    max_ms: float = 2_000.0,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Dict[str, Any]:
+    """``handle(request)``, re-sent through transient errors.
+
+    Returns the first non-retryable response, or the last retryable one
+    once ``retries`` re-sends are spent (the caller sees the transient
+    error it could not outwait — never a silent drop).
+    """
+    response = handle(request)
+    for attempt in range(retries):
+        if not is_retryable(response):
+            return response
+        sleep(backoff_ms(response, attempt, base_ms, max_ms, rng) / 1000.0)
+        response = handle(request)
+    return response

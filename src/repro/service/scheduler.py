@@ -48,17 +48,21 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 import zlib
 from collections import deque
 from concurrent.futures import Future
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from .. import obs
 from ..core.metrics import LatencyStats
+from . import faults
 from .dispatcher import Dispatcher
+from .journal import MutationJournal
 from .protocol import encode
+from .supervision import BackoffPolicy, CircuitBreaker
 
 __all__ = [
     "GLOBAL_COMMANDS",
@@ -152,13 +156,17 @@ def plan_batch(
                 # state) that a plain parse's copy would lack.
                 # ``trace`` participates too: a traced request must get
                 # its own span tree, not a copy of an untraced answer
-                # (and vice versa).
+                # (and vice versa).  So does ``deadline_ms``: a request
+                # with a longer budget must not receive a copy of a
+                # ``deadline-exceeded`` answer computed under a shorter
+                # one.
                 key = (
                     session,
                     cmd,
                     request.get("engine"),
                     bool(request.get("checkpoint", False)),
                     bool(request.get("trace", False)),
+                    request.get("deadline_ms"),
                     tokens,
                 )
         elif cmd in MUTATING_COMMANDS or not isinstance(cmd, str):
@@ -207,7 +215,11 @@ class ProcessExecutor:
     would buy nothing and risk pipe-buffer deadlock on huge responses.
     """
 
-    def __init__(self, cache_capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        cache_capacity: int = 1024,
+        deadline_ms: Optional[float] = None,
+    ) -> None:
         package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         src_dir = os.path.dirname(package_root)
         env = dict(os.environ)
@@ -215,17 +227,28 @@ class ProcessExecutor:
         env["PYTHONPATH"] = (
             src_dir if not existing else src_dir + os.pathsep + existing
         )
+        # Fault injection is parent-owned: a child that also parsed
+        # REPRO_FAULTS would double-fire every point.
+        env.pop(faults.ENV_VAR, None)
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--cache-capacity",
+            str(cache_capacity),
+        ]
+        if deadline_ms is not None:
+            argv += ["--deadline-ms", str(deadline_ms)]
+        # Child stderr goes to a spooled temp file so crash tracebacks
+        # survive the child (a pipe would deadlock a chatty child; the
+        # parent only reads this after a failure).
+        self._stderr = tempfile.TemporaryFile(mode="w+b")
         self._process = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro",
-                "serve",
-                "--cache-capacity",
-                str(cache_capacity),
-            ],
+            argv,
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
+            stderr=self._stderr,
             env=env,
             text=True,
         )
@@ -234,18 +257,33 @@ class ProcessExecutor:
     def pid(self) -> int:
         return self._process.pid
 
+    def stderr_tail(self, limit: int = 4096) -> str:
+        """The last ``limit`` bytes the child wrote to stderr."""
+        try:
+            self._stderr.flush()
+            size = self._stderr.seek(0, os.SEEK_END)
+            self._stderr.seek(max(0, size - limit))
+            return self._stderr.read().decode("utf-8", "replace").strip()
+        except (OSError, ValueError):
+            return ""
+
     def run(self, requests: List[Request]) -> List[Response]:
         stdin, stdout = self._process.stdin, self._process.stdout
         assert stdin is not None and stdout is not None
         responses: List[Response] = []
         for request in requests:
+            if faults.fire("kill-child"):
+                self._process.kill()
+                self._process.wait(timeout=10)
             stdin.write(encode(request) + "\n")
             stdin.flush()
             line = stdout.readline()
             if not line:
+                tail = self.stderr_tail()
                 raise RuntimeError(
                     f"shard child (pid {self._process.pid}) exited with "
                     f"code {self._process.poll()}"
+                    + (f"; stderr tail: {tail}" if tail else "")
                 )
             responses.append(json.loads(line))
         return responses
@@ -257,18 +295,43 @@ class ProcessExecutor:
             self._process.wait(timeout=10)
         except (OSError, subprocess.TimeoutExpired):
             self.terminate()
+            return
+        self._close_stderr()
 
     def terminate(self) -> None:
         if self._process.poll() is None:
             self._process.kill()
             self._process.wait(timeout=10)
+        self._close_stderr()
+
+    def _close_stderr(self) -> None:
+        try:
+            self._stderr.close()
+        except OSError:
+            pass
 
 
 # -- shards ----------------------------------------------------------------
 
 
 class Shard:
-    """One worker: a bounded queue, a batching loop, and its executor."""
+    """One worker: a bounded queue, a batching loop, and its executor.
+
+    When built with an ``executor_factory`` the shard is *supervised*:
+    an executor crash answers the in-flight batch with a retryable
+    ``shard-restarting`` error, then the worker thread respawns the
+    executor under exponential backoff with jitter and replays the
+    shard's :class:`~repro.service.journal.MutationJournal`, so every
+    acknowledged session mutation exists again — at the same grammar
+    version — before the next request runs.  A
+    :class:`~repro.service.supervision.CircuitBreaker` turns a crash
+    *loop* into a terminal ``degraded`` state that fails fast instead of
+    burning CPU on doomed respawns.
+    """
+
+    #: Shard lifecycle states, also exported as the gauge value of
+    #: ``repro.shard.state`` (list index = gauge value).
+    STATES = ("ok", "restarting", "degraded")
 
     def __init__(
         self,
@@ -277,6 +340,10 @@ class Shard:
         max_depth: int = 256,
         max_batch: int = 16,
         stats_window: int = 512,
+        executor_factory: Optional[Callable[[], Any]] = None,
+        journal: Optional[MutationJournal] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if max_depth < 1 or max_batch < 1:
             raise ValueError("max_depth and max_batch must be positive")
@@ -292,6 +359,18 @@ class Shard:
         self.batches = 0
         self.batched_requests = 0
         self.largest_batch = 0
+        # Supervision plumbing.  Without a factory the shard keeps the
+        # pre-supervision behaviour: the first executor failure is
+        # permanent (thread-mode InlineExecutor "crashes" are dispatcher
+        # bugs, not recoverable infrastructure faults).
+        self.executor_factory = executor_factory
+        self.journal = journal if journal is not None else MutationJournal()
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.restarts = 0
+        self.replayed_entries = 0
+        self._state = "ok"
+        self._retry_after_ms = self.backoff.ceiling_ms(0)
         # Per-shard latency histograms in the obs registry.  Recorded in
         # the parent process for both modes (the queue lives here), so a
         # process-mode parent still owns the shard latency surface.
@@ -310,6 +389,15 @@ class Shard:
         )
         self._thread.start()
 
+    @property
+    def supervised(self) -> bool:
+        return self.executor_factory is not None
+
+    @property
+    def state(self) -> str:
+        with self._ready:
+            return self._state
+
     # -- intake ------------------------------------------------------------
 
     def submit(self, request: Any) -> "Future[Response]":
@@ -320,6 +408,26 @@ class Shard:
                     f"shutting down: shard {self.index} no longer accepts "
                     f"requests",
                     overloaded=True,
+                )
+            if self._state == "degraded":
+                return _resolved(
+                    request,
+                    "shard-degraded",
+                    shard=self.index,
+                    detail=(
+                        f"shard {self.index} tripped its circuit breaker "
+                        f"after {self.restarts} restart(s); last failure: "
+                        f"{self._failure}"
+                    ),
+                )
+            if self._state == "restarting":
+                # Fail fast instead of queueing behind a recovery of
+                # unknown length; the client retries after the hint.
+                return _resolved(
+                    request,
+                    "shard-restarting",
+                    shard=self.index,
+                    retry_after_ms=round(self._retry_after_ms, 1),
                 )
             if len(self._items) >= self.max_depth:
                 self.overloaded += 1
@@ -359,6 +467,7 @@ class Shard:
 
     def _run(self) -> None:
         while True:
+            faults.sleep_if_armed("queue-stall")
             with self._ready:
                 while not self._items and self._accepting:
                     self._ready.wait()
@@ -374,14 +483,17 @@ class Shard:
     def _serve(
         self, batch: List[Tuple[Any, "Future[Response]", float]]
     ) -> None:
+        faults.sleep_if_armed("delay")
         execute, placements = plan_batch([item[0] for item in batch])
         started = time.perf_counter()
         responses: Optional[List[Response]] = None
-        if self._failure is None:
+        crashed = False
+        if self._failure is None or (self.supervised and self._state == "ok"):
             try:
                 responses = self.executor.run(execute)
             except Exception as error:  # noqa: BLE001 — worker boundary
                 self._failure = f"{type(error).__name__}: {error}"
+                crashed = True
         self.batches += 1
         self.batched_requests += len(batch)
         self.largest_batch = max(self.largest_batch, len(batch))
@@ -391,15 +503,42 @@ class Shard:
         ):
             queue_wait = max(0.0, started - enqueued)
             if responses is None:
-                response = _error_response(
-                    request, f"shard {self.index} failed: {self._failure}"
-                )
+                if self.supervised and self.state == "degraded":
+                    response = _error_response(
+                        request,
+                        "shard-degraded",
+                        shard=self.index,
+                        detail=(
+                            f"shard {self.index} tripped its circuit "
+                            f"breaker; last failure: {self._failure}"
+                        ),
+                    )
+                elif self.supervised:
+                    # The whole batch — including any request the dead
+                    # executor may have half-applied but never answered —
+                    # is retryable: replay only reproduces *acknowledged*
+                    # mutations, so a client retry cannot double-apply.
+                    response = _error_response(
+                        request,
+                        "shard-restarting",
+                        shard=self.index,
+                        retry_after_ms=round(self._retry_after_ms, 1),
+                    )
+                else:
+                    response = _error_response(
+                        request, f"shard {self.index} failed: {self._failure}"
+                    )
             else:
                 response = responses[position]
                 if kind == "copy":
                     response = dict(response)
                     response["coalesced"] = True
                     self.coalesced += 1
+                if self.supervised:
+                    # Journal only under supervision: an unsupervised
+                    # (thread-mode) shard never replays, and an unbounded
+                    # log would just leak.
+                    self.journal.record(request, response)
             response = self._annotate_trace(response, kind, queue_wait)
             cmd = request.get("cmd") if isinstance(request, dict) else None
             self.latency.record(
@@ -418,6 +557,129 @@ class Shard:
                     future.set_result(response)
                 except Exception:  # noqa: BLE001 — cancel/set race
                     pass
+        if crashed and self.supervised:
+            self._recover()
+        elif responses is not None:
+            self._maybe_compact()
+
+    # -- supervision -------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Respawn + replay until healthy, or trip into ``degraded``.
+
+        Runs on the worker thread: requests submitted meanwhile fail
+        fast with ``shard-restarting`` (see :meth:`submit`), so a long
+        backoff never wedges clients behind an empty promise.
+        """
+        with self._ready:
+            self._state = "restarting"
+        while True:
+            now = time.monotonic()
+            if not self.breaker.record(now):
+                with self._ready:
+                    self._state = "degraded"
+                obs.counter(
+                    "repro.shard.degraded", shard=str(self.index)
+                ).inc()
+                try:
+                    self.executor.terminate()
+                except Exception:  # noqa: BLE001 — best-effort cleanup
+                    pass
+                return
+            self.restarts += 1
+            obs.counter("repro.shard.restarts", shard=str(self.index)).inc()
+            delay_ms = self.backoff.delay_ms(self.breaker.window_count(now) - 1)
+            with self._ready:
+                # What submit() tells rejected clients: the remaining
+                # backoff plus one more ceiling step if this attempt
+                # also fails.
+                self._retry_after_ms = max(delay_ms, self.backoff.base_ms)
+            if delay_ms > 0:
+                time.sleep(delay_ms / 1000.0)
+            try:
+                old = self.executor
+                try:
+                    old.terminate()
+                except Exception:  # noqa: BLE001 — best-effort cleanup
+                    pass
+                assert self.executor_factory is not None
+                self.executor = self.executor_factory()
+                self._replay_journal()
+            except Exception as error:  # noqa: BLE001 — worker boundary
+                self._failure = f"{type(error).__name__}: {error}"
+                continue
+            with self._ready:
+                self._state = "ok"
+                self._failure = None
+            return
+
+    def _replay_journal(self) -> None:
+        """Feed the journal back through the fresh executor.
+
+        Any error response fails the replay — a half-rebuilt session
+        must look like a crash (another supervised restart), never like
+        a healthy shard with silently missing state.
+        """
+        requests = self.journal.replay_requests()
+        if not requests:
+            return
+        responses = self.executor.run(requests)
+        for request, response in zip(requests, responses):
+            if isinstance(response, dict) and "error" in response:
+                raise RuntimeError(
+                    f"journal replay of {request.get('cmd')!r} for session "
+                    f"{request.get('session')!r} failed: {response['error']}"
+                )
+        self.replayed_entries += len(requests)
+
+    def _maybe_compact(self) -> None:
+        """Collapse an over-long session run into one snapshot restore.
+
+        Runs on the worker thread between batches — the only thread that
+        talks to the executor — so the ``snapshot`` round-trip cannot
+        interleave with client requests.
+        """
+        if not self.supervised:
+            return
+        session = self.journal.needs_compaction()
+        if session is None:
+            return
+        try:
+            [response] = self.executor.run(
+                [{"cmd": "snapshot", "session": session}]
+            )
+        except Exception as error:  # noqa: BLE001 — worker boundary
+            self._failure = f"{type(error).__name__}: {error}"
+            self._recover()
+            return
+        payload = (
+            response.get("snapshot") if isinstance(response, dict) else None
+        )
+        if isinstance(payload, dict):
+            self.journal.compact(session, payload)
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness and supervision state, as reported by ``health``."""
+        with self._ready:
+            state = self._state
+            retry_after_ms = self._retry_after_ms
+        report: Dict[str, Any] = {
+            "index": self.index,
+            "state": state,
+            "alive": self._thread.is_alive(),
+            "restarts": self.restarts,
+            "queue_depth": self.queue_depth(),
+            "breaker": self.breaker.stats(),
+            "journal": self.journal.stats(),
+        }
+        if state == "restarting":
+            report["retry_after_ms"] = round(retry_after_ms, 1)
+        if self._failure is not None:
+            report["failure"] = self._failure
+        pid = getattr(self.executor, "pid", None)
+        if pid is not None:
+            report["pid"] = pid
+        return report
 
     def _annotate_trace(
         self, response: Response, kind: str, queue_wait: float
@@ -463,6 +725,8 @@ class Shard:
                 else 0.0
             ),
             "largest_batch": self.largest_batch,
+            "state": self.state,
+            "restarts": self.restarts,
             "failure": self._failure,
             "latency": self.latency.snapshot(),
         }
@@ -580,6 +844,12 @@ class Scheduler:
         cache_capacity: int = 1024,
         dispatcher: Optional[Dispatcher] = None,
         stats_window: int = 512,
+        deadline_ms: Optional[float] = None,
+        max_restarts: int = 5,
+        restart_window: float = 60.0,
+        backoff_ms: float = 50.0,
+        max_backoff_ms: float = 5_000.0,
+        compact_threshold: int = 32,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -590,12 +860,17 @@ class Scheduler:
         self.mode = mode if mode is not None else "thread"
         if self.mode not in ("thread", "process"):
             raise ValueError(f"unknown scheduler mode {self.mode!r}")
+        self.deadline_ms = deadline_ms
         self.dispatcher: Optional[Dispatcher] = None
+        factory: Optional[Callable[[], Any]] = None
         if self.mode == "thread":
             self.dispatcher = (
                 dispatcher
                 if dispatcher is not None
-                else Dispatcher(cache_capacity=cache_capacity)
+                else Dispatcher(
+                    cache_capacity=cache_capacity,
+                    default_deadline_ms=deadline_ms,
+                )
             )
             executors: List[Any] = [
                 InlineExecutor(self.dispatcher) for _ in range(workers)
@@ -606,12 +881,16 @@ class Scheduler:
                     "process mode builds a dispatcher per child; "
                     "an injected dispatcher would be silently unused"
                 )
+
+            def factory() -> ProcessExecutor:
+                return ProcessExecutor(
+                    cache_capacity=cache_capacity, deadline_ms=deadline_ms
+                )
+
             executors = []
             try:
                 for _ in range(workers):
-                    executors.append(
-                        ProcessExecutor(cache_capacity=cache_capacity)
-                    )
+                    executors.append(factory())
             except BaseException:
                 # A failed spawn (EAGAIN/ENOMEM) must not leak the
                 # children already started — nothing would ever reach
@@ -623,7 +902,19 @@ class Scheduler:
                         pass
                 raise
         self.shards = [
-            Shard(index, executor, max_depth, max_batch, stats_window)
+            Shard(
+                index,
+                executor,
+                max_depth,
+                max_batch,
+                stats_window,
+                executor_factory=factory,
+                journal=MutationJournal(compact_threshold=compact_threshold),
+                backoff=BackoffPolicy(base_ms=backoff_ms, max_ms=max_backoff_ms),
+                breaker=CircuitBreaker(
+                    max_restarts=max_restarts, window_seconds=restart_window
+                ),
+            )
             for index, executor in enumerate(executors)
         ]
         self._closed = False
@@ -641,6 +932,13 @@ class Scheduler:
             yield ("repro.shard.overloaded", labels, "counter", shard.overloaded)
             yield ("repro.shard.batches", labels, "counter", shard.batches)
             yield ("repro.shard.queue_depth", labels, "gauge", shard.queue_depth())
+            yield ("repro.shard.restarts", labels, "counter", shard.restarts)
+            yield (
+                "repro.shard.state",
+                labels,
+                "gauge",
+                Shard.STATES.index(shard.state),
+            )
 
     # -- routing -----------------------------------------------------------
 
@@ -673,6 +971,17 @@ class Scheduler:
     def submit(self, request: Any) -> "Future[Response]":
         """Enqueue one request; the future resolves to its response."""
         cmd = request.get("cmd") if isinstance(request, dict) else None
+        if cmd in ("health", "ready"):
+            # Answered parent-side without touching any shard queue: a
+            # wedged or restarting shard must never block the probe that
+            # exists to report exactly that condition.
+            future: "Future[Response]" = Future()
+            future.set_result(
+                self.health_response()
+                if cmd == "health"
+                else self.ready_response()
+            )
+            return future
         session = self._routing_session(request)
         if session is _UNROUTABLE:
             return _resolved(
@@ -817,6 +1126,46 @@ class Scheduler:
         return wrapped
 
     # -- introspection -----------------------------------------------------
+
+    def health_response(self) -> Response:
+        """The ``health`` command's answer: per-shard supervision state."""
+        started = time.perf_counter()
+        shards = [shard.health() for shard in self.shards]
+        healthy = all(
+            entry["state"] == "ok" and entry["alive"] for entry in shards
+        )
+        return {
+            "cmd": "health",
+            "healthy": healthy,
+            "mode": self.mode,
+            "workers": len(self.shards),
+            "restarts": sum(entry["restarts"] for entry in shards),
+            "shards": shards,
+            "time": round(time.perf_counter() - started, 6),
+        }
+
+    def ready_response(self) -> Response:
+        """The ``ready`` command's answer: can this scheduler take traffic?
+
+        Ready is softer than healthy: a shard mid-restart still counts
+        (its requests fail fast but retryably); only a degraded shard —
+        or a closed scheduler — makes the service not ready.
+        """
+        started = time.perf_counter()
+        degraded = [
+            shard.index for shard in self.shards if shard.state == "degraded"
+        ]
+        ready = not self._closed and not degraded
+        response: Response = {
+            "cmd": "ready",
+            "ready": ready,
+            "time": round(time.perf_counter() - started, 6),
+        }
+        if degraded:
+            response["degraded_shards"] = degraded
+        if self._closed:
+            response["closed"] = True
+        return response
 
     def metrics(self) -> Dict[str, Any]:
         return {

@@ -1,0 +1,137 @@
+"""Restart policy primitives for supervised shards.
+
+Two small, independently testable pieces of the supervisor's brain:
+
+* :class:`BackoffPolicy` — how long to wait before the next respawn.
+  Exponential with full jitter (AWS-style): the delay for attempt *n*
+  is uniform in ``[0, min(max_ms, base_ms * factor**n)]``, so a burst of
+  crashing shards never respawns in lockstep.
+* :class:`CircuitBreaker` — when to stop trying.  A sliding window of
+  restart timestamps; once ``max_restarts`` land inside
+  ``window_seconds`` the breaker trips and the shard is *degraded*:
+  requests fail fast with ``shard-degraded`` instead of burning CPU on
+  a respawn loop against a deterministic crash (a poisoned session, a
+  broken interpreter).
+
+Both are plain state machines driven by the caller's clock — no threads,
+no timers — which is what makes the chaos suite able to test them with
+injected timestamps.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["BackoffPolicy", "CircuitBreaker"]
+
+
+class BackoffPolicy:
+    """Exponential backoff with full jitter, in milliseconds."""
+
+    def __init__(
+        self,
+        base_ms: float = 50.0,
+        factor: float = 2.0,
+        max_ms: float = 5_000.0,
+        jitter: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if base_ms < 0 or max_ms < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.base_ms = base_ms
+        self.factor = factor
+        self.max_ms = max_ms
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+
+    def ceiling_ms(self, attempt: int) -> float:
+        """The un-jittered delay ceiling for 0-based ``attempt``."""
+        if attempt < 0:
+            attempt = 0
+        return min(self.max_ms, self.base_ms * (self.factor**attempt))
+
+    def delay_ms(self, attempt: int) -> float:
+        """The actual delay to sleep before restart ``attempt``."""
+        ceiling = self.ceiling_ms(attempt)
+        if not self.jitter:
+            return ceiling
+        return self._rng.uniform(0.0, ceiling)
+
+
+class CircuitBreaker:
+    """Trips after ``max_restarts`` restarts within ``window_seconds``.
+
+    Thread-safe; once tripped it stays tripped (a degraded shard needs
+    operator attention or a new scheduler, not a timer-based retry that
+    would re-enter the same crash loop).
+    """
+
+    def __init__(
+        self, max_restarts: int = 5, window_seconds: float = 60.0
+    ) -> None:
+        if max_restarts < 1:
+            raise ValueError(
+                f"max_restarts must be positive, got {max_restarts}"
+            )
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        self.max_restarts = max_restarts
+        self.window_seconds = window_seconds
+        self._lock = threading.Lock()
+        self._events: Deque[float] = deque()
+        self._tripped = False
+        self.total_restarts = 0
+
+    def record(self, now: float) -> bool:
+        """Count one restart at time ``now``; False means: stop restarting.
+
+        ``now`` is any monotonic clock the caller uses consistently —
+        tests pass synthetic timestamps.
+        """
+        with self._lock:
+            if self._tripped:
+                return False
+            self.total_restarts += 1
+            self._events.append(now)
+            cutoff = now - self.window_seconds
+            while self._events and self._events[0] < cutoff:
+                self._events.popleft()
+            if len(self._events) > self.max_restarts:
+                self._tripped = True
+                return False
+            return True
+
+    @property
+    def tripped(self) -> bool:
+        with self._lock:
+            return self._tripped
+
+    def window_count(self, now: float) -> int:
+        """Restarts currently inside the window (drives backoff growth)."""
+        with self._lock:
+            cutoff = now - self.window_seconds
+            return sum(1 for event in self._events if event >= cutoff)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "tripped": self._tripped,
+                "total_restarts": self.total_restarts,
+                "window_events": len(self._events),
+                "max_restarts": self.max_restarts,
+                "window_seconds": self.window_seconds,
+            }
+
+    def __repr__(self) -> str:
+        state = "tripped" if self.tripped else "closed"
+        return (
+            f"CircuitBreaker({state}, {self.total_restarts} restarts, "
+            f"limit {self.max_restarts}/{self.window_seconds:g}s)"
+        )

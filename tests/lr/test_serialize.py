@@ -97,3 +97,52 @@ class TestErrors:
         payload["rules"][0]["rhs"][0][0] = "?"
         with pytest.raises(ValueError):
             table_from_dict(payload)
+
+
+class TestCrashSafeWrites:
+    """``save_payload`` must never leave a truncated file at the target path."""
+
+    def test_interrupted_write_preserves_previous_payload(self, tmp_path, monkeypatch):
+        from repro.lr import serialize
+
+        path = str(tmp_path / "snapshot.json")
+        serialize.save_payload({"generation": 1}, path)
+
+        real_dump = json.dump
+
+        def dump_then_die(payload, handle, **kwargs):
+            real_dump(payload, handle, **kwargs)
+            handle.flush()
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialize.json, "dump", dump_then_die)
+        with pytest.raises(OSError):
+            serialize.save_payload({"generation": 2}, path)
+        monkeypatch.undo()
+
+        # The target still holds the previous complete payload, and the
+        # failed attempt left no temp litter behind.
+        assert serialize.load_payload(path) == {"generation": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["snapshot.json"]
+
+    def test_fresh_write_is_all_or_nothing(self, tmp_path, monkeypatch):
+        from repro.lr import serialize
+
+        path = str(tmp_path / "new.json")
+
+        def die_immediately(payload, handle, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialize.json, "dump", die_immediately)
+        with pytest.raises(OSError):
+            serialize.save_payload({"generation": 1}, path)
+        monkeypatch.undo()
+        # No file appears at all — a watcher can never read a fragment.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_table_round_trips_atomically(self, tmp_path, booleans):
+        table = booleans_lr0(booleans)
+        path = str(tmp_path / "table.json")
+        save_table(table, path)
+        assert load_table(path).is_deterministic == table.is_deterministic
+        assert dumps(load_table(path)) == dumps(table)

@@ -274,7 +274,7 @@ class TestIntrospection:
 
     def test_info(self, booleans_dispatcher):
         server = booleans_dispatcher.handle({"cmd": "info"})
-        assert server["protocol"] == 4
+        assert server["protocol"] == 5
         assert "parse" in server["commands"]
         assert "metrics-export" in server["commands"]
         assert "compiled" in server["engines"]

@@ -1,0 +1,136 @@
+"""The mutation journal: recording rules, compaction, replay ordering."""
+
+import pytest
+
+from repro.service.journal import MutationJournal
+
+
+def ok(cmd, session, **extra):
+    request = {"cmd": cmd, "session": session, **extra}
+    return request, {"cmd": cmd, "session": session, "time": 0.0}
+
+
+class TestRecordingRules:
+    def test_acknowledged_mutations_are_recorded(self):
+        journal = MutationJournal()
+        assert journal.record(*ok("open", "a", grammar="START ::= x"))
+        assert journal.record(*ok("add-rule", "a", rule="X ::= y"))
+        assert journal.entry_count() == 2
+        assert journal.session_count() == 1
+
+    def test_error_responses_are_never_recorded(self):
+        journal = MutationJournal()
+        request = {"cmd": "add-rule", "session": "a", "rule": "X ::= y"}
+        assert not journal.record(request, {"error": "no such session"})
+        assert journal.entry_count() == 0
+
+    def test_reads_are_not_recorded(self):
+        journal = MutationJournal()
+        assert not journal.record(*ok("parse", "a", tokens="x"))
+        assert not journal.record(*ok("recognize", "a", tokens="x"))
+        assert not journal.record(*ok("snapshot", "a"))
+        assert journal.entry_count() == 0
+
+    def test_close_drops_the_sessions_history(self):
+        journal = MutationJournal()
+        journal.record(*ok("open", "a"))
+        journal.record(*ok("add-rule", "a", rule="X ::= y"))
+        journal.record(*ok("open", "b"))
+        journal.record(*ok("close", "a"))
+        assert journal.entry_count() == 1
+        assert [r["session"] for r in journal.replay_requests()] == ["b"]
+
+    def test_reopen_resets_the_run(self):
+        journal = MutationJournal()
+        journal.record(*ok("open", "a"))
+        journal.record(*ok("add-rule", "a", rule="X ::= y"))
+        journal.record(*ok("open", "a", force=True))
+        replay = journal.replay_requests()
+        assert len(replay) == 1
+        assert replay[0]["cmd"] == "open"
+
+    def test_restore_names_session_via_snapshot_payload(self):
+        journal = MutationJournal()
+        request = {
+            "cmd": "restore",
+            "snapshot": {"session": "from-payload", "grammar": {}},
+        }
+        assert journal.record(request, {"restored": "from-payload"})
+        assert journal.session_count() == 1
+
+    def test_transport_fields_are_stripped(self):
+        journal = MutationJournal()
+        journal.record(
+            {
+                "cmd": "add-rule",
+                "session": "a",
+                "rule": "X ::= y",
+                "trace": True,
+                "deadline_ms": 50,
+            },
+            {"added": True},
+        )
+        [entry] = journal.replay_requests()
+        assert "trace" not in entry
+        assert "deadline_ms" not in entry
+
+    def test_malformed_inputs_are_ignored(self):
+        journal = MutationJournal()
+        assert not journal.record("nope", {"ok": True})
+        assert not journal.record({"cmd": "open"}, {"ok": True})
+        assert not journal.record({"cmd": "open", "session": 7}, {})
+
+
+class TestReplayOrdering:
+    def test_global_arrival_order_is_preserved(self):
+        journal = MutationJournal()
+        journal.record(*ok("open", "a"))
+        journal.record(*ok("open", "b"))
+        journal.record(*ok("add-rule", "a", rule="X ::= y"))
+        journal.record(*ok("delete-rule", "b", rule="Z ::= w"))
+        cmds = [(r["session"], r["cmd"]) for r in journal.replay_requests()]
+        assert cmds == [
+            ("a", "open"),
+            ("b", "open"),
+            ("a", "add-rule"),
+            ("b", "delete-rule"),
+        ]
+
+    def test_replay_returns_copies(self):
+        journal = MutationJournal()
+        journal.record(*ok("open", "a"))
+        first = journal.replay_requests()[0]
+        first["mutated"] = True
+        assert "mutated" not in journal.replay_requests()[0]
+
+
+class TestCompaction:
+    def test_threshold_flags_a_long_run(self):
+        journal = MutationJournal(compact_threshold=3)
+        journal.record(*ok("open", "a"))
+        journal.record(*ok("add-rule", "a", rule="X ::= y"))
+        assert journal.needs_compaction() is None
+        journal.record(*ok("add-rule", "a", rule="X ::= z"))
+        assert journal.needs_compaction() == "a"
+
+    def test_compact_collapses_to_one_forced_restore(self):
+        journal = MutationJournal(compact_threshold=3)
+        for request, response in [
+            ok("open", "a"),
+            ok("add-rule", "a", rule="X ::= y"),
+            ok("add-rule", "a", rule="X ::= z"),
+            ok("open", "b"),
+        ]:
+            journal.record(request, response)
+        journal.compact("a", {"session": "a", "version": 3})
+        replay = journal.replay_requests()
+        assert len(replay) == 2
+        restore = [r for r in replay if r["cmd"] == "restore"][0]
+        assert restore["force"] is True
+        assert restore["snapshot"]["version"] == 3
+        assert journal.needs_compaction() is None
+        assert journal.compactions == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            MutationJournal(compact_threshold=1)

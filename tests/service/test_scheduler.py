@@ -357,17 +357,26 @@ class TestProcessMode:
             assert metrics["sessions"] == 2
             assert metrics["scheduler"]["mode"] == "process"
 
-    def test_dead_child_reports_shard_failure_and_isolates_it(self):
-        scheduler = Scheduler(workers=2, mode="process")
+    def test_dead_child_answers_retryably_and_is_respawned(self):
+        import time as time_module
+
+        scheduler = Scheduler(workers=2, mode="process", backoff_ms=10)
         try:
             assert scheduler.handle(open_request("s1"))["opened"] == "s1"
             assert scheduler.handle(open_request("zz"))["opened"] == "zz"
             victim = scheduler.shards[scheduler.shard_of("s1")]
             victim.executor.terminate()
             failed = scheduler.handle(parse_request("s1"))
-            assert "failed" in failed["error"]
-            # The other shard keeps serving.
+            assert failed["error"] == "shard-restarting"
+            assert failed["retry_after_ms"] >= 0
+            # The other shard keeps serving throughout the restart.
             assert scheduler.handle(parse_request("zz"))["accepted"]
+            # The supervisor respawns the victim and replays its journal.
+            deadline = time_module.monotonic() + 20
+            while victim.state != "ok" and time_module.monotonic() < deadline:
+                time_module.sleep(0.02)
+            assert victim.state == "ok"
+            assert scheduler.handle(parse_request("s1"))["accepted"]
         finally:
             scheduler.close()
 
@@ -382,10 +391,10 @@ class TestProcessMode:
         real = scheduler_module.ProcessExecutor
 
         class FlakyExecutor:
-            def __new__(cls, cache_capacity=1024):
+            def __new__(cls, cache_capacity=1024, **kwargs):
                 if len(spawned) == 1:
                     raise OSError("spawn failed")
-                executor = real(cache_capacity=cache_capacity)
+                executor = real(cache_capacity=cache_capacity, **kwargs)
                 spawned.append(executor)
                 return executor
 

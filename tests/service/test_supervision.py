@@ -1,0 +1,94 @@
+"""Backoff and circuit-breaker state machines, driven by synthetic clocks."""
+
+import random
+
+import pytest
+
+from repro.service.supervision import BackoffPolicy, CircuitBreaker
+
+
+class TestBackoffPolicy:
+    def test_ceiling_grows_exponentially_and_caps(self):
+        policy = BackoffPolicy(base_ms=10, factor=2.0, max_ms=100, jitter=False)
+        assert [policy.ceiling_ms(n) for n in range(6)] == [
+            10,
+            20,
+            40,
+            80,
+            100,
+            100,
+        ]
+
+    def test_negative_attempt_clamps_to_base(self):
+        policy = BackoffPolicy(base_ms=10, jitter=False)
+        assert policy.delay_ms(-3) == 10
+
+    def test_jitter_stays_within_the_ceiling(self):
+        policy = BackoffPolicy(
+            base_ms=10, factor=2.0, max_ms=1000, rng=random.Random(7)
+        )
+        for attempt in range(8):
+            for _ in range(50):
+                delay = policy.delay_ms(attempt)
+                assert 0.0 <= delay <= policy.ceiling_ms(attempt)
+
+    def test_jitter_actually_varies(self):
+        policy = BackoffPolicy(base_ms=100, rng=random.Random(7))
+        delays = {policy.delay_ms(3) for _ in range(20)}
+        assert len(delays) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_ms=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_under_the_limit(self):
+        breaker = CircuitBreaker(max_restarts=3, window_seconds=60)
+        assert all(breaker.record(float(t)) for t in range(3))
+        assert not breaker.tripped
+
+    def test_trips_beyond_the_limit_in_window(self):
+        breaker = CircuitBreaker(max_restarts=3, window_seconds=60)
+        for t in range(3):
+            assert breaker.record(float(t))
+        assert not breaker.record(3.0)
+        assert breaker.tripped
+
+    def test_old_events_fall_out_of_the_window(self):
+        breaker = CircuitBreaker(max_restarts=2, window_seconds=10)
+        assert breaker.record(0.0)
+        assert breaker.record(1.0)
+        # Both earlier restarts are out of the window by t=20.
+        assert breaker.record(20.0)
+        assert not breaker.tripped
+
+    def test_tripped_is_terminal(self):
+        breaker = CircuitBreaker(max_restarts=1, window_seconds=60)
+        assert breaker.record(0.0)
+        assert not breaker.record(0.1)
+        # Even far outside the window: degraded needs an operator.
+        assert not breaker.record(10_000.0)
+
+    def test_window_count_drives_backoff_growth(self):
+        breaker = CircuitBreaker(max_restarts=10, window_seconds=60)
+        breaker.record(0.0)
+        breaker.record(1.0)
+        assert breaker.window_count(1.0) == 2
+        assert breaker.window_count(100.0) == 0
+
+    def test_stats_shape(self):
+        breaker = CircuitBreaker(max_restarts=2, window_seconds=5)
+        breaker.record(0.0)
+        stats = breaker.stats()
+        assert stats["total_restarts"] == 1
+        assert stats["tripped"] is False
+        assert stats["max_restarts"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_restarts=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(window_seconds=0)
