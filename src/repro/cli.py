@@ -30,9 +30,17 @@ Besides the REPL there are two service subcommands (see
     (see :mod:`repro.service.net`).
 
 ``python -m repro batch [file...]``
-    Run the same requests non-interactively from files (or stdin),
-    printing responses to stdout and a throughput/cache summary to
-    stderr.
+    Run the same requests non-interactively from files (or stdin)
+    through the sharded scheduler — pipelined under a bounded in-flight
+    window, responses in request order — printing responses to stdout
+    and a throughput/cache summary to stderr (``--serial`` restores the
+    original single-threaded runner).
+
+``python -m repro corpus VERB ...``
+    Manage persistent corpora under ``--root DIR``: ``create`` a corpus
+    bound to a grammar, ``ingest`` documents (content-hashed, duplicate
+    free), ``parse`` them resumably across scheduler shards, ``query``
+    the stored results, and inspect ``status``/``info``.
 
 ``python -m repro obs [file...]``
     Drive JSON requests (from files, ``-`` for stdin, or a built-in
@@ -375,8 +383,13 @@ subcommands:
                     via the sharded concurrent scheduler (--workers N,
                     --mode thread|process, --queue-depth, --batch,
                     --ready-file; see README "Serving")
-  batch [file...]   run JSON requests from files (or stdin) and print
-                    responses plus a throughput/cache summary on stderr
+  batch [file...]   run JSON requests from files (or stdin) through the
+                    sharded scheduler (--workers, --mode, --window,
+                    --serial for the old single-threaded runner) and
+                    print responses plus a throughput summary on stderr
+  corpus VERB ...   manage persistent corpora under --root DIR:
+                    create | ingest | parse | status | query | info
+                    (see README "Corpus service")
   obs [file...]     drive JSON requests (or a built-in demo workload)
                     through a thread-mode scheduler and print the obs
                     metrics registry (--format prometheus|json,
@@ -459,6 +472,12 @@ def _serve_main(args: List[str]) -> int:
         metavar="N",
         help="LRU result-cache entries (per shard in process mode; "
         "default: 1024)",
+    )
+    parser.add_argument(
+        "--corpus-root",
+        metavar="DIR",
+        help="enable the corpus-* commands, persisting corpora (documents, "
+        "parse results, completion journals) under DIR across restarts",
     )
     parser.add_argument(
         "--ready-file",
@@ -555,6 +574,7 @@ def _serve_main(args: List[str]) -> int:
             Dispatcher(
                 cache_capacity=options.cache_capacity,
                 default_deadline_ms=options.deadline_ms,
+                corpus_root=options.corpus_root,
             ),
         )
 
@@ -582,6 +602,7 @@ def _serve_main(args: List[str]) -> int:
         max_restarts=options.max_restarts,
         restart_window=options.restart_window,
         backoff_ms=options.backoff_ms,
+        corpus_root=options.corpus_root,
     )
     return run_server(
         scheduler,
@@ -592,14 +613,80 @@ def _serve_main(args: List[str]) -> int:
     )
 
 
-def _batch_main(paths: List[str]) -> int:
+def _batch_main(args: List[str]) -> int:
+    """``repro batch`` — run JSON requests non-interactively.
+
+    Migration note (PR 8): batch runs are now routed through the sharded
+    scheduler — requests are pipelined under a bounded in-flight window
+    instead of being served one at a time by the serial dispatcher, so
+    ``--workers``/``--mode`` buy real concurrency and ``--corpus-root``
+    enables the ``corpus-*`` commands.  Responses still arrive in
+    request order and per-session ordering is unchanged (sessions are
+    shard-pinned, shards drain FIFO); ``--serial`` restores the PR 1
+    single-threaded runner exactly.
+    """
+    import argparse
     import json
 
-    from .service.server import run_batch
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description=(
+            "Run line-delimited JSON requests from files (or stdin) "
+            "through the sharded scheduler, printing responses to stdout "
+            "and a throughput/cache summary to stderr."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="file",
+        help="request files; none reads stdin",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="scheduler shards to pipeline across (default: 1)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        help="shard flavour (default: process when --workers > 1, "
+        "else thread)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max requests in flight at once (default: 64)",
+    )
+    parser.add_argument(
+        "--corpus-root",
+        metavar="DIR",
+        help="enable the corpus-* commands, persisting corpora under DIR",
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="bypass the scheduler and serve requests one at a time "
+        "through the single-threaded dispatcher (pre-corpus behaviour)",
+    )
+    options = parser.parse_args(args)
+    if options.workers < 1:
+        parser.error("--workers must be at least 1")
+    if options.window is not None and options.window < 1:
+        parser.error("--window must be at least 1")
+    if options.serial and (options.workers != 1 or options.mode):
+        parser.error("--serial is single-threaded; drop --workers/--mode")
 
-    if paths:
+    from .service.protocol import encode
+    from .service.server import BATCH_WINDOW, run_batch
+
+    if options.paths:
         lines: List[str] = []
-        for path in paths:
+        for path in options.paths:
             try:
                 with open(path) as handle:
                     lines.extend(handle.readlines())
@@ -608,8 +695,30 @@ def _batch_main(paths: List[str]) -> int:
                 return 2
     else:
         lines = sys.stdin.readlines()
-    responses, summary = run_batch(lines)
-    from .service.protocol import encode
+
+    if options.serial:
+        from .service.dispatcher import Dispatcher
+
+        handler = Dispatcher(corpus_root=options.corpus_root)
+        closer = handler.close
+    else:
+        from .service.scheduler import Scheduler
+
+        mode = options.mode or ("process" if options.workers > 1 else "thread")
+        handler = Scheduler(
+            workers=options.workers,
+            mode=mode,
+            corpus_root=options.corpus_root,
+        )
+        closer = handler.close
+    try:
+        responses, summary = run_batch(
+            lines,
+            handler,
+            window=options.window or BATCH_WINDOW,
+        )
+    finally:
+        closer()
 
     for response in responses:
         print(encode(response))
@@ -786,6 +895,184 @@ def _obs_main(args: List[str]) -> int:
     return 1 if errors else 0
 
 
+def _corpus_main(args: List[str]) -> int:
+    """``repro corpus`` — drive the corpus service against a local root.
+
+    Each verb builds a scheduler over ``--root``, issues the matching
+    ``corpus-*`` protocol command, prints the JSON response, and exits
+    non-zero on an error response — so shell pipelines can script the
+    same ingest → parse → query flow a TCP client would.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro corpus",
+        description=(
+            "Manage persistent corpora: create, bulk-ingest documents, "
+            "batch-parse them across scheduler shards (resumably), and "
+            "query the stored results."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="corpus root directory (created on demand, survives restarts)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="scheduler shards to parse across (default: 1)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        help="shard flavour (default: process when --workers > 1, "
+        "else thread)",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    create = verbs.add_parser(
+        "create", help="register a corpus bound to a grammar and engine"
+    )
+    create.add_argument("name", help="corpus name")
+    create.add_argument(
+        "--grammar-file",
+        required=True,
+        metavar="PATH",
+        help="grammar rules, one per line ('-' reads stdin)",
+    )
+    create.add_argument(
+        "--sorts",
+        nargs="*",
+        default=[],
+        metavar="SORT",
+        help="sorts to predeclare for forward references",
+    )
+    create.add_argument(
+        "--engine", metavar="NAME", help="parse engine (default: session default)"
+    )
+
+    ingest = verbs.add_parser(
+        "ingest", help="add documents (content-hashed, duplicates skipped)"
+    )
+    ingest.add_argument("name", help="corpus name")
+    ingest.add_argument(
+        "files", nargs="*", metavar="file", help="document files to ingest"
+    )
+    ingest.add_argument(
+        "--manifest",
+        metavar="DIR",
+        help="ingest every file under DIR (recursively, sorted)",
+    )
+
+    parse_verb = verbs.add_parser(
+        "parse", help="batch-parse every unparsed document, resumably"
+    )
+    parse_verb.add_argument("name", help="corpus name")
+    parse_verb.add_argument(
+        "--window",
+        type=int,
+        metavar="N",
+        help="in-flight documents per shard (default: 2)",
+    )
+    parse_verb.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="start the job and return immediately instead of waiting",
+    )
+
+    status = verbs.add_parser("status", help="progress, store and journal counts")
+    status.add_argument("name", help="corpus name")
+
+    query = verbs.add_parser("query", help="paginated queries over stored results")
+    query.add_argument("name", help="corpus name")
+    query.add_argument(
+        "--kind",
+        required=True,
+        choices=("match", "errors"),
+        help="match: occurrences of a nonterminal; errors: grouped "
+        "diagnostic summaries",
+    )
+    query.add_argument(
+        "--nonterminal", metavar="NAME", help="nonterminal to match (kind=match)"
+    )
+    query.add_argument("--page", type=int, default=0, metavar="N")
+    query.add_argument("--page-size", type=int, default=50, metavar="N")
+    query.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the query read-through cache (Korp's cache=false)",
+    )
+
+    info = verbs.add_parser("info", help="list corpora, or one corpus in full")
+    info.add_argument("name", nargs="?", help="corpus name (omit to list all)")
+
+    options = parser.parse_args(args)
+    if options.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    request: dict = {"cmd": f"corpus-{options.verb}"}
+    if options.verb == "create":
+        try:
+            grammar = (
+                sys.stdin.read()
+                if options.grammar_file == "-"
+                else open(options.grammar_file).read()
+            )
+        except OSError as error:
+            print(
+                f"error: cannot read {options.grammar_file!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        request.update(corpus=options.name, grammar=grammar, sorts=options.sorts)
+        if options.engine:
+            request["engine"] = options.engine
+    elif options.verb == "ingest":
+        if not options.files and not options.manifest:
+            parser.error("ingest needs document files and/or --manifest DIR")
+        request["corpus"] = options.name
+        if options.files:
+            request["files"] = options.files
+        if options.manifest:
+            request["manifest"] = options.manifest
+    elif options.verb == "parse":
+        request.update(corpus=options.name, wait=not options.no_wait)
+        if options.window is not None:
+            request["window"] = options.window
+    elif options.verb == "status":
+        request["corpus"] = options.name
+    elif options.verb == "query":
+        request.update(
+            corpus=options.name,
+            kind=options.kind,
+            page=options.page,
+            page_size=options.page_size,
+            cache=not options.no_cache,
+        )
+        if options.nonterminal:
+            request["nonterminal"] = options.nonterminal
+    elif options.verb == "info" and options.name:
+        request["corpus"] = options.name
+
+    from .service.scheduler import Scheduler
+
+    mode = options.mode or ("process" if options.workers > 1 else "thread")
+    scheduler = Scheduler(
+        workers=options.workers, mode=mode, corpus_root=options.root
+    )
+    try:
+        response = scheduler.handle(request)
+    finally:
+        scheduler.close()
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 1 if "error" in response else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """The ``python -m repro`` / ``repro`` entry point."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -797,6 +1084,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _serve_main(rest)
         if command == "batch":
             return _batch_main(rest)
+        if command == "corpus":
+            return _corpus_main(rest)
         if command == "obs":
             return _obs_main(rest)
         if command in ("help", "-h", "--help"):

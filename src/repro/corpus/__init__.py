@@ -1,0 +1,49 @@
+"""``repro.corpus`` — the corpus layer: parse collections once, query forever.
+
+The request/response service (:mod:`repro.service`) answers one input at a
+time and its results die with the cache.  This package is the
+write-heavy/read-heavy workload the ROADMAP calls "millions of users":
+whole document collections are **ingested** (content-hashed for dedup and
+idempotent re-ingest), **batch-parsed** across the existing scheduler
+shards under a bounded in-flight window, and the results land in a
+**persistent, hash-consed store** that outlives both the request and the
+process — so **queries** (match-by-nonterminal, error summaries,
+per-corpus metrics) are answered from disk-backed indexes and a
+read-through cache, paginated with the Korp-style ``time`` + ``cache``
+response fields the rest of the protocol already speaks.
+
+Layout on disk (everything under one ``--corpus-root`` directory)::
+
+    <root>/registry.json             named corpora: grammar, engine, sorts
+    <root>/<corpus>/docs.json        document manifest (content-addressed)
+    <root>/<corpus>/results/<h>.json hash-consed parse payloads (write-once)
+    <root>/<corpus>/parse.log        append-only per-document completion
+                                     journal — the resumability record
+
+Crash safety follows the service's snapshot rules: manifests and result
+payloads go through temp-file + fsync + ``os.replace`` writes, and the
+journal is append-only with a tolerated torn tail, so a server killed
+hard mid-parse resumes exactly where the journal ends.
+"""
+
+from .manager import CorpusManager
+from .pipeline import ParseJob
+from .query import QueryEngine
+from .registry import CorpusRegistry
+from .store import (
+    DocumentStore,
+    ParseJournal,
+    ResultStore,
+    content_hash,
+)
+
+__all__ = [
+    "CorpusManager",
+    "CorpusRegistry",
+    "DocumentStore",
+    "ParseJob",
+    "ParseJournal",
+    "QueryEngine",
+    "ResultStore",
+    "content_hash",
+]

@@ -1,0 +1,261 @@
+"""Query endpoints over stored corpus results, Korp-style.
+
+Two query kinds over the persistent stores:
+
+``match``
+    Which documents contain a given nonterminal, and how often?  Served
+    from a per-corpus inverted index (nonterminal -> document hits)
+    built once per *generation* — the journal's completed-parse count —
+    so a finished corpus builds its index exactly once and every page
+    after that is a dictionary slice.
+
+``errors``
+    Rejected documents grouped by diagnostic signature (the expected
+    terminal set at the failure point), most frequent first — the
+    "what is wrong with my corpus" summary.
+
+Pagination and caching follow the Korp backend API: requests carry
+``page``/``page_size``, responses carry ``total`` plus the Korp
+bookkeeping pair ``time`` (stamped by the serving layer) and ``cache``
+(whether this exact page came from the read-through query cache).
+Passing ``"cache": false`` bypasses the cache, exactly like Korp's
+``cache`` parameter.  Cache keys embed the generation, so results
+becoming available invalidates stale pages implicitly — a key property
+while a parse job is still streaming.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.cache import ResultCache
+from ..service.protocol import ProtocolError
+from .store import DocumentStore, ParseJournal, ResultStore
+
+#: Query kinds ``corpus-query`` understands.
+QUERY_KINDS = ("match", "errors")
+
+DEFAULT_PAGE_SIZE = 50
+MAX_PAGE_SIZE = 500
+
+
+class CorpusIndex:
+    """The in-memory inverted index over one corpus generation."""
+
+    def __init__(
+        self,
+        generation: int,
+        docs: DocumentStore,
+        results: ResultStore,
+        journal: ParseJournal,
+    ) -> None:
+        self.generation = generation
+        #: nonterminal -> [(doc hash, occurrence count)], journal order.
+        self.by_nonterminal: Dict[str, List[Tuple[str, int]]] = {}
+        #: diagnostic signature -> {"count", "docs", "example"}.
+        self.errors: Dict[str, Dict[str, Any]] = {}
+        self.accepted = 0
+        self.rejected = 0
+        # Hash-consing pays off here: each distinct payload loads once,
+        # however many documents share it.
+        payloads: Dict[str, Dict[str, Any]] = {}
+        for doc, entry in journal.entries.items():
+            result_hash = entry.get("result")
+            payload = payloads.get(result_hash)
+            if payload is None and result_hash is not None:
+                payload = payloads[result_hash] = results.get(result_hash)
+            if payload is None:
+                continue
+            if payload.get("accepted"):
+                self.accepted += 1
+                for name, count in payload.get("nonterminals", {}).items():
+                    self.by_nonterminal.setdefault(name, []).append(
+                        (doc, count)
+                    )
+            else:
+                self.rejected += 1
+                signature, message = self._signature(payload)
+                slot = self.errors.get(signature)
+                if slot is None:
+                    slot = self.errors[signature] = {
+                        "signature": signature,
+                        "message": message,
+                        "count": 0,
+                        "docs": [],
+                        "example": payload.get("diagnostics"),
+                    }
+                slot["count"] += 1
+                if len(slot["docs"]) < 5:
+                    slot["docs"].append(doc)
+
+    @staticmethod
+    def _signature(payload: Dict[str, Any]) -> Tuple[str, str]:
+        """A stable grouping key for one rejection's diagnostics."""
+        diagnostics = payload.get("diagnostics") or {}
+        expected = diagnostics.get("expected")
+        if expected:
+            expected_text = ", ".join(sorted(str(t) for t in expected))
+            return (
+                f"expected:{expected_text}",
+                f"parse stopped expecting one of: {expected_text}",
+            )
+        message = diagnostics.get("message", "rejected")
+        return (f"message:{message}", str(message))
+
+
+class QueryEngine:
+    """Builds/holds per-corpus indexes and the read-through page cache."""
+
+    def __init__(self, cache_capacity: int = 256) -> None:
+        #: corpus -> its latest CorpusIndex (older generations are dead
+        #: weight the moment a newer one exists).
+        self._indexes: Dict[str, CorpusIndex] = {}
+        self._lock = threading.Lock()
+        self.cache = ResultCache(cache_capacity)
+
+    def index_for(
+        self,
+        corpus: str,
+        docs: DocumentStore,
+        results: ResultStore,
+        journal: ParseJournal,
+    ) -> CorpusIndex:
+        generation = journal.generation
+        with self._lock:
+            held = self._indexes.get(corpus)
+            if held is not None and held.generation == generation:
+                return held
+        built = CorpusIndex(generation, docs, results, journal)
+        with self._lock:
+            held = self._indexes.get(corpus)
+            # A racing builder may have finished a *newer* generation.
+            if held is None or held.generation <= generation:
+                self._indexes[corpus] = built
+                return built
+            return held
+
+    def forget(self, corpus: str) -> None:
+        with self._lock:
+            self._indexes.pop(corpus, None)
+        self.cache.invalidate(corpus)
+
+    # -- serving -----------------------------------------------------------
+
+    def query(
+        self,
+        corpus: str,
+        docs: DocumentStore,
+        results: ResultStore,
+        journal: ParseJournal,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        page: int = 0,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        use_cache: bool = True,
+    ) -> Dict[str, Any]:
+        """One paginated query page; ``cache`` reports the read-through hit."""
+        if kind not in QUERY_KINDS:
+            raise ProtocolError(
+                f"unknown query kind {kind!r} — known: {', '.join(QUERY_KINDS)}"
+            )
+        if not isinstance(page, int) or isinstance(page, bool) or page < 0:
+            raise ProtocolError(f"'page' must be a non-negative integer, got {page!r}")
+        if (
+            not isinstance(page_size, int)
+            or isinstance(page_size, bool)
+            or not 1 <= page_size <= MAX_PAGE_SIZE
+        ):
+            raise ProtocolError(
+                f"'page_size' must be an integer in [1, {MAX_PAGE_SIZE}], "
+                f"got {page_size!r}"
+            )
+        params = dict(params or {})
+        key = (
+            corpus,
+            journal.generation,
+            kind,
+            tuple(sorted((str(k), str(v)) for k, v in params.items())),
+            f"{page}:{page_size}",
+        )
+        if use_cache:
+            hit, value = self.cache.get(key)
+            if hit:
+                response = dict(value)
+                response["cache"] = True
+                return response
+        index = self.index_for(corpus, docs, results, journal)
+        if kind == "match":
+            response = self._match(index, docs, params, page, page_size)
+        else:
+            response = self._errors(index, docs, params, page, page_size)
+        response.update(
+            {
+                "corpus": corpus,
+                "kind": kind,
+                "generation": index.generation,
+                "page": page,
+                "page_size": page_size,
+            }
+        )
+        if use_cache:
+            self.cache.put(key, dict(response))
+        response["cache"] = False
+        return response
+
+    @staticmethod
+    def _match(
+        index: CorpusIndex,
+        docs: DocumentStore,
+        params: Dict[str, Any],
+        page: int,
+        page_size: int,
+    ) -> Dict[str, Any]:
+        nonterminal = params.get("nonterminal")
+        if not isinstance(nonterminal, str) or not nonterminal:
+            raise ProtocolError(
+                "'match' queries need a 'nonterminal' name in 'params'"
+            )
+        entries = index.by_nonterminal.get(nonterminal, [])
+        start = page * page_size
+        hits = [
+            {
+                "doc": doc,
+                "name": (docs.get(doc) or {}).get("name"),
+                "count": count,
+            }
+            for doc, count in entries[start : start + page_size]
+        ]
+        return {
+            "total": len(entries),
+            "occurrences": sum(count for _, count in entries),
+            "hits": hits,
+        }
+
+    @staticmethod
+    def _errors(
+        index: CorpusIndex,
+        docs: DocumentStore,
+        params: Dict[str, Any],
+        page: int,
+        page_size: int,
+    ) -> Dict[str, Any]:
+        groups = sorted(
+            index.errors.values(),
+            key=lambda slot: (-slot["count"], slot["signature"]),
+        )
+        start = page * page_size
+        hits = []
+        for slot in groups[start : start + page_size]:
+            hit = dict(slot)
+            hit["docs"] = [
+                {"doc": doc, "name": (docs.get(doc) or {}).get("name")}
+                for doc in slot["docs"]
+            ]
+            hits.append(hit)
+        return {
+            "total": len(groups),
+            "accepted": index.accepted,
+            "rejected": index.rejected,
+            "hits": hits,
+        }

@@ -1,0 +1,100 @@
+"""The corpus registry: named corpora bound to a grammar and engine.
+
+Mirrors the Korp backend's notion of a corpus registry (the ``/info``
+endpoint lists corpora; every query names one).  Each entry binds a
+corpus name to the grammar text, sort declarations, and parse engine its
+documents will be parsed with — the corpus-side analogue of a workspace
+session, but persistent: the registry survives the process in
+``registry.json`` (crash-safe rewrite per mutation).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..lr.serialize import load_payload, save_payload
+from .store import FORMAT_VERSION
+
+#: Corpus names double as directory names, so keep them filesystem-safe.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+class CorpusRegistry:
+    """Persistent name -> corpus-definition map under one root."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._path = os.path.join(root, "registry.json")
+        self._lock = threading.Lock()
+        self._corpora: Dict[str, Dict[str, Any]] = {}
+        os.makedirs(root, exist_ok=True)
+        if os.path.exists(self._path):
+            payload = load_payload(self._path)
+            if payload.get("format") != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported corpus registry format "
+                    f"{payload.get('format')!r} in {self._path}"
+                )
+            self._corpora = dict(payload.get("corpora", {}))
+
+    @staticmethod
+    def valid_name(name: str) -> bool:
+        return bool(_NAME_PATTERN.match(name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._corpora
+
+    def __len__(self) -> int:
+        return len(self._corpora)
+
+    def names(self) -> List[str]:
+        return sorted(self._corpora)
+
+    def get(self, name: str) -> Optional[Dict[str, Any]]:
+        entry = self._corpora.get(name)
+        return dict(entry) if entry is not None else None
+
+    def directory(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def create(
+        self,
+        name: str,
+        grammar: str,
+        sorts: Optional[List[str]] = None,
+        engine: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Register ``name``; idempotent for an identical definition.
+
+        Re-creating with a *different* grammar/engine is refused — stored
+        results were parsed under the old definition and silently mixing
+        the two would corrupt every query answer.
+        """
+        if not self.valid_name(name):
+            raise ValueError(
+                f"invalid corpus name {name!r} (want "
+                f"letters/digits/._- , max 64 chars)"
+            )
+        entry = {
+            "grammar": grammar,
+            "sorts": sorted(sorts or []),
+            "engine": engine,
+        }
+        with self._lock:
+            existing = self._corpora.get(name)
+            if existing is not None:
+                if existing != entry:
+                    raise ValueError(
+                        f"corpus {name!r} already exists with a different "
+                        f"definition; corpora are immutable once created"
+                    )
+                return dict(existing) | {"created": False}
+            self._corpora[name] = entry
+            save_payload(
+                {"format": FORMAT_VERSION, "corpora": self._corpora},
+                self._path,
+            )
+        return dict(entry) | {"created": True}

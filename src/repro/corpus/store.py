@@ -1,0 +1,288 @@
+"""Persistent, content-addressed corpus storage.
+
+Three stores, three durability disciplines:
+
+* :class:`DocumentStore` — the ingest manifest (``docs.json``).  Documents
+  are keyed by content hash, so re-ingesting the same payload is a no-op
+  (idempotency) and identical documents under different names are stored
+  once.  Each bulk ingest rewrites the manifest atomically through
+  :func:`repro.lr.serialize.save_payload` (temp + fsync + ``os.replace``).
+
+* :class:`ResultStore` — hash-consed parse results
+  (``results/<hash>.json``).  A payload's name *is* the hash of its
+  canonical JSON encoding, so documents that parse to identical forests
+  share one file (write-once: an existing file is never rewritten) and
+  the dedup ratio is directly measurable.
+
+* :class:`ParseJournal` — the resumability record (``parse.log``).  One
+  appended JSON line per *completed* document, flushed per line like the
+  mutation journal of PR 7, fsynced periodically, with a tolerated torn
+  tail: a process killed mid-append loses at most the final partial line
+  and the parse it recorded — which simply re-runs on resume.  A document
+  hash appearing twice is a *duplicate parse* and is counted, because the
+  whole point of the journal is that this number stays zero.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..lr.serialize import load_payload, save_payload
+
+#: Manifest / journal format tag, for forward compatibility.
+FORMAT_VERSION = 1
+
+#: Fsync the journal every N appends (each append is still flushed, so
+#: only an OS crash — not a process kill — can lose the unsynced suffix).
+FSYNC_INTERVAL = 32
+
+
+def content_hash(text: str) -> str:
+    """The content address of ``text``: truncated SHA-256, hex.
+
+    96 bits keeps names short enough for filenames and log lines while
+    making accidental collision astronomically unlikely at corpus scale.
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
+
+
+def payload_hash(payload: Dict[str, Any]) -> str:
+    """The content address of a JSON-able payload (canonical encoding)."""
+    canonical = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return content_hash(canonical)
+
+
+class DocumentStore:
+    """The content-addressed document manifest of one corpus."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self._path = os.path.join(directory, "docs.json")
+        self._lock = threading.Lock()
+        #: hash -> {"name": ..., "text": ...}, in first-ingest order.
+        self._docs: Dict[str, Dict[str, str]] = {}
+        os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self._path):
+            manifest = load_payload(self._path)
+            if manifest.get("format") != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported document manifest format "
+                    f"{manifest.get('format')!r} in {self._path}"
+                )
+            for digest, name, text in manifest.get("docs", []):
+                self._docs[digest] = {"name": name, "text": text}
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._docs
+
+    def get(self, digest: str) -> Optional[Dict[str, str]]:
+        return self._docs.get(digest)
+
+    def hashes(self) -> List[str]:
+        """All document hashes in first-ingest order."""
+        return list(self._docs)
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, str]]]:
+        return iter(list(self._docs.items()))
+
+    def add_many(self, documents: Iterable[Tuple[str, str]]) -> Dict[str, int]:
+        """Ingest ``(name, text)`` pairs; one atomic manifest rewrite.
+
+        Returns ``{"added": n, "duplicates": m}`` where a duplicate is a
+        document whose text is already stored (under any name) — the
+        manifest keeps the first name it ever saw for a given content.
+        """
+        added = duplicates = 0
+        with self._lock:
+            for name, text in documents:
+                digest = content_hash(text)
+                if digest in self._docs:
+                    duplicates += 1
+                    continue
+                self._docs[digest] = {"name": name, "text": text}
+                added += 1
+            if added:
+                self._save_locked()
+        return {"added": added, "duplicates": duplicates}
+
+    def _save_locked(self) -> None:
+        save_payload(
+            {
+                "format": FORMAT_VERSION,
+                "docs": [
+                    [digest, entry["name"], entry["text"]]
+                    for digest, entry in self._docs.items()
+                ],
+            },
+            self._path,
+        )
+
+
+class ResultStore:
+    """Write-once, hash-consed parse payloads under ``results/``."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.join(directory, "results")
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._known = {
+            name[: -len(".json")]
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        }
+        self.puts = 0
+        self.dedup_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._known
+
+    def put(self, payload: Dict[str, Any]) -> Tuple[str, bool]:
+        """Store ``payload``; returns ``(hash, created)``.
+
+        Two documents producing identical payloads land on the same file;
+        the second put is a dedup hit and touches nothing on disk.
+        """
+        digest = payload_hash(payload)
+        with self._lock:
+            self.puts += 1
+            if digest in self._known:
+                self.dedup_hits += 1
+                return digest, False
+            save_payload(payload, self._path_of(digest))
+            self._known.add(digest)
+            return digest, True
+
+    def get(self, digest: str) -> Dict[str, Any]:
+        return load_payload(self._path_of(digest))
+
+    def dedup_ratio(self) -> float:
+        """Fraction of puts answered by an existing payload."""
+        return self.dedup_hits / self.puts if self.puts else 0.0
+
+    def _path_of(self, digest: str) -> str:
+        return os.path.join(self.directory, f"{digest}.json")
+
+
+class ParseJournal:
+    """Append-only per-document completion log; the resume point.
+
+    Entries are ``{"doc": h, "result": rh, "accepted": bool}`` JSON
+    lines.  Loading tolerates a torn final line (SIGKILL mid-append) by
+    dropping it; everything before the tear is a completed parse that
+    must **not** re-run.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        #: doc hash -> journal entry, replay order preserved.
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        #: doc hashes journaled more than once — always a bug upstream.
+        self.duplicates = 0
+        self._torn = False
+        self._appends_since_sync = 0
+        self._load()
+        self._handle = open(self.path, "a")
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        position = good_end = 0
+        while position < len(data):
+            newline = data.find(b"\n", position)
+            if newline == -1:
+                # Unterminated tail: an append cut off mid-line.
+                self._torn = True
+                break
+            line = data[position:newline].strip()
+            position = newline + 1
+            if line:
+                try:
+                    entry = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    self._torn = True
+                    break
+                doc = entry.get("doc")
+                if not isinstance(doc, str):
+                    self._torn = True
+                    break
+                if doc in self.entries:
+                    self.duplicates += 1
+                self.entries[doc] = entry
+            good_end = position
+        if self._torn:
+            # Repair, don't just tolerate: truncate the torn suffix so the
+            # next append lands on a clean line boundary.  Without this,
+            # post-crash appends would sit *behind* the torn line forever
+            # and every future replay would stop before reaching them —
+            # re-parsing the same documents on every restart.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, doc: str) -> bool:
+        return doc in self.entries
+
+    @property
+    def generation(self) -> int:
+        """Monotone corpus generation: completed-parse count.
+
+        Queries key their cache on this — any newly journaled document
+        invalidates cached pages without explicit bookkeeping.
+        """
+        return len(self.entries)
+
+    @property
+    def torn_tail(self) -> bool:
+        return self._torn
+
+    def append(self, doc: str, result: Optional[str], accepted: bool,
+               extra: Optional[Dict[str, Any]] = None) -> None:
+        entry: Dict[str, Any] = {"doc": doc, "result": result, "accepted": accepted}
+        if extra:
+            entry.update(extra)
+        with self._lock:
+            if doc in self.entries:
+                self.duplicates += 1
+            self.entries[doc] = entry
+            self._handle.write(
+                json.dumps(entry, separators=(",", ":"), sort_keys=True) + "\n"
+            )
+            self._handle.flush()
+            self._appends_since_sync += 1
+            if self._appends_since_sync >= FSYNC_INTERVAL:
+                os.fsync(self._handle.fileno())
+                self._appends_since_sync = 0
+
+    def sync(self) -> None:
+        with self._lock:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._appends_since_sync = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+            self._handle.close()

@@ -61,12 +61,33 @@ class Dispatcher:
         cache_capacity: int = 1024,
         clock: Callable[[], float] = time.perf_counter,
         default_deadline_ms: Optional[float] = None,
+        corpus_root: Optional[str] = None,
     ) -> None:
         self.workspace = workspace if workspace is not None else Workspace(cache_capacity)
         self.stats = LatencyStats()
         self.default_deadline_ms = default_deadline_ms
         self._clock = clock
+        self.corpus = None
+        if corpus_root is not None:
+            # Imported lazily: repro.corpus sits above this module in the
+            # layering (it submits ordinary parse requests back through
+            # the service), so a module-level import would be a cycle.
+            from ..corpus.manager import CorpusManager
+
+            def _inline_submit(request: Dict[str, Any]):
+                from concurrent.futures import Future
+
+                future: "Future[Dict[str, Any]]" = Future()
+                future.set_result(self.handle(request))
+                return future
+
+            self.corpus = CorpusManager(corpus_root, submit=_inline_submit)
         self._handler_map = self._handlers()
+
+    def close(self) -> None:
+        """Stop corpus jobs and close their journals.  Idempotent."""
+        if self.corpus is not None:
+            self.corpus.close()
 
     # -- the entry point ---------------------------------------------------
 
@@ -175,7 +196,26 @@ class Dispatcher:
             "sessions": self._sessions,
             "health": self._health,
             "ready": self._ready,
+            "corpus-create": self._corpus("create"),
+            "corpus-ingest": self._corpus("ingest"),
+            "corpus-parse": self._corpus("parse"),
+            "corpus-status": self._corpus("status"),
+            "corpus-query": self._corpus("query"),
+            "corpus-info": self._corpus("info"),
         }
+
+    def _corpus(self, method: str) -> Handler:
+        """A corpus command handler, or a helpful refusal without a root."""
+
+        def handler(request: Dict[str, Any]) -> Dict[str, Any]:
+            if self.corpus is None:
+                raise ProtocolError(
+                    f"{request.get('cmd')!r} needs a corpus root — start "
+                    f"the service with --corpus-root DIR"
+                )
+            return getattr(self.corpus, method)(request)
+
+        return handler
 
     # -- session lifecycle -------------------------------------------------
 
@@ -232,6 +272,16 @@ class Dispatcher:
             )
         return engine
 
+    @staticmethod
+    def _cache_flag(request: Dict[str, Any]) -> bool:
+        """The protocol v6 ``cache`` field: ``false`` bypasses the LRU."""
+        value = request.get("cache", True)
+        if not isinstance(value, bool):
+            raise ProtocolError(
+                f"'cache' must be a boolean, got {type(value).__name__}"
+            )
+        return value
+
     def _parse(self, request: Dict[str, Any]) -> Dict[str, Any]:
         name = require(request, "session")
         payload, cached = self.workspace.parse(
@@ -239,6 +289,7 @@ class Dispatcher:
             require(request, "tokens"),
             engine=self._engine_of(request),
             checkpoint=bool(request.get("checkpoint", False)),
+            use_cache=self._cache_flag(request),
         )
         return self._parse_response(name, payload, cached)
 
@@ -299,6 +350,7 @@ class Dispatcher:
             require(request, "tokens"),
             engine=self._engine_of(request),
             checkpoint=bool(request.get("checkpoint", False)),
+            use_cache=self._cache_flag(request),
         )
         obs.annotate(cache=cached)
         response = dict(payload)

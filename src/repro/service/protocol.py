@@ -42,7 +42,15 @@ from typing import Any, Dict, Iterator, Optional
 #: scheduler answers requests to a crashed or tripped shard with the
 #: retryable ``{"error": "shard-restarting", "retry_after_ms": N}`` and
 #: terminal ``{"error": "shard-degraded"}`` shapes.
-PROTOCOL_VERSION = 5
+#: Version 6 (v5-compatible): the corpus service.  ``parse``/``recognize``
+#: accept ``"cache": false`` (bypass the shared result cache — Korp's
+#: ``cache`` parameter), and the ``corpus-*`` commands (``corpus-create``,
+#: ``corpus-ingest``, ``corpus-parse``, ``corpus-status``,
+#: ``corpus-query``, ``corpus-info``) manage named corpora under a
+#: persistent ``--corpus-root``: content-hashed bulk ingest, resumable
+#: batch parsing across shards, and paginated queries over the stored
+#: results.
+PROTOCOL_VERSION = 6
 
 #: Commands the dispatcher understands (documented in README.md).
 COMMANDS = (
@@ -62,6 +70,12 @@ COMMANDS = (
     "sessions",
     "health",
     "ready",
+    "corpus-create",
+    "corpus-ingest",
+    "corpus-parse",
+    "corpus-status",
+    "corpus-query",
+    "corpus-info",
 )
 
 

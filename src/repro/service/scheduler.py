@@ -159,7 +159,9 @@ def plan_batch(
                 # (and vice versa).  So does ``deadline_ms``: a request
                 # with a longer budget must not receive a copy of a
                 # ``deadline-exceeded`` answer computed under a shorter
-                # one.
+                # one.  And ``cache`` (v6): a cache-bypassing corpus
+                # request and a cached interactive one answer with
+                # different ``cache`` fields.
                 key = (
                     session,
                     cmd,
@@ -167,6 +169,7 @@ def plan_batch(
                     bool(request.get("checkpoint", False)),
                     bool(request.get("trace", False)),
                     request.get("deadline_ms"),
+                    bool(request.get("cache", True)),
                     tokens,
                 )
         elif cmd in MUTATING_COMMANDS or not isinstance(cmd, str):
@@ -850,6 +853,7 @@ class Scheduler:
         backoff_ms: float = 50.0,
         max_backoff_ms: float = 5_000.0,
         compact_threshold: int = 32,
+        corpus_root: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -918,6 +922,22 @@ class Scheduler:
             for index, executor in enumerate(executors)
         ]
         self._closed = False
+        self.corpus = None
+        if corpus_root is not None:
+            # Lazily imported: repro.corpus layers *above* the service
+            # (its jobs submit ordinary parse requests right back here).
+            from ..corpus.manager import CorpusManager
+
+            # The manager lives parent-side — corpus state is process
+            # global — while its parse traffic flows through the normal
+            # shard queues via submit(), so batch jobs queue *behind*
+            # interactive requests under the same backpressure bound.
+            self.corpus = CorpusManager(
+                corpus_root,
+                submit=self.submit,
+                shard_count=len(self.shards),
+                shard_of=self.shard_of,
+            )
         # Shard work counters for the obs registry, polled at snapshot
         # time and weakly bound — a dropped scheduler stops reporting.
         obs.register_object_collector(self, Scheduler._collect_metrics)
@@ -971,6 +991,26 @@ class Scheduler:
     def submit(self, request: Any) -> "Future[Response]":
         """Enqueue one request; the future resolves to its response."""
         cmd = request.get("cmd") if isinstance(request, dict) else None
+        if isinstance(cmd, str) and cmd.startswith("corpus-"):
+            # Served parent-side, like health/ready: corpus state (the
+            # registry, journals, jobs) is owned by this process, and
+            # only the per-document parse work is routed to shards.
+            # Served synchronously on the caller's thread — a
+            # ``corpus-parse`` with ``wait`` blocks its own client, and
+            # a shard worker thread must never serve one (the job would
+            # deadlock waiting on that same shard's queue).
+            future: "Future[Response]" = Future()
+            if self.corpus is None:
+                future.set_result(
+                    _error_response(
+                        request,
+                        f"{cmd!r} needs a corpus root — start the "
+                        f"service with --corpus-root DIR",
+                    )
+                )
+            else:
+                future.set_result(self.corpus.serve(request))
+            return future
         if cmd in ("health", "ready"):
             # Answered parent-side without touching any shard queue: a
             # wedged or restarting shard must never block the probe that
@@ -1189,6 +1229,10 @@ class Scheduler:
         if self._closed:
             return
         self._closed = True
+        if self.corpus is not None:
+            # Before the shards: parked jobs still submit to them, and a
+            # job's in-flight documents should journal before the drain.
+            self.corpus.close()
         for shard in self.shards:
             shard.close()
         for shard in self.shards:

@@ -17,6 +17,8 @@ tests all speak one protocol.
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
 
 from .dispatcher import Dispatcher
@@ -64,19 +66,51 @@ def serve(
     return 0
 
 
+#: In-flight bound of the pipelined batch runner: enough to keep every
+#: shard's coalescing batches full, small enough never to trip the
+#: per-shard queue bound (default depth 256) on a single-tenant run.
+BATCH_WINDOW = 64
+
+
 def run_batch(
     lines: Iterable[str],
     dispatcher: Optional[Any] = None,
+    window: int = BATCH_WINDOW,
 ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
     """Serve every request in ``lines``; returns (responses, summary).
 
+    Originally (PR 1) this drove the serial dispatcher one request at a
+    time.  When ``dispatcher`` exposes the scheduler's non-blocking
+    ``submit`` contract, requests are now pipelined through it under a
+    bounded in-flight ``window`` instead — so ``repro batch`` gets shard
+    concurrency, per-session coalescing, and (in process mode) real CPU
+    parallelism, while responses still come back in request order.
+    Ordering semantics are preserved: shards drain their queues FIFO and
+    sessions are shard-pinned, so two requests naming the same session
+    execute in submission order, exactly as the serial runner did.
+
     The summary reports what a throughput run cares about: request count,
-    error count, total service time, and the cache hit rate of the
-    workspace's result cache.
+    error count, total service time (sum of per-request ``time``), wall
+    time, and the result-cache stats when the handler has an in-process
+    workspace.
     """
     dispatcher = dispatcher if dispatcher is not None else Dispatcher()
+    if window < 1:
+        raise ValueError(f"window must be positive, got {window}")
+    started = time.perf_counter()
     responses: List[Dict[str, Any]] = []
     errors = 0
+    submit = getattr(dispatcher, "submit", None)
+    in_flight: deque = deque()
+
+    def drain(limit: int) -> None:
+        nonlocal errors
+        while len(in_flight) > limit:
+            slot, future = in_flight.popleft()
+            response = future.result()
+            responses[slot] = response
+            errors += "error" in response
+
     for line in lines:
         requests, error = decode_line(line)
         if error is not None:
@@ -84,9 +118,16 @@ def run_batch(
             errors += 1
             continue
         for request in requests:
-            response = dispatcher.handle(request)
-            responses.append(response)
-            errors += "error" in response
+            if submit is None:
+                response = dispatcher.handle(request)
+                responses.append(response)
+                errors += "error" in response
+            else:
+                responses.append({})  # placeholder, filled by drain()
+                in_flight.append((len(responses) - 1, submit(request)))
+                drain(window - 1)
+    drain(0)
+    wall = time.perf_counter() - started
     total_time = sum(r.get("time", 0.0) for r in responses)
     # A process-mode Scheduler has no parent-side workspace; its cache
     # stats live in the shard children (ask via the metrics command).
@@ -95,6 +136,8 @@ def run_batch(
         "requests": len(responses),
         "errors": errors,
         "seconds": round(total_time, 6),
+        "wall_seconds": round(wall, 6),
+        "pipelined": submit is not None,
         "requests_per_second": (
             round(len(responses) / total_time, 1) if total_time else 0.0
         ),

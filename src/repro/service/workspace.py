@@ -79,6 +79,10 @@ class ParseSession:
         self.results: "OrderedDict[str, Tuple[Any, Dict[str, Any]]]" = (
             OrderedDict()
         )
+        #: Checkpoints dropped by LRU pressure in :meth:`_retain` —
+        #: surfaced as ``repro.checkpoints.evictions`` so clients whose
+        #: ``edit-parse`` bases keep disappearing can see why.
+        self.checkpoint_evictions = 0
         self._unsubscribe = self.ipg.grammar.subscribe(self._on_modify)
 
     # -- lifecycle ---------------------------------------------------------
@@ -250,6 +254,7 @@ class ParseSession:
         self.results.move_to_end(result_id)
         while len(self.results) > CHECKPOINT_CAPACITY:
             self.results.popitem(last=False)
+            self.checkpoint_evictions += 1
 
     def checkpoint_parse(
         self,
@@ -382,6 +387,9 @@ class Workspace:
         self._sessions: Dict[str, ParseSession] = {}
         self._lock = threading.RLock()
         self.cache = ResultCache(cache_capacity)
+        #: Checkpoint evictions of already-closed sessions, so the
+        #: ``repro.checkpoints.evictions`` counter stays monotone.
+        self._retired_checkpoint_evictions = 0
         # Surface the shared result-cache counters and the session count
         # through the obs registry.  The registration is weak: a
         # workspace dropped by its dispatcher stops being polled, so
@@ -395,6 +403,21 @@ class Workspace:
                 yield ("repro.result_cache." + key, None, "counter", value)
         yield ("repro.result_cache.entries", None, "gauge", len(self.cache))
         yield ("repro.workspace.sessions", None, "gauge", len(self))
+        with self._lock:
+            sessions = list(self._sessions.values())
+            retired = self._retired_checkpoint_evictions
+        yield (
+            "repro.checkpoints.evictions",
+            None,
+            "counter",
+            retired + sum(session.checkpoint_evictions for session in sessions),
+        )
+        yield (
+            "repro.checkpoints.entries",
+            None,
+            "gauge",
+            sum(len(session.results) for session in sessions),
+        )
 
     # -- registry ----------------------------------------------------------
 
@@ -448,6 +471,8 @@ class Workspace:
     def close(self, name: str) -> bool:
         with self._lock:
             session = self._sessions.pop(name, None)
+            if session is not None:
+                self._retired_checkpoint_evictions += session.checkpoint_evictions
         if session is None:
             return False
         session.close()
@@ -492,9 +517,20 @@ class Workspace:
         mode: str,
         tokens: TokenInput,
         engine: Optional[str] = None,
+        use_cache: bool = True,
     ) -> Tuple[Dict[str, Any], bool]:
         session = self.get(name)
         lexed = session.language.lex(tokens)
+        if not use_cache:
+            # Korp's ``cache=false``: bulk/corpus traffic must neither
+            # read possibly-hot entries (its answers are stored anyway)
+            # nor evict the interactive sessions' working set.
+            payload = (
+                session._parse_lexed(lexed, engine)
+                if mode == "parse"
+                else session._recognize_lexed(lexed, engine)
+            )
+            return payload, False
         # The engine participates in the key: payloads differ across
         # engines (tree availability, reported engine name), so a cached
         # answer for one engine must never serve another.  So does the
@@ -526,17 +562,19 @@ class Workspace:
         tokens: TokenInput,
         engine: Optional[str] = None,
         checkpoint: bool = False,
+        use_cache: bool = True,
     ) -> Tuple[Dict[str, Any], bool]:
         """``(payload, was_cached)`` for a tree-building parse.
 
         With ``checkpoint=True`` the parse goes through the session's
         checkpoint store instead of the shared LRU (the retained
         incremental outcome is the cacheable thing), and the payload
-        carries the ``result`` id for ``edit-parse``.
+        carries the ``result`` id for ``edit-parse``.  With
+        ``use_cache=False`` the shared LRU is bypassed entirely.
         """
         if checkpoint:
             return self.get(name).checkpoint_parse(tokens, engine, mode="parse")
-        return self._cached(name, "parse", tokens, engine)
+        return self._cached(name, "parse", tokens, engine, use_cache=use_cache)
 
     def edit_parse(
         self,
@@ -558,18 +596,21 @@ class Workspace:
         tokens: TokenInput,
         engine: Optional[str] = None,
         checkpoint: bool = False,
+        use_cache: bool = True,
     ) -> Tuple[Dict[str, Any], bool]:
         """``(payload, was_cached)`` for accept/reject recognition.
 
         ``checkpoint=True`` retains state-frontier checkpoints for
         ``edit-parse`` — the regime where edits re-converge a token or
-        two past the damage.
+        two past the damage.  ``use_cache=False`` bypasses the LRU.
         """
         if checkpoint:
             return self.get(name).checkpoint_parse(
                 tokens, engine, mode="recognize"
             )
-        return self._cached(name, "recognize", tokens, engine)
+        return self._cached(
+            name, "recognize", tokens, engine, use_cache=use_cache
+        )
 
     def __repr__(self) -> str:
         return f"Workspace({len(self)} sessions, cache={self.cache!r})"

@@ -1,0 +1,186 @@
+"""Korp-style query endpoints: match, error summaries, pages, cache."""
+
+import pytest
+
+from repro.corpus.query import MAX_PAGE_SIZE, QueryEngine
+from repro.corpus.store import DocumentStore, ParseJournal, ResultStore
+from repro.service.protocol import ProtocolError
+
+
+def build_corpus(tmp_path, parses):
+    """Stores populated from ``(name, text, payload)`` triples."""
+    directory = str(tmp_path / "corpus")
+    docs = DocumentStore(directory)
+    results = ResultStore(directory)
+    journal = ParseJournal(str(tmp_path / "corpus" / "parse.log"))
+    docs.add_many([(name, text) for name, text, _ in parses])
+    for _name, text, payload in parses:
+        from repro.corpus.store import content_hash
+
+        digest, _ = results.put(payload)
+        journal.append(content_hash(text), digest, payload["accepted"])
+    return docs, results, journal
+
+
+ACCEPT_ONE_B = {
+    "accepted": True,
+    "trees": ["START(B(true))"],
+    "tree_count": 1,
+    "nonterminals": {"START": 1, "B": 1},
+}
+ACCEPT_THREE_B = {
+    "accepted": True,
+    "trees": ["START(B(B(true) or B(false)))"],
+    "tree_count": 1,
+    "nonterminals": {"START": 1, "B": 3},
+}
+REJECT_OR = {
+    "accepted": False,
+    "diagnostics": {
+        "message": "unexpected 'or'",
+        "expected": ["false", "true"],
+        "kind": "syntax",
+    },
+}
+REJECT_EOF = {
+    "accepted": False,
+    "diagnostics": {"message": "unexpected end of input", "expected": []},
+}
+
+
+class TestMatch:
+    def test_occurrences_and_hits(self, tmp_path):
+        stores = build_corpus(
+            tmp_path,
+            [
+                ("a", "true", ACCEPT_ONE_B),
+                ("b", "true or false", ACCEPT_THREE_B),
+                ("c", "or or", REJECT_OR),
+            ],
+        )
+        engine = QueryEngine()
+        response = engine.query(
+            "demo", *stores, "match", params={"nonterminal": "B"}
+        )
+        assert response["total"] == 2
+        assert response["occurrences"] == 4
+        assert [hit["name"] for hit in response["hits"]] == ["a", "b"]
+        assert [hit["count"] for hit in response["hits"]] == [1, 3]
+        assert response["cache"] is False
+        assert response["generation"] == 3
+
+    def test_unknown_nonterminal_is_empty_not_an_error(self, tmp_path):
+        stores = build_corpus(tmp_path, [("a", "true", ACCEPT_ONE_B)])
+        response = QueryEngine().query(
+            "demo", *stores, "match", params={"nonterminal": "NOPE"}
+        )
+        assert response["total"] == 0 and response["hits"] == []
+
+    def test_pagination(self, tmp_path):
+        # Distinct texts so all seven documents survive content dedup.
+        stores = build_corpus(
+            tmp_path,
+            [(f"d{i}", f"true /*{i}*/", dict(ACCEPT_ONE_B)) for i in range(7)],
+        )
+        engine = QueryEngine()
+        first = engine.query(
+            "demo",
+            *stores,
+            "match",
+            params={"nonterminal": "B"},
+            page=0,
+            page_size=3,
+        )
+        last = engine.query(
+            "demo",
+            *stores,
+            "match",
+            params={"nonterminal": "B"},
+            page=2,
+            page_size=3,
+        )
+        assert first["total"] == last["total"] == 7
+        assert len(first["hits"]) == 3
+        assert len(last["hits"]) == 1  # 7 = 3 + 3 + 1
+        assert first["hits"][0]["name"] == "d0"
+        assert last["hits"][0]["name"] == "d6"
+
+
+class TestErrors:
+    def test_grouped_by_signature_most_frequent_first(self, tmp_path):
+        stores = build_corpus(
+            tmp_path,
+            [
+                ("a", "or 1", REJECT_OR),
+                ("b", "or 2", REJECT_OR),
+                ("c", "true", ACCEPT_ONE_B),
+                ("d", "", REJECT_EOF),
+            ],
+        )
+        response = QueryEngine().query("demo", *stores, "errors")
+        assert response["accepted"] == 1
+        assert response["rejected"] == 3
+        assert response["total"] == 2
+        top = response["hits"][0]
+        assert top["count"] == 2
+        assert top["signature"] == "expected:false, true"
+        assert "expecting one of" in top["message"]
+        assert len(top["docs"]) == 2
+        assert top["docs"][0]["name"] == "a"
+        assert top["example"]["message"] == "unexpected 'or'"
+        assert response["hits"][1]["count"] == 1
+
+
+class TestCache:
+    def test_read_through_hit_and_bypass(self, tmp_path):
+        stores = build_corpus(tmp_path, [("a", "true", ACCEPT_ONE_B)])
+        engine = QueryEngine()
+        miss = engine.query("demo", *stores, "errors")
+        hit = engine.query("demo", *stores, "errors")
+        bypass = engine.query("demo", *stores, "errors", use_cache=False)
+        assert miss["cache"] is False
+        assert hit["cache"] is True
+        assert bypass["cache"] is False
+        for key in ("total", "accepted", "rejected", "hits"):
+            assert miss[key] == hit[key] == bypass[key]
+
+    def test_new_generation_invalidates_implicitly(self, tmp_path):
+        docs, results, journal = build_corpus(
+            tmp_path, [("a", "true", ACCEPT_ONE_B)]
+        )
+        engine = QueryEngine()
+        first = engine.query(
+            "demo", docs, results, journal, "match",
+            params={"nonterminal": "B"},
+        )
+        assert first["total"] == 1
+        # A newly journaled parse bumps the generation: the next query
+        # must rebuild, not serve the stale cached page.
+        docs.add_many([("b", "true or false")])
+        from repro.corpus.store import content_hash
+
+        digest, _ = results.put(ACCEPT_THREE_B)
+        journal.append(content_hash("true or false"), digest, True)
+        second = engine.query(
+            "demo", docs, results, journal, "match",
+            params={"nonterminal": "B"},
+        )
+        assert second["cache"] is False
+        assert second["total"] == 2
+        assert second["generation"] == 2
+
+
+class TestValidation:
+    def test_bad_kind_page_and_size(self, tmp_path):
+        stores = build_corpus(tmp_path, [("a", "true", ACCEPT_ONE_B)])
+        engine = QueryEngine()
+        with pytest.raises(ProtocolError, match="unknown query kind"):
+            engine.query("demo", *stores, "frequency")
+        with pytest.raises(ProtocolError, match="'page'"):
+            engine.query("demo", *stores, "errors", page=-1)
+        with pytest.raises(ProtocolError, match="'page_size'"):
+            engine.query("demo", *stores, "errors", page_size=0)
+        with pytest.raises(ProtocolError, match="'page_size'"):
+            engine.query("demo", *stores, "errors", page_size=MAX_PAGE_SIZE + 1)
+        with pytest.raises(ProtocolError, match="'nonterminal'"):
+            engine.query("demo", *stores, "match")

@@ -1,0 +1,60 @@
+"""The persistent corpus registry: naming, immutability, reload."""
+
+import pytest
+
+from repro.corpus.registry import CorpusRegistry
+
+GRAMMAR = "START ::= B\nB ::= true\nB ::= false"
+
+
+class TestCreate:
+    def test_create_and_get(self, tmp_path):
+        registry = CorpusRegistry(str(tmp_path))
+        entry = registry.create("demo", GRAMMAR, sorts=["B"], engine="compiled")
+        assert entry["created"] is True
+        assert registry.get("demo") == {
+            "grammar": GRAMMAR,
+            "sorts": ["B"],
+            "engine": "compiled",
+        }
+        assert "demo" in registry
+        assert registry.names() == ["demo"]
+        assert registry.directory("demo").endswith("/demo")
+
+    def test_identical_recreate_is_idempotent(self, tmp_path):
+        registry = CorpusRegistry(str(tmp_path))
+        registry.create("demo", GRAMMAR, sorts=["B"])
+        entry = registry.create("demo", GRAMMAR, sorts=["B"])
+        assert entry["created"] is False
+        assert len(registry) == 1
+
+    def test_sorts_order_does_not_break_idempotency(self, tmp_path):
+        registry = CorpusRegistry(str(tmp_path))
+        registry.create("demo", GRAMMAR, sorts=["B", "A"])
+        assert registry.create("demo", GRAMMAR, sorts=["A", "B"])[
+            "created"
+        ] is False
+
+    def test_conflicting_recreate_is_refused(self, tmp_path):
+        registry = CorpusRegistry(str(tmp_path))
+        registry.create("demo", GRAMMAR)
+        with pytest.raises(ValueError, match="immutable"):
+            registry.create("demo", GRAMMAR + "\nB ::= B or B")
+        with pytest.raises(ValueError, match="immutable"):
+            registry.create("demo", GRAMMAR, engine="earley")
+
+    @pytest.mark.parametrize(
+        "bad", ["", ".hidden", "has space", "a/b", "x" * 65, "-lead"]
+    )
+    def test_invalid_names_are_refused(self, tmp_path, bad):
+        registry = CorpusRegistry(str(tmp_path))
+        with pytest.raises(ValueError, match="invalid corpus name"):
+            registry.create(bad, GRAMMAR)
+
+    def test_survives_reload(self, tmp_path):
+        CorpusRegistry(str(tmp_path)).create("demo", GRAMMAR, sorts=["B"])
+        reloaded = CorpusRegistry(str(tmp_path))
+        assert reloaded.get("demo")["grammar"] == GRAMMAR
+        # The reloaded registry still enforces immutability.
+        with pytest.raises(ValueError, match="immutable"):
+            reloaded.create("demo", "START ::= x")

@@ -1,0 +1,146 @@
+"""The persistent corpus stores: manifest, hash-consed results, journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.corpus.store import (
+    DocumentStore,
+    ParseJournal,
+    ResultStore,
+    content_hash,
+    payload_hash,
+)
+
+
+class TestContentHash:
+    def test_deterministic_and_short(self):
+        assert content_hash("true or false") == content_hash("true or false")
+        assert len(content_hash("x")) == 24
+        assert content_hash("a") != content_hash("b")
+
+    def test_payload_hash_ignores_key_order(self):
+        assert payload_hash({"a": 1, "b": 2}) == payload_hash({"b": 2, "a": 1})
+        assert payload_hash({"a": 1}) != payload_hash({"a": 2})
+
+
+class TestDocumentStore:
+    def test_ingest_and_content_dedup(self, tmp_path):
+        store = DocumentStore(str(tmp_path / "c"))
+        outcome = store.add_many(
+            [("a", "true"), ("b", "false"), ("c-same-text", "true")]
+        )
+        # Identical text under a different name is one stored document.
+        assert outcome == {"added": 2, "duplicates": 1}
+        assert len(store) == 2
+        digest = content_hash("true")
+        assert digest in store
+        assert store.get(digest)["name"] == "a"  # first name wins
+
+    def test_reingest_is_idempotent(self, tmp_path):
+        store = DocumentStore(str(tmp_path / "c"))
+        store.add_many([("a", "true"), ("b", "false")])
+        outcome = store.add_many([("a", "true"), ("b", "false")])
+        assert outcome == {"added": 0, "duplicates": 2}
+        assert len(store) == 2
+
+    def test_survives_reload(self, tmp_path):
+        directory = str(tmp_path / "c")
+        DocumentStore(directory).add_many([("a", "true"), ("b", "false")])
+        reloaded = DocumentStore(directory)
+        assert len(reloaded) == 2
+        assert reloaded.hashes() == [content_hash("true"), content_hash("false")]
+        assert reloaded.get(content_hash("false"))["text"] == "false"
+
+    def test_rejects_unknown_manifest_format(self, tmp_path):
+        directory = tmp_path / "c"
+        directory.mkdir()
+        (directory / "docs.json").write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError, match="format"):
+            DocumentStore(str(directory))
+
+
+class TestResultStore:
+    def test_put_is_write_once_and_hash_consed(self, tmp_path):
+        store = ResultStore(str(tmp_path / "c"))
+        payload = {"accepted": True, "trees": ["START(B(true))"]}
+        digest, created = store.put(payload)
+        assert created is True
+        again, created_again = store.put(dict(payload))
+        assert again == digest and created_again is False
+        assert store.puts == 2
+        assert store.dedup_hits == 1
+        assert store.dedup_ratio() == 0.5
+        # One file on disk, named by the payload hash.
+        assert sorted(os.listdir(store.directory)) == [f"{digest}.json"]
+        assert store.get(digest) == payload
+
+    def test_reload_sees_existing_results(self, tmp_path):
+        directory = str(tmp_path / "c")
+        digest, _ = ResultStore(directory).put({"accepted": False})
+        reloaded = ResultStore(directory)
+        assert digest in reloaded
+        assert len(reloaded) == 1
+        # A re-put of known content after reload still dedups.
+        assert reloaded.put({"accepted": False}) == (digest, False)
+
+
+class TestParseJournal:
+    def test_append_and_reload(self, tmp_path):
+        path = str(tmp_path / "parse.log")
+        journal = ParseJournal(path)
+        journal.append("d1", "r1", True)
+        journal.append("d2", "r2", False, extra={"note": "x"})
+        journal.close()
+        reloaded = ParseJournal(path)
+        assert len(reloaded) == 2
+        assert "d1" in reloaded and "d2" in reloaded
+        assert reloaded.entries["d2"]["note"] == "x"
+        assert reloaded.generation == 2
+        assert reloaded.duplicates == 0
+        assert reloaded.torn_tail is False
+        reloaded.close()
+
+    def test_duplicate_appends_are_counted(self, tmp_path):
+        journal = ParseJournal(str(tmp_path / "parse.log"))
+        journal.append("d1", "r1", True)
+        journal.append("d1", "r1", True)
+        assert journal.duplicates == 1
+        assert journal.generation == 1  # still one completed document
+        journal.close()
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "parse.log"
+        journal = ParseJournal(str(path))
+        journal.append("d1", "r1", True)
+        journal.append("d2", "r2", True)
+        journal.close()
+        # Simulate SIGKILL mid-append: a partial final line.
+        with open(path, "a") as handle:
+            handle.write('{"doc": "d3", "resu')
+        reloaded = ParseJournal(str(path))
+        assert reloaded.torn_tail is True
+        assert len(reloaded) == 2  # the tear costs exactly the torn entry
+        assert "d3" not in reloaded
+        reloaded.close()
+
+    def test_torn_suffix_is_repaired_so_later_appends_replay(self, tmp_path):
+        """Loading a torn journal truncates the tear; appends made after
+        the repair must be visible to the *next* replay (without the
+        truncation they would sit behind the torn line forever and the
+        same documents would re-parse on every restart)."""
+        path = tmp_path / "parse.log"
+        journal = ParseJournal(str(path))
+        journal.append("d1", "r1", True)
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write("{garbage")
+        reloaded = ParseJournal(str(path))
+        assert reloaded.torn_tail is True
+        reloaded.append("d2", "r2", True)
+        reloaded.close()
+        final = ParseJournal(str(path))
+        assert final.torn_tail is False
+        assert "d1" in final and "d2" in final and len(final) == 2
+        final.close()

@@ -240,6 +240,92 @@ class TestDeadlineUnderTraffic:
             assert response.get("accepted") is True
 
 
+class TestChaosUnderIngest:
+    """PR 8 satellite: kill a process shard mid ``corpus-parse``.
+
+    The batch must complete after shard replay with zero duplicate
+    parses (every document journaled exactly once) and zero lost
+    documents — the crash shows up only as retries.
+    """
+
+    @staticmethod
+    def _boolean_documents(count):
+        documents = []
+        for value in range(count):
+            tokens = [
+                "true" if (value >> bit) & 1 else "false" for bit in range(6)
+            ]
+            documents.append(" or ".join(tokens))
+        return documents
+
+    def test_shard_kill_mid_corpus_parse_loses_no_documents(self, tmp_path):
+        documents = self._boolean_documents(64)
+        with supervised_scheduler(
+            corpus_root=str(tmp_path / "corpora")
+        ) as scheduler:
+            created = scheduler.handle(
+                {"cmd": "corpus-create", "corpus": "chaos", "grammar": GRAMMAR}
+            )
+            assert "error" not in created, created
+            ingested = scheduler.handle(
+                {
+                    "cmd": "corpus-ingest",
+                    "corpus": "chaos",
+                    "documents": documents,
+                }
+            )
+            assert ingested["added"] == len(documents)
+            started = scheduler.handle(
+                {"cmd": "corpus-parse", "corpus": "chaos"}
+            )
+            assert "error" not in started, started
+            # Let the drain get going, then kill the child under it.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status = scheduler.handle(
+                    {"cmd": "corpus-status", "corpus": "chaos"}
+                )
+                if status["parsed"] >= 5:
+                    break
+                time.sleep(0.01)
+            assert status["parsed"] >= 5, status
+            faults.arm("kill-child", times=1)
+
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status = scheduler.handle(
+                    {"cmd": "corpus-status", "corpus": "chaos"}
+                )
+                job = status.get("job") or {}
+                if job.get("state") in ("done", "failed", "stopped"):
+                    break
+                time.sleep(0.05)
+            assert job.get("state") == "done", status
+
+            # Zero lost documents, zero duplicate parses.
+            assert status["documents"] == len(documents)
+            assert status["parsed"] == len(documents)
+            assert status["pending"] == 0
+            assert status["journal"]["duplicates"] == 0
+            # The kill was real: the shard restarted and the job retried
+            # the in-flight window instead of dropping it.
+            assert job["retries"] >= 1
+            health = scheduler.handle({"cmd": "health"})
+            assert health["restarts"] >= 1
+            # Replay correctness, query-level: every accepted document is
+            # matchable from the store the crash interrupted.
+            match = scheduler.handle(
+                {
+                    "cmd": "corpus-query",
+                    "corpus": "chaos",
+                    "kind": "match",
+                    "nonterminal": "B",
+                    "page_size": 100,
+                }
+            )
+            assert match["total"] == len(documents)
+
+
 class TestDelayAndStallFaults:
     def test_delay_fault_slows_a_batch(self):
         with Scheduler(workers=1, mode="thread") as scheduler:

@@ -274,8 +274,9 @@ class TestIntrospection:
 
     def test_info(self, booleans_dispatcher):
         server = booleans_dispatcher.handle({"cmd": "info"})
-        assert server["protocol"] == 5
+        assert server["protocol"] == 6
         assert "parse" in server["commands"]
+        assert "corpus-query" in server["commands"]
         assert "metrics-export" in server["commands"]
         assert "compiled" in server["engines"]
         assert server["sessions"] == ["s1"]
