@@ -27,6 +27,8 @@ from .engines import (
     expected_terminals,
     register_engine,
 )
+from ..runtime.errors import CapabilityError
+from ..runtime.forest import ParseForest
 from ..runtime.incremental import Edit
 from .language import DEFAULT_ENGINE, Language, LexedInput
 from .tokenizers import (
@@ -42,6 +44,8 @@ __all__ = [
     "DEFAULT_ENGINE",
     "Edit",
     "ParseOutcome",
+    "ParseForest",
+    "CapabilityError",
     "Diagnostic",
     "Engine",
     "EngineReport",

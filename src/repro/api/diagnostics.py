@@ -13,13 +13,19 @@ set* read off the ACTION rows of the states the parser died in.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..grammar.symbols import Terminal
 from ..lexing.scanner import Lexeme
-from ..runtime.forest import TreeNode, bracketed
+from ..runtime.forest import ENUMERATION_CAP, ParseForest, TreeNode
 
 __all__ = ["Diagnostic", "ParseOutcome", "line_and_column"]
+
+#: How many derivations the deprecated :attr:`ParseOutcome.trees` property
+#: materializes at most.  Code that needs more (or needs to know the real
+#: count) must move to the :attr:`ParseOutcome.forest` handle.
+DEPRECATED_TREES_CAP = 256
 
 
 def line_and_column(text: str, offset: int) -> Tuple[int, int]:
@@ -103,11 +109,18 @@ class Diagnostic:
 
 
 class ParseOutcome:
-    """The structured result of one ``Language.parse``/``recognize`` call."""
+    """The structured result of one ``Language.parse``/``recognize`` call.
+
+    Derivations live behind the :attr:`forest` handle
+    (:class:`~repro.runtime.forest.ParseForest`): ``tree_count()`` is
+    cheap even when the count is exponential, and ``trees(limit=...)``
+    enumerates lazily.  The former eager ``trees`` tuple survives as a
+    deprecated property capped at :data:`DEPRECATED_TREES_CAP`.
+    """
 
     __slots__ = (
         "accepted",
-        "trees",
+        "forest",
         "engine",
         "elapsed",
         "diagnostic",
@@ -122,7 +135,7 @@ class ParseOutcome:
     def __init__(
         self,
         accepted: bool,
-        trees: Tuple[TreeNode, ...] = (),
+        forest: Optional[ParseForest] = None,
         engine: str = "",
         elapsed: float = 0.0,
         diagnostic: Optional[Diagnostic] = None,
@@ -134,14 +147,16 @@ class ParseOutcome:
         reuse: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.accepted = accepted
-        self.trees = trees
+        #: the packed derivations of an accepting parse; ``None`` on
+        #: rejection and for recognition-only calls
+        self.forest = forest
         self.engine = engine
         self.elapsed = elapsed
         self.diagnostic = diagnostic
         self.lexemes = lexemes
         self.stats = stats
-        #: False for recognition-only calls and tree-less engines: their
-        #: empty ``trees`` means "not built", not "zero derivations".
+        #: False for recognition-only calls: their missing ``forest``
+        #: means "not built", not "zero derivations".
         self.trees_built = trees_built
         #: the parsed terminal sequence — what ``Language.reparse`` splices
         self.terminals = terminals
@@ -156,34 +171,73 @@ class ParseOutcome:
     @property
     def ambiguity(self) -> int:
         """Number of distinct derivations (0 for rejected inputs)."""
-        return len(self.trees)
+        return self.forest.tree_count() if self.forest is not None else 0
 
     @property
     def is_ambiguous(self) -> bool:
-        return len(self.trees) > 1
+        return self.ambiguity > 1
 
     @property
     def tree(self) -> Optional[TreeNode]:
         """The unique tree, if there is exactly one."""
-        return self.trees[0] if len(self.trees) == 1 else None
+        if self.forest is None or self.forest.tree_count() != 1:
+            return None
+        return next(iter(self.forest.trees(1)))
 
-    def brackets(self) -> List[str]:
-        """Every derivation in bracketed text form, deterministically sorted."""
-        return sorted(bracketed(tree) for tree in self.trees)
+    @property
+    def trees(self) -> Tuple[TreeNode, ...]:
+        """Deprecated: eagerly materialized derivations.
+
+        Enumerates at most :data:`DEPRECATED_TREES_CAP` trees out of
+        :attr:`forest`; use the handle directly for lazy iteration or
+        real counts.
+        """
+        warnings.warn(
+            "ParseOutcome.trees is deprecated; use ParseOutcome.forest "
+            "(tree_count() / trees(limit=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self.forest is None:
+            return ()
+        return tuple(self.forest.trees(DEPRECATED_TREES_CAP))
+
+    def brackets(self, limit: Optional[int] = None) -> List[str]:
+        """Derivations in bracketed text form, deterministically sorted."""
+        if self.forest is None:
+            return []
+        return self.forest.brackets(limit)
 
     def __bool__(self) -> bool:
         return self.accepted
 
     # -- serialization -----------------------------------------------------
 
-    def to_payload(self) -> Dict[str, Any]:
-        """The JSON-able payload the parse service caches and returns."""
+    def to_payload(self, max_trees: Optional[int] = None) -> Dict[str, Any]:
+        """The JSON-able payload the parse service caches and returns.
+
+        ``max_trees`` caps how many derivations are rendered into
+        ``trees``; ``ambiguity`` always reports the true count and
+        whether the rendering was truncated.  With ``max_trees=None`` the
+        rendering is still bounded by the forest enumeration cap.
+        """
+        tree_count = self.ambiguity
+        if max_trees is None:
+            enumerated = min(tree_count, ENUMERATION_CAP)
+        else:
+            enumerated = min(tree_count, max_trees)
         payload: Dict[str, Any] = {
             "accepted": self.accepted,
-            "trees": self.brackets(),
+            "trees": self.brackets(enumerated),
             "engine": self.engine,
         }
-        if not self.trees_built:
+        if self.trees_built:
+            payload["ambiguity"] = {
+                "tree_count": tree_count,
+                "enumerated": enumerated,
+                "truncated": enumerated < tree_count,
+            }
+        else:
             payload["trees_built"] = False
         if self.diagnostic is not None:
             payload["diagnostics"] = self.diagnostic.to_payload()
@@ -192,7 +246,7 @@ class ParseOutcome:
         return payload
 
     def __repr__(self) -> str:
-        detail = f"{len(self.trees)} trees" if self.accepted else "rejected"
+        detail = f"{self.ambiguity} trees" if self.accepted else "rejected"
         return f"ParseOutcome({self.engine}: accepted={self.accepted}, {detail})"
 
 

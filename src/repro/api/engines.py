@@ -12,11 +12,17 @@ engine="gss")``).
 Engines are constructed against a :class:`~repro.api.language.Language`
 and share its incremental infrastructure: the ``lazy`` and ``compiled``
 engines run over the *same* item-set graph (so laziness and MODIFY behave
-exactly as in the paper), ``gss`` shares the compiled control, while
-``dense`` snapshots the grammar into a frozen LR(0) table that
-``invalidate`` throws away on every edit — the conventional-generator
-trade-off, deliberately preserved for comparison.  ``earley`` reads the
-live grammar and needs no tables at all.
+exactly as in the paper), ``gss`` runs full GLR with shared packed
+forests over the same compiled control, while ``dense`` snapshots the
+grammar into a frozen LR(0) table that ``invalidate`` throws away on
+every edit — the conventional-generator trade-off, deliberately preserved
+for comparison.  ``earley`` reads the live grammar and needs no tables at
+all.
+
+Each engine declares its capabilities (``supports_trees``,
+``supports_ambiguity``, ``supports_reparse``); asking a recognizer-only
+engine for trees raises :class:`~repro.runtime.errors.CapabilityError`
+instead of silently answering with an empty forest.
 
 Every engine reports rejections through the same death-site protocol:
 :func:`expected_terminals` probes the ACTION row of each state the run
@@ -26,16 +32,17 @@ died in, which is where the diagnostics layer gets its *expected set*.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from ..baselines.earley import EarleyParser
 from ..grammar.symbols import END, Terminal
 from ..lr.actions import Accept, Reduce, Shift
 from ..lr.table import TableControl, lr0_table
+from ..runtime.errors import CapabilityError
+from ..runtime.forest import ParseForest
 from ..runtime.gss import GSSParser
 from ..runtime.incremental import Edit, IncrementalOutcome, IncrementalParser
 from ..runtime.parallel import ParseFailure, ParseResult, PoolParser
-from ..runtime.forest import TreeNode
 from ..runtime.stacks import StackCell
 from .diagnostics import expected_names
 
@@ -53,7 +60,10 @@ __all__ = [
 class EngineReport:
     """Normalized result every engine returns from ``recognize``/``parse``.
 
-    ``failure`` is ``None`` on acceptance; otherwise
+    ``forest`` is a :class:`~repro.runtime.forest.ParseForest` handle over
+    the derivations of an accepting *parse* (``None`` for recognition,
+    rejections, and tree-less engines) — never an eagerly materialized
+    tree list.  ``failure`` is ``None`` on acceptance; otherwise
     ``(token_index, expected_terminal_names)`` with the index counting
     input tokens (== input length when the input ended too early).
     ``incremental`` carries the opaque checkpoint handle when the call
@@ -62,26 +72,26 @@ class EngineReport:
     ordinary parses.
     """
 
-    __slots__ = ("accepted", "trees", "stats", "failure", "incremental", "reuse")
+    __slots__ = ("accepted", "forest", "stats", "failure", "incremental", "reuse")
 
     def __init__(
         self,
         accepted: bool,
-        trees: Tuple[TreeNode, ...] = (),
+        forest: Optional[ParseForest] = None,
         stats: Optional[Dict[str, int]] = None,
         failure: Optional[Tuple[int, Tuple[str, ...]]] = None,
         incremental: Optional[Any] = None,
         reuse: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.accepted = accepted
-        self.trees = trees
+        self.forest = forest
         self.stats = stats
         self.failure = failure
         self.incremental = incremental
         self.reuse = reuse
 
     def __repr__(self) -> str:
-        return f"EngineReport(accepted={self.accepted}, trees={len(self.trees)})"
+        return f"EngineReport(accepted={self.accepted}, forest={self.forest!r})"
 
 
 def _sweep_states(control: Any, failure: ParseFailure) -> List[Any]:
@@ -173,9 +183,13 @@ class Engine:
     name = "abstract"
     #: one-line description for ``repro.api.engine_descriptions()``
     summary = ""
-    #: whether ``parse`` builds derivation trees (Earley and GSS-recognition
-    #: do not; their ``parse`` reports acceptance only)
-    provides_trees = True
+    #: whether ``parse`` builds derivation forests; on engines that leave
+    #: this False, ``parse`` raises
+    #: :class:`~repro.runtime.errors.CapabilityError` — use ``recognize``
+    supports_trees = True
+    #: whether the engine can report derivation counts / enumerate
+    #: ambiguous derivations (implies ``supports_trees``)
+    supports_ambiguity = True
     #: whether ``reparse`` actually reuses checkpoints; engines that leave
     #: this False still answer ``reparse`` correctly (full re-parse of the
     #: spliced input — the correct-by-construction fallback)
@@ -183,6 +197,11 @@ class Engine:
 
     def __init__(self, language: Any) -> None:
         self.language = language
+
+    @property
+    def provides_trees(self) -> bool:
+        """Deprecated alias of :attr:`supports_trees`."""
+        return self.supports_trees
 
     # -- the protocol ------------------------------------------------------
 
@@ -233,15 +252,20 @@ class Engine:
 
     # -- shared plumbing ---------------------------------------------------
 
-    def _report(self, result: ParseResult, control: Any) -> EngineReport:
+    def _report(
+        self, result: ParseResult, control: Any, build_trees: bool = True
+    ) -> EngineReport:
         failure = None
         if not result.accepted and result.failure is not None:
             failure = (
                 result.failure.token_index,
                 self._expected(control, result.failure),
             )
+        forest = None
+        if build_trees and result.accepted:
+            forest = ParseForest(result.trees)
         return EngineReport(
-            result.accepted, result.trees, result.stats.snapshot(), failure
+            result.accepted, forest, result.stats.snapshot(), failure
         )
 
     def _expected(self, control: Any, failure: ParseFailure) -> Tuple[str, ...]:
@@ -261,9 +285,27 @@ def register_engine(cls: Type[Engine]) -> Type[Engine]:
     return cls
 
 
-def engines() -> Tuple[str, ...]:
-    """Every registered engine name, in registration order."""
-    return tuple(_REGISTRY)
+def engines(
+    detail: bool = False,
+) -> Union[Tuple[str, ...], Dict[str, Dict[str, Any]]]:
+    """Every registered engine name, in registration order.
+
+    With ``detail=True``, returns ``name -> capability record`` instead:
+    the one-line summary plus the ``supports_trees`` /
+    ``supports_ambiguity`` / ``supports_reparse`` flags, so callers can
+    pick an engine by what it can do rather than by name.
+    """
+    if not detail:
+        return tuple(_REGISTRY)
+    return {
+        name: {
+            "summary": cls.summary,
+            "supports_trees": cls.supports_trees,
+            "supports_ambiguity": cls.supports_ambiguity,
+            "supports_reparse": cls.supports_reparse,
+        }
+        for name, cls in _REGISTRY.items()
+    }
 
 
 def engine_descriptions() -> Dict[str, str]:
@@ -320,7 +362,9 @@ class _CheckpointMixin:
                 )
             return self._incremental
 
-    def _incremental_report(self, outcome: IncrementalOutcome) -> EngineReport:
+    def _incremental_report(
+        self, outcome: IncrementalOutcome, build_trees: bool = True
+    ) -> EngineReport:
         result = outcome.result
         failure = None
         if not result.accepted and result.failure is not None:
@@ -329,9 +373,12 @@ class _CheckpointMixin:
                 result.failure.token_index,
                 self._expected(control, result.failure),
             )
+        forest = None
+        if build_trees and result.accepted:
+            forest = ParseForest(result.trees)
         return EngineReport(
             result.accepted,
-            result.trees,
+            forest,
             result.stats.snapshot(),
             failure,
             incremental=outcome,
@@ -344,7 +391,7 @@ class _CheckpointMixin:
         outcome = self._incremental_parser().parse(
             tuple(terminals), build_trees=build_trees
         )
-        return self._incremental_report(outcome)
+        return self._incremental_report(outcome, build_trees)
 
     def reparse(
         self,
@@ -361,7 +408,7 @@ class _CheckpointMixin:
         else:
             outcome = parser.parse(tuple(spliced), build_trees=build_trees)
             outcome.reuse["fallback"] = "no-checkpoint"
-        return self._incremental_report(outcome)
+        return self._incremental_report(outcome, build_trees)
 
     def invalidate(self) -> None:
         if self._control_rebuilt_on_modify:
@@ -404,7 +451,9 @@ class LazyEngine(_CheckpointMixin, Engine):
 
     def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
         return self._report(
-            self.pool.recognize_result(terminals), self.pool.control
+            self.pool.recognize_result(terminals),
+            self.pool.control,
+            build_trees=False,
         )
 
     def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
@@ -433,7 +482,9 @@ class CompiledEngine(_CheckpointMixin, Engine):
 
     def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
         return self._report(
-            self.pool.recognize_result(terminals), self.pool.control
+            self.pool.recognize_result(terminals),
+            self.pool.control,
+            build_trees=False,
         )
 
     def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
@@ -486,7 +537,9 @@ class DenseTableEngine(_CheckpointMixin, Engine):
 
     def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
         pool = self._parser()
-        return self._report(pool.recognize_result(terminals), pool.control)
+        return self._report(
+            pool.recognize_result(terminals), pool.control, build_trees=False
+        )
 
     def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
         pool = self._parser()
@@ -502,47 +555,58 @@ class DenseTableEngine(_CheckpointMixin, Engine):
 
 @register_engine
 class GSSEngine(Engine):
-    """Tomita/Rekers graph-structured-stack recognition.
+    """Tomita/Rekers GLR over a graph-structured stack with packed forests.
 
-    Recognition runs on the merged-stack GLR engine (bounded stack tops
-    on ambiguous inputs); ``parse`` — the GSS module is a recognizer by
-    design — delegates tree building to the pool parser over the *same*
-    compiled control, so both halves see one automaton.
+    Runs over the *same* compiled control as the default engine (memoized
+    ACTION cells, step-cache probes, Elkhound-style deterministic
+    stretches), merging parsers that reach the same state so the number
+    of live stack tops stays bounded on ambiguous inputs.  ``parse``
+    builds a shared packed parse forest whose tree count may be
+    exponential in the input length — enumeration is lazy and capped.
     """
 
     name = "gss"
-    summary = "merged-stack GLR recognition (trees via the shared pool)"
-    provides_trees = True  # parse delegates to the pool for trees
+    summary = "merged-stack GLR with shared packed forests (compiled control)"
 
     def __init__(self, language: Any) -> None:
         super().__init__(language)
-        self.gss = GSSParser(language.control)
+        self.gss = GSSParser(
+            language.control,
+            max_steps_per_token=language.max_sweep_steps,
+            grammar=language.grammar,
+        )
+        #: kept for the uniform trace path: ``Language.parse(...,
+        #: trace=...)`` replays LR moves through a pool over the same
+        #: control, so traced runs see the identical automaton.
         self.pool = PoolParser(
             language.control,
             language.grammar,
             max_sweep_steps=language.max_sweep_steps,
         )
 
-    def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
-        accepted = self.gss.recognize(terminals)
+    def _gss_report(self, result: Any, build_trees: bool) -> EngineReport:
         failure = None
-        if not accepted:
-            # Replaying reduce chains over a *graph-structured* stack
-            # would need the path enumeration of the GSS module; the
-            # shared pool over the same control reaches the identical
-            # failure point (the engines agree on acceptance by
-            # construction), so its linear-stack failure record is
-            # borrowed for the diagnosis.  Failure path only.
-            result = self.pool.recognize_result(terminals)
-            if result.failure is not None:
-                failure = (
-                    result.failure.token_index,
-                    self._expected(self.pool.control, result.failure),
-                )
-        return EngineReport(accepted, (), dict(self.gss.last_stats), failure)
+        if not result.accepted and result.failure is not None:
+            # The GSS failure record carries the fatal sweep's visited
+            # states directly (no linear stacks to replay): LR(0) reduces
+            # are lookahead-independent, so that sweep's reduce closure
+            # already covers every viable continuation.
+            failure = (
+                result.failure.token_index,
+                self._expected(self.gss.control, result.failure),
+            )
+        forest = result.forest if build_trees else None
+        return EngineReport(
+            result.accepted, forest, result.stats.snapshot(), failure
+        )
+
+    def recognize(self, terminals: Sequence[Terminal]) -> EngineReport:
+        return self._gss_report(
+            self.gss.recognize_result(terminals), build_trees=False
+        )
 
     def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
-        return self._report(self.pool.parse(terminals), self.pool.control)
+        return self._gss_report(self.gss.parse(terminals), build_trees=True)
 
 
 @register_engine
@@ -551,12 +615,14 @@ class EarleyEngine(Engine):
 
     Reads the live grammar on every call, so modification costs nothing
     — and parsing costs the most (the trade-off of section 2.1).
-    Recognition only: ``parse`` reports acceptance without trees.
+    Recognition only: ``parse`` raises a
+    :class:`~repro.runtime.errors.CapabilityError`.
     """
 
     name = "earley"
     summary = "Earley chart recognition straight off the live grammar"
-    provides_trees = False
+    supports_trees = False
+    supports_ambiguity = False
 
     def __init__(self, language: Any) -> None:
         super().__init__(language)
@@ -576,11 +642,14 @@ class EarleyEngine(Engine):
         if not accepted and parser.last_failure is not None:
             failure = parser.last_failure
         return EngineReport(
-            accepted, (), {"chart_size": parser.last_chart_size}, failure
+            accepted, None, {"chart_size": parser.last_chart_size}, failure
         )
 
     def parse(self, terminals: Sequence[Terminal]) -> EngineReport:
-        return self.recognize(terminals)
+        raise CapabilityError(
+            f"engine {self.name!r} builds no trees; use recognize() or a "
+            f"tree-building engine (supports_trees in engines(detail=True))"
+        )
 
     def invalidate(self) -> None:
         self._parser = None

@@ -565,13 +565,13 @@ class Language:
             diagnostic = self._diagnose(lexed, report.failure)
         outcome = ParseOutcome(
             accepted=report.accepted,
-            trees=report.trees,
+            forest=report.forest,
             engine=selected.name,
             elapsed=time.perf_counter() - started,
             diagnostic=diagnostic,
             lexemes=lexed.lexemes,
             stats=report.stats,
-            trees_built=build_trees and selected.provides_trees,
+            trees_built=build_trees and selected.supports_trees,
             terminals=lexed.terminals,
             incremental=getattr(report, "incremental", None),
             reuse=getattr(report, "reuse", None),

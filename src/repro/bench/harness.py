@@ -183,6 +183,10 @@ class EngineSystem(SystemAdapter):
 
     def parse(self, tokens: TokenStream) -> bool:
         assert self.engine is not None, "construct first"
+        # Recognizer-only engines raise CapabilityError from parse; the §7
+        # protocol measures acceptance, so recognition is the honest call.
+        if not self.engine.supports_trees:
+            return self.engine.recognize(list(tokens)).accepted
         return self.engine.parse(list(tokens)).accepted
 
     def modify(self, rule: Rule) -> None:

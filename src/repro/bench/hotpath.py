@@ -10,13 +10,17 @@ generators put the system in — for each tier of the control plane:
 * ``compiled`` — :class:`~repro.lr.compiled.CompiledControl` memoizing
   ACTION into shared tuples (what :class:`~repro.core.ipg.IPG` runs);
 * ``table`` — the dense integer :class:`~repro.lr.table.TableControl`
-  over a fully expanded LR(0) table (the kernel-free representation).
+  over a fully expanded LR(0) table (the kernel-free representation);
+* ``gss`` — the merged-stack :class:`~repro.runtime.gss.GSSParser` over
+  the compiled control: Tomita's graph-structured stack bounds the live
+  frontier by the state count, so the heavily ambiguous booleans
+  medium/large inputs (exponential for every linear-stack tier) stay
+  polynomial and join the measurement.
 
-Every tier drives the same PAR-PARSE engine over the same token streams,
-so the numbers isolate the control plane and the signature scheme.  The
-first parse per tier is a discarded warm-up (it pays lazy expansion /
-cache population); reported throughput is the best of ``repeats`` timed
-warm parses.
+Every tier drives the same token streams, so the numbers isolate the
+control plane and the stack discipline.  The first parse per tier is a
+discarded warm-up (it pays lazy expansion / cache population); reported
+throughput is the best of ``repeats`` timed warm parses.
 """
 
 from __future__ import annotations
@@ -29,16 +33,25 @@ from ..grammar.grammar import Grammar
 from ..lr.compiled import CompiledControl
 from ..lr.graph import ItemSetGraph
 from ..lr.table import TableControl, lr0_table
+from ..runtime.gss import GSSParser
 from ..runtime.parallel import PoolParser
 from .workloads import Fig71Workload, TokenStream
 
-CONTROL_TIERS = ("lazy_baseline", "lazy", "compiled", "table")
+CONTROL_TIERS = ("lazy_baseline", "lazy", "compiled", "table", "gss")
 
 #: PAR-PARSE keeps one linear stack per live parser, so heavily ambiguous
 #: sentences (the booleans medium/large inputs) are exponential in every
-#: control tier — only the small inputs measure the hot loop rather than
-#: the ambiguity blow-up the paper's section 2.1 restriction excludes.
+#: linear-stack control tier — only the small inputs measure the hot loop
+#: rather than the ambiguity blow-up the paper's section 2.1 restriction
+#: excludes.
 FEASIBLE_INPUTS: Dict[str, Sequence[str]] = {"booleans": ("tiny", "small")}
+
+#: Per-tier overrides of the feasible-input lists: the merged-stack GSS
+#: tier shares states across forked parsers, so the booleans inputs that
+#: are exponential for the linear-stack pool stay polynomial for it.
+TIER_FEASIBLE_INPUTS: Dict[str, Dict[str, Sequence[str]]] = {
+    "booleans": {"gss": ("tiny", "small", "medium", "large")},
+}
 
 
 def _lazy_parser(grammar: Grammar, legacy: bool) -> PoolParser:
@@ -58,16 +71,23 @@ def _table_parser(grammar: Grammar) -> PoolParser:
     return PoolParser(TableControl(lr0_table(graph)), grammar)
 
 
-TIER_FACTORIES: Dict[str, Callable[[Grammar], PoolParser]] = {
+def _gss_parser(grammar: Grammar) -> GSSParser:
+    generator = IncrementalGenerator(grammar)
+    control = CompiledControl(generator.control, grammar)
+    return GSSParser(control, grammar=grammar)
+
+
+TIER_FACTORIES: Dict[str, Callable[[Grammar], Any]] = {
     "lazy_baseline": lambda grammar: _lazy_parser(grammar, legacy=True),
     "lazy": lambda grammar: _lazy_parser(grammar, legacy=False),
     "compiled": _compiled_parser,
     "table": _table_parser,
+    "gss": _gss_parser,
 }
 
 
 def _throughputs(
-    parsers: Dict[str, PoolParser], tokens: TokenStream, repeats: int, mode: str
+    parsers: Dict[str, Any], tokens: TokenStream, repeats: int, mode: str
 ) -> Dict[str, float]:
     """Best warm tokens/sec per tier over ``repeats`` interleaved rounds.
 
@@ -110,8 +130,14 @@ def measure_hotpath(
     tiers: Sequence[str] = CONTROL_TIERS,
     inputs: Optional[Sequence[str]] = None,
     mode: str = "recognize",
+    tier_inputs: Optional[Dict[str, Sequence[str]]] = None,
 ) -> Dict[str, Any]:
     """Tokens/sec per (input, control tier) for one §7 workload.
+
+    ``inputs`` is the default feasible-input list; ``tier_inputs`` maps a
+    tier name to its own list (e.g. the merged-stack ``gss`` tier runs
+    the booleans inputs the linear-stack tiers cannot).  An input's
+    ``tokens_per_sec`` only contains the tiers that ran it.
 
     Returns a JSON-able dict::
 
@@ -119,7 +145,14 @@ def measure_hotpath(
          "inputs": {name: {"tokens": N, "tokens_per_sec": {tier: t/s}}},
          "speedup_compiled_vs_baseline": {name: ratio}}
     """
-    names = list(inputs) if inputs is not None else list(workload.input_names())
+    base = list(inputs) if inputs is not None else list(workload.input_names())
+    overrides = dict(tier_inputs or {})
+    allowed = {tier: tuple(overrides.get(tier, base)) for tier in tiers}
+    names = [
+        name
+        for name in workload.input_names()
+        if any(name in allowed[tier] for tier in tiers)
+    ]
     report: Dict[str, Any] = {
         "workload": workload.name,
         "repeats": repeats,
@@ -130,7 +163,9 @@ def measure_hotpath(
     for name in names:
         tokens = workload.inputs[name]
         parsers = {
-            tier: TIER_FACTORIES[tier](workload.fresh_grammar()) for tier in tiers
+            tier: TIER_FACTORIES[tier](workload.fresh_grammar())
+            for tier in tiers
+            if name in allowed[tier]
         }
         rates = {
             tier: round(rate, 1)
@@ -147,13 +182,19 @@ def measure_hotpath(
     # Workload-level aggregate: total tokens / total seconds per tier
     # (equivalently the token-weighted harmonic mean of the input rates),
     # which is the steady-state throughput of serving the whole corpus.
+    # Only the inputs a tier actually ran participate in its aggregate —
+    # summing tokens over inputs another tier served would overstate the
+    # slower tier's throughput.
     aggregate: Dict[str, float] = {}
     for tier in tiers:
-        total_tokens = sum(d["tokens"] for d in report["inputs"].values())
-        total_seconds = sum(
-            d["tokens"] / d["tokens_per_sec"][tier]
+        ran = [
+            d
             for d in report["inputs"].values()
             if d["tokens_per_sec"].get(tier)
+        ]
+        total_tokens = sum(d["tokens"] for d in ran)
+        total_seconds = sum(
+            d["tokens"] / d["tokens_per_sec"][tier] for d in ran
         )
         if total_seconds:
             aggregate[tier] = round(total_tokens / total_seconds, 1)
@@ -188,6 +229,7 @@ def collect_hotpath_report(
                 factories[name](),
                 repeats=repeats,
                 inputs=FEASIBLE_INPUTS.get(name),
+                tier_inputs=TIER_FEASIBLE_INPUTS.get(name),
             )
             for name in names
         },

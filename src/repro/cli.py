@@ -91,10 +91,15 @@ from typing import Callable, Dict, Iterable, List, Optional
 from .api import ScannerTokenizer, WhitespaceTokenizer, engine_descriptions, engines
 from .core.ipg import IPG
 from .grammar.grammar import Grammar, GrammarError
-from .runtime.errors import ParseError
+from .runtime.errors import CapabilityError, ParseError
 from .runtime.forest import bracketed
 
 PROMPT = "ipg> "
+
+#: The REPL prints at most this many derivations per accepted parse; the
+#: forest handle keeps the true count available (shown in the header line)
+#: even when the listing is truncated.
+_TREE_PRINT_CAP = 64
 
 _HELP = """commands:
   add <rule>        e.g.  add E ::= E + T        (ADD-RULE)
@@ -194,10 +199,19 @@ class ReplSession:
             return self._rejection(outcome)
         if not outcome.trees_built:
             return [f"accepted (engine {outcome.engine} builds no trees)"]
-        lines = [f"accepted ({len(outcome.trees)} parse"
-                 f"{'s' if len(outcome.trees) != 1 else ''})"]
-        if self.print_trees:
-            lines.extend(f"  {bracketed(tree)}" for tree in outcome.trees)
+        return self._accepted_lines(outcome)
+
+    def _accepted_lines(self, outcome) -> List[str]:
+        """``accepted (N parses)`` plus (capped) bracketed derivations."""
+        count = outcome.ambiguity
+        lines = [f"accepted ({count} parse{'s' if count != 1 else ''})"]
+        if self.print_trees and outcome.forest is not None:
+            shown = 0
+            for tree in outcome.forest.trees(_TREE_PRINT_CAP):
+                lines.append(f"  {bracketed(tree)}")
+                shown += 1
+            if count > shown:
+                lines.append(f"  ... ({count - shown} more; showing {shown})")
         return lines
 
     def _recognize(self, text: str) -> List[str]:
@@ -231,13 +245,7 @@ class ReplSession:
             return lines + self._rejection(outcome)
         if not outcome.trees_built:
             return lines + ["accepted"]
-        lines.append(
-            f"accepted ({len(outcome.trees)} parse"
-            f"{'s' if len(outcome.trees) != 1 else ''})"
-        )
-        if self.print_trees:
-            lines.extend(f"  {bracketed(tree)}" for tree in outcome.trees)
-        return lines
+        return lines + self._accepted_lines(outcome)
 
     def _trace(self, text: str) -> List[str]:
         if not text:
@@ -248,7 +256,12 @@ class ReplSession:
         # No checkpoint: tracing routes through the pool parser, which
         # records moves instead of resumable frontiers (they are mutually
         # exclusive in the API) — so ``edit`` keeps its previous base.
-        outcome = self.language.parse(text, trace=trace)
+        # Recognizer-only engines have no pool to trace; fall back to
+        # recognition and report that no LR moves were recorded.
+        try:
+            outcome = self.language.parse(text, trace=trace)
+        except CapabilityError:
+            outcome = self.language.recognize(text)
         verdict = "accepted" if outcome.accepted else "rejected"
         lines = [
             f"{verdict} — {len(trace)} move"
@@ -308,11 +321,19 @@ class ReplSession:
     def _engine(self, text: str) -> List[str]:
         if not text:
             current = self.language.default_engine
-            summaries = engine_descriptions()
-            return [
-                f"{'*' if name == current else ' '} {name:10s} {summaries[name]}"
-                for name in engines()
-            ]
+            details = engines(detail=True)
+            lines = []
+            for name, record in details.items():
+                flags = ",".join(
+                    flag
+                    for flag in ("trees", "ambiguity", "reparse")
+                    if record[f"supports_{flag}"]
+                )
+                lines.append(
+                    f"{'*' if name == current else ' '} {name:10s} "
+                    f"[{flags or 'recognize-only'}] {record['summary']}"
+                )
+            return lines
         if text not in engines():
             return [
                 f"unknown engine {text!r} — known: {', '.join(engines())}"

@@ -46,6 +46,35 @@ class SweepLimitExceeded(ParseError):
     """
 
 
+class CapabilityError(ParseError):
+    """An engine was asked for something it cannot produce.
+
+    The canonical case is requesting derivation trees from a
+    recognizer-only engine: instead of silently returning an accepted
+    outcome with no forest, the engine refuses loudly so callers can
+    either switch engines or downgrade to :meth:`Language.recognize`.
+    """
+
+
+class CyclicForestError(ParseError):
+    """A forest operation met a cycle (infinitely many derivations).
+
+    Cyclic grammars (``A ::= A``) yield shared packed parse forests whose
+    packed nodes reach themselves; such forests have no finite tree count,
+    so counting and enumeration raise instead of looping or overflowing
+    the recursion limit.
+    """
+
+
+class ForestCapExceeded(ParseError):
+    """Unbounded enumeration of a forest would exceed the safety cap.
+
+    Highly ambiguous inputs can pack exponentially many derivations into a
+    polynomial-size forest; asking for *all* of them is then a bug in the
+    caller.  Pass an explicit ``limit`` to enumerate a prefix instead.
+    """
+
+
 class DeadlineExceeded(Exception):
     """A cooperative request deadline expired mid-parse.
 

@@ -7,18 +7,27 @@ hash-consing factory: requesting the same leaf or the same
 common to several parallel parsers are therefore represented once, and
 duplicate accepting parses collapse by object identity.
 
-Nodes are immutable; ambiguity at the sentence level appears as several
-distinct root nodes (the pool parser reports all of them), and
-:func:`count_trees`/:func:`enumerate_strings` treat a shared node as the
-single subtree it is.
+Leaves and parse nodes are immutable; ambiguity appears either as several
+distinct root nodes (the pool parser reports all of them) or, for the GSS
+engine, as :class:`PackedNode` alternatives inside a shared packed parse
+forest (SPPF).  :func:`count_trees` and :func:`enumerate_strings` treat a
+shared node as the single subtree it is, and both are iterative with
+memoized counts so cyclic or exponentially ambiguous forests produce an
+explicit error instead of a hang or a recursion-depth crash.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..grammar.rules import Rule
 from ..grammar.symbols import Symbol, Terminal
+from .errors import CyclicForestError, ForestCapExceeded
+
+#: Hard ceiling for ``trees(limit=None)`` / unbounded enumeration.  A
+#: forest packing more derivations than this must be consumed through an
+#: explicit ``limit`` (or inspected via ``tree_count()`` alone).
+ENUMERATION_CAP = 10_000
 
 
 class TreeNode:
@@ -85,12 +94,56 @@ class ParseNode(TreeNode):
         return f"ParseNode({self.rule.lhs!s}, {len(self.children)} children)"
 
 
+class PackedNode(TreeNode):
+    """An ambiguity node: one ``(symbol, start, end)`` span, many derivations.
+
+    This is the SPPF construction of Rekers' improvement to Tomita's
+    forests: when two reductions derive the same nonterminal over the same
+    input span, both derivations are *packed* under a single node, and
+    every parent built over that span sees all alternatives — including
+    ones discovered after the parent itself was built.  That late-binding
+    is why packed nodes are the one mutable node kind: ``add`` appends an
+    alternative in place.
+    """
+
+    __slots__ = ("packed_symbol", "start", "end", "alternatives", "_alt_ids")
+
+    def __init__(self, symbol: Symbol, start: int, end: int) -> None:
+        self.packed_symbol = symbol
+        self.start = start
+        self.end = end
+        self.alternatives: List[TreeNode] = []
+        self._alt_ids: set = set()
+
+    @property
+    def symbol(self) -> Symbol:
+        return self.packed_symbol
+
+    def width(self) -> int:
+        return self.end - self.start
+
+    def add(self, tree: TreeNode) -> bool:
+        """Record a derivation; returns True if it was new to this node."""
+        if id(tree) in self._alt_ids:
+            return False
+        self._alt_ids.add(id(tree))
+        self.alternatives.append(tree)
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedNode({self.packed_symbol!s}@{self.start}..{self.end}, "
+            f"{len(self.alternatives)} alternatives)"
+        )
+
+
 class Forest:
-    """Hash-consing factory for leaves and parse nodes."""
+    """Hash-consing factory for leaves, parse nodes and packed nodes."""
 
     def __init__(self) -> None:
         self._leaves: Dict[Tuple[Terminal, int], Leaf] = {}
         self._nodes: Dict[Tuple[Rule, Tuple[int, ...]], ParseNode] = {}
+        self._packed: Dict[Tuple[Symbol, int, int], PackedNode] = {}
 
     def leaf(self, terminal: Terminal, position: int) -> Leaf:
         key = (terminal, position)
@@ -109,10 +162,19 @@ class Forest:
             self._nodes[key] = node
         return node
 
+    def packed(self, symbol: Symbol, start: int, end: int) -> PackedNode:
+        """The unique packed node for ``symbol`` over ``[start, end)``."""
+        key = (symbol, start, end)
+        node = self._packed.get(key)
+        if node is None:
+            node = PackedNode(symbol, start, end)
+            self._packed[key] = node
+        return node
+
     @property
     def size(self) -> int:
         """Distinct nodes allocated (a sharing metric for the benches)."""
-        return len(self._leaves) + len(self._nodes)
+        return len(self._leaves) + len(self._nodes) + len(self._packed)
 
 
 # -- tree utilities ----------------------------------------------------------
@@ -173,3 +235,212 @@ def depth(tree: TreeNode) -> int:
     if not tree.children:
         return 1
     return 1 + max(depth(child) for child in tree.children)
+
+
+# -- packed-forest counting and enumeration ----------------------------------
+
+
+def _children_of(node: TreeNode) -> Sequence[TreeNode]:
+    if isinstance(node, ParseNode):
+        return node.children
+    if isinstance(node, PackedNode):
+        return node.alternatives
+    return ()
+
+
+def _count_into(root: TreeNode, memo: Dict[int, int]) -> int:
+    """Trees derivable from ``root``; fills ``memo`` (id(node) -> count).
+
+    Iterative post-order with a gray set: a node reached again while it is
+    still being expanded lies on a derivation cycle (``A ::= A``), so the
+    forest has infinitely many trees and we raise instead of looping.
+    """
+    gray: set = set()
+    stack: List[TreeNode] = [root]
+    while stack:
+        node = stack[-1]
+        nid = id(node)
+        if nid in memo:
+            stack.pop()
+            continue
+        if isinstance(node, Leaf):
+            memo[nid] = 1
+            stack.pop()
+            continue
+        children = _children_of(node)
+        if nid in gray:
+            if isinstance(node, PackedNode):
+                memo[nid] = sum(memo[id(child)] for child in children)
+            else:
+                count = 1
+                for child in children:
+                    count *= memo[id(child)]
+                memo[nid] = count
+            gray.discard(nid)
+            stack.pop()
+            continue
+        gray.add(nid)
+        for child in children:
+            cid = id(child)
+            if cid in memo:
+                continue
+            if cid in gray:
+                raise CyclicForestError(
+                    f"forest is cyclic at {child!r}: infinitely many trees"
+                )
+            stack.append(child)
+    return memo[id(root)]
+
+
+def count_trees(root: TreeNode) -> int:
+    """Number of distinct derivation trees packed under ``root``.
+
+    Linear in the size of the forest even when the count is exponential;
+    raises :class:`CyclicForestError` on cyclic forests.
+    """
+    return _count_into(root, {})
+
+
+def _nth_tree(root: TreeNode, index: int, counts: Dict[int, int]) -> TreeNode:
+    """Decode tree ``index`` (0-based) out of the packed forest at ``root``.
+
+    Tree indices form a mixed-radix number: a packed node spends the index
+    on choosing an alternative, a parse node splits it across children by
+    their subtree counts.  Entirely iterative — deep derivation chains must
+    not hit the recursion limit.  Unambiguous subtrees decode to the shared
+    node itself, preserving identity (and sharing) where nothing varies.
+    """
+    results: Dict[int, TreeNode] = {}
+    next_key = 1
+    # ("visit", node, index, key) resolves one subtree into results[key];
+    # ("build", node, child_keys, key) assembles a ParseNode afterwards.
+    stack: List[tuple] = [("visit", root, index, 0)]
+    while stack:
+        task = stack.pop()
+        if task[0] == "visit":
+            _, node, idx, key = task
+            while isinstance(node, PackedNode):
+                for alternative in node.alternatives:
+                    count = counts[id(alternative)]
+                    if idx < count:
+                        node = alternative
+                        break
+                    idx -= count
+                else:
+                    raise IndexError("tree index out of range")
+            if isinstance(node, Leaf):
+                results[key] = node
+                continue
+            assert isinstance(node, ParseNode)
+            child_indices: List[int] = []
+            for child in reversed(node.children):
+                count = counts[id(child)]
+                child_indices.append(idx % count)
+                idx //= count
+            child_indices.reverse()
+            child_keys = []
+            for child_index in child_indices:
+                child_keys.append(next_key)
+                next_key += 1
+            stack.append(("build", node, child_keys, key))
+            for child, child_index, child_key in zip(
+                node.children, child_indices, child_keys
+            ):
+                stack.append(("visit", child, child_index, child_key))
+        else:
+            _, node, child_keys, key = task
+            children = tuple(results.pop(k) for k in child_keys)
+            if all(c is o for c, o in zip(children, node.children)):
+                results[key] = node
+            else:
+                results[key] = ParseNode(node.rule, children)
+    return results[0]
+
+
+def enumerate_strings(
+    root: TreeNode, limit: Optional[int] = None
+) -> Iterator[str]:
+    """Bracketed renderings of the trees packed under ``root``, lazily.
+
+    With ``limit=None`` the forest must hold at most
+    :data:`ENUMERATION_CAP` trees — beyond that an unbounded enumeration
+    is almost certainly a caller bug and raises
+    :class:`ForestCapExceeded` up front.
+    """
+    counts: Dict[int, int] = {}
+    total = _count_into(root, counts)
+    if limit is None:
+        if total > ENUMERATION_CAP:
+            raise ForestCapExceeded(
+                f"forest packs {total} trees, over the unbounded-enumeration "
+                f"cap of {ENUMERATION_CAP}; pass an explicit limit"
+            )
+        limit = total
+    count = min(limit, total)
+    return (bracketed(_nth_tree(root, i, counts)) for i in range(count))
+
+
+class ParseForest:
+    """The result of an accepting parse: a handle over the root trees.
+
+    Pool engines hand it their (already distinct) root trees; the GSS
+    engine hands it SPPF roots whose packed nodes may hide exponentially
+    many derivations.  Either way ``tree_count()`` is cheap, and
+    enumeration is lazy and indexed rather than exhaustive.
+    """
+
+    __slots__ = ("roots", "_counts", "_total")
+
+    def __init__(self, roots: Sequence[TreeNode]) -> None:
+        self.roots = tuple(roots)
+        self._counts: Optional[Dict[int, int]] = None
+        self._total: Optional[int] = None
+
+    def tree_count(self) -> int:
+        """Distinct derivations, without enumerating them."""
+        if self._total is None:
+            counts: Dict[int, int] = {}
+            self._total = sum(
+                _count_into(root, counts) for root in self.roots
+            )
+            self._counts = counts
+        return self._total
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return self.tree_count() > 1
+
+    def trees(self, limit: Optional[int] = None) -> Iterator[TreeNode]:
+        """Lazily yield derivation trees, up to ``limit``.
+
+        ``limit=None`` means *all* trees, which is refused with
+        :class:`ForestCapExceeded` past :data:`ENUMERATION_CAP`.
+        """
+        total = self.tree_count()
+        if limit is None:
+            if total > ENUMERATION_CAP:
+                raise ForestCapExceeded(
+                    f"forest packs {total} trees, over the "
+                    f"unbounded-enumeration cap of {ENUMERATION_CAP}; "
+                    f"pass an explicit limit"
+                )
+            limit = total
+        return self._iter_trees(min(limit, total))
+
+    def _iter_trees(self, count: int) -> Iterator[TreeNode]:
+        assert self._counts is not None
+        remaining = count
+        for root in self.roots:
+            if remaining <= 0:
+                return
+            root_total = self._counts[id(root)]
+            for index in range(min(root_total, remaining)):
+                yield _nth_tree(root, index, self._counts)
+            remaining -= root_total
+
+    def brackets(self, limit: Optional[int] = None) -> List[str]:
+        """Sorted bracketed renderings (see :func:`bracketed`)."""
+        return sorted(bracketed(tree) for tree in self.trees(limit))
+
+    def __repr__(self) -> str:
+        return f"ParseForest({len(self.roots)} roots)"

@@ -1,4 +1,4 @@
-"""A graph-structured-stack (GSS) GLR recognizer.
+"""A graph-structured-stack (GSS) GLR parser with shared packed forests.
 
 The paper's PAR-PARSE keeps one linear stack per parser, the simplified
 presentation of Tomita's algorithm [Tom85].  Tomita's full algorithm — and
@@ -8,35 +8,63 @@ parsers that reach the same state on the same input position into a single
 by the number of parser states instead of growing with the amount of
 ambiguity.
 
-This module implements that merged representation as a *recognizer* (no
-tree construction), with Nozohoor-Farshi's re-examination fix so that
-reductions discovered after an edge is added to an existing node are not
-missed.  It exists for two purposes:
+This module implements that merged representation, with Nozohoor-Farshi's
+re-examination fix so that reductions discovered after an edge is added to
+an existing node are not missed.  Beyond recognition it supports a full
+parse mode:
 
-* the ablation bench ``bench_ablation_pool_vs_gss`` quantifies what the
-  paper's simplification costs on ambiguous inputs, and
-* property tests cross-check PAR-PARSE, GSS and Earley on random grammars.
+* **Shared packed forests.**  Every GSS edge carries a forest label: shift
+  edges a :class:`~repro.runtime.forest.Leaf`, reduction edges a
+  :class:`~repro.runtime.forest.PackedNode` keyed by ``(lhs, start, end)``
+  — Rekers-style packing per nonterminal span.  Ambiguous derivations of
+  the same span collapse into one packed node, so the forest stays
+  polynomial even when the tree count is exponential, and alternatives
+  discovered late are visible to parents built earlier.
+* **Deterministic stretch.**  While exactly one stack top is live and
+  ACTION is single-valued (probed through the compiled step cache), the
+  parser runs a plain LR loop — Elkhound's LR/GLR hybrid — and only falls
+  back to the general graph sweep on a conflict, an empty cell, a merged
+  stack region, or a suspected cycle.
+* **Failure records.**  A rejected input carries a
+  :class:`~repro.runtime.parallel.ParseFailure` listing the states the
+  fatal sweep visited; since LR(0) reductions are lookahead-independent,
+  their shift terminals are exactly the expected-set a diagnostic reports.
+
+The recognizer remains the ablation subject of
+``bench_ablation_pool_vs_gss`` and the property tests that cross-check
+PAR-PARSE, GSS and Earley on random grammars.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..grammar.grammar import Grammar
 from ..grammar.symbols import END, Terminal
 from ..lr.actions import Accept, Reduce, Shift
+from ..lr.compiled import STEP_REDUCE, STEP_SHIFT, encode_step
+from ..lr.states import ItemSet
 from .deadline import CHECK_MASK, active_deadline
 from .errors import SweepLimitExceeded
+from .forest import Forest, ParseForest, TreeNode
+from .parallel import ParseFailure
 
 
 class GSSNode:
     """One stack top (or interior vertex) of the graph-structured stack."""
 
-    __slots__ = ("state", "edges")
+    __slots__ = ("state", "edges", "labels", "position")
 
-    def __init__(self, state: Any) -> None:
+    def __init__(self, state: Any, position: int = 0) -> None:
         self.state = state
         #: predecessor vertices (the cells "below" this one)
         self.edges: List["GSSNode"] = []
+        #: forest label per edge (parallel to :attr:`edges`); ``None`` in
+        #: recognition mode
+        self.labels: List[Optional[TreeNode]] = []
+        #: tokens consumed when this vertex was created (the *end* of the
+        #: span any reduction over it packs)
+        self.position = position
 
     def __repr__(self) -> str:
         return f"GSSNode(state={getattr(self.state, 'uid', self.state)}, {len(self.edges)} edges)"
@@ -48,46 +76,286 @@ def _key(state: Any) -> Any:
     return uid if uid is not None else state
 
 
-class GSSParser:
-    """GLR recognition over a merged stack graph."""
+class GSSStats:
+    """Work counters for one GSS run (reported by benches and engines)."""
 
-    def __init__(self, control: Any, max_steps_per_token: int = 1_000_000) -> None:
+    __slots__ = ("nodes_created", "edges_created", "reductions_applied")
+
+    def __init__(
+        self,
+        nodes_created: int = 0,
+        edges_created: int = 0,
+        reductions_applied: int = 0,
+    ) -> None:
+        self.nodes_created = nodes_created
+        self.edges_created = edges_created
+        self.reductions_applied = reductions_applied
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return f"GSSStats({self.snapshot()})"
+
+
+class GSSResult:
+    """Outcome of a GSS parse.
+
+    ``forest`` is a :class:`~repro.runtime.forest.ParseForest` handle over
+    the packed roots (``None`` in recognition mode or on rejection); the
+    tree count is *not* materialized — it may be exponential in the input
+    length.
+    """
+
+    __slots__ = ("accepted", "forest", "stats", "failure")
+
+    def __init__(
+        self,
+        accepted: bool,
+        forest: Optional[ParseForest],
+        stats: GSSStats,
+        failure: Optional[ParseFailure] = None,
+    ) -> None:
+        self.accepted = accepted
+        self.forest = forest
+        self.stats = stats
+        self.failure = failure
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def __repr__(self) -> str:
+        return f"GSSResult(accepted={self.accepted}, forest={self.forest!r})"
+
+
+class GSSParser:
+    """GLR parsing over a merged stack graph.
+
+    Parameters
+    ----------
+    control:
+        ``start_state`` / ``action`` / ``goto`` provider; a compiled (or
+        dense-table) control additionally exposes the step-cache probe
+        surface the deterministic stretch reads.
+    max_steps_per_token:
+        Work budget per input symbol (cyclic-grammar guard).
+    grammar:
+        Needed for START-rule root recovery; optional in recognition mode.
+    """
+
+    def __init__(
+        self,
+        control: Any,
+        max_steps_per_token: int = 1_000_000,
+        grammar: Optional[Grammar] = None,
+    ) -> None:
         self.control = control
         self.max_steps_per_token = max_steps_per_token
-        #: filled in by :meth:`recognize`; exposed for the ablation bench
+        self.grammar = grammar
+        #: filled in by every run; exposed for the ablation bench
         self.last_stats: Dict[str, int] = {}
 
+    # -- public API ------------------------------------------------------
+
     def recognize(self, tokens: Iterable[Terminal]) -> bool:
+        return self._run(tokens, build_trees=False).accepted
+
+    def recognize_result(self, tokens: Iterable[Terminal]) -> GSSResult:
+        """Recognition that keeps the full result (stats and failure)."""
+        return self._run(tokens, build_trees=False)
+
+    def parse(self, tokens: Iterable[Terminal]) -> GSSResult:
+        if self.grammar is None:
+            raise ValueError(
+                "GSSParser.parse needs a grammar (START-rule recovery); "
+                "construct with GSSParser(control, grammar=...)"
+            )
+        return self._run(tokens, build_trees=True)
+
+    # -- the algorithm ---------------------------------------------------
+
+    def _run(self, tokens: Iterable[Terminal], build_trees: bool) -> GSSResult:
         sentence: List[Terminal] = list(tokens)
         sentence.append(END)
+        sentence_length = len(sentence)
 
-        nodes_created = 0
+        nodes_created = 1  # the start node below
         edges_created = 0
         reductions_applied = 0
 
-        start_node = GSSNode(self.control.start_state)
-        nodes_created += 1
+        forest = Forest() if build_trees else None
+        roots: Dict[TreeNode, None] = {}
+
+        start_node = GSSNode(self.control.start_state, 0)
         frontier: Dict[Any, GSSNode] = {_key(start_node.state): start_node}
         accepted = False
         deadline = active_deadline()
 
-        for position, symbol in enumerate(sentence):
-            if not frontier:
-                break
+        # Hoisted hot-loop attributes and the compiled control's zero-call
+        # probe surface (see PoolParser._run for the protocol).
+        control_action = self.control.action
+        control_goto = self.control.goto
+        max_steps_per_token = self.max_steps_per_token
+        step_cache = getattr(self.control, "fast_step_cache", None)
+        steps_get = step_cache.get if step_cache is not None else None
+        credit_hits = getattr(self.control, "count_probe_hits", None)
+        graph_states = getattr(self.control, "action_cache", None) is not None
+        fast_hits = 0
+        nonterminal_count = (
+            len(self.grammar.nonterminals) if self.grammar is not None else 16
+        )
+        fast_reduce_budget = 64 + 4 * (nonterminal_count + 2)
+
+        position = 0
+        # Fatal-sweep record for the failure diagnostic.
+        failure_position = 0
+        failure_symbol: Terminal = END
+        failure_states: Tuple[Any, ...] = ()
+
+        while frontier and position < sentence_length:
+            symbol = sentence[position]
             if deadline is not None and deadline.expired():
                 raise deadline.exceed(position)
 
+            # ACTION result carried from the stretch into the general
+            # sweep on a bail, so the conflicted cell is not recomputed.
+            prefetched = None
+            prefetched_state = None
+
+            # -- deterministic stretch ----------------------------------
+            # While the frontier is a single vertex and ACTION is
+            # single-valued, run a plain LR loop over the graph: shifts
+            # and reductions extend a linear chain of single-edge nodes,
+            # with no worklist, no path enumeration and no Farshi
+            # bookkeeping.  Anything irregular — a conflict, an empty
+            # cell, a merged region below a reduction, a suspected cycle
+            # — bails to the general sweep for the current symbol.
+            if len(frontier) == 1:
+                node = next(iter(frontier.values()))
+                # Vertex at the start of the current symbol's processing
+                # (one store per shift): a bail rewinds here so the
+                # general sweep replays the whole reduce chain — its
+                # visited-state record must cover the chain, and packed
+                # hash-consing dedups the re-derived alternatives.
+                stretch_start = node
+                reduces_here = 0
+                retired = False
+                while True:
+                    state = node.state
+                    step = None
+                    if steps_get is not None:
+                        per_state = steps_get(state)
+                        if per_state is not None:
+                            step = per_state.get(symbol)
+                            if step is not None and step is not False:
+                                fast_hits += 1
+                    if step is None:
+                        actions = control_action(state, symbol)
+                        step = encode_step(actions)
+                        if step is False:
+                            prefetched = actions
+                            prefetched_state = state
+                            break
+                    if step is False:
+                        break
+                    kind = step[0]
+                    if kind == STEP_SHIFT:
+                        target = GSSNode(step[1], position + 1)
+                        nodes_created += 1
+                        target.edges.append(node)
+                        target.labels.append(
+                            forest.leaf(symbol, position)
+                            if forest is not None
+                            else None
+                        )
+                        edges_created += 1
+                        node = target
+                        position += 1
+                        # A shift never consumes the end-marker, so the
+                        # next symbol always exists.
+                        symbol = sentence[position]
+                        stretch_start = node
+                        reduces_here = 0
+                        if (
+                            deadline is not None
+                            and (position & CHECK_MASK) == 0
+                            and deadline.expired()
+                        ):
+                            raise deadline.exceed(position - 1)
+                        continue
+                    if kind == STEP_REDUCE:
+                        rule = step[1]
+                        arity = step[2]
+                        lhs = step[3]
+                        base = node
+                        chain_labels: List[Optional[TreeNode]] = []
+                        linear = True
+                        for _ in range(arity):
+                            if len(base.edges) != 1:
+                                linear = False
+                                break
+                            chain_labels.append(base.labels[0])
+                            base = base.edges[0]
+                        if not linear:
+                            break  # merged region: the graph sweep decides
+                        if graph_states:
+                            goto_state = base.state.transitions.get(lhs)
+                            if goto_state.__class__ is not ItemSet:
+                                goto_state = control_goto(base.state, lhs)
+                        else:
+                            goto_state = control_goto(base.state, lhs)
+                        target = GSSNode(goto_state, position)
+                        nodes_created += 1
+                        if forest is not None:
+                            packed = forest.packed(lhs, base.position, position)
+                            packed.add(
+                                forest.node(
+                                    rule, tuple(reversed(chain_labels))
+                                )
+                            )
+                            label: Optional[TreeNode] = packed
+                        else:
+                            label = None
+                        target.edges.append(base)
+                        target.labels.append(label)
+                        edges_created += 1
+                        reductions_applied += 1
+                        node = target
+                        reduces_here += 1
+                        if reduces_here > fast_reduce_budget:
+                            # Possible cycle: only the general sweep's
+                            # applied-set can converge it.
+                            break
+                        continue
+                    # STEP_ACCEPT
+                    accepted = True
+                    if forest is not None:
+                        self._collect_roots(node, forest, roots)
+                    retired = True
+                    break
+                if retired:
+                    frontier = {}
+                    break
+                frontier = {_key(stretch_start.state): stretch_start}
+                # fall through: the general sweep re-runs this symbol from
+                # the sweep-start vertex, so its visited-state record (and
+                # hence any failure diagnostic) covers the reduce chain the
+                # stretch already walked; hash-consing dedups re-derived
+                # forest alternatives.
+
+            # -- general graph sweep ------------------------------------
             worklist: List[GSSNode] = list(frontier.values())
             processed: Set[int] = set()
             applied: Set[Tuple] = set()
             shifts: List[Tuple[GSSNode, Any]] = []
             shift_seen: Set[Tuple[int, Any]] = set()
+            sweep_states: List[Any] = []
             steps = 0
 
             while worklist:
                 node = worklist.pop()
                 steps += 1
-                if steps > self.max_steps_per_token:
+                if steps > max_steps_per_token:
                     raise SweepLimitExceeded(
                         f"GSS work budget exceeded at position {position}",
                         position=position,
@@ -100,8 +368,15 @@ class GSSParser:
                 ):
                     raise deadline.exceed(position)
                 processed.add(id(node))
+                if node.state not in sweep_states:
+                    sweep_states.append(node.state)
 
-                for action in self.control.action(node.state, symbol):
+                if prefetched is not None and node.state is prefetched_state:
+                    actions = prefetched
+                    prefetched = None
+                else:
+                    actions = control_action(node.state, symbol)
+                for action in actions:
                     if isinstance(action, Shift):
                         shift_key = (id(node), _key(action.target))
                         if shift_key not in shift_seen:
@@ -109,10 +384,15 @@ class GSSParser:
                             shifts.append((node, action.target))
                     elif isinstance(action, Accept):
                         accepted = True
+                        if forest is not None:
+                            self._collect_roots(node, forest, roots)
                     else:
                         assert isinstance(action, Reduce)
                         rule = action.rule
-                        for path in _paths(node, len(rule.rhs)):
+                        lhs = rule.lhs
+                        for path, children in _labeled_paths(
+                            node, len(rule.rhs)
+                        ):
                             reduction_key = (
                                 id(node),
                                 rule,
@@ -123,18 +403,34 @@ class GSSParser:
                             applied.add(reduction_key)
                             reductions_applied += 1
                             base = path[-1]
-                            goto_state = self.control.goto(base.state, rule.lhs)
+                            goto_state = control_goto(base.state, lhs)
+                            if forest is not None:
+                                # Pack this derivation under the span's
+                                # unique ambiguity node.  Goto-target
+                                # uniqueness (one accessing symbol per
+                                # state) guarantees an existing
+                                # target→base edge already carries this
+                                # same packed node as its label.
+                                packed = forest.packed(
+                                    lhs, base.position, position
+                                )
+                                packed.add(forest.node(rule, children))
+                                label = packed
+                            else:
+                                label = None
                             key = _key(goto_state)
                             target = frontier.get(key)
                             if target is None:
-                                target = GSSNode(goto_state)
+                                target = GSSNode(goto_state, position)
                                 nodes_created += 1
                                 target.edges.append(base)
+                                target.labels.append(label)
                                 edges_created += 1
                                 frontier[key] = target
                                 worklist.append(target)
                             elif base not in target.edges:
                                 target.edges.append(base)
+                                target.labels.append(label)
                                 edges_created += 1
                                 # Farshi's fix: a new edge may open new
                                 # reduction paths for nodes already handled
@@ -145,24 +441,69 @@ class GSSParser:
                                         worklist.append(other)
 
             new_frontier: Dict[Any, GSSNode] = {}
+            leaf = forest.leaf(symbol, position) if forest is not None else None
             for node, target_state in shifts:
                 key = _key(target_state)
                 target = new_frontier.get(key)
                 if target is None:
-                    target = GSSNode(target_state)
+                    target = GSSNode(target_state, position + 1)
                     nodes_created += 1
                     new_frontier[key] = target
                 if node not in target.edges:
                     target.edges.append(node)
+                    target.labels.append(leaf)
                     edges_created += 1
+            failure_position = position
+            failure_symbol = symbol
+            failure_states = tuple(sweep_states)
             frontier = new_frontier
+            position += 1
 
-        self.last_stats = {
-            "nodes_created": nodes_created,
-            "edges_created": edges_created,
-            "reductions_applied": reductions_applied,
-        }
-        return accepted
+        if fast_hits and credit_hits is not None:
+            credit_hits(fast_hits)
+        stats = GSSStats(nodes_created, edges_created, reductions_applied)
+        self.last_stats = stats.snapshot()
+        failure: Optional[ParseFailure] = None
+        if not accepted:
+            # Every rejection passes through a general sweep (the stretch
+            # bails on empty cells), so the recorded states are the fatal
+            # sweep's reduce closure — exactly what the expected-terminal
+            # diagnostic replays.
+            failure = ParseFailure(
+                failure_position, failure_symbol, (), failure_states
+            )
+        result_forest: Optional[ParseForest] = None
+        if accepted and build_trees:
+            result_forest = ParseForest(tuple(roots))
+        return GSSResult(accepted, result_forest, stats, failure)
+
+    def _collect_roots(
+        self,
+        node: GSSNode,
+        forest: Forest,
+        roots: Dict[TreeNode, None],
+    ) -> None:
+        """START-rule roots at an accepting vertex (cf. recover_start_trees).
+
+        Each downward path spelling a START rule's body and bottoming out
+        at the initial vertex contributes one packed root; hash-consing
+        dedups identical derivations across paths.
+        """
+        assert self.grammar is not None
+        for rule in self.grammar.start_rules():
+            arity = len(rule.rhs)
+            for path, children in _labeled_paths(node, arity):
+                base = path[-1]
+                if base.edges:  # only the initial vertex has no edges
+                    continue
+                if any(child is None for child in children):
+                    continue
+                if any(
+                    child.symbol != expected
+                    for child, expected in zip(children, rule.rhs)
+                ):
+                    continue
+                roots.setdefault(forest.node(rule, children))
 
 
 def _paths(node: GSSNode, length: int) -> List[Tuple[GSSNode, ...]]:
@@ -180,3 +521,25 @@ def _paths(node: GSSNode, length: int) -> List[Tuple[GSSNode, ...]]:
                 extended.append(path + (edge,))
         paths = extended
     return paths
+
+
+def _labeled_paths(
+    node: GSSNode, length: int
+) -> List[Tuple[Tuple[GSSNode, ...], Tuple[Optional[TreeNode], ...]]]:
+    """Like :func:`_paths`, but collects each path's edge labels.
+
+    Labels are gathered while descending (rightmost child first) and
+    returned reversed, i.e. in left-to-right rule-body order, ready to be
+    the children of a :class:`~repro.runtime.forest.ParseNode`.
+    """
+    paths: List[Tuple[Tuple[GSSNode, ...], Tuple]] = [((node,), ())]
+    for _ in range(length):
+        extended: List[Tuple[Tuple[GSSNode, ...], Tuple]] = []
+        for path, labels in paths:
+            tail = path[-1]
+            for edge, label in zip(tail.edges, tail.labels):
+                extended.append((path + (edge,), labels + (label,)))
+        paths = extended
+    return [
+        (path, tuple(reversed(labels))) for path, labels in paths
+    ]

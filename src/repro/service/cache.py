@@ -19,10 +19,13 @@ from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Set, Tuple
 
 #: Cache key: (session name, grammar version, mode[:engine], token names,
-#: raw source text — None for token-list inputs).  The text participates
-#: because rejection payloads carry line/column/offset diagnostics that
-#: depend on the exact spelling, not just the token names.
-CacheKey = Tuple[str, int, str, Tuple[str, ...], Optional[str]]
+#: raw source text — None for token-list inputs, ``max_trees`` bound —
+#: None when unbounded).  The text participates because rejection
+#: payloads carry line/column/offset diagnostics that depend on the exact
+#: spelling, not just the token names; ``max_trees`` participates because
+#: differently-bounded enumerations produce different ``trees`` lists
+#: (protocol v7).
+CacheKey = Tuple[str, int, str, Tuple[str, ...], Optional[str], Optional[int]]
 
 
 class CacheStats:

@@ -282,6 +282,18 @@ class Dispatcher:
             )
         return value
 
+    @staticmethod
+    def _max_trees_of(request: Dict[str, Any]) -> Optional[int]:
+        """The validated v7 ``max_trees`` bound, or None for unbounded."""
+        value = request.get("max_trees")
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            raise ProtocolError(
+                f"'max_trees' must be a positive integer, got {value!r}"
+            )
+        return value
+
     def _parse(self, request: Dict[str, Any]) -> Dict[str, Any]:
         name = require(request, "session")
         payload, cached = self.workspace.parse(
@@ -290,6 +302,7 @@ class Dispatcher:
             engine=self._engine_of(request),
             checkpoint=bool(request.get("checkpoint", False)),
             use_cache=self._cache_flag(request),
+            max_trees=self._max_trees_of(request),
         )
         return self._parse_response(name, payload, cached)
 
@@ -326,6 +339,7 @@ class Dispatcher:
             end,
             replacement,
             engine=self._engine_of(request),
+            max_trees=self._max_trees_of(request),
         )
         return self._parse_response(name, payload, cached)
 
@@ -336,9 +350,16 @@ class Dispatcher:
         response = dict(payload)
         if "trees" in payload:
             # Absent for recognition-mode results (checkpointed recognize
-            # and edit-parse over a recognition base).
+            # and edit-parse over a recognition base).  ``tree_count``
+            # counts the whole packed forest (v7 ``ambiguity``), which may
+            # exceed the enumerated ``trees`` under a ``max_trees`` bound.
             response["trees"] = list(payload["trees"])
-            response["tree_count"] = len(payload["trees"])
+            ambiguity = payload.get("ambiguity")
+            response["tree_count"] = (
+                ambiguity["tree_count"]
+                if ambiguity is not None
+                else len(payload["trees"])
+            )
         response["cache"] = cached
         response["version"] = self.workspace.get(name).version
         return response
@@ -364,17 +385,27 @@ class Dispatcher:
         if not isinstance(inputs, (list, tuple)):
             raise ProtocolError("'batch-parse' needs a list in the 'inputs' field")
         engine = self._engine_of(request)
+        max_trees = self._max_trees_of(request)
         results = []
         hits = 0
         for tokens in inputs:
-            payload, cached = self.workspace.parse(name, tokens, engine=engine)
+            payload, cached = self.workspace.parse(
+                name, tokens, engine=engine, max_trees=max_trees
+            )
             hits += cached
+            ambiguity = payload.get("ambiguity")
             result = {
                 "tokens": tokens,
                 "accepted": payload["accepted"],
-                "tree_count": len(payload["trees"]),
+                "tree_count": (
+                    ambiguity["tree_count"]
+                    if ambiguity is not None
+                    else len(payload["trees"])
+                ),
                 "cache": cached,
             }
+            if ambiguity is not None:
+                result["ambiguity"] = ambiguity
             if "diagnostics" in payload:
                 result["diagnostics"] = payload["diagnostics"]
             results.append(result)

@@ -50,7 +50,16 @@ from typing import Any, Dict, Iterator, Optional
 #: persistent ``--corpus-root``: content-hashed bulk ingest, resumable
 #: batch parsing across shards, and paginated queries over the stored
 #: results.
-PROTOCOL_VERSION = 6
+#: Version 7 (v6-compatible): shared-forest results.  ``parse`` (and
+#: ``edit-parse``/``batch-parse``) accept ``"max_trees": N`` bounding how
+#: many derivations are enumerated into the ``trees`` list; accepted
+#: tree-building responses carry an ``ambiguity`` object
+#: ``{"tree_count": T, "enumerated": E, "truncated": bool}`` counting the
+#: whole packed forest even when enumeration is capped.  Cache entries
+#: are keyed by ``max_trees``, so differently-bounded requests never
+#: alias.  ``parse`` against a recognize-only engine degrades to
+#: recognition (``"trees_built": false``) instead of erroring.
+PROTOCOL_VERSION = 7
 
 #: Commands the dispatcher understands (documented in README.md).
 COMMANDS = (

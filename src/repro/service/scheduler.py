@@ -161,7 +161,9 @@ def plan_batch(
                 # ``deadline-exceeded`` answer computed under a shorter
                 # one.  And ``cache`` (v6): a cache-bypassing corpus
                 # request and a cached interactive one answer with
-                # different ``cache`` fields.
+                # different ``cache`` fields.  And ``max_trees`` (v7):
+                # differently-bounded requests enumerate different
+                # ``trees`` lists.
                 key = (
                     session,
                     cmd,
@@ -170,6 +172,7 @@ def plan_batch(
                     bool(request.get("trace", False)),
                     request.get("deadline_ms"),
                     bool(request.get("cache", True)),
+                    request.get("max_trees"),
                     tokens,
                 )
         elif cmd in MUTATING_COMMANDS or not isinstance(cmd, str):

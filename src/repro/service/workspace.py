@@ -184,18 +184,27 @@ class ParseSession:
     # -- parsing (JSON-able payloads) --------------------------------------
 
     def parse_payload(
-        self, tokens: TokenInput, engine: Optional[str] = None
+        self,
+        tokens: TokenInput,
+        engine: Optional[str] = None,
+        max_trees: Optional[int] = None,
     ) -> Dict[str, Any]:
         """The cacheable ``{"accepted", "trees", "engine", ...}`` value.
 
         Built from a :class:`~repro.api.ParseOutcome`: rejected inputs
         carry a ``diagnostics`` object (token index, line/column when the
-        input was raw text, and the expected terminal set).
+        input was raw text, and the expected terminal set).  Accepted
+        tree-building payloads carry the protocol v7 ``ambiguity`` object;
+        ``max_trees`` bounds how many derivations the ``trees`` list
+        enumerates (the forest is counted in full regardless).
         """
-        return self._parse_lexed(self.language.lex(tokens), engine)
+        return self._parse_lexed(self.language.lex(tokens), engine, max_trees)
 
     def _parse_lexed(
-        self, lexed: "LexedInput", engine: Optional[str] = None
+        self,
+        lexed: "LexedInput",
+        engine: Optional[str] = None,
+        max_trees: Optional[int] = None,
     ) -> Dict[str, Any]:
         if engine is None and self._fast_parser is not None:
             try:
@@ -205,12 +214,28 @@ class ParseSession:
                     "accepted": True,
                     "trees": [bracketed(tree)] if tree is not None else [],
                     "engine": FAST_PATH_ENGINE,
+                    # A deterministic table admits exactly one derivation.
+                    "ambiguity": {
+                        "tree_count": 1,
+                        "enumerated": 1 if tree is not None else 0,
+                        "truncated": False,
+                    },
                 }
             except AmbiguousInputError:
                 pass  # defensive: fall through to the forking parser
             except ParseError:
                 pass  # rejected: the outcome path derives the diagnostics
-        return self.language.parse_lexed(lexed, engine=engine).to_payload()
+        if not self.language.engine(engine).supports_trees:
+            # Recognize-only engines degrade to recognition instead of a
+            # CapabilityError: the service keeps its v6 behaviour of
+            # answering with ``"trees_built": false``.
+            outcome = self.language.parse_lexed(
+                lexed, engine=engine, build_trees=False
+            )
+            return outcome.to_payload()
+        return self.language.parse_lexed(lexed, engine=engine).to_payload(
+            max_trees=max_trees
+        )
 
     def recognize_payload(
         self, tokens: TokenInput, engine: Optional[str] = None
@@ -261,6 +286,7 @@ class ParseSession:
         tokens: TokenInput,
         engine: Optional[str] = None,
         mode: str = "parse",
+        max_trees: Optional[int] = None,
     ) -> Tuple[Dict[str, Any], bool]:
         """A parse/recognize that retains checkpoints for ``edit-parse``.
 
@@ -279,31 +305,39 @@ class ParseSession:
             engine or "",
             [t.name for t in lexed.terminals],
             lexed.text,
+            max_trees,
         )
         held = self.results.get(result_id)
         if held is not None:
             self.results.move_to_end(result_id)
             return held[1], True
+        build_trees = (
+            mode == "parse" and self.language.engine(engine).supports_trees
+        )
         outcome = self.language.parse_lexed(
             lexed,
             engine=engine,
-            build_trees=mode == "parse",
+            build_trees=build_trees,
             checkpoint=True,
         )
-        payload = self._result_payload(outcome, result_id, mode)
+        payload = self._result_payload(outcome, result_id, mode, max_trees)
         self._retain(result_id, outcome, payload)
         return payload, False
 
     @staticmethod
     def _result_payload(
-        outcome: Any, result_id: str, mode: str
+        outcome: Any,
+        result_id: str,
+        mode: str,
+        max_trees: Optional[int] = None,
     ) -> Dict[str, Any]:
         """The retained response payload (tree-less in recognition mode,
         matching the plain ``recognize`` payload shape)."""
-        payload = outcome.to_payload()
+        payload = outcome.to_payload(max_trees=max_trees)
         if mode == "recognize":
             payload.pop("trees", None)
             payload.pop("trees_built", None)
+            payload.pop("ambiguity", None)
         payload["result"] = result_id
         return payload
 
@@ -314,6 +348,7 @@ class ParseSession:
         end: int,
         replacement: TokenInput = (),
         engine: Optional[str] = None,
+        max_trees: Optional[int] = None,
     ) -> Tuple[Dict[str, Any], bool]:
         """Re-parse retained result ``base`` after a splice edit.
 
@@ -344,6 +379,7 @@ class ParseSession:
             start,
             end,
             replacement_names,
+            max_trees,
         )
         cached = self.results.get(result_id)
         if cached is not None:
@@ -355,7 +391,7 @@ class ParseSession:
         # The edit inherits the base's mode; a recognition-mode base
         # ("trees" absent from its payload) yields tree-less responses.
         mode = "parse" if "trees" in held[1] else "recognize"
-        payload = self._result_payload(outcome, result_id, mode)
+        payload = self._result_payload(outcome, result_id, mode, max_trees)
         payload["base"] = base
         self._retain(result_id, outcome, payload)
         return payload, False
@@ -518,6 +554,7 @@ class Workspace:
         tokens: TokenInput,
         engine: Optional[str] = None,
         use_cache: bool = True,
+        max_trees: Optional[int] = None,
     ) -> Tuple[Dict[str, Any], bool]:
         session = self.get(name)
         lexed = session.language.lex(tokens)
@@ -526,7 +563,7 @@ class Workspace:
             # read possibly-hot entries (its answers are stored anyway)
             # nor evict the interactive sessions' working set.
             payload = (
-                session._parse_lexed(lexed, engine)
+                session._parse_lexed(lexed, engine, max_trees)
                 if mode == "parse"
                 else session._recognize_lexed(lexed, engine)
             )
@@ -537,19 +574,21 @@ class Workspace:
         # raw source text: two inputs whose tokens merely match by name
         # ("true\nor" vs "true or", or a token list) produce different
         # line/column/offset diagnostics, and a cached rejection must
-        # never serve another spelling's positions.
+        # never serve another spelling's positions.  And ``max_trees``
+        # (v7): differently-bounded enumerations are different payloads.
         key: CacheKey = (
             name,
             session.version,
             mode if engine is None else f"{mode}:{engine}",
             tuple(t.name for t in lexed.terminals),
             lexed.text,
+            max_trees,
         )
         hit, value = self.cache.get(key)
         if hit:
             return value, True
         payload = (
-            session._parse_lexed(lexed, engine)
+            session._parse_lexed(lexed, engine, max_trees)
             if mode == "parse"
             else session._recognize_lexed(lexed, engine)
         )
@@ -563,6 +602,7 @@ class Workspace:
         engine: Optional[str] = None,
         checkpoint: bool = False,
         use_cache: bool = True,
+        max_trees: Optional[int] = None,
     ) -> Tuple[Dict[str, Any], bool]:
         """``(payload, was_cached)`` for a tree-building parse.
 
@@ -571,10 +611,17 @@ class Workspace:
         incremental outcome is the cacheable thing), and the payload
         carries the ``result`` id for ``edit-parse``.  With
         ``use_cache=False`` the shared LRU is bypassed entirely.
+        ``max_trees`` bounds how many derivations are enumerated into the
+        payload's ``trees`` (protocol v7).
         """
         if checkpoint:
-            return self.get(name).checkpoint_parse(tokens, engine, mode="parse")
-        return self._cached(name, "parse", tokens, engine, use_cache=use_cache)
+            return self.get(name).checkpoint_parse(
+                tokens, engine, mode="parse", max_trees=max_trees
+            )
+        return self._cached(
+            name, "parse", tokens, engine, use_cache=use_cache,
+            max_trees=max_trees,
+        )
 
     def edit_parse(
         self,
@@ -584,10 +631,11 @@ class Workspace:
         end: int,
         replacement: TokenInput = (),
         engine: Optional[str] = None,
+        max_trees: Optional[int] = None,
     ) -> Tuple[Dict[str, Any], bool]:
         """``(payload, was_cached)`` for an incremental edit re-parse."""
         return self.get(name).edit_parse(
-            base, start, end, replacement, engine=engine
+            base, start, end, replacement, engine=engine, max_trees=max_trees
         )
 
     def recognize(

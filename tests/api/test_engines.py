@@ -62,6 +62,27 @@ class TestRegistry:
         assert lang.engine("gss") is lang.engine("gss")
         assert lang.engine() is lang.engine("compiled")
 
+    def test_detail_reports_capability_flags(self):
+        detail = engines(detail=True)
+        assert tuple(detail) == ALL_ENGINES
+        for name in TREE_ENGINES:
+            assert detail[name]["supports_trees"] is True
+            assert detail[name]["supports_ambiguity"] is True
+        assert detail["earley"]["supports_trees"] is False
+        assert detail["earley"]["supports_ambiguity"] is False
+        # The checkpoint family answers reparse natively; the others fall
+        # back to a full parse through Language.reparse.
+        for name in ("lazy", "compiled", "dense"):
+            assert detail[name]["supports_reparse"] is True
+        assert detail["gss"]["supports_reparse"] is False
+        for record in detail.values():
+            assert record["summary"]
+
+    def test_provides_trees_is_a_deprecated_alias(self):
+        lang = Language.from_text(BOOLEANS)
+        assert lang.engine("gss").provides_trees is True
+        assert lang.engine("earley").provides_trees is False
+
 
 class TestDifferential:
     @pytest.mark.parametrize("grammar_text,accepted,rejected", CORPUS)
@@ -130,12 +151,84 @@ class TestDifferential:
                 assert lang.parse(sentence, engine=name).ambiguity == count
 
 
-class TestEngineBehaviour:
-    def test_earley_reports_trees_not_built(self):
+def boolean_sentence(operands):
+    """``true and true or ...`` with ``operands`` operands (bench sizes)."""
+    words = ["true"]
+    for index in range(operands - 1):
+        words.append("and" if index % 2 == 0 else "or")
+        words.append("true")
+    return " ".join(words)
+
+
+class TestGssAtScale:
+    """The merged-stack engine at every §7 booleans input size.
+
+    The linear-stack pool engines are exponential on the medium/large
+    sentences, so the differential reference shrinks as the input grows:
+    trees vs ``lazy`` on small inputs, self-consistent acceptance and
+    counting beyond the pool's reach.
+    """
+
+    SIZES = {"tiny": 3, "small": 10, "medium": 40, "large": 120}
+
+    @pytest.mark.parametrize("size", sorted(SIZES))
+    def test_acceptance_at_every_size(self, size):
         lang = Language.from_text(BOOLEANS)
-        outcome = lang.parse("true", engine="earley")
+        sentence = boolean_sentence(self.SIZES[size])
+        assert lang.recognize(sentence, engine="gss").accepted
+        truncated = boolean_sentence(self.SIZES[size])[: -len(" true")]
+        assert not lang.recognize(truncated, engine="gss").accepted
+
+    def test_small_sizes_agree_with_lazy(self):
+        lang = Language.from_text(BOOLEANS)
+        for operands in (3, 10):
+            sentence = boolean_sentence(operands)
+            gss = lang.parse(sentence, engine="gss")
+            lazy = lang.parse(sentence, engine="lazy")
+            assert gss.accepted and lazy.accepted
+            assert gss.ambiguity == lazy.ambiguity
+            assert gss.brackets() == lazy.brackets()
+
+    def test_forest_counts_catalan_beyond_enumeration(self):
+        # 40 operands have far more derivations than anyone enumerates;
+        # the packed forest counts them without unpacking.
+        lang = Language.from_text(BOOLEANS)
+        outcome = lang.parse(boolean_sentence(40), engine="gss")
         assert outcome.accepted
-        assert outcome.trees == ()
+        assert outcome.forest is not None
+        assert outcome.is_ambiguous
+        assert outcome.forest.tree_count() > 10**6
+        first = list(outcome.forest.trees(3))
+        assert len(first) == 3
+
+    def test_tree_agreement_with_lazy_survives_edits(self):
+        lang = Language.from_text(AMBIGUOUS_EXPR)
+        script = [
+            ("add", "E ::= E * E", "n * n + n"),
+            ("add", "E ::= ( E )", "( n + n ) * n"),
+            ("delete", "E ::= E * E", "n + n + n"),
+        ]
+        for action, rule, sentence in script:
+            if action == "add":
+                assert lang.add_rule(rule)
+            else:
+                assert lang.delete_rule(rule)
+            gss = lang.parse(sentence, engine="gss")
+            lazy = lang.parse(sentence, engine="lazy")
+            assert gss.accepted and lazy.accepted, (sentence, gss, lazy)
+            assert gss.ambiguity == lazy.ambiguity
+            assert gss.brackets() == lazy.brackets()
+
+
+class TestEngineBehaviour:
+    def test_earley_parse_is_a_capability_error(self):
+        from repro.api import CapabilityError
+
+        lang = Language.from_text(BOOLEANS)
+        with pytest.raises(CapabilityError, match="builds no trees"):
+            lang.parse("true", engine="earley")
+        outcome = lang.recognize("true", engine="earley")
+        assert outcome.accepted
         assert outcome.trees_built is False
 
     def test_dense_engine_rebuilds_after_edit(self):

@@ -66,6 +66,7 @@ class TestOutcome:
             "accepted": True,
             "trees": ["START(B(true))"],
             "engine": "compiled",
+            "ambiguity": {"tree_count": 1, "enumerated": 1, "truncated": False},
         }
         bad = lang.parse("true or").to_payload()
         assert bad["accepted"] is False

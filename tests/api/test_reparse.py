@@ -35,7 +35,9 @@ class TestCheckpointedParse:
         assert outcome.reuse is None
 
     def test_unsupported_engine_checkpoint_degrades_gracefully(self, language):
-        outcome = language.parse("a + a", engine="earley", checkpoint=True)
+        # earley builds no trees, so the checkpointed call goes through
+        # recognize(); the checkpoint itself degrades to no handle.
+        outcome = language.recognize("a + a", engine="earley", checkpoint=True)
         assert outcome.accepted
         assert outcome.incremental is None
 
@@ -130,13 +132,28 @@ class TestReparse:
         assert edited.accepted and scratch.accepted
         assert edited.reuse["fallback"] == "grammar-modified"
 
-    @pytest.mark.parametrize("name", list(engines()))
-    def test_every_engine_answers_reparse(self, language, name):
+    @pytest.mark.parametrize(
+        "name",
+        [
+            name
+            for name, record in engines(detail=True).items()
+            if record["supports_trees"]
+        ],
+    )
+    def test_every_tree_engine_answers_reparse(self, language, name):
         base = language.parse("a + a + b", checkpoint=True, engine=name)
         edited = language.reparse(base, 2, 3, "b")
         scratch = language.parse("a + b + b", engine=name)
         assert edited.accepted == scratch.accepted is True
         assert edited.brackets() == scratch.brackets()
+
+    def test_recognize_only_engine_answers_reparse(self, language):
+        # A checkpoint taken in recognize mode keeps reparse in recognize
+        # mode, so tree-less engines still answer edits.
+        base = language.recognize("a + a + b", checkpoint=True, engine="earley")
+        edited = language.reparse(base, 2, 3, "b")
+        scratch = language.recognize("a + b + b", engine="earley")
+        assert edited.accepted == scratch.accepted is True
 
 
 class TestDenseEngineInvalidation:

@@ -79,8 +79,26 @@ class TestMeasureHotpath:
         assert report["workload"] == "booleans"
         assert set(report["inputs"]) == {"tiny"}
         rates = report["inputs"]["tiny"]["tokens_per_sec"]
-        assert set(rates) == {"lazy_baseline", "lazy", "compiled", "table"}
+        assert set(rates) == {
+            "lazy_baseline", "lazy", "compiled", "table", "gss",
+        }
         assert all(rate > 0 for rate in rates.values())
         assert "tiny" in report["speedup_compiled_vs_baseline"]
         assert "aggregate" in report["speedup_compiled_vs_baseline"]
         assert set(report["aggregate_tokens_per_sec"]) == set(rates)
+
+    def test_tier_inputs_extend_a_single_tier(self):
+        # The merged-stack gss tier runs the ambiguous medium input the
+        # linear-stack tiers skip; its aggregate only counts what it ran.
+        report = measure_hotpath(
+            booleans_workload(),
+            repeats=1,
+            inputs=("tiny",),
+            tier_inputs={"gss": ("tiny", "medium")},
+        )
+        assert set(report["inputs"]) == {"tiny", "medium"}
+        assert set(report["inputs"]["medium"]["tokens_per_sec"]) == {"gss"}
+        assert report["inputs"]["medium"]["tokens_per_sec"]["gss"] > 0
+        assert set(report["inputs"]["tiny"]["tokens_per_sec"]) == {
+            "lazy_baseline", "lazy", "compiled", "table", "gss",
+        }

@@ -4,7 +4,10 @@ Every control tier must accept the same sentences and produce the same
 number of distinct parse trees, on random grammars, both on the initial
 grammar and across interleaved add/delete-rule edits (where the compiled
 cache's invalidation has to keep pace with MODIFY while the dense table
-is rebuilt from scratch as the ground truth).
+is rebuilt from scratch as the ground truth).  The merged-stack GSS
+engine rides along as a fourth tier: same acceptance, and its packed
+forest must count the same number of distinct derivations the pool
+enumerates.
 """
 
 from hypothesis import given, settings
@@ -15,7 +18,8 @@ from repro.grammar.grammar import Grammar
 from repro.lr.compiled import CompiledControl
 from repro.lr.graph import ItemSetGraph
 from repro.lr.table import TableControl, lr0_table
-from repro.runtime.errors import SweepLimitExceeded
+from repro.runtime.errors import CyclicForestError, SweepLimitExceeded
+from repro.runtime.gss import GSSParser
 from repro.runtime.parallel import PoolParser
 
 from .strategies import derive_sentence, grammars, is_pool_safe, rules, sentences
@@ -43,12 +47,44 @@ def table_parser(grammar: Grammar) -> PoolParser:
     )
 
 
+def gss_parser(grammar: Grammar) -> GSSParser:
+    generator = IncrementalGenerator(grammar)
+    control = CompiledControl(generator.control, grammar)
+    return GSSParser(control, max_steps_per_token=MAX_STEPS, grammar=grammar)
+
+
 def outcome(parser: PoolParser, sentence):
     try:
         result = parser.parse(sentence)
     except SweepLimitExceeded:
         return "budget"
     return (result.accepted, len(result.trees))
+
+
+def gss_outcome(parser: GSSParser, sentence):
+    """``(accepted, tree count)`` — the pool ``outcome`` shape.
+
+    The merged stack explores shared structure the linear stacks pay for
+    per fork, so its step budget trips on different sentences; "budget"
+    and "cyclic" mark outcomes with no pool-comparable answer.
+    """
+    try:
+        result = parser.parse(list(sentence))
+    except SweepLimitExceeded:
+        return "budget"
+    if not result.accepted:
+        return (False, 0)
+    try:
+        return (True, result.forest.tree_count())
+    except CyclicForestError:
+        return "cyclic"
+
+
+def assert_gss_agrees(gss: GSSParser, sentence, expected) -> None:
+    merged = gss_outcome(gss, sentence)
+    if expected == "budget" or merged in ("budget", "cyclic"):
+        return
+    assert merged == expected, sentence
 
 
 def probe_sentences(draw, grammar, count=4):
@@ -69,11 +105,13 @@ def test_three_tiers_agree_on_random_grammars(data):
         return
     lazy = lazy_parser(grammar.copy())
     compiled = compiled_parser(grammar.copy())
+    gss = gss_parser(grammar.copy())
     table = table_parser(grammar)
     for sentence in probe_sentences(data.draw, grammar):
         expected = outcome(lazy, sentence)
         assert outcome(compiled, sentence) == expected
         assert outcome(table, sentence) == expected
+        assert_gss_agrees(gss, sentence, expected)
 
 
 @settings(max_examples=25, deadline=None)
@@ -86,17 +124,21 @@ def test_compiled_tracks_interleaved_edits(data):
         return
     lazy_grammar = grammar.copy()
     compiled_grammar = grammar.copy()
+    gss_grammar = grammar.copy()
     lazy = lazy_parser(lazy_grammar)
     compiled = compiled_parser(compiled_grammar)
+    gss = gss_parser(gss_grammar)
 
     for _round in range(data.draw(st.integers(1, 3))):
         rule = data.draw(rules(nonterminal_count=4))
         if data.draw(st.booleans()) and rule in compiled_grammar:
             lazy_grammar.delete_rule(rule)
             compiled_grammar.delete_rule(rule)
+            gss_grammar.delete_rule(rule)
         else:
             lazy_grammar.add_rule(rule)
             compiled_grammar.add_rule(rule)
+            gss_grammar.add_rule(rule)
         if not is_pool_safe(compiled_grammar):
             return
         table = table_parser(compiled_grammar)
@@ -104,6 +146,7 @@ def test_compiled_tracks_interleaved_edits(data):
             expected = outcome(table, sentence)
             assert outcome(compiled, sentence) == expected
             assert outcome(lazy, sentence) == expected
+            assert_gss_agrees(gss, sentence, expected)
 
 
 @settings(max_examples=20, deadline=None)
@@ -115,11 +158,13 @@ def test_recognition_agrees_too(data):
         return
     lazy = lazy_parser(grammar.copy())
     compiled = compiled_parser(grammar.copy())
+    gss = gss_parser(grammar.copy())
     table = table_parser(grammar)
     for sentence in probe_sentences(data.draw, grammar, count=3):
         try:
             expected = lazy.recognize(sentence)
             assert compiled.recognize(sentence) == expected
             assert table.recognize(sentence) == expected
+            assert gss.recognize(list(sentence)) == expected
         except SweepLimitExceeded:
             return

@@ -161,6 +161,80 @@ class TestCaching:
         assert booleans_dispatcher.handle(request2)["cache"] is False
 
 
+class TestForestProtocol:
+    """Protocol v7: ``max_trees`` bounds and the ``ambiguity`` object."""
+
+    AMBIGUOUS = "true or true or true or true"  # Catalan(3) = 5 parses
+
+    def test_ambiguity_object_counts_the_whole_forest(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": self.AMBIGUOUS}
+        )
+        assert response["accepted"] is True
+        assert response["ambiguity"] == {
+            "tree_count": 5, "enumerated": 5, "truncated": False,
+        }
+        assert response["tree_count"] == 5
+        assert len(response["trees"]) == 5
+
+    def test_max_trees_truncates_enumeration_not_the_count(
+        self, booleans_dispatcher
+    ):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": self.AMBIGUOUS,
+             "max_trees": 2}
+        )
+        assert len(response["trees"]) == 2
+        assert response["ambiguity"] == {
+            "tree_count": 5, "enumerated": 2, "truncated": True,
+        }
+        # tree_count reports the forest, not the truncated list
+        assert response["tree_count"] == 5
+
+    def test_max_trees_participates_in_the_cache_key(
+        self, booleans_dispatcher
+    ):
+        bounded = {"cmd": "parse", "session": "s1", "tokens": self.AMBIGUOUS,
+                   "max_trees": 2}
+        unbounded = {"cmd": "parse", "session": "s1",
+                     "tokens": self.AMBIGUOUS}
+        assert booleans_dispatcher.handle(bounded)["cache"] is False
+        # A differently-bounded request must not be served the entry.
+        response = booleans_dispatcher.handle(unbounded)
+        assert response["cache"] is False
+        assert len(response["trees"]) == 5
+        assert booleans_dispatcher.handle(bounded)["cache"] is True
+
+    def test_bad_max_trees_is_a_protocol_error(self, booleans_dispatcher):
+        for bad in (0, -3, "two", True):
+            response = booleans_dispatcher.handle(
+                {"cmd": "parse", "session": "s1", "tokens": "true",
+                 "max_trees": bad}
+            )
+            assert "error" in response, bad
+
+    def test_batch_parse_carries_ambiguity(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "batch-parse", "session": "s1",
+             "inputs": [self.AMBIGUOUS], "max_trees": 1}
+        )
+        (result,) = response["results"]
+        assert result["tree_count"] == 5
+        assert result["ambiguity"] == {
+            "tree_count": 5, "enumerated": 1, "truncated": True,
+        }
+
+    def test_gss_engine_serves_the_forest_protocol(self, booleans_dispatcher):
+        response = booleans_dispatcher.handle(
+            {"cmd": "parse", "session": "s1", "tokens": self.AMBIGUOUS,
+             "engine": "gss", "max_trees": 3}
+        )
+        assert response["accepted"] is True
+        assert response["engine"] == "gss"
+        assert response["ambiguity"]["tree_count"] == 5
+        assert len(response["trees"]) == 3
+
+
 class TestDiagnosticsAndEngines:
     """Protocol v2: structured diagnostics and per-call engine selection."""
 
@@ -274,7 +348,7 @@ class TestIntrospection:
 
     def test_info(self, booleans_dispatcher):
         server = booleans_dispatcher.handle({"cmd": "info"})
-        assert server["protocol"] == 6
+        assert server["protocol"] == 7
         assert "parse" in server["commands"]
         assert "corpus-query" in server["commands"]
         assert "metrics-export" in server["commands"]
