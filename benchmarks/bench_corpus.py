@@ -96,11 +96,12 @@ def run_corpus(
     rejected: int = REJECTED_DOCS,
     chunk: int = INGEST_CHUNK,
     query_samples: int = QUERY_SAMPLES,
+    table_cache: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One full lifecycle in a throwaway root; returns a result dict."""
     documents = corpus_documents(accepted, rejected)
     with tempfile.TemporaryDirectory(prefix="repro-corpus-bench-") as root:
-        dispatcher = Dispatcher(corpus_root=root)
+        dispatcher = Dispatcher(corpus_root=root, table_cache=table_cache)
         try:
             created = dispatcher.handle(
                 {"cmd": "corpus-create", "corpus": "bench", "grammar": GRAMMAR}
@@ -271,6 +272,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-output", action="store_true",
         help=f"do not write {OUTPUT_PATH.name}",
     )
+    parser.add_argument(
+        "--table-cache", metavar="DIR",
+        help="warm-start the corpus sessions from (and write back to) the "
+        "persistent table store under DIR",
+    )
     options = parser.parse_args(argv)
 
     print(
@@ -282,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         accepted=options.accepted,
         rejected=options.rejected,
         query_samples=options.query_samples,
+        table_cache=options.table_cache,
     )
     report: Dict[str, Any] = {
         "bench": "corpus",

@@ -6,41 +6,58 @@
 # Used by the bench-trend CI steps: the artifact's BENCH_*.json lands in
 # <dest-dir> for benchmarks/bench_trend.py to diff against the current
 # run.  Every "nothing to fetch" condition (first run on a repo, no
-# successful main run yet, artifact expired) exits 0 with a note — the
-# trend step must never fail a build over missing history.  Requires
-# GH_TOKEN (the workflow passes the built-in github.token).
+# successful main run yet, unauthenticated gh on a fork PR, artifact
+# expired) exits 0 — the trend step must never fail a build over missing
+# history — but each one also lands a visible note in the job summary via
+# skip(), so an empty trend table is explained instead of silent.
+# Requires GH_TOKEN (the workflow passes the built-in github.token).
 set -uo pipefail
 
 artifact_name="${1:?usage: fetch_prev_bench.sh <artifact-name> <dest-dir>}"
 dest="${2:?usage: fetch_prev_bench.sh <artifact-name> <dest-dir>}"
 repo="${GITHUB_REPOSITORY:-}"
 
-if [ -z "$repo" ]; then
-  echo "GITHUB_REPOSITORY unset — not running in CI, nothing to fetch"
+# Note the reason on stdout (the job log) AND in $GITHUB_STEP_SUMMARY
+# (the PR-facing summary) when it is set, then exit 0.
+skip() {
+  echo "no previous bench available: $1"
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    echo "no previous bench available: $1" >> "$GITHUB_STEP_SUMMARY"
+  fi
   exit 0
+}
+
+if [ -z "$repo" ]; then
+  skip "GITHUB_REPOSITORY unset — not running in CI"
+fi
+
+# On fork PRs the built-in token can lack API access, and gh then fails
+# every call; surface that as the reason instead of the generic "no run"
+# note its empty output would otherwise produce.
+if ! gh auth status >/dev/null 2>&1 && [ -z "${GH_TOKEN:-}" ]; then
+  skip "gh is not authenticated (fork PR without a usable GH_TOKEN?)"
 fi
 
 run_id=$(gh api \
   "repos/$repo/actions/workflows/ci.yml/runs?branch=main&status=success&per_page=1" \
   --jq '.workflow_runs[0].id' 2>/dev/null)
 if [ -z "${run_id:-}" ] || [ "$run_id" = "null" ]; then
-  echo "no successful main CI run to compare against"
-  exit 0
+  skip "no successful main CI run to compare against (or the runs API call failed)"
 fi
 
 artifact_id=$(gh api "repos/$repo/actions/runs/$run_id/artifacts" \
   --jq ".artifacts[] | select(.name == \"$artifact_name\" and .expired == false) | .id" \
   2>/dev/null | head -n 1)
 if [ -z "${artifact_id:-}" ]; then
-  echo "run $run_id has no (unexpired) artifact named '$artifact_name'"
-  exit 0
+  skip "run $run_id has no (unexpired) artifact named '$artifact_name'"
 fi
 
 mkdir -p "$dest"
 if ! gh api "repos/$repo/actions/artifacts/$artifact_id/zip" \
     > "$dest/$artifact_name.zip" 2>/dev/null; then
-  echo "download of artifact $artifact_id failed — skipping trend"
-  exit 0
+  skip "download of artifact $artifact_id failed"
 fi
-unzip -o -q -d "$dest" "$dest/$artifact_name.zip" || exit 0
+if ! unzip -o -q -d "$dest" "$dest/$artifact_name.zip"; then
+  skip "artifact $artifact_id did not unzip cleanly"
+fi
 echo "fetched '$artifact_name' from main run $run_id into $dest"

@@ -521,15 +521,21 @@ class DenseTableEngine(_CheckpointMixin, Engine):
 
     def _parser(self) -> PoolParser:
         if self._pool is None:
-            from ..lr.generator import ConventionalGenerator
+            store = getattr(self.language, "table_store", None)
+            table = store.load_table(self.language.grammar) if store else None
+            if table is None:
+                from ..lr.generator import ConventionalGenerator
 
-            # Generate against a copy: expansion must not leak observers
-            # onto (or expansion work into) the language's live graph.
-            generator = ConventionalGenerator(self.language.grammar.copy())
-            generator.generate()
-            control = TableControl(lr0_table(generator.graph))
+                # Generate against a copy: expansion must not leak
+                # observers onto (or expansion work into) the language's
+                # live graph.
+                generator = ConventionalGenerator(self.language.grammar.copy())
+                generator.generate()
+                table = lr0_table(generator.graph)
+                if store is not None:
+                    store.save_table(self.language.grammar, table)
             self._pool = PoolParser(
-                control,
+                TableControl(table),
                 self.language.grammar,
                 max_sweep_steps=self.language.max_sweep_steps,
             )

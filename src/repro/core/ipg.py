@@ -55,6 +55,7 @@ class IPG:
         grammar: Grammar,
         gc: bool = True,
         max_sweep_steps: int = 1_000_000,
+        table_store=None,
     ) -> None:
         # Imported here, not at module top: repro.api builds on repro.core
         # (generator, compiled control), so the facade must not create an
@@ -62,7 +63,10 @@ class IPG:
         from ..api.language import Language
 
         self.language = Language(
-            grammar, gc=gc, max_sweep_steps=max_sweep_steps
+            grammar,
+            gc=gc,
+            max_sweep_steps=max_sweep_steps,
+            table_store=table_store,
         )
 
     # -- constructors ------------------------------------------------------
@@ -138,6 +142,10 @@ class IPG:
     def collect_garbage(self, force_sweep: bool = False) -> int:
         """Trigger the mark-and-sweep fallback (refcounting is automatic)."""
         return self.generator.collect_garbage(force_sweep=force_sweep)
+
+    def persist_tables(self) -> int:
+        """Write newly materialized control state to the table store."""
+        return self.language.persist_tables()
 
     # -- introspection -----------------------------------------------------
 

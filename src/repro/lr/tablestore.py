@@ -1,0 +1,569 @@
+"""Persistent content-addressed store for materialized LR control state.
+
+Section 4 frames a parse table as *"a program running on an LR-parsing
+machine"*; this module is the program cache.  Every state the lazy or
+conventional generator materializes is an EXPAND result that depends only
+on (a) the state's kernel and (b) the rules of the non-terminals reachable
+through the closure from that kernel.  Hash exactly those two things and
+the result becomes content-addressed: a new process, a respawned
+process-mode shard child, a corpus worker session, or the next CI run can
+adopt the stored expansion instead of recomputing it — and two sessions
+whose grammars merely *share a subgrammar* hit the same entries.
+
+Layout under the store root::
+
+    states/<state_key>.json      one EXPAND result (shared across grammars)
+    manifests/<grammar_key>.json the state keys one grammar materialized
+    tables/<grammar_key>.json    the dense LR(0) table for one grammar
+
+Keys are SHA-256 hex digests.  ``state_key`` hashes the canonicalized
+kernel plus the *relevant rules* — all rules of every non-terminal
+reachable from the kernel's dotted non-terminals through leftmost-symbol
+closure edges — plus the start-symbol name (which decides accept vs
+reduce).  Any grammar edit that could change the EXPAND result changes the
+key, so entries are self-invalidating: there is no invalidation protocol,
+stale entries are simply never addressed again.
+
+Trust model: nothing read from disk is trusted.  Entries are decoded
+defensively, re-keyed under the *current* grammar (a mismatch means the
+entry belongs to a different subgrammar and is skipped), and corrupt or
+version-mismatched files are unlinked so the next write-back repairs them.
+Writes go through :func:`~repro.lr.serialize.save_payload`
+(temp + fsync + rename), so concurrent writers — two shard children
+materializing the same state — race safely: both write identical content
+and the rename is atomic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import weakref
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.rules import Rule
+from ..grammar.symbols import END, NonTerminal, Terminal
+from .actions import ACCEPT_ACTION, Accept, ActionSet, Reduce, Shift
+from .graph import ItemSetGraph
+from .items import Item, Kernel, kernel_of, sorted_items
+from .serialize import (
+    _rule_from_json,
+    _rule_to_json,
+    _symbol_from_json,
+    _symbol_to_json,
+    load_payload,
+    save_payload,
+    table_from_dict,
+    table_to_dict,
+)
+from .states import ACCEPT, ItemSet, StateType
+from .table import DenseTable, ParseTable
+
+__all__ = ["STORE_FORMAT_VERSION", "TableStore"]
+
+#: Version stamp of every stored payload.  It is also mixed into the
+#: content keys, so a format bump orphans old entries instead of having to
+#: detect and migrate them — the store is a cache, regeneration is cheap.
+STORE_FORMAT_VERSION = 1
+
+_ReachMemo = Dict[NonTerminal, Set[NonTerminal]]
+
+#: Decoded transition target: either the ACCEPT sentinel or a kernel.
+_Target = Any
+
+
+class _PassMemo:
+    """Scratch caches for one save/restore pass over one grammar revision.
+
+    Neighbouring states overwhelmingly share closure-reachable sets, so
+    both the reachability relation and the rendered relevant-rules text
+    block (the expensive half of :meth:`TableStore.state_key`) are
+    memoized for the duration of a pass and thrown away with it.
+    """
+
+    __slots__ = ("reach", "rules_text")
+
+    def __init__(self) -> None:
+        self.reach: _ReachMemo = {}
+        self.rules_text: Dict[FrozenSet[NonTerminal], str] = {}
+
+
+def _closure_reach(
+    seed: NonTerminal, grammar: Grammar, memo: _ReachMemo
+) -> Set[NonTerminal]:
+    """Non-terminals whose rules CLOSURE can pull in starting from ``seed``.
+
+    CLOSURE adds ``B ::= .gamma`` for a dotted ``B``, and the freshly added
+    item immediately exposes ``gamma[0]`` — so the reachability relation is
+    ``B -> rhs[0]`` over ``B``'s rules.  Memoized per seed for the duration
+    of one save/restore pass (``memo`` is keyed per grammar revision by the
+    caller).
+    """
+    cached = memo.get(seed)
+    if cached is not None:
+        return cached
+    reached: Set[NonTerminal] = {seed}
+    stack: List[NonTerminal] = [seed]
+    while stack:
+        current = stack.pop()
+        for rule in grammar.rules_for(current):
+            first = rule.rhs[0] if rule.rhs else None
+            if isinstance(first, NonTerminal) and first not in reached:
+                reached.add(first)
+                stack.append(first)
+    memo[seed] = reached
+    return reached
+
+
+def _relevant_rules(
+    kernel: Kernel, grammar: Grammar, memo: _ReachMemo
+) -> Tuple[Rule, ...]:
+    """Every rule that can influence the EXPAND result of ``kernel``."""
+    reached: Set[NonTerminal] = set()
+    for item in kernel:
+        symbol = item.next_symbol
+        if isinstance(symbol, NonTerminal):
+            reached |= _closure_reach(symbol, grammar, memo)
+    rules: Set[Rule] = set()
+    for nonterminal in reached:
+        rules.update(grammar.rules_for(nonterminal))
+    return tuple(sorted(rules))
+
+
+def _relevant_rules_text(
+    kernel: Kernel, grammar: Grammar, memo: _PassMemo
+) -> str:
+    """The relevant-rules block of a state key, memoized per reach set."""
+    reached: Set[NonTerminal] = set()
+    for item in kernel:
+        symbol = item.next_symbol
+        if isinstance(symbol, NonTerminal):
+            reached |= _closure_reach(symbol, grammar, memo.reach)
+    key = frozenset(reached)
+    text = memo.rules_text.get(key)
+    if text is None:
+        rules: Set[Rule] = set()
+        for nonterminal in reached:
+            rules.update(grammar.rules_for(nonterminal))
+        text = "\n".join(str(rule) for rule in sorted(rules))
+        memo.rules_text[key] = text
+    return text
+
+
+def _encode_kernel(kernel: Kernel) -> List[List[Any]]:
+    return [
+        [_rule_to_json(item.rule), item.dot] for item in sorted_items(kernel)
+    ]
+
+
+def compute_grammar_key(grammar: Grammar) -> str:
+    """The raw (unmemoized) whole-grammar content hash."""
+    payload = "\n".join(
+        [
+            f"store {STORE_FORMAT_VERSION}",
+            f"start {grammar.start.name}",
+            grammar.pretty(),
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TableStore:
+    """On-disk content-addressed cache of LR control-plane state.
+
+    One instance may be shared by many languages, sessions, and processes;
+    all methods are safe under concurrent readers and writers (atomic
+    renames, defensive decoding — see the module docstring).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self._states_dir = os.path.join(self.root, "states")
+        self._manifests_dir = os.path.join(self.root, "manifests")
+        self._tables_dir = os.path.join(self.root, "tables")
+        for directory in (
+            self._states_dir,
+            self._manifests_dir,
+            self._tables_dir,
+        ):
+            os.makedirs(directory, exist_ok=True)
+        #: states adopted / entries written since construction (telemetry)
+        self.restored_states = 0
+        self.written_states = 0
+        #: (id(grammar) -> (weakref, revision, key)) grammar-key memo
+        self._grammar_keys: Dict[int, Tuple[Any, int, str]] = {}
+
+    def __repr__(self) -> str:
+        return f"TableStore({self.root!r})"
+
+    # -- content keys ------------------------------------------------------
+
+    def grammar_key(self, grammar: Grammar) -> str:
+        """Content hash of a whole grammar (manifest / dense-table key).
+
+        Memoized per (grammar identity, revision): a warm start consults
+        it several times — manifest walk, table load — and ``pretty()``
+        renders the whole grammar each time.  The weakref guards against
+        ``id()`` reuse after a grammar is collected.
+        """
+        ident = id(grammar)
+        cached = self._grammar_keys.get(ident)
+        if cached is not None:
+            ref, revision, key = cached
+            if ref() is grammar and revision == grammar.revision:
+                return key
+        key = compute_grammar_key(grammar)
+        try:
+            self._grammar_keys[ident] = (
+                weakref.ref(grammar),
+                grammar.revision,
+                key,
+            )
+        except TypeError:  # pragma: no cover - non-weakrefable stub
+            pass
+        return key
+
+    @staticmethod
+    def state_key(
+        kernel: Kernel, grammar: Grammar, memo: Optional[_PassMemo] = None
+    ) -> str:
+        """Content hash of one state's EXPAND inputs.
+
+        Kernel (canonically sorted) + relevant rules (sorted) + start
+        symbol.  Two grammars sharing a subgrammar produce identical keys
+        for the states inside it, which is what makes entries shareable
+        across sessions and tenants.
+        """
+        if memo is None:
+            memo = _PassMemo()
+        lines = [
+            f"store {STORE_FORMAT_VERSION}",
+            f"start {grammar.start.name}",
+            "kernel",
+        ]
+        lines.extend(str(item) for item in sorted_items(kernel))
+        lines.append("rules")
+        lines.append(_relevant_rules_text(kernel, grammar, memo))
+        return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+    # -- paths and raw IO --------------------------------------------------
+
+    def _state_path(self, key: str) -> str:
+        return os.path.join(self._states_dir, f"{key}.json")
+
+    def _manifest_path(self, key: str) -> str:
+        return os.path.join(self._manifests_dir, f"{key}.json")
+
+    def _table_path(self, key: str) -> str:
+        return os.path.join(self._tables_dir, f"{key}.json")
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _load(self, path: str) -> Optional[Dict[str, Any]]:
+        """Read a payload; unlink and ignore anything unreadable.
+
+        A half-written file cannot exist (atomic rename), so an unreadable
+        one is corruption — dropping it lets the next save repair the
+        entry instead of shadowing it forever.
+        """
+        try:
+            payload = load_payload(path)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        if payload.get("format") != STORE_FORMAT_VERSION:
+            self._discard(path)
+            return None
+        return payload
+
+    # -- state entries -----------------------------------------------------
+
+    def _encode_state(
+        self, state: ItemSet, control: Optional[Any]
+    ) -> Dict[str, Any]:
+        transitions: List[List[Any]] = []
+        for symbol, target in state.transitions.items():
+            if target is ACCEPT:
+                transitions.append([_symbol_to_json(symbol), "accept"])
+            else:
+                transitions.append(
+                    [_symbol_to_json(symbol), _encode_kernel(target.kernel)]
+                )
+        hot: List[str] = []
+        if control is not None:
+            cached = getattr(control, "action_cache", {}).get(state.uid)
+            if cached is not None and cached[0] is state:
+                hot = sorted(terminal.name for terminal in cached[1])
+        return {
+            "format": STORE_FORMAT_VERSION,
+            "kernel": _encode_kernel(state.kernel),
+            "transitions": transitions,
+            "reductions": [_rule_to_json(rule) for rule in state.reductions],
+            "hot": hot,
+        }
+
+    @staticmethod
+    def _decode_items(
+        encoded: Any, canon: Dict[Rule, Rule]
+    ) -> Optional[List[Item]]:
+        items: List[Item] = []
+        for rule_json, dot in encoded:
+            rule = canon.get(_rule_from_json(rule_json))
+            if rule is None or not 0 <= dot <= len(rule.rhs):
+                return None
+            items.append(Item(rule, dot))
+        return items or None
+
+    def _decode_state(
+        self, entry: Dict[str, Any], canon: Dict[Rule, Rule]
+    ) -> Optional[
+        Tuple[
+            Kernel,
+            List[Tuple[Any, _Target]],
+            List[Rule],
+            Tuple[str, ...],
+        ]
+    ]:
+        """Decode an entry against the current grammar; None if inapplicable.
+
+        ``None`` covers both corruption and entries whose rules simply do
+        not exist in this grammar (valid entries of *another* grammar — the
+        caller decides whether to discard based on which case it is, via
+        the re-keying check).
+        """
+        try:
+            kernel_items = self._decode_items(entry["kernel"], canon)
+            if kernel_items is None:
+                return None
+            kernel = kernel_of(kernel_items)
+            transitions: List[Tuple[Any, _Target]] = []
+            for symbol_json, target in entry["transitions"]:
+                symbol = _symbol_from_json(symbol_json)
+                if target == "accept":
+                    if symbol is not END:
+                        return None
+                    transitions.append((symbol, ACCEPT))
+                else:
+                    target_items = self._decode_items(target, canon)
+                    if target_items is None:
+                        return None
+                    transitions.append((symbol, kernel_of(target_items)))
+            reductions: List[Rule] = []
+            for rule_json in entry["reductions"]:
+                rule = canon.get(_rule_from_json(rule_json))
+                if rule is None:
+                    return None
+                reductions.append(rule)
+            hot = tuple(str(name) for name in entry.get("hot", ()))
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+        return kernel, transitions, reductions, hot
+
+    # -- graph save/restore ------------------------------------------------
+
+    def save_graph(
+        self, graph: ItemSetGraph, control: Optional[Any] = None
+    ) -> int:
+        """Persist every complete state of ``graph``; return entries written.
+
+        Existing entries are skipped (same key ⇒ same content), so the
+        steady-state cost of a warm session re-saving is one manifest
+        write.  The manifest unions with whatever a concurrent session
+        already listed for this grammar — manifests only grow, toward the
+        full automaton.
+        """
+        grammar = graph.grammar
+        memo = _PassMemo()
+        keys: List[str] = []
+        written = 0
+        if control is not None:
+            # Hot-terminal lists ride on the compiled control's memo.
+            control = control if hasattr(control, "action_cache") else None
+        for state in graph.states():
+            if not state.is_complete:
+                continue
+            key = self.state_key(state.kernel, grammar, memo)
+            keys.append(key)
+            path = self._state_path(key)
+            if os.path.exists(path):
+                continue
+            save_payload(self._encode_state(state, control), path)
+            written += 1
+        if keys:
+            manifest_path = self._manifest_path(self.grammar_key(grammar))
+            merged = dict.fromkeys(keys)
+            existing = self._load(manifest_path)
+            if existing is not None:
+                previous = existing.get("states")
+                if isinstance(previous, list):
+                    for key in previous:
+                        if isinstance(key, str):
+                            merged.setdefault(key)
+            save_payload(
+                {"format": STORE_FORMAT_VERSION, "states": list(merged)},
+                manifest_path,
+            )
+        self.written_states += written
+        return written
+
+    def restore_graph(
+        self, graph: ItemSetGraph, control: Optional[Any] = None
+    ) -> int:
+        """Adopt every applicable stored expansion; return states restored.
+
+        Walks the grammar's manifest, re-keys each decoded entry under the
+        *current* grammar (the staleness check: an edit that changed any
+        relevant rule changes the key, so the entry no longer addresses
+        this kernel), and installs matching expansions via
+        :meth:`ItemSetGraph.adopt_expansion`.  With a compiled ``control``,
+        the stored hot-terminal lists are replayed through
+        ``control.action`` afterwards, rebuilding the memoized step cells
+        byte-identically (same encoder, same complete states).
+        """
+        grammar = graph.grammar
+        manifest = self._load(self._manifest_path(self.grammar_key(grammar)))
+        if manifest is None:
+            return 0
+        keys = manifest.get("states")
+        if not isinstance(keys, list):
+            return 0
+        memo = _PassMemo()
+        canon: Dict[Rule, Rule] = {rule: rule for rule in grammar.rules}
+        restored = 0
+        prewarm: List[Tuple[ItemSet, Tuple[str, ...]]] = []
+        for key in keys:
+            if not isinstance(key, str) or os.sep in key or "." in key:
+                continue
+            path = self._state_path(key)
+            entry = self._load(path)
+            if entry is None:
+                continue
+            decoded = self._decode_state(entry, canon)
+            if decoded is None:
+                # Rules absent from this grammar: the entry belongs to a
+                # different (sub)grammar and stays untouched for it.
+                continue
+            kernel, transitions, reductions, hot = decoded
+            if self.state_key(kernel, grammar, memo) != key:
+                continue
+            state = graph.state_by_kernel(kernel)
+            if state is None:
+                state = graph.materialize(kernel)
+            if state.type is not StateType.INITIAL:
+                continue
+            resolved: List[Tuple[Any, Any]] = []
+            for symbol, target in transitions:
+                if target is ACCEPT:
+                    resolved.append((symbol, ACCEPT))
+                else:
+                    resolved.append((symbol, graph.materialize(target)))
+            graph.adopt_expansion(state, resolved, reductions)
+            restored += 1
+            if hot:
+                prewarm.append((state, hot))
+        if control is not None and hasattr(control, "action_cache"):
+            for state, names in prewarm:
+                for name in names:
+                    control.action(state, Terminal(name))
+        self.restored_states += restored
+        return restored
+
+    # -- dense tables ------------------------------------------------------
+
+    @staticmethod
+    def _encode_action(action: Any) -> List[Any]:
+        if isinstance(action, Shift):
+            return ["s", action.target]
+        if isinstance(action, Reduce):
+            return ["r", _rule_to_json(action.rule)]
+        if isinstance(action, Accept):
+            return ["a"]
+        raise ValueError(f"cannot persist action {action!r}")
+
+    @staticmethod
+    def _decode_action(encoded: Any) -> Any:
+        tag = encoded[0]
+        if tag == "s":
+            return Shift(int(encoded[1]))
+        if tag == "r":
+            return Reduce(_rule_from_json(encoded[1]))
+        if tag == "a":
+            return ACCEPT_ACTION
+        raise ValueError(f"unknown stored action tag {tag!r}")
+
+    def _dense_to_json(self, dense: DenseTable) -> Dict[str, Any]:
+        """The persisted parts of a dense rendering (see ``rehydrate``)."""
+        pool: List[ActionSet] = dense._pool
+        pool_index = {actions: i for i, actions in enumerate(pool)}
+        return {
+            "columns": [t.name for t in dense._term_index],
+            "pool": [
+                [self._encode_action(a) for a in actions] for actions in pool
+            ],
+            "action_rows": dense._action_rows,
+            "defaults": [pool_index[d] for d in dense._default_actions],
+            "goto_rows": dense._goto_rows,
+        }
+
+    def _dense_from_json(
+        self, payload: Dict[str, Any], table: ParseTable
+    ) -> DenseTable:
+        columns = tuple(Terminal(str(name)) for name in payload["columns"])
+        pool = [
+            tuple(self._decode_action(a) for a in actions)
+            for actions in payload["pool"]
+        ]
+        return DenseTable.rehydrate(
+            table,
+            columns,
+            pool,
+            payload["action_rows"],
+            payload["defaults"],
+            payload["goto_rows"],
+        )
+
+    def save_table(self, grammar: Grammar, table: ParseTable) -> None:
+        """Persist a whole-grammar LR(0) table plus its dense rendering.
+
+        The dense section is what makes a warm dense-engine ``prepare()``
+        skip the per-cell ACTION materialization, not just the graph
+        expansion — reloading it costs one pass over the (deduplicated)
+        action pool instead of one ``table.action`` call per grid cell.
+        """
+        save_payload(
+            {
+                "format": STORE_FORMAT_VERSION,
+                "table": table_to_dict(table),
+                "dense": self._dense_to_json(table.dense()),
+            },
+            self._table_path(self.grammar_key(grammar)),
+        )
+
+    def load_table(self, grammar: Grammar) -> Optional[ParseTable]:
+        """The stored dense table for exactly this grammar, or ``None``."""
+        path = self._table_path(self.grammar_key(grammar))
+        payload = self._load(path)
+        if payload is None:
+            return None
+        try:
+            table = table_from_dict(payload["table"])
+        except (KeyError, TypeError, ValueError, IndexError):
+            self._discard(path)
+            return None
+        dense_payload = payload.get("dense")
+        if dense_payload is not None:
+            try:
+                table._dense = self._dense_from_json(dense_payload, table)
+            except (KeyError, TypeError, ValueError, IndexError):
+                # A sick dense section is not fatal: the sparse table is
+                # intact, so fall back to rebuilding the dense form.
+                table._dense = None
+        return table

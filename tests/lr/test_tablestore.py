@@ -1,0 +1,376 @@
+"""The persistent table store: round-trips, hostile disks, racing writers.
+
+The store is a cache keyed on content hashes, so the contract under test
+is twofold: a warm start must reproduce *exactly* the control plane a
+cold start would build (graphs, dense tables, compiled step cells), and
+nothing read from disk may ever be trusted — corrupt, truncated,
+version-mismatched, and stale entries must be ignored (and, where they
+can never be addressed again, repaired by the next write-back).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.api.language import Language
+from repro.core.incremental import IncrementalGenerator
+from repro.grammar.builders import grammar_from_text
+from repro.grammar.symbols import END, Terminal
+from repro.lr.generator import ConventionalGenerator
+from repro.lr.graph import ItemSetGraph
+from repro.lr.serialize import dumps
+from repro.lr.table import lr0_table
+from repro.lr.tablestore import (
+    STORE_FORMAT_VERSION,
+    TableStore,
+    compute_grammar_key,
+)
+
+BOOLEANS = """
+    B ::= true
+    B ::= false
+    B ::= B or B
+    B ::= B and B
+    START ::= B
+"""
+
+#: A grammar embedding the booleans ``B`` subgrammar under an extra layer
+#: — shares every ``B``-internal state key with BOOLEANS.
+WRAPPED_BOOLEANS = """
+    B ::= true
+    B ::= false
+    B ::= B or B
+    B ::= B and B
+    W ::= begin B end
+    START ::= W
+"""
+
+
+def full_graph(text: str) -> ItemSetGraph:
+    generator = ConventionalGenerator(grammar_from_text(text))
+    generator.generate()
+    return generator.graph
+
+
+def graph_shape(graph: ItemSetGraph) -> str:
+    return dumps(lr0_table(graph))
+
+
+@pytest.fixture
+def store(tmp_path) -> TableStore:
+    return TableStore(str(tmp_path / "cache"))
+
+
+class TestGraphRoundTrip:
+    def test_restore_rebuilds_the_exact_graph(self, store):
+        cold = full_graph(BOOLEANS)
+        written = store.save_graph(cold)
+        assert written == len(cold.states())
+
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        restored = store.restore_graph(warm)
+        assert restored == written
+        assert warm.stats.states_restored == written
+        assert warm.stats.expansions == 0
+        assert graph_shape(warm) == graph_shape(cold)
+        warm.validate()
+
+    def test_second_save_writes_nothing(self, store):
+        graph = full_graph(BOOLEANS)
+        assert store.save_graph(graph) > 0
+        assert store.save_graph(graph) == 0
+
+    def test_refcounts_match_a_cold_expansion(self, store):
+        cold = full_graph(BOOLEANS)
+        store.save_graph(cold)
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        store.restore_graph(warm)
+        by_kernel = {state.kernel: state for state in cold.states()}
+        for state in warm.states():
+            assert state.refcount == by_kernel[state.kernel].refcount
+
+    def test_partial_graph_roundtrip(self, store):
+        """Lazy sessions persist only what they materialized."""
+        generator = IncrementalGenerator(grammar_from_text(BOOLEANS))
+        generator.control.action(generator.graph.start, Terminal("true"))
+        complete = [s for s in generator.graph.states() if s.is_complete]
+        assert 0 < len(complete) < len(full_graph(BOOLEANS).states())
+        written = store.save_graph(generator.graph)
+        assert written == len(complete)
+
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(warm) == written
+
+    def test_manifest_only_grows(self, store):
+        """A sparse session must not shrink a fuller session's manifest."""
+        full = full_graph(BOOLEANS)
+        store.save_graph(full)
+        sparse = IncrementalGenerator(grammar_from_text(BOOLEANS))
+        sparse.control.action(sparse.graph.start, Terminal("true"))
+        store.save_graph(sparse.graph)
+
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(warm) == len(full.states())
+
+
+class TestTableRoundTrip:
+    def test_sparse_table_is_byte_identical(self, store):
+        grammar = grammar_from_text(BOOLEANS)
+        table = lr0_table(full_graph(BOOLEANS))
+        store.save_table(grammar, table)
+        loaded = store.load_table(grammar)
+        assert dumps(loaded) == dumps(table)
+
+    def test_dense_rendering_is_cell_identical(self, store):
+        grammar = grammar_from_text(BOOLEANS)
+        table = lr0_table(full_graph(BOOLEANS))
+        store.save_table(grammar, table)
+        loaded = store.load_table(grammar)
+        # The persisted dense section rehydrates without a rebuild...
+        assert loaded._dense is not None
+        cold, warm = table.dense(), loaded._dense
+        # ...and matches a cold build on every cell, including the
+        # unknown-terminal default column and the pre-decoded step cells.
+        assert len(cold) == len(warm)
+        assert cold.start_state == warm.start_state
+        assert cold.pool_size() == warm.pool_size()
+        columns = list(table.terminals) + [END, Terminal("zz_unknown")]
+        for state in range(len(cold)):
+            for terminal in columns:
+                assert cold.action(state, terminal) == warm.action(
+                    state, terminal
+                )
+        assert set(cold.step_cache) == set(warm.step_cache)
+        for state, cells in cold.step_cache.items():
+            assert cells == warm.step_cache[state]
+
+    def test_compiled_step_cells_identical_after_reload(self, tmp_path):
+        store = TableStore(str(tmp_path))
+        sentence = "true and false or true"
+        cold = Language.from_text(BOOLEANS)
+        assert cold.parse(sentence).accepted
+
+        seeder = Language.from_text(BOOLEANS, table_store=store)
+        assert seeder.parse(sentence).accepted
+        seeder.persist_tables()
+
+        warm = Language.from_text(BOOLEANS, table_store=store)
+        assert warm.saved_states > 0
+        assert warm.parse(sentence).accepted
+
+        def shape(value):
+            """Steps reference ItemSets, which are per-graph objects —
+            collapse them to their kernels for cross-language equality."""
+            if isinstance(value, tuple):
+                return tuple(shape(part) for part in value)
+            kernel = getattr(value, "kernel", None)
+            if kernel is not None:
+                return frozenset(str(item) for item in kernel)
+            return value
+
+        cold_cells = {
+            frozenset(str(i) for i in state.kernel): cells
+            for state, cells in cold.control.fast_step_cache.items()
+        }
+        assert warm.control.fast_step_cache
+        for state, cells in warm.control.fast_step_cache.items():
+            key = frozenset(str(i) for i in state.kernel)
+            assert set(cells) == set(cold_cells[key])
+            for terminal, step in cells.items():
+                assert shape(step) == shape(cold_cells[key][terminal])
+
+
+class TestHostileDisk:
+    def seed(self, store):
+        store.save_graph(full_graph(BOOLEANS))
+        return sorted(
+            os.path.join(store._states_dir, name)
+            for name in os.listdir(store._states_dir)
+        )
+
+    def test_truncated_entry_is_skipped_and_unlinked(self, store):
+        paths = self.seed(store)
+        with open(paths[0], "r+") as handle:
+            handle.truncate(handle.seek(0, os.SEEK_END) // 2)
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(warm) == len(paths) - 1
+        assert not os.path.exists(paths[0])
+
+    def test_unlinked_corruption_is_repaired_by_the_next_save(self, store):
+        paths = self.seed(store)
+        with open(paths[0], "w") as handle:
+            handle.write("}{ not json")
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        store.restore_graph(warm)
+        assert store.save_graph(full_graph(BOOLEANS)) == 1
+        again = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(again) == len(paths)
+
+    def test_version_mismatch_is_discarded(self, store):
+        paths = self.seed(store)
+        payload = json.load(open(paths[0]))
+        payload["format"] = STORE_FORMAT_VERSION + 1
+        with open(paths[0], "w") as handle:
+            json.dump(payload, handle)
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(warm) == len(paths) - 1
+        assert not os.path.exists(paths[0])
+
+    def test_garbage_payload_shape_is_survived(self, store):
+        paths = self.seed(store)
+        with open(paths[0], "w") as handle:
+            json.dump(
+                {"format": STORE_FORMAT_VERSION, "kernel": 17}, handle
+            )
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(warm) == len(paths) - 1
+
+    def test_corrupt_manifest_recovers(self, store):
+        self.seed(store)
+        manifest = os.path.join(
+            store._manifests_dir, os.listdir(store._manifests_dir)[0]
+        )
+        with open(manifest, "w") as handle:
+            handle.write("not json at all")
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(warm) == 0
+        # The write-back path rebuilds the manifest from scratch.
+        store.save_graph(full_graph(BOOLEANS))
+        again = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(again) > 0
+
+    def test_corrupt_dense_section_falls_back_to_sparse(self, store):
+        grammar = grammar_from_text(BOOLEANS)
+        table = lr0_table(full_graph(BOOLEANS))
+        store.save_table(grammar, table)
+        path = store._table_path(store.grammar_key(grammar))
+        payload = json.load(open(path))
+        payload["dense"]["pool"] = [[["bogus-tag"]]]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        loaded = store.load_table(grammar)
+        assert loaded is not None
+        assert loaded._dense is None
+        assert dumps(loaded) == dumps(table)
+
+    def test_corrupt_table_is_discarded(self, store):
+        grammar = grammar_from_text(BOOLEANS)
+        store.save_table(grammar, lr0_table(full_graph(BOOLEANS)))
+        path = store._table_path(store.grammar_key(grammar))
+        with open(path, "w") as handle:
+            handle.write("{")
+        assert store.load_table(grammar) is None
+        assert not os.path.exists(path)
+
+
+class TestInvalidation:
+    def test_edit_changes_the_keys_not_the_files(self, store):
+        """Stale entries are skipped, never deleted: they still serve the
+        grammar they were written for."""
+        store.save_graph(full_graph(BOOLEANS))
+        files_before = set(os.listdir(store._states_dir))
+
+        edited = grammar_from_text(BOOLEANS + "    B ::= maybe\n")
+        warm = ItemSetGraph(edited)
+        # The edit moved the grammar key (fresh manifest) and every state
+        # key (every closure reaches B): nothing restores, and nothing is
+        # unlinked either.
+        assert store.restore_graph(warm) == 0
+        assert set(os.listdir(store._states_dir)) == files_before
+
+        # The original grammar still warm-starts in full.
+        original = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(original) == len(files_before)
+
+    def test_rekey_mismatch_skips_without_unlinking(self, store):
+        """An entry whose content no longer hashes to its address (here:
+        planted under a forged key) is ignored but never deleted — it may
+        still be the valid entry for some other grammar."""
+        store.save_graph(full_graph(BOOLEANS))
+        genuine = sorted(os.listdir(store._states_dir))
+        forged_key = "ab" * 32
+        donor = os.path.join(store._states_dir, genuine[0])
+        forged = os.path.join(store._states_dir, f"{forged_key}.json")
+        with open(donor) as src, open(forged, "w") as dst:
+            dst.write(src.read())
+        manifest = os.path.join(
+            store._manifests_dir, os.listdir(store._manifests_dir)[0]
+        )
+        listing = json.load(open(manifest))
+        listing["states"].append(forged_key)
+        with open(manifest, "w") as handle:
+            json.dump(listing, handle)
+
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        assert store.restore_graph(warm) == len(genuine)
+        assert os.path.exists(forged)
+
+    def test_shared_subgrammar_dedupes_across_grammars(self, store):
+        """State entries are content-addressed, not per-grammar: a second
+        grammar embedding the same B subgrammar reuses the B-internal
+        entries on disk instead of writing its own copies."""
+        store.save_graph(full_graph(BOOLEANS))
+        wrapped = full_graph(WRAPPED_BOOLEANS)
+        written = store.save_graph(wrapped)
+        shared = len(wrapped.states()) - written
+        assert 0 < written < len(wrapped.states())
+        assert shared > 0
+
+        # Both grammars still restore in full from the shared pool.
+        for text, cold in ((BOOLEANS, None), (WRAPPED_BOOLEANS, wrapped)):
+            warm = ItemSetGraph(grammar_from_text(text))
+            reference = cold if cold is not None else full_graph(text)
+            assert store.restore_graph(warm) == len(reference.states())
+            assert graph_shape(warm) == graph_shape(reference)
+            warm.validate()
+
+    def test_grammar_key_tracks_revisions(self, store):
+        grammar = grammar_from_text(BOOLEANS)
+        before = store.grammar_key(grammar)
+        assert before == compute_grammar_key(grammar)
+        language = Language(grammar)
+        language.add_rule("B ::= maybe")
+        after = store.grammar_key(grammar)
+        assert after != before
+        assert after == compute_grammar_key(grammar)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_race_safely(self, tmp_path):
+        """Both writers persist the same grammar at once; the store must
+        end up complete and readable (atomic renames, skip-if-exists)."""
+        root = str(tmp_path / "cache")
+        template = textwrap.dedent(
+            """
+            import sys
+            from repro.grammar.builders import grammar_from_text
+            from repro.lr.generator import ConventionalGenerator
+            from repro.lr.tablestore import TableStore
+
+            TEXT = '''%s'''
+            generator = ConventionalGenerator(grammar_from_text(TEXT))
+            generator.generate()
+            TableStore(sys.argv[1]).save_graph(generator.graph)
+            """
+        )
+        script = template % BOOLEANS
+        env = dict(os.environ, PYTHONPATH="src")
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, root],
+                env=env,
+                cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+            )
+            for _ in range(2)
+        ]
+        assert [worker.wait() for worker in workers] == [0, 0]
+
+        store = TableStore(root)
+        warm = ItemSetGraph(grammar_from_text(BOOLEANS))
+        cold = full_graph(BOOLEANS)
+        assert store.restore_graph(warm) == len(cold.states())
+        assert graph_shape(warm) == graph_shape(cold)

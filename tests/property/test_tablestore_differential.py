@@ -1,0 +1,111 @@
+"""Differential property: warm-started languages ≡ cold languages.
+
+A language that adopted its LR states from the persistent table store
+must be observationally identical to one that expanded everything from
+scratch — same acceptance, same ambiguity counts — on every engine tier
+that consumes the shared control plane (lazy, compiled, dense, gss), on
+random grammars, and across interleaved add/delete-rule edits (where
+stale store entries must be ignored rather than poison the automaton).
+"""
+
+import shutil
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.language import Language
+from repro.lr.tablestore import TableStore
+from repro.runtime.errors import CyclicForestError, SweepLimitExceeded
+
+from .strategies import derive_sentence, grammars, is_pool_safe, rules
+
+ENGINES = ("lazy", "compiled", "dense", "gss")
+
+#: Small parse budget: differential equality holds for "ran out of
+#: budget" too (same deterministic engines on both sides).
+MAX_STEPS = 20_000
+
+
+def observe(language: Language, text: str):
+    """Per-engine fingerprint of one sentence, budget trips included."""
+    results = {}
+    for engine in ENGINES:
+        try:
+            outcome = language.parse(text, engine=engine)
+        except SweepLimitExceeded:
+            results[engine] = "budget"
+        except CyclicForestError:
+            results[engine] = "cyclic"
+        else:
+            results[engine] = (
+                outcome.accepted,
+                outcome.ambiguity if outcome.accepted else 0,
+            )
+    return results
+
+
+def sample_sentences(grammar, data) -> list:
+    """A few in-language derivations plus a few arbitrary strings."""
+    texts = []
+    for seed in (0, 1, 2):
+        derived = derive_sentence(grammar, seed)
+        if derived is not None and len(derived) <= 12:
+            texts.append(" ".join(t.name for t in derived))
+    for _ in range(2):
+        letters = data.draw(
+            st.lists(st.sampled_from("xyz"), max_size=5), label="sentence"
+        )
+        texts.append(" ".join(letters))
+    return sorted(set(texts))
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_warm_start_is_observationally_cold(data):
+    grammar = data.draw(
+        grammars().filter(is_pool_safe), label="grammar"
+    )
+    sentences = sample_sentences(grammar, data)
+    root = tempfile.mkdtemp(prefix="tablestore-prop-")
+    try:
+        store = TableStore(root)
+        cold = Language(
+            grammar.copy(), max_sweep_steps=MAX_STEPS
+        )
+        seeder = Language(
+            grammar.copy(), max_sweep_steps=MAX_STEPS, table_store=store
+        )
+        for text in sentences:
+            observe(seeder, text)
+        seeder.persist_tables()
+
+        warm = Language(
+            grammar.copy(), max_sweep_steps=MAX_STEPS, table_store=store
+        )
+        for text in sentences:
+            assert observe(warm, text) == observe(cold, text)
+
+        # Interleaved edits: the same add/delete applied to both sides.
+        # The warm side's adopted states must invalidate exactly like
+        # freshly expanded ones.
+        added = data.draw(rules(3, allow_epsilon=False), label="added rule")
+        assert cold.add_rule(added) == warm.add_rule(added)
+        victims = [r for r in grammar.rules if str(r.lhs) != "START"]
+        if victims:
+            victim = data.draw(st.sampled_from(victims), label="deleted rule")
+            assert cold.delete_rule(victim) == warm.delete_rule(victim)
+        for text in sentences:
+            assert observe(warm, text) == observe(cold, text)
+
+        # Persist the edited automaton and warm-start a third language
+        # from it: stale pre-edit entries coexist with the new ones and
+        # must not leak in.
+        warm.persist_tables()
+        third = Language(
+            warm.grammar.copy(), max_sweep_steps=MAX_STEPS, table_store=store
+        )
+        for text in sentences:
+            assert observe(third, text) == observe(cold, text)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,110 @@
+"""The service layers over the persistent table store.
+
+A dispatcher handed ``table_cache`` warm-starts every session it opens
+(including snapshot restores) from the shared on-disk store and reports
+the accounting under ``metrics.generation`` — the cross-process warm
+start the CI cache step asserts on, exercised here in-process with two
+dispatchers sharing one directory.
+"""
+
+import pytest
+
+from repro.service import Dispatcher
+from repro.service.scheduler import Scheduler
+
+BOOLEANS = "START ::= B\nB ::= true\nB ::= false\nB ::= B or B"
+
+SENTENCES = ("true", "true or false", "false or true or true")
+
+
+def opened(dispatcher, session="s1"):
+    response = dispatcher.handle(
+        {"cmd": "open", "session": session, "grammar": BOOLEANS}
+    )
+    assert "error" not in response
+    for sentence in SENTENCES:
+        parsed = dispatcher.handle(
+            {"cmd": "parse", "session": session, "tokens": sentence}
+        )
+        assert parsed["accepted"] is True
+    return dispatcher
+
+
+def generation(dispatcher):
+    return dispatcher.handle({"cmd": "metrics"})["generation"]
+
+
+class TestDispatcherWarmStart:
+    def test_second_dispatcher_skips_generation(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = opened(Dispatcher(table_cache=cache))
+        cold = generation(first)
+        assert cold["saved_states"] == 0
+        assert cold["cold_states"] > 0
+        first.close()
+
+        second = opened(Dispatcher(table_cache=cache))
+        warm = generation(second)
+        assert warm["saved_states"] > 0
+        assert warm["cold_states"] == 0
+        second.close()
+
+    def test_write_back_happens_while_serving(self, tmp_path):
+        """Entries land on disk as part of request handling — a crashed
+        process still leaves its successor a warm store."""
+        cache = tmp_path / "cache"
+        dispatcher = opened(Dispatcher(table_cache=str(cache)))
+        assert list((cache / "states").iterdir())
+        assert list((cache / "manifests").iterdir())
+        dispatcher.close()
+
+    def test_no_cache_reports_zero_saved(self):
+        dispatcher = opened(Dispatcher())
+        summary = generation(dispatcher)
+        assert summary["saved_states"] == 0
+        assert summary["cold_states"] > 0
+        dispatcher.close()
+
+    def test_snapshot_restore_warm_starts(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        snap_path = str(tmp_path / "session.json")
+        first = opened(Dispatcher(table_cache=cache))
+        saved = first.handle(
+            {"cmd": "snapshot", "session": "s1", "path": snap_path}
+        )
+        assert "error" not in saved
+        first.close()
+
+        second = Dispatcher(table_cache=cache)
+        restored = second.handle(
+            {"cmd": "restore", "session": "s2", "path": snap_path}
+        )
+        assert restored["restored"] == "s2"
+        for sentence in SENTENCES:
+            parsed = second.handle(
+                {"cmd": "parse", "session": "s2", "tokens": sentence}
+            )
+            assert parsed["accepted"] is True
+        second.close()
+
+
+class TestSchedulerWarmStart:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_thread_shards_share_the_store(self, tmp_path, workers):
+        cache = str(tmp_path / "cache")
+        with Scheduler(
+            workers=workers, mode="thread", table_cache=cache
+        ) as scheduler:
+            opened(scheduler, session="shard-a")
+            opened(scheduler, session="shard-b")
+            merged = generation(scheduler)
+            assert merged["cold_states"] > 0
+
+        with Scheduler(
+            workers=workers, mode="thread", table_cache=cache
+        ) as scheduler:
+            opened(scheduler, session="shard-a")
+            opened(scheduler, session="shard-b")
+            merged = generation(scheduler)
+            assert merged["saved_states"] > 0
+            assert merged["cold_states"] == 0
